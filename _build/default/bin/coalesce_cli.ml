@@ -1,0 +1,273 @@
+(* Command-line front end.
+
+   coalesce generate  --seed 7 --k 6 [--dot out.dot] [--chordal]
+   coalesce solve     --seed 7 --k 6 --strategy briggs|...|exact
+   coalesce reduction --theorem 2|3|4|6 --seed 5 [--size 6]
+   coalesce thm5      --seed 3 --n 200
+
+   All instances are deterministic in --seed. *)
+
+open Cmdliner
+module G = Rc_graph.Graph
+
+let strategy_conv =
+  let parse = function
+    | "aggressive" -> Ok Rc_core.Strategies.Aggressive
+    | "briggs" -> Ok (Rc_core.Strategies.Conservative Rc_core.Conservative.Briggs)
+    | "george" -> Ok (Rc_core.Strategies.Conservative Rc_core.Conservative.George)
+    | "briggs-george" ->
+        Ok (Rc_core.Strategies.Conservative Rc_core.Conservative.Briggs_george)
+    | "briggs-george-ext" ->
+        Ok
+          (Rc_core.Strategies.Conservative
+             Rc_core.Conservative.Briggs_george_extended)
+    | "brute-force" ->
+        Ok (Rc_core.Strategies.Conservative Rc_core.Conservative.Brute_force)
+    | "irc" -> Ok (Rc_core.Strategies.Irc Rc_core.Irc.Briggs_and_george)
+    | "irc-briggs" -> Ok (Rc_core.Strategies.Irc Rc_core.Irc.Briggs_only)
+    | "optimistic" -> Ok Rc_core.Strategies.Optimistic
+    | "chordal" -> Ok Rc_core.Strategies.Chordal_incremental
+    | "set2" -> Ok (Rc_core.Strategies.Set_conservative 2)
+    | "set3" -> Ok (Rc_core.Strategies.Set_conservative 3)
+    | "exact" -> Ok Rc_core.Strategies.Exact_conservative
+    | s -> Error (`Msg (Printf.sprintf "unknown strategy %S" s))
+  in
+  let print ppf s = Format.fprintf ppf "%s" (Rc_core.Strategies.name s) in
+  Arg.conv (parse, print)
+
+let seed_arg =
+  Arg.(value & opt int 2026 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let k_arg =
+  Arg.(value & opt int 6 & info [ "k"; "registers" ] ~docv:"K" ~doc:"Number of registers.")
+
+let instance ~seed ~k ~chordal =
+  Rc_challenge.Challenge.generate ~seed ~move_aware:(not chordal) ~k ()
+
+(* generate ----------------------------------------------------------- *)
+
+let generate_cmd =
+  let dot_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dot" ] ~docv:"FILE" ~doc:"Write a Graphviz rendering to $(docv).")
+  in
+  let chordal_arg =
+    Arg.(
+      value & flag
+      & info [ "chordal" ]
+          ~doc:
+            "Use pure live-range-intersection interference (Theorem 1: the \
+             instance is then chordal).")
+  in
+  let run seed k dot chordal =
+    let inst = instance ~seed ~k ~chordal in
+    Format.printf "%s@." (Rc_core.Problem.stats inst.problem);
+    Format.printf "maxlive=%d chordal=%b greedy-%d-colorable=%b@." inst.maxlive
+      (Rc_graph.Chordal.is_chordal inst.problem.graph)
+      k
+      (Rc_graph.Greedy_k.is_greedy_k_colorable inst.problem.graph k);
+    match dot with
+    | None -> ()
+    | Some file ->
+        Rc_graph.Dot.write_file file
+          ~affinities:
+            (List.map
+               (fun (a : Rc_core.Problem.affinity) -> (a.u, a.v))
+               inst.problem.affinities)
+          inst.problem.graph;
+        Format.printf "wrote %s@." file
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate a synthetic coalescing instance.")
+    Term.(const run $ seed_arg $ k_arg $ dot_arg $ chordal_arg)
+
+(* solve -------------------------------------------------------------- *)
+
+let solve_cmd =
+  let strategy_arg =
+    Arg.(
+      value
+      & opt (some strategy_conv) None
+      & info [ "strategy" ] ~docv:"NAME"
+          ~doc:
+            "Strategy: aggressive, briggs, george, briggs-george, \
+             briggs-george-ext, brute-force, irc, irc-briggs, optimistic, \
+             chordal, set2, set3, exact.  Omit to run all heuristics.")
+  in
+  let chordal_arg =
+    Arg.(value & flag & info [ "chordal" ] ~doc:"Chordal instance flavor.")
+  in
+  let file_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "file" ] ~docv:"FILE"
+          ~doc:
+            "Load the instance from $(docv) (see Instance_io for the format) \
+             instead of generating one.")
+  in
+  let run seed k strategy chordal file =
+    let problem =
+      match file with
+      | Some path -> (
+          match Rc_challenge.Instance_io.read_file path with
+          | Ok p -> p
+          | Error m -> failwith (Printf.sprintf "%s: %s" path m))
+      | None -> (instance ~seed ~k ~chordal).problem
+    in
+    Format.printf "%s@." (Rc_core.Problem.stats problem);
+    let strategies =
+      match strategy with
+      | Some s -> [ s ]
+      | None -> Rc_core.Strategies.all_heuristics
+    in
+    List.iter
+      (fun s ->
+        let r = Rc_core.Strategies.evaluate s problem in
+        Format.printf "%a@." Rc_core.Strategies.pp_report r)
+      strategies
+  in
+  Cmd.v
+    (Cmd.info "solve" ~doc:"Run coalescing strategies on an instance.")
+    Term.(const run $ seed_arg $ k_arg $ strategy_arg $ chordal_arg $ file_arg)
+
+(* reduction ---------------------------------------------------------- *)
+
+let reduction_cmd =
+  let theorem_arg =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "theorem" ] ~docv:"N" ~doc:"Theorem number: 2, 3, 4 or 6.")
+  in
+  let size_arg =
+    Arg.(
+      value & opt int 6
+      & info [ "size" ] ~docv:"N" ~doc:"Size of the random source instance.")
+  in
+  let run seed theorem size =
+    let rng = Random.State.make [| seed |] in
+    match theorem with
+    | 2 ->
+        let inst =
+          Rc_reductions.Multiway_cut.random rng ~n:size ~p:0.4 ~terminals:3
+        in
+        let cut, _ = Rc_reductions.Multiway_cut.solve inst in
+        let gadget = Rc_reductions.Thm2_aggressive.build inst in
+        Format.printf "min multiway cut = %d; min uncoalesced = %d; agree = %b@."
+          cut
+          (Rc_reductions.Thm2_aggressive.min_uncoalesced gadget)
+          (cut = Rc_reductions.Thm2_aggressive.min_uncoalesced gadget);
+        Ok ()
+    | 3 ->
+        let src = Rc_graph.Generators.gnp rng ~n:size ~p:0.45 in
+        let colorable, coalescable =
+          Rc_reductions.Thm3_conservative.verify src ~k:3
+        in
+        Format.printf "3-colorable = %b; fully coalescable = %b; agree = %b@."
+          colorable coalescable (colorable = coalescable);
+        Ok ()
+    | 4 ->
+        let cnf =
+          Rc_reductions.Sat.random_3sat rng ~vars:(max 3 (size - 2))
+            ~clauses:(3 * size)
+        in
+        let sat, coalescable = Rc_reductions.Thm4_incremental.verify cnf in
+        Format.printf "satisfiable = %b; (x0, F) coalescable = %b; agree = %b@."
+          sat coalescable (sat = coalescable);
+        Ok ()
+    | 6 ->
+        let src =
+          Rc_graph.Generators.random_bounded_degree rng ~n:(min size 6)
+            ~max_degree:3 ~edges:size
+        in
+        let vc = G.ISet.cardinal (Rc_reductions.Vertex_cover.minimum src) in
+        let gadget = Rc_reductions.Thm6_optimistic.build src in
+        let dc = Rc_reductions.Thm6_optimistic.min_decoalesced gadget in
+        Format.printf
+          "min vertex cover = %d; min de-coalescings = %d; agree = %b@." vc dc
+          (vc = dc);
+        Ok ()
+    | n -> Error (Printf.sprintf "no Theorem %d reduction (use 2, 3, 4 or 6)" n)
+  in
+  let run seed theorem size =
+    match run seed theorem size with
+    | Ok () -> ()
+    | Error m -> prerr_endline m
+  in
+  Cmd.v
+    (Cmd.info "reduction" ~doc:"Verify one of the NP-completeness reductions.")
+    Term.(const run $ seed_arg $ theorem_arg $ size_arg)
+
+(* thm5 ---------------------------------------------------------------- *)
+
+let thm5_cmd =
+  let n_arg =
+    Arg.(
+      value & opt int 200
+      & info [ "n"; "vertices" ] ~docv:"N" ~doc:"Number of vertices of the chordal graph.")
+  in
+  let run seed n =
+    let rng = Random.State.make [| seed |] in
+    let g = Rc_graph.Generators.random_chordal rng ~n ~extra:(n / 2) in
+    let k = Rc_graph.Chordal.omega g in
+    let vs = Array.of_list (G.vertices g) in
+    let rec pick i j =
+      if i >= Array.length vs then None
+      else if j >= Array.length vs then pick (i + 1) (i + 2)
+      else if not (G.mem_edge g vs.(i) vs.(j)) then Some (vs.(i), vs.(j))
+      else pick i (j + 1)
+    in
+    match pick 0 1 with
+    | None -> print_endline "graph is complete; nothing to coalesce"
+    | Some (x, y) -> (
+        Format.printf "n=%d omega=%d affinity=(%d, %d)@." n k x y;
+        match Rc_core.Chordal_coalescing.decide g ~k x y with
+        | Rc_core.Chordal_coalescing.Coalescable chain ->
+            Format.printf "coalescable; certificate chain of %d vertices@."
+              (List.length chain)
+        | Rc_core.Chordal_coalescing.Uncoalescable reason ->
+            Format.printf "not coalescable: %s@." reason)
+  in
+  Cmd.v
+    (Cmd.info "thm5"
+       ~doc:"Run the polynomial chordal incremental-coalescing test.")
+    Term.(const run $ seed_arg $ n_arg)
+
+(* allocate -------------------------------------------------------------- *)
+
+let allocate_cmd =
+  let biased_arg =
+    Arg.(
+      value & flag
+      & info [ "biased" ] ~doc:"Biased select-phase coloring (Section 1).")
+  in
+  let run seed k biased =
+    let prog =
+      Rc_ir.Randprog.generate (Random.State.make [| seed |])
+        Rc_ir.Randprog.default_config
+    in
+    let r = Rc_regalloc.Regalloc.allocate ~biased prog ~k in
+    Format.printf
+      "registers=%d rounds=%d moves %d -> %d; dynamic check: %b@."
+      r.registers_used r.rebuild_rounds r.moves_before r.moves_after
+      (Rc_regalloc.Regalloc.check r)
+  in
+  Cmd.v
+    (Cmd.info "allocate"
+       ~doc:
+         "Run the end-to-end register allocator on a random program and \
+          validate it with the symbolic interpreter.")
+    Term.(const run $ seed_arg $ k_arg $ biased_arg)
+
+let () =
+  let info =
+    Cmd.info "coalesce" ~version:"1.0"
+      ~doc:"Register-coalescing complexity toolbox (Bouchez–Darte–Rastello)."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ generate_cmd; solve_cmd; reduction_cmd; thm5_cmd; allocate_cmd ]))

@@ -1,0 +1,1 @@
+examples/challenge_run.ml: Array Format List Rc_challenge Rc_core Rc_graph Sys

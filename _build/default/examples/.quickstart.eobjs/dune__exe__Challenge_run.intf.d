@@ -1,0 +1,1 @@
+examples/challenge_run.mli:

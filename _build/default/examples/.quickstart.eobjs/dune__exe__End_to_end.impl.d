@@ -1,0 +1,1 @@
+examples/end_to_end.ml: Array Format List Random Rc_ir Rc_regalloc String Sys

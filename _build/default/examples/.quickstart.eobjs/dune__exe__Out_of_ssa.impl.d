@@ -1,0 +1,1 @@
+examples/out_of_ssa.ml: Array Format List Random Rc_core Rc_graph Rc_ir Sys

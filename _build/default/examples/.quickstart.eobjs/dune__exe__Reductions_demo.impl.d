@@ -1,0 +1,1 @@
+examples/reductions_demo.ml: Format List Random Rc_core Rc_graph Rc_ir Rc_reductions

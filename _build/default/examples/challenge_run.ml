@@ -1,0 +1,38 @@
+(* The synthetic coalescing challenge (experiment E11): a batch of
+   spilled SSA instances at several register counts, every heuristic
+   ranked by the fraction of move weight it removes — the metric of the
+   Appel–George coalescing challenge the paper refers to.
+
+   Run with: dune exec examples/challenge_run.exe [count] *)
+
+let () =
+  let count =
+    if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 8
+  in
+  List.iter
+    (fun k ->
+      Format.printf "@.=== coalescing challenge: k = %d, %d instances ===@." k
+        count;
+      let instances =
+        Rc_challenge.Challenge.generate_batch ~seed:1000 ~k ~count ()
+      in
+      let sizes =
+        List.map
+          (fun (i : Rc_challenge.Challenge.instance) ->
+            Rc_graph.Graph.num_vertices i.problem.graph)
+          instances
+      in
+      Format.printf "instance sizes: %d-%d vertices@."
+        (List.fold_left min max_int sizes)
+        (List.fold_left max 0 sizes);
+      let board =
+        Rc_challenge.Challenge.leaderboard Rc_core.Strategies.all_heuristics
+          instances
+      in
+      Format.printf "%-30s %10s %10s %s@." "strategy" "score" "time" "safe";
+      List.iter
+        (fun (name, score, time, conservative) ->
+          Format.printf "%-30s %9.1f%% %9.3fs %s@." name (100. *. score) time
+            (if conservative then "yes" else "NO"))
+        board)
+    [ 4; 6; 8 ]

@@ -1,0 +1,1 @@
+lib/challenge/challenge.ml: List Random Rc_core Rc_graph Rc_ir

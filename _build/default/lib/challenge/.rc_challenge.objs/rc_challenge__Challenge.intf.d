@@ -1,0 +1,1 @@
+lib/challenge/challenge.mli: Rc_core Rc_ir

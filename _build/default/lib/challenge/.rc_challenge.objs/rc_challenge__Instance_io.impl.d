@@ -1,0 +1,1 @@
+lib/challenge/instance_io.ml: Buffer Fun List Printf Rc_core Rc_graph String

@@ -1,0 +1,1 @@
+lib/challenge/instance_io.mli: Rc_core

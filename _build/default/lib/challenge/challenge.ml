@@ -1,0 +1,96 @@
+module IMap = Rc_graph.Graph.IMap
+module ISet = Rc_graph.Graph.ISet
+module Ir = Rc_ir.Ir
+
+type instance = {
+  problem : Rc_core.Problem.t;
+  func : Ir.func;
+  maxlive : int;
+}
+
+(* Loop nesting depth per block: natural loops of back edges (a, b)
+   where b dominates a. *)
+let loop_depths (f : Ir.func) =
+  let dom = Rc_ir.Dominance.compute f in
+  let preds = Rc_ir.Cfg.predecessors f in
+  let preds_of l =
+    match IMap.find_opt l preds with Some p -> p | None -> []
+  in
+  let back_edges =
+    IMap.fold
+      (fun a (b : Ir.block) acc ->
+        List.fold_left
+          (fun acc s ->
+            if Rc_ir.Dominance.dominates dom s a then (a, s) :: acc else acc)
+          acc b.succs)
+      f.blocks []
+  in
+  let natural_loop (a, header) =
+    let rec grow body = function
+      | [] -> body
+      | l :: rest ->
+          if ISet.mem l body then grow body rest
+          else grow (ISet.add l body) (preds_of l @ rest)
+    in
+    grow (ISet.singleton header) [ a ]
+  in
+  List.fold_left
+    (fun depths be ->
+      ISet.fold
+        (fun l m ->
+          IMap.add l (1 + match IMap.find_opt l m with Some d -> d | None -> 0) m)
+        (natural_loop be) depths)
+    IMap.empty back_edges
+
+let generate ~seed ?(config = Rc_ir.Randprog.default_config)
+    ?(move_aware = true) ~k () =
+  let rng = Random.State.make [| seed; 0x5eed |] in
+  let prog = Rc_ir.Randprog.generate rng config in
+  let ssa = Rc_ir.Ssa.construct prog in
+  let spilled = Rc_ir.Spill.spill_everywhere ssa ~k in
+  let live = Rc_ir.Liveness.compute spilled in
+  let maxlive = Rc_ir.Liveness.maxlive spilled live in
+  let graph = Rc_ir.Interference.build ~move_aware spilled in
+  let depths = loop_depths spilled in
+  let weights l =
+    let d = match IMap.find_opt l depths with Some d -> d | None -> 0 in
+    let rec pow10 n = if n <= 0 then 1 else 10 * pow10 (n - 1) in
+    pow10 (min d 3)
+  in
+  let affinities = Rc_ir.Interference.affinities ~weights spilled in
+  let problem = Rc_core.Problem.make ~graph ~affinities ~k in
+  { problem; func = spilled; maxlive }
+
+let generate_batch ~seed ?config ?move_aware ~k ~count () =
+  List.init count (fun i -> generate ~seed:(seed + i) ?config ?move_aware ~k ())
+
+let leaderboard strategies instances =
+  let score strategy =
+    let reports =
+      List.map
+        (fun inst -> Rc_core.Strategies.evaluate strategy inst.problem)
+        instances
+    in
+    let fractions =
+      List.map
+        (fun (r : Rc_core.Strategies.report) ->
+          if r.total_weight = 0 then 1.0
+          else float_of_int r.coalesced_weight /. float_of_int r.total_weight)
+        reports
+    in
+    let avg =
+      List.fold_left ( +. ) 0.0 fractions
+      /. float_of_int (max 1 (List.length fractions))
+    in
+    let time =
+      List.fold_left
+        (fun acc (r : Rc_core.Strategies.report) -> acc +. r.time_s)
+        0.0 reports
+    in
+    let all_conservative =
+      List.for_all (fun (r : Rc_core.Strategies.report) -> r.conservative) reports
+    in
+    (Rc_core.Strategies.name strategy, avg, time, all_conservative)
+  in
+  List.map score strategies
+  |> List.sort (fun (_, a, _, _) (_, b, _, _) -> compare b a)

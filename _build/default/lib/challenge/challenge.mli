@@ -1,0 +1,47 @@
+(** Synthetic coalescing-challenge instances.
+
+    Substitute for the Appel–George coalescing-challenge corpus (see
+    DESIGN.md): seeded random structured programs are SSA-constructed,
+    spilled everywhere until Maxlive <= k, and their interference graph
+    plus phi/move affinities form the coalescing instance.  By
+    Theorem 1 the graph is chordal with omega <= k, hence k-colorable
+    and (Property 1) greedy-k-colorable — precisely the two-phase
+    regime in which the paper says conservative coalescing becomes hard
+    in practice. *)
+
+type instance = {
+  problem : Rc_core.Problem.t;
+  func : Rc_ir.Ir.func;  (** the spilled SSA program *)
+  maxlive : int;
+}
+
+val generate :
+  seed:int ->
+  ?config:Rc_ir.Randprog.config ->
+  ?move_aware:bool ->
+  k:int ->
+  unit ->
+  instance
+(** Deterministic in [seed].  Affinity weights are execution-frequency
+    estimates: an affinity arising in a block nested under [d] loop
+    headers weighs [10^min(d,3)].  With [move_aware] (default [true])
+    the interference graph uses Chaitin's move refinement, which can
+    break chordality; pass [false] for pure live-range-intersection
+    interference, which keeps the instance chordal (Theorem 1) at the
+    price of more constrained affinities. *)
+
+val generate_batch :
+  seed:int ->
+  ?config:Rc_ir.Randprog.config ->
+  ?move_aware:bool ->
+  k:int ->
+  count:int ->
+  unit ->
+  instance list
+(** [count] instances with seeds [seed, seed+1, ...]. *)
+
+val leaderboard :
+  Rc_core.Strategies.t list -> instance list -> (string * float * float * bool) list
+(** For each strategy: (name, average fraction of move weight coalesced,
+    total time in seconds, all solutions conservative).  Sorted by
+    decreasing coalesced fraction — the challenge metric. *)

@@ -1,0 +1,125 @@
+module G = Rc_graph.Graph
+
+type accum = {
+  mutable k : int option;
+  mutable graph : G.t;
+  mutable affinities : ((int * int) * int) list;
+}
+
+let parse text =
+  let acc = { k = None; graph = G.empty; affinities = [] } in
+  let error lineno msg = Error (Printf.sprintf "line %d: %s" lineno msg) in
+  let int_of lineno s =
+    match int_of_string_opt s with
+    | Some i -> Ok i
+    | None -> error lineno (Printf.sprintf "expected an integer, got %S" s)
+  in
+  let ( let* ) r f = match r with Ok x -> f x | Error _ as e -> e in
+  let parse_line lineno line =
+    let line =
+      match String.index_opt line '#' with
+      | Some i -> String.sub line 0 i
+      | None -> line
+    in
+    match
+      String.split_on_char ' ' line
+      |> List.concat_map (String.split_on_char '\t')
+      |> List.filter (fun s -> s <> "")
+    with
+    | [] -> Ok ()
+    | "k" :: rest -> (
+        match rest with
+        | [ ks ] ->
+            let* k = int_of lineno ks in
+            if k <= 0 then error lineno "k must be positive"
+            else if acc.k <> None then error lineno "duplicate k directive"
+            else begin
+              acc.k <- Some k;
+              Ok ()
+            end
+        | _ -> error lineno "usage: k <int>")
+    | "v" :: rest ->
+        List.fold_left
+          (fun r s ->
+            let* () = r in
+            let* v = int_of lineno s in
+            acc.graph <- G.add_vertex acc.graph v;
+            Ok ())
+          (Ok ()) rest
+    | [ "e"; us; vs ] ->
+        let* u = int_of lineno us in
+        let* v = int_of lineno vs in
+        if u = v then error lineno "self-loop interference"
+        else begin
+          acc.graph <- G.add_edge acc.graph u v;
+          Ok ()
+        end
+    | [ "a"; us; vs ] | [ "a"; us; vs; _ ] as toks -> (
+        let* u = int_of lineno us in
+        let* v = int_of lineno vs in
+        let* w =
+          match toks with
+          | [ _; _; _; ws ] -> int_of lineno ws
+          | _ -> Ok 1
+        in
+        if w <= 0 then error lineno "affinity weight must be positive"
+        else if u = v then error lineno "self-affinity"
+        else begin
+          acc.graph <- G.add_vertex (G.add_vertex acc.graph u) v;
+          acc.affinities <- ((u, v), w) :: acc.affinities;
+          Ok ()
+        end)
+    | d :: _ -> error lineno (Printf.sprintf "unknown directive %S" d)
+  in
+  let lines = String.split_on_char '\n' text in
+  let rec go lineno = function
+    | [] -> (
+        match acc.k with
+        | None -> Error "missing k directive"
+        | Some k -> (
+            try Ok (Rc_core.Problem.make ~graph:acc.graph
+                      ~affinities:(List.rev acc.affinities) ~k)
+            with Invalid_argument m -> Error m))
+    | line :: rest -> (
+        match parse_line lineno line with
+        | Ok () -> go (lineno + 1) rest
+        | Error _ as e -> e)
+  in
+  go 1 lines
+
+let read_file path =
+  match
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | text -> parse text
+  | exception Sys_error m -> Error m
+
+let print (p : Rc_core.Problem.t) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "# register-coalescing instance\n";
+  Buffer.add_string buf (Printf.sprintf "k %d\n" p.k);
+  let isolated =
+    List.filter (fun v -> G.degree p.graph v = 0) (G.vertices p.graph)
+  in
+  if isolated <> [] then begin
+    Buffer.add_string buf "v";
+    List.iter (fun v -> Buffer.add_string buf (Printf.sprintf " %d" v)) isolated;
+    Buffer.add_char buf '\n'
+  end;
+  G.iter_edges
+    (fun u v -> Buffer.add_string buf (Printf.sprintf "e %d %d\n" u v))
+    p.graph;
+  List.iter
+    (fun (a : Rc_core.Problem.affinity) ->
+      Buffer.add_string buf (Printf.sprintf "a %d %d %d\n" a.u a.v a.weight))
+    p.affinities;
+  Buffer.contents buf
+
+let write_file path p =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (print p))

@@ -1,0 +1,27 @@
+(** Textual coalescing-instance format, loosely modeled on the files of
+    the Appel–George coalescing challenge so that externally produced
+    interference graphs can be fed to the solvers.
+
+    Grammar (one directive per line; [#] starts a comment):
+
+    {v
+    k <int>                 register count (required, exactly once)
+    v <int> ...             declare (possibly isolated) vertices
+    e <int> <int>           interference edge
+    a <int> <int> [<int>]   affinity, optional weight (default 1)
+    v}
+
+    Unknown directives, malformed integers, self-loops and affinities
+    with non-positive weight are reported as [Error] with a line
+    number. *)
+
+val parse : string -> (Rc_core.Problem.t, string) result
+(** Parses the contents of an instance file. *)
+
+val read_file : string -> (Rc_core.Problem.t, string) result
+
+val print : Rc_core.Problem.t -> string
+(** Renders an instance; [parse (print p)] reproduces [p] up to affinity
+    normalization. *)
+
+val write_file : string -> Rc_core.Problem.t -> unit

@@ -1,0 +1,1 @@
+lib/core/aggressive.ml: Coalescing List Problem

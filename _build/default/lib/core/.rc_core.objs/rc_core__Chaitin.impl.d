@@ -1,0 +1,1 @@
+lib/core/chaitin.ml: Aggressive Coalescing List Problem Rc_graph

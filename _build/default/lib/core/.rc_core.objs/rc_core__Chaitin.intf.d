@@ -1,0 +1,1 @@
+lib/core/chaitin.mli: Coalescing Problem Rc_graph

@@ -1,0 +1,1 @@
+lib/core/chordal_coalescing.ml: Array Coalescing Hashtbl List Printf Problem Rc_graph

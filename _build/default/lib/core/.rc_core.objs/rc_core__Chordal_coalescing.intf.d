@@ -1,0 +1,1 @@
+lib/core/chordal_coalescing.mli: Coalescing Problem Rc_graph

@@ -1,0 +1,1 @@
+lib/core/coalescing.ml: List Printf Problem Rc_graph

@@ -1,0 +1,1 @@
+lib/core/coalescing.mli: Problem Rc_graph

@@ -1,0 +1,1 @@
+lib/core/conservative.ml: Coalescing List Problem Rc_graph Rules

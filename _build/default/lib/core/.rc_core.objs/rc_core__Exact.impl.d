@@ -1,0 +1,1 @@
+lib/core/exact.ml: Array Coalescing List Problem Rc_graph

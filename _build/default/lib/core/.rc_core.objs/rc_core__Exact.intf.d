@@ -1,0 +1,1 @@
+lib/core/exact.mli: Coalescing Problem Rc_graph

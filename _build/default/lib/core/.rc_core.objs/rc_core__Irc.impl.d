@@ -1,0 +1,1 @@
+lib/core/irc.ml: Array Coalescing Hashtbl List Problem Rc_graph

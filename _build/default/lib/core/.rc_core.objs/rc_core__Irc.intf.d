@@ -1,0 +1,1 @@
+lib/core/irc.mli: Coalescing Problem Rc_graph

@@ -1,0 +1,1 @@
+lib/core/optimistic.ml: Aggressive Coalescing Conservative List Problem Rc_graph

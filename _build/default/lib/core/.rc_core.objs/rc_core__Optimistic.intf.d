@@ -1,0 +1,1 @@
+lib/core/optimistic.mli: Coalescing Problem

@@ -1,0 +1,1 @@
+lib/core/problem.ml: Format Hashtbl List Printf Rc_graph

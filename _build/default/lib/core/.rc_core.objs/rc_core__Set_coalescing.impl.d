@@ -1,0 +1,1 @@
+lib/core/set_coalescing.ml: Coalescing Conservative Hashtbl List Problem Rc_graph

@@ -1,0 +1,1 @@
+lib/core/set_coalescing.mli: Coalescing Problem

@@ -1,0 +1,1 @@
+lib/core/strategies.ml: Aggressive Chordal_coalescing Coalescing Conservative Exact Format Irc List Optimistic Printf Problem Rc_graph Set_coalescing Unix

@@ -1,0 +1,1 @@
+lib/core/strategies.mli: Coalescing Conservative Format Irc Problem

@@ -1,0 +1,34 @@
+let coalesce_state st affinities =
+  let by_weight =
+    List.sort
+      (fun (a : Problem.affinity) b ->
+        compare (b.weight, a.u, a.v) (a.weight, b.u, b.v))
+      affinities
+  in
+  let rec pass st pending =
+    let st, kept, progress =
+      List.fold_left
+        (fun (st, kept, progress) (a : Problem.affinity) ->
+          if Coalescing.same_class st a.u a.v then (st, kept, progress)
+          else
+            match Coalescing.merge st a.u a.v with
+            | Some st' -> (st', kept, true)
+            | None -> (st, a :: kept, progress))
+        (st, [], false) pending
+    in
+    if progress then pass st (List.rev kept) else st
+  in
+  pass st by_weight
+
+let coalesce (p : Problem.t) =
+  let st = coalesce_state (Coalescing.initial p.graph) p.affinities in
+  Coalescing.solution_of_state p st
+
+let all_coalescable (p : Problem.t) =
+  let st = coalesce_state (Coalescing.initial p.graph) p.affinities in
+  if
+    List.for_all
+      (fun (a : Problem.affinity) -> Coalescing.same_class st a.u a.v)
+      p.affinities
+  then Some st
+  else None

@@ -1,0 +1,27 @@
+(** Chaitin-style aggressive-then-spill allocation — alternative (a) of
+    Section 3's list of ways to deal with a non-colorable coalesced
+    graph: "remove some vertices from the graph and spill the
+    corresponding variables".
+
+    This is the baseline the paper's introduction warns about: on an
+    instance whose *original* graph is greedy-k-colorable, a
+    conservative or optimistic coalescer never spills, while aggressive
+    coalescing can fuse live ranges into a graph that is no longer
+    colorable and then pays with actual spills.  The E15 experiment
+    measures exactly this effect. *)
+
+type result = {
+  solution : Coalescing.solution;
+      (** the aggressive coalescing that was performed (spilled classes
+          included — their moves are "coalesced" but the variables live
+          in memory) *)
+  spilled : Rc_graph.Graph.vertex list;
+      (** original vertices belonging to the spilled classes *)
+  coloring : Rc_graph.Coloring.coloring;
+      (** colors for all non-spilled original vertices *)
+}
+
+val allocate : Problem.t -> result
+(** Aggressive coalescing, then Chaitin's spill loop (remove the
+    residue class with the lowest cost/degree ratio until the graph is
+    greedy-k-colorable), then greedy coloring. *)

@@ -1,0 +1,47 @@
+(** Incremental conservative coalescing on chordal graphs — the paper's
+    Theorem 5 polynomial algorithm.
+
+    Given a chordal graph [G], [k >= omega(G)] colors, and one affinity
+    [(x, y)], decide whether [G] has a k-coloring with [f x = f y].  The
+    algorithm works on the clique-tree representation:
+
+    + if [x] and [y] interfere, the answer is no; if [k < omega(G)]
+      there is no k-coloring at all;
+    + if [x] and [y] live in different components, the answer is yes;
+    + otherwise take the minimal clique-tree path [P] from subtree [T_x]
+      to subtree [T_y]; every vertex whose subtree meets [P] projects to
+      an interval of [P];
+    + pad every node of [P] to exactly [omega(G)] intervals with
+      single-node dummy intervals (Figure 5's "full lines");
+    + [x] and [y] can share a color iff there is a set of pairwise
+      disjoint intervals containing [I_x] and [I_y] that covers all of
+      [P] — i.e. iff [I_y] is reachable from [I_x] through chains of
+      contiguous intervals, checked by a left-to-right marking pass.
+
+    The answer is independent of [k] beyond the [k >= omega(G)] test:
+    merging a certificate chain yields a chordal graph with the same
+    clique number. *)
+
+type verdict =
+  | Coalescable of Rc_graph.Graph.vertex list
+      (** [x] and [y] can share a color; the payload is a certificate —
+          the (possibly empty) list of other vertices whose merge with
+          [x] and [y] produces a chordal graph with unchanged clique
+          number (the chain of Figure 5, dummy intervals omitted). *)
+  | Uncoalescable of string  (** human-readable reason *)
+
+val decide : Rc_graph.Graph.t -> k:int -> Rc_graph.Graph.vertex -> Rc_graph.Graph.vertex -> verdict
+(** Raises [Invalid_argument] if the graph is not chordal or a vertex is
+    absent. *)
+
+val can_coalesce : Rc_graph.Graph.t -> k:int -> Rc_graph.Graph.vertex -> Rc_graph.Graph.vertex -> bool
+(** [decide] projected to a boolean. *)
+
+val coalesce_incrementally :
+  Problem.t -> Coalescing.state -> Problem.affinity -> Coalescing.state option
+(** Applies {!decide} on the current coalesced graph (which must be
+    chordal) and, when coalescable, merges the certificate chain along
+    with the affinity endpoints so the resulting graph is chordal again
+    with unchanged clique number — the strategy sketched after
+    Theorem 5.  [None] when the affinity cannot be conservatively
+    coalesced. *)

@@ -1,0 +1,116 @@
+module Graph = Rc_graph.Graph
+module IMap = Graph.IMap
+
+type state = {
+  graph : Graph.t;
+  repr : Graph.vertex IMap.t; (* original vertex -> current representative *)
+}
+
+let initial g =
+  {
+    graph = g;
+    repr =
+      List.fold_left (fun m v -> IMap.add v v m) IMap.empty (Graph.vertices g);
+  }
+
+let find st v =
+  match IMap.find_opt v st.repr with
+  | Some r -> r
+  | None -> invalid_arg (Printf.sprintf "Coalescing.find: unknown vertex %d" v)
+
+let graph st = st.graph
+
+let same_class st u v = find st u = find st v
+
+let merge st u v =
+  let ru = find st u and rv = find st v in
+  if ru = rv then None
+  else if Graph.mem_edge st.graph ru rv then None
+  else
+    let graph = Graph.merge st.graph ru rv in
+    let repr = IMap.map (fun r -> if r = rv then ru else r) st.repr in
+    Some { graph; repr }
+
+let classes st =
+  IMap.fold
+    (fun orig r acc ->
+      let cur = match IMap.find_opt r acc with Some l -> l | None -> [] in
+      IMap.add r (orig :: cur) acc)
+    st.repr IMap.empty
+  |> IMap.bindings
+  |> List.map (fun (r, members) -> (r, List.rev members))
+
+let class_of st v =
+  let r = find st v in
+  IMap.fold
+    (fun orig r' acc -> if r' = r then orig :: acc else acc)
+    st.repr []
+  |> List.rev
+
+type solution = {
+  state : state;
+  coalesced : Problem.affinity list;
+  gave_up : Problem.affinity list;
+}
+
+let solution_of_state (p : Problem.t) st =
+  let coalesced, gave_up =
+    List.partition
+      (fun (a : Problem.affinity) -> same_class st a.u a.v)
+      p.affinities
+  in
+  { state = st; coalesced; gave_up }
+
+let coalesced_weight s =
+  List.fold_left (fun acc (a : Problem.affinity) -> acc + a.weight) 0 s.coalesced
+
+let remaining_weight s =
+  List.fold_left (fun acc (a : Problem.affinity) -> acc + a.weight) 0 s.gave_up
+
+let check (p : Problem.t) s =
+  let st = s.state in
+  let ( let* ) r k = match r with Ok () -> k () | Error _ as e -> e in
+  (* Every original vertex tracked. *)
+  let* () =
+    if List.for_all (fun v -> IMap.mem v st.repr) (Graph.vertices p.graph)
+    then Ok ()
+    else Error "merge state does not cover the problem graph"
+  in
+  (* No interference inside a class: every original edge must separate
+     classes. *)
+  let* () =
+    Graph.fold_edges
+      (fun u v acc ->
+        match acc with
+        | Error _ -> acc
+        | Ok () ->
+            if find st u = find st v then
+              Error (Printf.sprintf "interfering vertices %d and %d coalesced" u v)
+            else Ok ())
+      p.graph (Ok ())
+  in
+  (* The coalesced graph must contain the projected edges. *)
+  let* () =
+    Graph.fold_edges
+      (fun u v acc ->
+        match acc with
+        | Error _ -> acc
+        | Ok () ->
+            if Graph.mem_edge st.graph (find st u) (find st v) then Ok ()
+            else Error "coalesced graph is missing a projected interference")
+      p.graph (Ok ())
+  in
+  (* Affinity classification must match the state. *)
+  let classified_ok (a : Problem.affinity) expected =
+    same_class st a.u a.v = expected
+  in
+  if
+    List.for_all (fun a -> classified_ok a true) s.coalesced
+    && List.for_all (fun a -> classified_ok a false) s.gave_up
+    && List.length s.coalesced + List.length s.gave_up
+       = List.length p.affinities
+  then Ok ()
+  else Error "solution affinity classification inconsistent"
+
+let is_conservative (p : Problem.t) s =
+  Rc_graph.Greedy_k.is_greedy_k_colorable s.state.graph p.k

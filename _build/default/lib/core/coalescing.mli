@@ -1,0 +1,58 @@
+(** Coalescing semantics: merge states, coalesced graphs and solutions.
+
+    Following Section 2.1, a coalescing of [G = (V, E)] is a function
+    [f] with [f u <> f v] for every interference [(u, v)]; an affinity
+    [(u, v)] is coalesced when [f u = f v].  We represent [f] by a
+    {!type:state}: the current merged graph together with the map from
+    original vertices to their representative in it. *)
+
+module Graph = Rc_graph.Graph
+
+type state
+
+val initial : Graph.t -> state
+
+val find : state -> Graph.vertex -> Graph.vertex
+(** Current representative of an original vertex.  Raises
+    [Invalid_argument] on vertices absent from the initial graph. *)
+
+val graph : state -> Graph.t
+(** The coalesced graph G_f. *)
+
+val merge : state -> Graph.vertex -> Graph.vertex -> state option
+(** [merge st u v] coalesces the classes of [u] and [v] (arguments may
+    be original vertices).  [None] when the classes interfere or are
+    equal — both make the coalescing invalid or pointless. *)
+
+val same_class : state -> Graph.vertex -> Graph.vertex -> bool
+
+val classes : state -> (Graph.vertex * Graph.vertex list) list
+(** Representative together with the original vertices it stands for. *)
+
+val class_of : state -> Graph.vertex -> Graph.vertex list
+(** Original vertices merged into the class of the given vertex. *)
+
+(** {1 Solutions} *)
+
+type solution = {
+  state : state;
+  coalesced : Problem.affinity list;
+  gave_up : Problem.affinity list;
+}
+
+val solution_of_state : Problem.t -> state -> solution
+(** Classifies each affinity of the problem as coalesced or not under
+    the merge state. *)
+
+val coalesced_weight : solution -> int
+val remaining_weight : solution -> int
+
+val check : Problem.t -> solution -> (unit, string) result
+(** Soundness: the merged graph has no self-interference (guaranteed by
+    construction, re-checked), the coalesced/gave-up split matches the
+    state, and every class is connected via affinities or arbitrary
+    merges of non-interfering vertices (no structural requirement —
+    only consistency is enforced). *)
+
+val is_conservative : Problem.t -> solution -> bool
+(** The coalesced graph is greedy-k-colorable for the problem's [k]. *)

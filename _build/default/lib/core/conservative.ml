@@ -1,0 +1,70 @@
+module Graph = Rc_graph.Graph
+
+type rule =
+  | Briggs
+  | George
+  | Briggs_george
+  | Briggs_george_extended
+  | Brute_force
+
+let rule_name = function
+  | Briggs -> "briggs"
+  | George -> "george"
+  | Briggs_george -> "briggs+george"
+  | Briggs_george_extended -> "briggs+george-ext"
+  | Brute_force -> "brute-force"
+
+(* Does merging the current representatives of the affinity endpoints
+   keep the graph greedy-k-colorable, according to the rule? *)
+let test rule ~k st (a : Problem.affinity) =
+  let g = Coalescing.graph st in
+  let u = Coalescing.find st a.u and v = Coalescing.find st a.v in
+  if u = v || Graph.mem_edge g u v then None
+  else
+    let accept =
+      match rule with
+      | Briggs -> Rules.briggs g ~k u v
+      | George -> Rules.george g ~k u v || Rules.george g ~k v u
+      | Briggs_george -> Rules.briggs_or_george g ~k u v
+      | Briggs_george_extended ->
+          Rules.briggs_or_george g ~k u v
+          || Rules.george_extended g ~k u v
+          || Rules.george_extended g ~k v u
+      | Brute_force -> (
+          match Coalescing.merge st u v with
+          | None -> false
+          | Some st' ->
+              Rc_graph.Greedy_k.is_greedy_k_colorable (Coalescing.graph st') k)
+    in
+    if not accept then None
+    else
+      match Coalescing.merge st u v with
+      | Some st' -> Some st'
+      | None -> None
+
+let coalesce_state rule ~k st affinities =
+  let by_weight =
+    List.sort
+      (fun (a : Problem.affinity) b -> compare (b.weight, a.u, a.v) (a.weight, b.u, b.v))
+      affinities
+  in
+  (* Fixpoint: each pass tries every still-open affinity; stop when a
+     pass coalesces nothing. *)
+  let rec pass st pending =
+    let st, kept, progress =
+      List.fold_left
+        (fun (st, kept, progress) a ->
+          if Coalescing.same_class st a.Problem.u a.v then (st, kept, progress)
+          else
+            match test rule ~k st a with
+            | Some st' -> (st', kept, true)
+            | None -> (st, a :: kept, progress))
+        (st, [], false) pending
+    in
+    if progress then pass st (List.rev kept) else st
+  in
+  pass st by_weight
+
+let coalesce rule (p : Problem.t) =
+  let st = coalesce_state rule ~k:p.k (Coalescing.initial p.graph) p.affinities in
+  Coalescing.solution_of_state p st

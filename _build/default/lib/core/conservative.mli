@@ -1,0 +1,30 @@
+(** Conservative coalescing heuristics (Section 4).
+
+    All entry points take a problem whose graph is expected to be
+    greedy-k-colorable already (the two-phase setting of Appel–George:
+    spilling is done, coalescing must not break colorability) and return
+    a solution whose coalesced graph is still greedy-k-colorable. *)
+
+type rule =
+  | Briggs  (** Briggs' test only *)
+  | George  (** George's test, tried in both orientations *)
+  | Briggs_george  (** either of the two (the paper's recommendation) *)
+  | Briggs_george_extended  (** adds the extended George exemption *)
+  | Brute_force
+      (** merge aggressively and re-check greedy-k-colorability of the
+          whole graph in linear time — the strongest incremental
+          conservative test Section 4 mentions *)
+
+val rule_name : rule -> string
+
+val coalesce : rule -> Problem.t -> Coalescing.solution
+(** Worklist conservative coalescing: affinities are processed by
+    decreasing weight; an affinity is coalesced when the rule accepts it
+    on the current graph; rejected affinities are retried after every
+    successful merge until a fixpoint (merging lowers degrees and can
+    enable previously rejected tests). *)
+
+val coalesce_state :
+  rule -> k:int -> Coalescing.state -> Problem.affinity list -> Coalescing.state
+(** The same worklist loop starting from an existing merge state —
+    building block for {!Optimistic} re-coalescing passes. *)

@@ -1,0 +1,84 @@
+module Graph = Rc_graph.Graph
+module Greedy_k = Rc_graph.Greedy_k
+module Coloring = Rc_graph.Coloring
+
+(* Depth-first search over affinity decisions.  [final_ok] validates the
+   merged graph at the leaves; the weight bound prunes branches that
+   cannot beat the incumbent. *)
+let search (p : Problem.t) ~final_ok =
+  let affinities =
+    List.sort
+      (fun (a : Problem.affinity) b ->
+        compare (b.weight, a.u, a.v) (a.weight, b.u, b.v))
+      p.affinities
+  in
+  let suffix_weight =
+    (* suffix_weight.(i) = total weight of affinities.(i..) *)
+    let arr = Array.of_list (List.map (fun (a : Problem.affinity) -> a.weight) affinities) in
+    let n = Array.length arr in
+    let s = Array.make (n + 1) 0 in
+    for i = n - 1 downto 0 do
+      s.(i) <- s.(i + 1) + arr.(i)
+    done;
+    s
+  in
+  let affinities = Array.of_list affinities in
+  let best = ref None in
+  let best_weight = ref (-1) in
+  let rec go i st gained =
+    if gained + suffix_weight.(i) <= !best_weight then ()
+    else if i = Array.length affinities then begin
+      if final_ok (Coalescing.graph st) then begin
+        best := Some st;
+        best_weight := gained
+      end
+    end
+    else begin
+      let a = affinities.(i) in
+      if Coalescing.same_class st a.u a.v then go (i + 1) st (gained + a.weight)
+      else begin
+        (* Branch 1: coalesce (if interference allows). *)
+        (match Coalescing.merge st a.u a.v with
+        | Some st' -> go (i + 1) st' (gained + a.weight)
+        | None -> ());
+        (* Branch 2: give up. *)
+        go (i + 1) st gained
+      end
+    end
+  in
+  go 0 (Coalescing.initial p.graph) 0;
+  match !best with
+  | Some st -> Coalescing.solution_of_state p st
+  | None ->
+      (* Even the empty coalescing failed [final_ok]. *)
+      invalid_arg "Exact.search: the uncoalesced graph is not acceptable"
+
+let aggressive p = search p ~final_ok:(fun _ -> true)
+
+let conservative (p : Problem.t) =
+  if not (Greedy_k.is_greedy_k_colorable p.graph p.k) then
+    invalid_arg "Exact.conservative: input graph is not greedy-k-colorable";
+  search p ~final_ok:(fun g -> Greedy_k.is_greedy_k_colorable g p.k)
+
+let conservative_k_colorable (p : Problem.t) =
+  if Coloring.k_colorable p.graph p.k = None then
+    invalid_arg "Exact.conservative_k_colorable: input graph is not k-colorable";
+  search p ~final_ok:(fun g -> Coloring.k_colorable g p.k <> None)
+
+let decoalesce (p : Problem.t) st =
+  let all =
+    List.for_all
+      (fun (a : Problem.affinity) -> Coalescing.same_class st a.u a.v)
+      p.affinities
+  in
+  if not all then
+    invalid_arg "Exact.decoalesce: state does not coalesce every affinity";
+  conservative p
+
+let incremental (p : Problem.t) x y =
+  if Graph.mem_edge p.graph x y then false
+  else if x = y then Coloring.k_colorable p.graph p.k <> None
+  else
+    match Coalescing.merge (Coalescing.initial p.graph) x y with
+    | None -> false
+    | Some st -> Coloring.k_colorable (Coalescing.graph st) p.k <> None

@@ -1,0 +1,415 @@
+module Graph = Rc_graph.Graph
+module ISet = Graph.ISet
+module IMap = Graph.IMap
+
+type rule = Briggs_only | George_only | Briggs_and_george
+
+type result = {
+  solution : Coalescing.solution;
+  coloring : Rc_graph.Coloring.coloring;
+  spilled : Graph.vertex list;
+  rounds : int;
+}
+
+(* Node locations, one per node at any time (Appel's invariant). *)
+type location =
+  | Simplify_wl
+  | Freeze_wl
+  | Spill_wl
+  | On_stack
+  | Coalesced_node
+
+type move_state = Worklist_m | Active_m | Coalesced_m | Constrained_m | Frozen_m
+
+type ctx = {
+  k : int;
+  rule : rule;
+  adj : (int, ISet.t ref) Hashtbl.t;
+  degree : (int, int) Hashtbl.t;
+  where : (int, location) Hashtbl.t;
+  alias : (int, int) Hashtbl.t;
+  moves : Problem.affinity array;
+  mstate : move_state array;
+  move_list : (int, int list ref) Hashtbl.t; (* node -> move indices *)
+  mutable simplify_wl : ISet.t;
+  mutable freeze_wl : ISet.t;
+  mutable spill_wl : ISet.t;
+  mutable worklist_moves : ISet.t;
+  mutable stack : int list;
+}
+
+let adj_ref c n =
+  match Hashtbl.find_opt c.adj n with
+  | Some r -> r
+  | None ->
+      let r = ref ISet.empty in
+      Hashtbl.replace c.adj n r;
+      r
+
+let degree_of c n = match Hashtbl.find_opt c.degree n with Some d -> d | None -> 0
+
+let move_list_ref c n =
+  match Hashtbl.find_opt c.move_list n with
+  | Some r -> r
+  | None ->
+      let r = ref [] in
+      Hashtbl.replace c.move_list n r;
+      r
+
+let rec get_alias c n =
+  if Hashtbl.find_opt c.where n = Some Coalesced_node then
+    get_alias c (Hashtbl.find c.alias n)
+  else n
+
+(* Neighbors still in play: not on the stack, not coalesced away. *)
+let adjacent c n =
+  ISet.filter
+    (fun m ->
+      match Hashtbl.find_opt c.where m with
+      | Some (On_stack | Coalesced_node) -> false
+      | Some (Simplify_wl | Freeze_wl | Spill_wl) | None -> true)
+    !(adj_ref c n)
+
+let node_moves c n =
+  List.filter
+    (fun i -> match c.mstate.(i) with Active_m | Worklist_m -> true | _ -> false)
+    !(move_list_ref c n)
+
+let move_related c n = node_moves c n <> []
+
+let enable_moves c nodes =
+  ISet.iter
+    (fun n ->
+      List.iter
+        (fun i ->
+          if c.mstate.(i) = Active_m then begin
+            c.mstate.(i) <- Worklist_m;
+            c.worklist_moves <- ISet.add i c.worklist_moves
+          end)
+        (node_moves c n))
+    nodes
+
+let set_location c n loc =
+  (match Hashtbl.find_opt c.where n with
+  | Some Simplify_wl -> c.simplify_wl <- ISet.remove n c.simplify_wl
+  | Some Freeze_wl -> c.freeze_wl <- ISet.remove n c.freeze_wl
+  | Some Spill_wl -> c.spill_wl <- ISet.remove n c.spill_wl
+  | Some (On_stack | Coalesced_node) | None -> ());
+  Hashtbl.replace c.where n loc;
+  match loc with
+  | Simplify_wl -> c.simplify_wl <- ISet.add n c.simplify_wl
+  | Freeze_wl -> c.freeze_wl <- ISet.add n c.freeze_wl
+  | Spill_wl -> c.spill_wl <- ISet.add n c.spill_wl
+  | On_stack | Coalesced_node -> ()
+
+let decrement_degree c m =
+  let d = degree_of c m in
+  Hashtbl.replace c.degree m (d - 1);
+  if d = c.k then begin
+    enable_moves c (ISet.add m (adjacent c m));
+    if Hashtbl.find_opt c.where m = Some Spill_wl then
+      if move_related c m then set_location c m Freeze_wl
+      else set_location c m Simplify_wl
+  end
+
+let add_edge c u v =
+  if u <> v && not (ISet.mem v !(adj_ref c u)) then begin
+    let ru = adj_ref c u and rv = adj_ref c v in
+    ru := ISet.add v !ru;
+    rv := ISet.add u !rv;
+    Hashtbl.replace c.degree u (degree_of c u + 1);
+    Hashtbl.replace c.degree v (degree_of c v + 1)
+  end
+
+let add_work_list c u =
+  if (not (move_related c u)) && degree_of c u < c.k then
+    set_location c u Simplify_wl
+
+(* George: every in-play neighbor t of [a] is low-degree or already a
+   neighbor of [b]. *)
+let ok_george c a b =
+  ISet.for_all
+    (fun t -> degree_of c t < c.k || ISet.mem t !(adj_ref c b))
+    (adjacent c a)
+
+(* Briggs on the union neighborhood. *)
+let conservative_briggs c u v =
+  let nodes = ISet.union (adjacent c u) (adjacent c v) in
+  let high = ISet.fold (fun n acc -> if degree_of c n >= c.k then acc + 1 else acc) nodes 0 in
+  high < c.k
+
+let combine c u v =
+  set_location c v Coalesced_node;
+  Hashtbl.replace c.alias v u;
+  let mu = move_list_ref c u and mv = move_list_ref c v in
+  mu := !mu @ !mv;
+  enable_moves c (ISet.singleton v);
+  ISet.iter
+    (fun t ->
+      add_edge c t u;
+      decrement_degree c t)
+    (adjacent c v);
+  if degree_of c u >= c.k && Hashtbl.find_opt c.where u = Some Freeze_wl then
+    set_location c u Spill_wl
+
+let freeze_moves c u =
+  List.iter
+    (fun i ->
+      let m = c.moves.(i) in
+      let x = get_alias c m.u and y = get_alias c m.v in
+      let v = if y = get_alias c u then x else y in
+      (match c.mstate.(i) with
+      | Active_m -> c.mstate.(i) <- Frozen_m
+      | Worklist_m ->
+          c.worklist_moves <- ISet.remove i c.worklist_moves;
+          c.mstate.(i) <- Frozen_m
+      | Coalesced_m | Constrained_m | Frozen_m -> ());
+      if (not (move_related c v)) && degree_of c v < c.k then
+        set_location c v Simplify_wl)
+    (node_moves c u)
+
+let simplify c =
+  match ISet.min_elt_opt c.simplify_wl with
+  | None -> false
+  | Some n ->
+      set_location c n On_stack;
+      c.stack <- n :: c.stack;
+      ISet.iter (fun m -> decrement_degree c m) (adjacent c n);
+      true
+
+let coalesce_step c =
+  match ISet.min_elt_opt c.worklist_moves with
+  | None -> false
+  | Some i ->
+      c.worklist_moves <- ISet.remove i c.worklist_moves;
+      let m = c.moves.(i) in
+      let x = get_alias c m.u and y = get_alias c m.v in
+      if x = y then begin
+        c.mstate.(i) <- Coalesced_m;
+        add_work_list c x
+      end
+      else if ISet.mem y !(adj_ref c x) then begin
+        c.mstate.(i) <- Constrained_m;
+        add_work_list c x;
+        add_work_list c y
+      end
+      else begin
+        let ok =
+          match c.rule with
+          | Briggs_only -> conservative_briggs c x y
+          | George_only -> ok_george c x y || ok_george c y x
+          | Briggs_and_george ->
+              conservative_briggs c x y || ok_george c x y || ok_george c y x
+        in
+        if ok then begin
+          c.mstate.(i) <- Coalesced_m;
+          combine c x y;
+          add_work_list c x
+        end
+        else c.mstate.(i) <- Active_m
+      end;
+      true
+
+let freeze c =
+  match ISet.min_elt_opt c.freeze_wl with
+  | None -> false
+  | Some u ->
+      set_location c u Simplify_wl;
+      freeze_moves c u;
+      true
+
+let select_spill c =
+  (* Spill-metric: prefer high current degree, low move weight. *)
+  match ISet.elements c.spill_wl with
+  | [] -> false
+  | candidates ->
+      let move_weight n =
+        List.fold_left (fun acc i -> acc + c.moves.(i).weight) 0 !(move_list_ref c n)
+      in
+      let metric n =
+        float_of_int (degree_of c n) /. float_of_int (1 + move_weight n)
+      in
+      let m =
+        List.fold_left
+          (fun best n ->
+            match best with
+            | Some b when metric b >= metric n -> best
+            | _ -> Some n)
+          None candidates
+        |> function
+        | Some n -> n
+        | None -> assert false
+      in
+      set_location c m Simplify_wl;
+      freeze_moves c m;
+      true
+
+(* One build/simplify/select round on the given instance. *)
+let round ~rule ~biased (p : Problem.t) =
+  let nodes = Graph.vertices p.graph in
+  let moves = Array.of_list p.affinities in
+  let c =
+    {
+      k = p.k;
+      rule;
+      adj = Hashtbl.create 64;
+      degree = Hashtbl.create 64;
+      where = Hashtbl.create 64;
+      alias = Hashtbl.create 16;
+      moves;
+      mstate = Array.make (Array.length moves) Active_m;
+      move_list = Hashtbl.create 64;
+      simplify_wl = ISet.empty;
+      freeze_wl = ISet.empty;
+      spill_wl = ISet.empty;
+      worklist_moves = ISet.empty;
+      stack = [];
+    }
+  in
+  (* Build *)
+  List.iter (fun v -> ignore (adj_ref c v)) nodes;
+  Graph.iter_edges (fun u v -> add_edge c u v) p.graph;
+  Array.iteri
+    (fun i (a : Problem.affinity) ->
+      if not (Graph.mem_edge p.graph a.u a.v) then begin
+        c.mstate.(i) <- Worklist_m;
+        c.worklist_moves <- ISet.add i c.worklist_moves;
+        let ru = move_list_ref c a.u and rv = move_list_ref c a.v in
+        ru := i :: !ru;
+        rv := i :: !rv
+      end
+      else c.mstate.(i) <- Constrained_m)
+    moves;
+  (* MakeWorklist *)
+  List.iter
+    (fun n ->
+      if degree_of c n >= c.k then set_location c n Spill_wl
+      else if move_related c n then set_location c n Freeze_wl
+      else set_location c n Simplify_wl)
+    nodes;
+  (* Main loop *)
+  let rec loop () =
+    if simplify c then loop ()
+    else if coalesce_step c then loop ()
+    else if freeze c then loop ()
+    else if select_spill c then loop ()
+  in
+  loop ();
+  (* AssignColors.  With [biased], prefer a color already held by a
+     move partner (biased coloring, mentioned in the paper's Section 1):
+     uncoalesced moves then still have a chance to disappear. *)
+  let colors = Hashtbl.create 64 in
+  let spilled = ref [] in
+  List.iter
+    (fun n ->
+      let ok = Array.make c.k true in
+      ISet.iter
+        (fun w ->
+          let wa = get_alias c w in
+          match Hashtbl.find_opt colors wa with
+          | Some col -> ok.(col) <- false
+          | None -> ())
+        !(adj_ref c n);
+      let preferred () =
+        if not biased then None
+        else
+          List.fold_left
+            (fun acc i ->
+              match acc with
+              | Some _ -> acc
+              | None ->
+                  let m = c.moves.(i) in
+                  let partner =
+                    if get_alias c m.u = n then get_alias c m.v
+                    else get_alias c m.u
+                  in
+                  (match Hashtbl.find_opt colors partner with
+                  | Some col when col < c.k && ok.(col) -> Some col
+                  | Some _ | None -> None))
+            None
+            !(move_list_ref c n)
+      in
+      let rec first i = if i >= c.k then None else if ok.(i) then Some i else first (i + 1) in
+      match (preferred (), first 0) with
+      | Some col, _ -> Hashtbl.replace colors n col
+      | None, Some col -> Hashtbl.replace colors n col
+      | None, None -> spilled := n :: !spilled)
+    c.stack;
+  (* Push colors out to coalesced members. *)
+  let coalesced_pairs =
+    Hashtbl.fold
+      (fun n loc acc -> if loc = Coalesced_node then n :: acc else acc)
+      c.where []
+  in
+  List.iter
+    (fun n ->
+      match Hashtbl.find_opt colors (get_alias c n) with
+      | Some col -> Hashtbl.replace colors n col
+      | None -> ())
+    coalesced_pairs;
+  let merges =
+    List.filter_map
+      (fun n ->
+        let a = get_alias c n in
+        if a <> n then Some (a, n) else None)
+      coalesced_pairs
+  in
+  (colors, List.rev !spilled, merges)
+
+let allocate ?(rule = Briggs_and_george) ?(biased = false) (p : Problem.t) =
+  (* Rebuild loop: restart on the instance without actually-spilled
+     vertices until the select phase colors everything. *)
+  let rec go (q : Problem.t) all_spilled rounds =
+    let colors, spilled, merges = round ~rule ~biased q in
+    match spilled with
+    | [] ->
+        let st =
+          List.fold_left
+            (fun st (a, n) ->
+              match Coalescing.merge st a n with Some st' -> st' | None -> st)
+            (Coalescing.initial q.graph)
+            merges
+        in
+        let coloring =
+          Hashtbl.fold (fun n col acc -> IMap.add n col acc) colors IMap.empty
+        in
+        (* Report the solution against the original problem: affinities
+           with a spilled endpoint count as given up. *)
+        let coalesced, gave_up =
+          List.partition
+            (fun (a : Problem.affinity) ->
+              Graph.mem_vertex q.graph a.u
+              && Graph.mem_vertex q.graph a.v
+              && Coalescing.same_class st a.u a.v)
+            p.affinities
+        in
+        {
+          solution = { Coalescing.state = st; coalesced; gave_up };
+          coloring;
+          spilled = all_spilled;
+          rounds;
+        }
+    | _ ->
+        let graph = List.fold_left Graph.remove_vertex q.graph spilled in
+        let affinities =
+          List.filter_map
+            (fun (a : Problem.affinity) ->
+              if Graph.mem_vertex graph a.u && Graph.mem_vertex graph a.v then
+                Some ((a.u, a.v), a.weight)
+              else None)
+            q.affinities
+        in
+        let q = Problem.make ~graph ~affinities ~k:q.k in
+        go q (all_spilled @ spilled) (rounds + 1)
+  in
+  go p [] 1
+
+let same_color_moves result affinities =
+  List.filter
+    (fun (a : Problem.affinity) ->
+      match
+        (IMap.find_opt a.u result.coloring, IMap.find_opt a.v result.coloring)
+      with
+      | Some cu, Some cv -> cu = cv
+      | _ -> false)
+    affinities

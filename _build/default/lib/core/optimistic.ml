@@ -1,0 +1,98 @@
+module Graph = Rc_graph.Graph
+module ISet = Graph.ISet
+module Greedy_k = Rc_graph.Greedy_k
+
+(* Rebuild a merge state realizing the given classes (lists of original
+   vertices).  Members of one class never interfere, so merges succeed. *)
+let state_of_classes g classes =
+  List.fold_left
+    (fun st cls ->
+      match cls with
+      | [] | [ _ ] -> st
+      | first :: rest ->
+          List.fold_left
+            (fun st v ->
+              match Coalescing.merge st first v with
+              | Some st' -> st'
+              | None ->
+                  invalid_arg "Optimistic.state_of_classes: interfering class")
+            st rest)
+    (Coalescing.initial g) classes
+
+(* Total weight of affinities internal to a class. *)
+let internal_weight affinities members =
+  let s = ISet.of_list members in
+  List.fold_left
+    (fun acc (a : Problem.affinity) ->
+      if ISet.mem a.u s && ISet.mem a.v s then acc + a.weight else acc)
+    0 affinities
+
+type scoring = Degree_per_weight | Weight_only | Degree_only
+
+let decoalesce_greedy ?(scoring = Degree_per_weight) (p : Problem.t) st =
+  let rec loop st =
+    let g = Coalescing.graph st in
+    match Greedy_k.witness_subgraph g p.k with
+    | None -> st
+    | Some residue ->
+        let merged_classes =
+          List.filter
+            (fun (r, members) ->
+              ISet.mem r residue && List.length members >= 2)
+            (Coalescing.classes st)
+        in
+        (match merged_classes with
+        | [] ->
+            invalid_arg
+              "Optimistic.decoalesce_greedy: residue without merged classes \
+               (base graph not greedy-k-colorable)"
+        | _ ->
+            (* Split the class the scoring policy prefers. *)
+            let residue_graph = Graph.induced g residue in
+            let score (r, members) =
+              let gain = float_of_int (Graph.degree residue_graph r) in
+              let cost = float_of_int (1 + internal_weight p.affinities members) in
+              match scoring with
+              | Degree_per_weight -> gain /. cost
+              | Weight_only -> -. cost
+              | Degree_only -> gain
+            in
+            let victim, _ =
+              List.fold_left
+                (fun (bv, bs) c ->
+                  let s = score c in
+                  if s > bs then (Some c, s) else (bv, bs))
+                (None, neg_infinity) merged_classes
+              |> fun (v, s) ->
+              (match v with Some v -> (v, s) | None -> assert false)
+            in
+            let victim_repr = fst victim in
+            let classes =
+              List.concat_map
+                (fun (r, members) ->
+                  if r = victim_repr then List.map (fun m -> [ m ]) members
+                  else [ members ])
+                (Coalescing.classes st)
+            in
+            loop (state_of_classes p.graph classes))
+  in
+  loop st
+
+let coalesce ?scoring (p : Problem.t) =
+  if not (Greedy_k.is_greedy_k_colorable p.graph p.k) then
+    invalid_arg "Optimistic.coalesce: input graph is not greedy-k-colorable";
+  (* Phase 1: aggressive. *)
+  let st = Aggressive.coalesce_state (Coalescing.initial p.graph) p.affinities in
+  (* Phase 2: de-coalesce until greedy-k-colorable. *)
+  let st = decoalesce_greedy ?scoring p st in
+  (* Phase 3: conservative re-coalescing of what was given up. *)
+  let open_affinities =
+    List.filter
+      (fun (a : Problem.affinity) -> not (Coalescing.same_class st a.u a.v))
+      p.affinities
+  in
+  let st =
+    Conservative.coalesce_state Conservative.Brute_force ~k:p.k st
+      open_affinities
+  in
+  Coalescing.solution_of_state p st

@@ -1,0 +1,75 @@
+module Graph = Rc_graph.Graph
+
+type affinity = { u : Graph.vertex; v : Graph.vertex; weight : int }
+
+type t = { graph : Graph.t; affinities : affinity list; k : int }
+
+let normalize_affinities raw =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun ((u, v), w) ->
+      if u <> v then begin
+        let key = (min u v, max u v) in
+        let cur = match Hashtbl.find_opt tbl key with Some x -> x | None -> 0 in
+        Hashtbl.replace tbl key (cur + w)
+      end)
+    raw;
+  Hashtbl.fold (fun (u, v) weight acc -> { u; v; weight } :: acc) tbl []
+  |> List.sort compare
+
+let make ~graph ~affinities ~k =
+  if k <= 0 then invalid_arg "Problem.make: k must be positive";
+  List.iter
+    (fun ((u, v), w) ->
+      if w <= 0 then invalid_arg "Problem.make: non-positive affinity weight";
+      if not (Graph.mem_vertex graph u && Graph.mem_vertex graph v) then
+        invalid_arg
+          (Printf.sprintf "Problem.make: affinity (%d, %d) endpoint not in graph" u v))
+    affinities;
+  { graph; affinities = normalize_affinities affinities; k }
+
+let validate t =
+  let ( let* ) r k = match r with Ok () -> k () | Error _ as e -> e in
+  let* () = if t.k > 0 then Ok () else Error "k must be positive" in
+  let rec check = function
+    | [] -> Ok ()
+    | { u; v; weight } :: rest ->
+        if u >= v then Error (Printf.sprintf "affinity (%d, %d) not normalized" u v)
+        else if weight <= 0 then
+          Error (Printf.sprintf "affinity (%d, %d) has weight %d" u v weight)
+        else if not (Graph.mem_vertex t.graph u && Graph.mem_vertex t.graph v)
+        then Error (Printf.sprintf "affinity (%d, %d) endpoint not in graph" u v)
+        else check rest
+  in
+  let* () = check t.affinities in
+  let sorted = List.sort compare t.affinities in
+  let distinct =
+    List.length (List.sort_uniq (fun a b -> compare (a.u, a.v) (b.u, b.v)) sorted)
+  in
+  if distinct = List.length t.affinities then Ok ()
+  else Error "duplicate affinities"
+
+let total_weight t = List.fold_left (fun s a -> s + a.weight) 0 t.affinities
+
+let constrained t =
+  List.filter (fun a -> Graph.mem_edge t.graph a.u a.v) t.affinities
+
+let unconstrained t =
+  List.filter (fun a -> not (Graph.mem_edge t.graph a.u a.v)) t.affinities
+
+let stats t =
+  Printf.sprintf
+    "|V|=%d |E|=%d affinities=%d (constrained=%d) weight=%d k=%d"
+    (Graph.num_vertices t.graph)
+    (Graph.num_edges t.graph)
+    (List.length t.affinities)
+    (List.length (constrained t))
+    (total_weight t) t.k
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%s@,graph: %a@,affinities: %a@]" (stats t) Graph.pp
+    t.graph
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+       (fun ppf a -> Format.fprintf ppf "%d~%d(w%d)" a.u a.v a.weight))
+    t.affinities

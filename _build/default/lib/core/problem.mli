@@ -1,0 +1,42 @@
+(** Coalescing problem instances.
+
+    An instance is an interference graph, a set of weighted affinities
+    (one per move instruction, weight = execution frequency), and the
+    number of registers [k] — the common input of every problem the
+    paper studies (Sections 3–5). *)
+
+type affinity = { u : Rc_graph.Graph.vertex; v : Rc_graph.Graph.vertex; weight : int }
+
+type t = {
+  graph : Rc_graph.Graph.t;
+  affinities : affinity list;
+  k : int;
+}
+
+val make :
+  graph:Rc_graph.Graph.t ->
+  affinities:((Rc_graph.Graph.vertex * Rc_graph.Graph.vertex) * int) list ->
+  k:int ->
+  t
+(** Normalizes the affinity list: orders endpoints, merges duplicates by
+    summing weights, drops self-affinities.  Raises [Invalid_argument]
+    if an endpoint is not a vertex of the graph, a weight is <= 0, or
+    [k <= 0]. *)
+
+val validate : t -> (unit, string) result
+(** Re-checks the {!make} invariants (useful when a transformation
+    produced the instance directly). *)
+
+val total_weight : t -> int
+(** Sum of all affinity weights. *)
+
+val constrained : t -> affinity list
+(** Affinities whose endpoints interfere — no coalescing can ever remove
+    them. *)
+
+val unconstrained : t -> affinity list
+
+val stats : t -> string
+(** One-line summary: vertices, edges, affinities, weight, k. *)
+
+val pp : Format.formatter -> t -> unit

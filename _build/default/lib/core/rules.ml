@@ -1,0 +1,67 @@
+module Graph = Rc_graph.Graph
+module ISet = Graph.ISet
+
+let check_preconditions name g u v =
+  if u = v then invalid_arg (Printf.sprintf "Rules.%s: identical vertices" name);
+  if not (Graph.mem_vertex g u && Graph.mem_vertex g v) then
+    invalid_arg (Printf.sprintf "Rules.%s: absent vertex" name);
+  if Graph.mem_edge g u v then
+    invalid_arg (Printf.sprintf "Rules.%s: interfering vertices" name)
+
+(* Degree of [w] in the graph where u and v have been merged: common
+   neighbors of u and v lose one neighbor; the merged vertex itself has
+   the union neighborhood. *)
+let merged_degree g u v w =
+  let d = Graph.degree g w in
+  if ISet.mem w (Graph.neighbors g u) && ISet.mem w (Graph.neighbors g v) then
+    d - 1
+  else d
+
+let briggs g ~k u v =
+  check_preconditions "briggs" g u v;
+  let combined =
+    ISet.remove u (ISet.remove v (ISet.union (Graph.neighbors g u) (Graph.neighbors g v)))
+  in
+  let high =
+    ISet.fold
+      (fun w acc -> if merged_degree g u v w >= k then acc + 1 else acc)
+      combined 0
+  in
+  high < k
+
+let george g ~k u v =
+  check_preconditions "george" g u v;
+  ISet.for_all
+    (fun w -> Graph.degree g w < k || ISet.mem w (Graph.neighbors g v))
+    (ISet.remove v (Graph.neighbors g u))
+
+let george_extended g ~k u v =
+  check_preconditions "george_extended" g u v;
+  (* Degrees and neighborhoods below are those of the merged graph: a
+     vertex with < k high-degree neighbors there is always removable by
+     the greedy scheme (Briggs' argument), so it cannot block the merged
+     vertex and is exempt from George's membership requirement. *)
+  let merged_vertex_degree =
+    ISet.cardinal
+      (ISet.remove u
+         (ISet.remove v (ISet.union (Graph.neighbors g u) (Graph.neighbors g v))))
+  in
+  let briggs_simplifiable w =
+    let others = ISet.remove u (ISet.remove v (Graph.neighbors g w)) in
+    let high =
+      ISet.fold
+        (fun x acc -> if merged_degree g u v x >= k then acc + 1 else acc)
+        others
+        (if merged_vertex_degree >= k then 1 else 0)
+    in
+    high <= k - 1
+  in
+  ISet.for_all
+    (fun w ->
+      merged_degree g u v w < k
+      || ISet.mem w (Graph.neighbors g v)
+      || briggs_simplifiable w)
+    (ISet.remove v (Graph.neighbors g u))
+
+let briggs_or_george g ~k u v =
+  briggs g ~k u v || george g ~k u v || george g ~k v u

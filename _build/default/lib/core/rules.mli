@@ -1,0 +1,32 @@
+(** Local conservative coalescing tests (Section 4).
+
+    Both tests are evaluated on the *current* (possibly already
+    partially coalesced) graph and guarantee that merging the two
+    vertices preserves greedy-k-colorability:
+
+    - {b Briggs}: the merged vertex has fewer than [k] neighbors of
+      degree at least [k] (degrees measured in the graph after the
+      merge).
+    - {b George}: every neighbor of [u] of degree at least [k] is
+      already a neighbor of [v].  The test is asymmetric; callers that
+      may merge any two vertices should try both orientations.
+    - {b Extended George} (the refinement mentioned in Section 4):
+      a high-degree neighbor of [u] is also harmless when it is itself
+      Briggs-simplifiable — it has at most [k-1] neighbors of degree at
+      least [k] — because the greedy scheme will always be able to
+      remove it. *)
+
+val briggs : Rc_graph.Graph.t -> k:int -> Rc_graph.Graph.vertex -> Rc_graph.Graph.vertex -> bool
+(** Requires non-adjacent, distinct vertices; raises [Invalid_argument]
+    otherwise. *)
+
+val george : Rc_graph.Graph.t -> k:int -> Rc_graph.Graph.vertex -> Rc_graph.Graph.vertex -> bool
+(** [george g ~k u v]: may [u] be merged into [v]?  Same preconditions
+    as {!briggs}. *)
+
+val george_extended :
+  Rc_graph.Graph.t -> k:int -> Rc_graph.Graph.vertex -> Rc_graph.Graph.vertex -> bool
+
+val briggs_or_george : Rc_graph.Graph.t -> k:int -> Rc_graph.Graph.vertex -> Rc_graph.Graph.vertex -> bool
+(** Briggs, or George in either orientation — the combination Section 4
+    recommends once spilling is already settled. *)

@@ -1,0 +1,110 @@
+module Graph = Rc_graph.Graph
+module Greedy_k = Rc_graph.Greedy_k
+
+(* Try to merge every affinity of [set] on top of [st]; succeed only if
+   all merges are possible and the merged graph stays greedy-k. *)
+let try_set ~k st set =
+  let merged =
+    List.fold_left
+      (fun acc (a : Problem.affinity) ->
+        match acc with
+        | None -> None
+        | Some st ->
+            if Coalescing.same_class st a.u a.v then Some st
+            else Coalescing.merge st a.u a.v)
+      (Some st) set
+  in
+  match merged with
+  | Some st' when Greedy_k.is_greedy_k_colorable (Coalescing.graph st') k ->
+      Some st'
+  | Some _ | None -> None
+
+(* All size-[n] subsets of [xs], by decreasing combined weight. *)
+let subsets_by_weight n xs =
+  let rec subsets n xs =
+    if n = 0 then [ [] ]
+    else
+      match xs with
+      | [] -> []
+      | x :: rest ->
+          List.map (fun s -> x :: s) (subsets (n - 1) rest) @ subsets n rest
+  in
+  subsets n xs
+  |> List.map (fun s ->
+         (List.fold_left (fun w (a : Problem.affinity) -> w + a.weight) 0 s, s))
+  |> List.sort (fun (w1, s1) (w2, s2) -> compare (w2, s1) (w1, s2))
+  |> List.map snd
+
+let coalesce ?(max_set = 2) (p : Problem.t) =
+  if max_set < 1 then invalid_arg "Set_coalescing.coalesce: max_set < 1";
+  let open_affinities st =
+    List.filter
+      (fun (a : Problem.affinity) -> not (Coalescing.same_class st a.u a.v))
+      p.affinities
+  in
+  (* Singleton fixpoint = brute-force conservative coalescing. *)
+  let singles st =
+    Conservative.coalesce_state Conservative.Brute_force ~k:p.k st
+      (open_affinities st)
+  in
+  let rec grow st size =
+    if size > max_set then st
+    else
+      let candidates = subsets_by_weight size (open_affinities st) in
+      let rec try_all = function
+        | [] -> grow st (size + 1)
+        | set :: rest -> (
+            match try_set ~k:p.k st set with
+            | Some st' ->
+                (* a set succeeded: re-run singles, restart from size 2 *)
+                grow (singles st') 2
+            | None -> try_all rest)
+      in
+      try_all candidates
+  in
+  let st = singles (Coalescing.initial p.graph) in
+  let st = grow st 2 in
+  Coalescing.solution_of_state p st
+
+let transitive_closure_affinities (p : Problem.t) =
+  let by_vertex = Hashtbl.create 16 in
+  List.iter
+    (fun (a : Problem.affinity) ->
+      List.iter
+        (fun (x, y) ->
+          let cur =
+            match Hashtbl.find_opt by_vertex x with Some l -> l | None -> []
+          in
+          Hashtbl.replace by_vertex x ((y, a.weight) :: cur))
+        [ (a.u, a.v); (a.v, a.u) ])
+    p.affinities;
+  let existing =
+    List.fold_left
+      (fun s (a : Problem.affinity) -> (a.u, a.v) :: s)
+      [] p.affinities
+  in
+  let out = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun _a partners ->
+      List.iter
+        (fun (b, wb) ->
+          List.iter
+            (fun (c, wc) ->
+              if b <> c then begin
+                let key = (min b c, max b c) in
+                if
+                  (not (List.mem key existing))
+                  && not (Graph.mem_edge p.graph b c)
+                then
+                  let w = min wb wc in
+                  match Hashtbl.find_opt out key with
+                  | Some w' when w' >= w -> ()
+                  | Some _ | None -> Hashtbl.replace out key w
+              end)
+            partners)
+        partners)
+    by_vertex;
+  Hashtbl.fold
+    (fun (u, v) weight acc -> { Problem.u; v; weight } :: acc)
+    out []
+  |> List.sort compare

@@ -1,0 +1,28 @@
+(** Simultaneous (set) conservative coalescing — the remedy Section 4
+    sketches for the non-incrementality of conservative coalescing.
+
+    Figure 3 (right) shows a greedy-k-colorable graph where coalescing
+    two affinities together is conservative although coalescing either
+    one alone is not: "to get a sequence of coalescings that is
+    conservative at each step, one would need to consider affinities
+    obtained by transitivity".  This module implements exactly that
+    brute-force extension: when no single affinity can be coalesced
+    conservatively, try small *sets* of open affinities simultaneously
+    (merging every pair in the set and re-checking
+    greedy-k-colorability of the whole graph in linear time, as the
+    paper suggests). *)
+
+val coalesce : ?max_set:int -> Problem.t -> Coalescing.solution
+(** Runs the brute-force singleton pass to a fixpoint, then tries sets
+    of 2, 3, ... up to [max_set] (default 2) open affinities by
+    decreasing combined weight, restarting from singletons after each
+    successful set merge.  The result is always conservative.
+    Exponential in [max_set] only (the set enumeration is
+    O(m^max_set)). *)
+
+val transitive_closure_affinities : Problem.t -> Problem.affinity list
+(** The affinities "obtained by transitivity": pairs (b, c) such that
+    some vertex [a] has affinities to both [b] and [c], weighted by the
+    minimum of the two weights.  Only pairs that do not interfere and
+    are not already affinities are returned.  Exposed so strategies can
+    widen their affinity set the way Section 4 describes. *)

@@ -1,0 +1,99 @@
+type t =
+  | Aggressive
+  | Conservative of Conservative.rule
+  | Irc of Irc.rule
+  | Optimistic
+  | Chordal_incremental
+  | Set_conservative of int
+  | Exact_conservative
+
+let name = function
+  | Aggressive -> "aggressive"
+  | Conservative r -> "conservative/" ^ Conservative.rule_name r
+  | Irc Irc.Briggs_only -> "irc/briggs"
+  | Irc Irc.George_only -> "irc/george"
+  | Irc Irc.Briggs_and_george -> "irc/briggs+george"
+  | Optimistic -> "optimistic"
+  | Chordal_incremental -> "chordal-incremental"
+  | Set_conservative n -> Printf.sprintf "set-conservative/%d" n
+  | Exact_conservative -> "exact"
+
+let all_heuristics =
+  [
+    Aggressive;
+    Conservative Conservative.Briggs;
+    Conservative Conservative.George;
+    Conservative Conservative.Briggs_george;
+    Conservative Conservative.Briggs_george_extended;
+    Conservative Conservative.Brute_force;
+    Irc Irc.Briggs_only;
+    Irc Irc.Briggs_and_george;
+    Optimistic;
+    Chordal_incremental;
+    Set_conservative 2;
+  ]
+
+let run_chordal_incremental (p : Problem.t) =
+  if not (Rc_graph.Chordal.is_chordal p.graph) then
+    Conservative.coalesce Conservative.Brute_force p
+  else begin
+    let by_weight =
+      List.sort
+        (fun (a : Problem.affinity) b ->
+          compare (b.weight, a.u, a.v) (a.weight, b.u, b.v))
+        p.affinities
+    in
+    let st =
+      List.fold_left
+        (fun st a ->
+          if Coalescing.same_class st a.Problem.u a.v then st
+          else
+            match Chordal_coalescing.coalesce_incrementally p st a with
+            | Some st' -> st'
+            | None -> st)
+        (Coalescing.initial p.graph)
+        by_weight
+    in
+    Coalescing.solution_of_state p st
+  end
+
+let run strategy p =
+  match strategy with
+  | Aggressive -> Aggressive.coalesce p
+  | Conservative r -> Conservative.coalesce r p
+  | Irc r -> (Irc.allocate ~rule:r p).solution
+  | Optimistic -> Optimistic.coalesce p
+  | Chordal_incremental -> run_chordal_incremental p
+  | Set_conservative n -> Set_coalescing.coalesce ~max_set:n p
+  | Exact_conservative -> Exact.conservative p
+
+type report = {
+  strategy : string;
+  coalesced_weight : int;
+  total_weight : int;
+  coalesced_count : int;
+  affinity_count : int;
+  conservative : bool;
+  time_s : float;
+}
+
+let evaluate strategy p =
+  let t0 = Unix.gettimeofday () in
+  let sol = run strategy p in
+  let time_s = Unix.gettimeofday () -. t0 in
+  {
+    strategy = name strategy;
+    coalesced_weight = Coalescing.coalesced_weight sol;
+    total_weight = Problem.total_weight p;
+    coalesced_count = List.length sol.coalesced;
+    affinity_count = List.length p.affinities;
+    conservative = Coalescing.is_conservative p sol;
+    time_s;
+  }
+
+let pp_report ppf r =
+  Format.fprintf ppf "%-28s %6d/%-6d weight  %4d/%-4d moves  %s  %8.4fs"
+    r.strategy r.coalesced_weight r.total_weight r.coalesced_count
+    r.affinity_count
+    (if r.conservative then "conservative" else "NOT-k-colorable")
+    r.time_s

@@ -1,0 +1,40 @@
+(** Named coalescing strategies — the contenders of the synthetic
+    coalescing challenge (experiment E11) and the quality-gap study
+    (E12). *)
+
+type t =
+  | Aggressive  (** greedy aggressive (colorability ignored) *)
+  | Conservative of Conservative.rule
+  | Irc of Irc.rule
+  | Optimistic
+  | Chordal_incremental
+      (** Theorem 5 driven: affinities by decreasing weight, each
+          decided by the polynomial chordal test and merged with its
+          certificate chain; requires a chordal input graph and falls
+          back to brute-force conservative on non-chordal ones. *)
+  | Set_conservative of int
+      (** brute-force conservative extended with simultaneous coalescing
+          of affinity sets up to the given size — the "affinities by
+          transitivity" remedy of Section 4 (see {!Set_coalescing}) *)
+  | Exact_conservative  (** branch-and-bound optimum (small instances) *)
+
+val name : t -> string
+
+val all_heuristics : t list
+(** Every strategy except the exact one. *)
+
+val run : t -> Problem.t -> Coalescing.solution
+
+type report = {
+  strategy : string;
+  coalesced_weight : int;
+  total_weight : int;
+  coalesced_count : int;
+  affinity_count : int;
+  conservative : bool;  (** final graph greedy-k-colorable *)
+  time_s : float;
+}
+
+val evaluate : t -> Problem.t -> report
+
+val pp_report : Format.formatter -> report -> unit

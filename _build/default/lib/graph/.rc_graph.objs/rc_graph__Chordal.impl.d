@@ -1,0 +1,1 @@
+lib/graph/chordal.ml: Coloring Graph Hashtbl List Printf Queue

@@ -1,0 +1,1 @@
+lib/graph/clique_tree.ml: Array Chordal Format Graph Hashtbl List Queue

@@ -1,0 +1,1 @@
+lib/graph/clique_tree.mli: Format Graph

@@ -1,0 +1,1 @@
+lib/graph/graph.ml: Format Hashtbl Int List Map Set

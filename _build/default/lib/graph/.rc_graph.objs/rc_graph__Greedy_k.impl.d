@@ -1,0 +1,1 @@
+lib/graph/greedy_k.ml: Coloring Graph List

@@ -1,0 +1,1 @@
+lib/graph/greedy_k.mli: Coloring Graph

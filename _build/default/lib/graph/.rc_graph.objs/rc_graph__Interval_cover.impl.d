@@ -1,0 +1,1 @@
+lib/graph/interval_cover.ml: Array List Printf

@@ -1,0 +1,200 @@
+module ISet = Graph.ISet
+module IMap = Graph.IMap
+
+(* Maximum-cardinality search.  Visits vertices by decreasing number of
+   already-visited neighbors; the reverse visit order is a PEO iff the
+   graph is chordal.  Weights are kept in a map from weight to vertex
+   bucket for an O((V + E) log V) implementation. *)
+let mcs_order g =
+  let n = Graph.num_vertices g in
+  if n = 0 then []
+  else begin
+    let weight = Hashtbl.create n in
+    let visited = Hashtbl.create n in
+    List.iter (fun v -> Hashtbl.replace weight v 0) (Graph.vertices g);
+    (* Buckets: weight -> vertex set, lazily cleaned. *)
+    let buckets = Hashtbl.create n in
+    let bucket w =
+      match Hashtbl.find_opt buckets w with Some s -> s | None -> ISet.empty
+    in
+    List.iter
+      (fun v -> Hashtbl.replace buckets 0 (ISet.add v (bucket 0)))
+      (Graph.vertices g);
+    let max_w = ref 0 in
+    let visit_order = ref [] in
+    for _ = 1 to n do
+      (* Find the highest non-empty bucket with an unvisited vertex. *)
+      let rec pick w =
+        if w < 0 then None
+        else
+          let s = ISet.filter (fun v -> not (Hashtbl.mem visited v)) (bucket w) in
+          Hashtbl.replace buckets w s;
+          match ISet.choose_opt s with
+          | Some v -> Some (v, w)
+          | None -> pick (w - 1)
+      in
+      match pick !max_w with
+      | None -> assert false
+      | Some (v, w) ->
+          max_w := w;
+          Hashtbl.replace visited v ();
+          visit_order := v :: !visit_order;
+          ISet.iter
+            (fun u ->
+              if not (Hashtbl.mem visited u) then begin
+                let wu = Hashtbl.find weight u in
+                Hashtbl.replace weight u (wu + 1);
+                Hashtbl.replace buckets (wu + 1)
+                  (ISet.add u (bucket (wu + 1)));
+                if wu + 1 > !max_w then max_w := wu + 1
+              end)
+            (Graph.neighbors g v)
+    done;
+    (* visit_order already holds the reverse of the visit order. *)
+    !visit_order
+  end
+
+(* Later-neighbor map: for each vertex, its neighbors occurring strictly
+   after it in [order]. *)
+let later_neighbors g order =
+  let position = Hashtbl.create (List.length order) in
+  List.iteri (fun i v -> Hashtbl.replace position v i) order;
+  let later v =
+    let pv = Hashtbl.find position v in
+    ISet.filter (fun u -> Hashtbl.find position u > pv) (Graph.neighbors g v)
+  in
+  (position, later)
+
+let is_perfect_elimination_order g order =
+  if
+    List.length order <> Graph.num_vertices g
+    || not (List.for_all (Graph.mem_vertex g) order)
+  then false
+  else
+    let position, later = later_neighbors g order in
+    (* Classical linear test: the later neighbors of v minus its follower
+       (earliest later neighbor) must all be neighbors of the follower. *)
+    List.for_all
+      (fun v ->
+        let ln = later v in
+        match
+          ISet.fold
+            (fun u best ->
+              match best with
+              | Some b when Hashtbl.find position b <= Hashtbl.find position u
+                -> best
+              | _ -> Some u)
+            ln None
+        with
+        | None -> true
+        | Some follower ->
+            ISet.subset
+              (ISet.remove follower ln)
+              (Graph.neighbors g follower))
+      order
+
+let is_chordal g = is_perfect_elimination_order g (mcs_order g)
+
+let simplicial_vertices g =
+  List.filter
+    (fun v -> Graph.is_clique g (ISet.elements (Graph.neighbors g v)))
+    (Graph.vertices g)
+
+let require_chordal g fn =
+  if not (is_chordal g) then
+    invalid_arg (Printf.sprintf "Chordal.%s: graph is not chordal" fn)
+
+let omega g =
+  require_chordal g "omega";
+  if Graph.num_vertices g = 0 then 0
+  else
+    let order = mcs_order g in
+    let _, later = later_neighbors g order in
+    List.fold_left (fun m v -> max m (1 + ISet.cardinal (later v))) 1 order
+
+let color g =
+  require_chordal g "color";
+  let order = mcs_order g in
+  Coloring.greedy g (List.rev order)
+
+let maximal_cliques g =
+  require_chordal g "maximal_cliques";
+  let order = mcs_order g in
+  let _, later = later_neighbors g order in
+  let position = Hashtbl.create 16 in
+  List.iteri (fun i v -> Hashtbl.replace position v i) order;
+  let candidate v = ISet.add v (later v) in
+  (* A candidate C_v can only be contained in C_w for w = v or an earlier
+     neighbor of v (the representative of any containing clique precedes
+     all its members in the PEO). *)
+  let earlier_neighbors v =
+    ISet.filter
+      (fun u -> Hashtbl.find position u < Hashtbl.find position v)
+      (Graph.neighbors g v)
+  in
+  List.filter_map
+    (fun v ->
+      let cv = candidate v in
+      let dominated =
+        ISet.exists (fun w -> ISet.subset cv (candidate w)) (earlier_neighbors v)
+      in
+      if dominated then None else Some cv)
+    order
+
+let find_chordless_cycle g =
+  if is_chordal g then None
+  else
+    (* Look for a vertex v with two non-adjacent neighbors u, w connected
+       by a path avoiding v and all other neighbors of v: the shortest
+       such path closes a chordless cycle through v. *)
+    let shortest_path_avoiding g src dst forbidden =
+      let q = Queue.create () in
+      let parent = Hashtbl.create 16 in
+      Queue.add src q;
+      Hashtbl.replace parent src src;
+      let rec bfs () =
+        if Queue.is_empty q then None
+        else
+          let v = Queue.pop q in
+          if v = dst then begin
+            let rec build v acc =
+              if v = src then src :: acc
+              else build (Hashtbl.find parent v) (v :: acc)
+            in
+            Some (build dst [])
+          end
+          else begin
+            ISet.iter
+              (fun u ->
+                if (not (Hashtbl.mem parent u)) && not (ISet.mem u forbidden)
+                then begin
+                  Hashtbl.replace parent u v;
+                  Queue.add u q
+                end)
+              (Graph.neighbors g v);
+            bfs ()
+          end
+      in
+      bfs ()
+    in
+    let result = ref None in
+    let check v =
+      if !result = None then
+        let ns = ISet.elements (Graph.neighbors g v) in
+        List.iter
+          (fun u ->
+            List.iter
+              (fun w ->
+                if !result = None && u < w && not (Graph.mem_edge g u w) then
+                  let forbidden =
+                    ISet.add v
+                      (ISet.remove u (ISet.remove w (Graph.neighbors g v)))
+                  in
+                  match shortest_path_avoiding g u w forbidden with
+                  | Some p -> result := Some (v :: p)
+                  | None -> ())
+              ns)
+          ns
+    in
+    List.iter check (Graph.vertices g);
+    !result

@@ -1,0 +1,42 @@
+(** Chordal graphs: recognition, optimal coloring and maximal cliques.
+
+    A graph is chordal iff every cycle of length at least 4 has a chord,
+    equivalently iff it admits a perfect elimination order (PEO).  A PEO
+    is produced by maximum-cardinality search (MCS) exactly when the
+    graph is chordal, which gives a linear-time recognition algorithm and
+    — since chordal graphs are perfect — an optimal coloring with
+    omega(G) colors by coloring along the reverse PEO. *)
+
+val mcs_order : Graph.t -> Graph.vertex list
+(** Maximum-cardinality search order.  The returned list is a candidate
+    perfect elimination order: MCS visits vertices by decreasing number
+    of already-visited neighbors, and the *reverse* visit order is
+    returned (so the list is checked/consumed front-to-back as an
+    elimination order). *)
+
+val is_perfect_elimination_order : Graph.t -> Graph.vertex list -> bool
+(** [is_perfect_elimination_order g order] checks that for each vertex
+    [v], the neighbors of [v] occurring after [v] in [order] form a
+    clique.  The order must enumerate all vertices exactly once. *)
+
+val is_chordal : Graph.t -> bool
+
+val simplicial_vertices : Graph.t -> Graph.vertex list
+(** Vertices whose neighborhood is a clique.  Every non-empty chordal
+    graph has at least one. *)
+
+val omega : Graph.t -> int
+(** Clique number of a *chordal* graph (exact, via a PEO).  Raises
+    [Invalid_argument] if the graph is not chordal. *)
+
+val color : Graph.t -> Coloring.coloring
+(** Optimal coloring of a *chordal* graph with omega(G) colors.  Raises
+    [Invalid_argument] if the graph is not chordal. *)
+
+val maximal_cliques : Graph.t -> Graph.ISet.t list
+(** The maximal cliques of a *chordal* graph (at most |V| of them),
+    derived from a PEO.  Raises [Invalid_argument] if not chordal. *)
+
+val find_chordless_cycle : Graph.t -> Graph.vertex list option
+(** A certificate of non-chordality: a cycle of length >= 4 without a
+    chord, or [None] if the graph is chordal. *)

@@ -1,0 +1,217 @@
+module ISet = Graph.ISet
+module IMap = Graph.IMap
+
+type t = {
+  cliques : ISet.t array;
+  adjacency : int list array; (* forest over clique indices *)
+  subtree : int list IMap.t; (* vertex -> sorted node indices containing it *)
+}
+
+let num_nodes t = Array.length t.cliques
+
+let clique t i = t.cliques.(i)
+
+let tree_edges t =
+  let acc = ref [] in
+  Array.iteri
+    (fun i ns -> List.iter (fun j -> if i < j then acc := (i, j) :: !acc) ns)
+    t.adjacency;
+  List.rev !acc
+
+let nodes_of_vertex t v =
+  match IMap.find_opt v t.subtree with Some l -> l | None -> []
+
+(* Classical construction: the maximal cliques are the nodes, and any
+   maximum-weight spanning forest of the clique-intersection graph
+   (weight = intersection size) is a clique tree (Bernstein–Goodman).
+   Candidate pairs are found through shared vertices, so only
+   intersecting cliques are ever compared. *)
+let build g =
+  if not (Chordal.is_chordal g) then
+    invalid_arg "Clique_tree.build: graph is not chordal";
+  let cliques = Array.of_list (Chordal.maximal_cliques g) in
+  let n = Array.length cliques in
+  (* vertex -> clique indices containing it *)
+  let holders = Hashtbl.create 64 in
+  Array.iteri
+    (fun i c ->
+      ISet.iter
+        (fun v ->
+          let cur = match Hashtbl.find_opt holders v with Some l -> l | None -> [] in
+          Hashtbl.replace holders v (i :: cur))
+        c)
+    cliques;
+  let candidate_pairs = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun _ is ->
+      let rec pairs = function
+        | [] -> ()
+        | i :: rest ->
+            List.iter
+              (fun j ->
+                let key = (min i j, max i j) in
+                if not (Hashtbl.mem candidate_pairs key) then
+                  Hashtbl.replace candidate_pairs key ())
+              rest;
+            pairs rest
+      in
+      pairs is)
+    holders;
+  let weighted =
+    Hashtbl.fold
+      (fun (i, j) () acc ->
+        ((i, j), ISet.cardinal (ISet.inter cliques.(i) cliques.(j))) :: acc)
+      candidate_pairs []
+    |> List.sort (fun (e1, w1) (e2, w2) -> compare (w2, e1) (w1, e2))
+  in
+  (* Kruskal with union-find. *)
+  let parent = Array.init n (fun i -> i) in
+  let rec find i = if parent.(i) = i then i else (parent.(i) <- find parent.(i); parent.(i)) in
+  let adjacency = Array.make n [] in
+  List.iter
+    (fun ((i, j), _w) ->
+      let ri = find i and rj = find j in
+      if ri <> rj then begin
+        parent.(ri) <- rj;
+        adjacency.(i) <- j :: adjacency.(i);
+        adjacency.(j) <- i :: adjacency.(j)
+      end)
+    weighted;
+  let subtree =
+    Array.to_list cliques
+    |> List.mapi (fun i c -> (i, c))
+    |> List.fold_left
+         (fun m (i, c) ->
+           ISet.fold
+             (fun v m ->
+               let l = match IMap.find_opt v m with Some l -> l | None -> [] in
+               IMap.add v (i :: l) m)
+             c m)
+         IMap.empty
+    |> IMap.map List.rev
+  in
+  { cliques; adjacency; subtree }
+
+let path_between t src dst =
+  if src = dst then Some [ src ]
+  else begin
+    let parent = Hashtbl.create 16 in
+    let q = Queue.create () in
+    Queue.add src q;
+    Hashtbl.replace parent src src;
+    let rec bfs () =
+      if Queue.is_empty q then None
+      else
+        let v = Queue.pop q in
+        if v = dst then begin
+          let rec build v acc =
+            if v = src then src :: acc
+            else build (Hashtbl.find parent v) (v :: acc)
+          in
+          Some (build dst [])
+        end
+        else begin
+          List.iter
+            (fun u ->
+              if not (Hashtbl.mem parent u) then begin
+                Hashtbl.replace parent u v;
+                Queue.add u q
+              end)
+            t.adjacency.(v);
+          bfs ()
+        end
+    in
+    bfs ()
+  end
+
+let path_between_vertices t x y =
+  let tx = nodes_of_vertex t x and ty = nodes_of_vertex t y in
+  match (tx, ty) with
+  | [], _ | _, [] -> None
+  | nx :: _, ny :: _ -> (
+      let in_tx n = ISet.mem x t.cliques.(n) in
+      let in_ty n = ISet.mem y t.cliques.(n) in
+      match List.find_opt in_ty tx with
+      | Some shared -> Some [ shared ]
+      | None -> (
+          match path_between t nx ny with
+          | None -> None
+          | Some p ->
+              (* Trim to the minimal sub-path: drop the prefix while the
+                 next node still contains x, and cut after the first node
+                 containing y. *)
+              let rec drop_prefix = function
+                | _ :: (b :: _ as rest) when in_tx b -> drop_prefix rest
+                | p -> p
+              in
+              let rec cut_after = function
+                | [] -> []
+                | n :: rest -> if in_ty n then [ n ] else n :: cut_after rest
+              in
+              Some (cut_after (drop_prefix p))))
+
+let verify g t =
+  let expected = Chordal.maximal_cliques g in
+  let got = Array.to_list t.cliques in
+  let same_cliques =
+    List.length expected = List.length got
+    && List.for_all (fun c -> List.exists (ISet.equal c) got) expected
+  in
+  let subtree_connected v =
+    match nodes_of_vertex t v with
+    | [] -> false
+    | n0 :: _ as nodes ->
+        (* BFS within nodes containing v must reach all of them. *)
+        let member = List.sort_uniq compare nodes in
+        let seen = Hashtbl.create 8 in
+        let q = Queue.create () in
+        Queue.add n0 q;
+        Hashtbl.replace seen n0 ();
+        while not (Queue.is_empty q) do
+          let n = Queue.pop q in
+          List.iter
+            (fun m ->
+              if List.mem m member && not (Hashtbl.mem seen m) then begin
+                Hashtbl.replace seen m ();
+                Queue.add m q
+              end)
+            t.adjacency.(n)
+        done;
+        List.for_all (Hashtbl.mem seen) member
+  in
+  let intersection_iff_edge =
+    let vs = Graph.vertices g in
+    List.for_all
+      (fun u ->
+        List.for_all
+          (fun v ->
+            u >= v
+            ||
+            let shared =
+              List.exists
+                (fun n -> ISet.mem u t.cliques.(n) && ISet.mem v t.cliques.(n))
+                (nodes_of_vertex t u)
+            in
+            shared = Graph.mem_edge g u v)
+          vs)
+      vs
+  in
+  same_cliques
+  && List.for_all subtree_connected (Graph.vertices g)
+  && intersection_iff_edge
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>clique tree (%d nodes):@," (num_nodes t);
+  Array.iteri
+    (fun i c ->
+      Format.fprintf ppf "  node %d: {%a} -- %a@," i
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+           Format.pp_print_int)
+        (ISet.elements c)
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+           Format.pp_print_int)
+        t.adjacency.(i))
+    t.cliques;
+  Format.fprintf ppf "@]"

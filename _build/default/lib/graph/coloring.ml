@@ -1,0 +1,238 @@
+module ISet = Graph.ISet
+module IMap = Graph.IMap
+
+type coloring = int IMap.t
+
+let is_valid g coloring =
+  List.for_all
+    (fun v ->
+      match IMap.find_opt v coloring with Some c -> c >= 0 | None -> false)
+    (Graph.vertices g)
+  && Graph.fold_edges
+       (fun u v ok ->
+         ok
+         && match (IMap.find_opt u coloring, IMap.find_opt v coloring) with
+            | Some cu, Some cv -> cu <> cv
+            | _ -> false)
+       g true
+
+let num_colors coloring =
+  IMap.fold (fun _ c acc -> ISet.add c acc) coloring ISet.empty
+  |> ISet.cardinal
+
+(* Smallest color not used by any already-colored neighbor. *)
+let first_fit g coloring v =
+  let used =
+    ISet.fold
+      (fun u acc ->
+        match IMap.find_opt u coloring with
+        | Some c -> ISet.add c acc
+        | None -> acc)
+      (Graph.neighbors g v) ISet.empty
+  in
+  let rec find c = if ISet.mem c used then find (c + 1) else c in
+  find 0
+
+let greedy g order =
+  List.fold_left (fun col v -> IMap.add v (first_fit g col v) col) IMap.empty
+    order
+
+let dsatur g =
+  let saturation col v =
+    ISet.fold
+      (fun u acc ->
+        match IMap.find_opt u col with
+        | Some c -> ISet.add c acc
+        | None -> acc)
+      (Graph.neighbors g v) ISet.empty
+    |> ISet.cardinal
+  in
+  let rec loop col remaining =
+    if ISet.is_empty remaining then col
+    else
+      let v =
+        ISet.fold
+          (fun v best ->
+            let key = (saturation col v, Graph.degree g v) in
+            match best with
+            | Some (_, bkey) when bkey >= key -> best
+            | _ -> Some (v, key))
+          remaining None
+        |> function
+        | Some (v, _) -> v
+        | None -> assert false
+      in
+      loop (IMap.add v (first_fit g col v) col) (ISet.remove v remaining)
+  in
+  loop IMap.empty (Graph.vertex_set g)
+
+(* Exact backtracking k-coloring.  Three devices keep the search usable
+   on the reduction gadgets, whose instances are the hardest exercised
+   in this repository:
+
+   - fail-first dynamic ordering: always branch on an uncolored vertex
+     with the fewest remaining allowed colors (forced vertices are
+     assigned without branching);
+   - AND-decomposition: whenever the uncolored part splits into several
+     connected components (given the colored boundary), the components
+     are solved independently — this prevents chronological backtracking
+     from thrashing across unrelated clause gadgets;
+   - in {!k_colorable}, permutation symmetry is broken by pre-coloring a
+     greedily found maximal clique. *)
+let k_colorable_with g k pre =
+  let conflict =
+    Graph.fold_edges
+      (fun u v bad ->
+        bad
+        || match (IMap.find_opt u pre, IMap.find_opt v pre) with
+           | Some cu, Some cv -> cu = cv
+           | _ -> false)
+      g false
+    || IMap.exists (fun _ c -> c < 0 || c >= k) pre
+  in
+  if conflict then None
+  else
+    let uncolored0 =
+      Graph.vertices g
+      |> List.filter (fun v -> not (IMap.mem v pre))
+      |> ISet.of_list
+    in
+    let forbidden col v =
+      ISet.fold
+        (fun u acc ->
+          match IMap.find_opt u col with
+          | Some c -> ISet.add c acc
+          | None -> acc)
+        (Graph.neighbors g v) ISet.empty
+    in
+    (* Connected components of the subgraph induced by [uncolored]. *)
+    let components uncolored =
+      let seen = Hashtbl.create 16 in
+      ISet.fold
+        (fun v comps ->
+          if Hashtbl.mem seen v then comps
+          else begin
+            let comp = ref ISet.empty in
+            let q = Queue.create () in
+            Queue.add v q;
+            Hashtbl.replace seen v ();
+            while not (Queue.is_empty q) do
+              let u = Queue.pop q in
+              comp := ISet.add u !comp;
+              ISet.iter
+                (fun w ->
+                  if ISet.mem w uncolored && not (Hashtbl.mem seen w) then begin
+                    Hashtbl.replace seen w ();
+                    Queue.add w q
+                  end)
+                (Graph.neighbors g u)
+            done;
+            !comp :: comps
+          end)
+        uncolored []
+    in
+    let rec solve col uncolored =
+      if ISet.is_empty uncolored then Some col
+      else
+        match components uncolored with
+        | [] -> Some col
+        | [ comp ] -> branch col comp
+        | comps ->
+            List.fold_left
+              (fun acc comp ->
+                match acc with None -> None | Some col -> solve col comp)
+              (Some col) comps
+    and branch col comp =
+      (* Most constrained vertex: fewest allowed colors, ties broken by
+         higher degree then lower id, for determinism. *)
+      let v, f, allowed =
+        ISet.fold
+          (fun v best ->
+            let fv = forbidden col v in
+            let allowed = k - ISet.cardinal (ISet.filter (fun c -> c < k) fv) in
+            match best with
+            | Some (bv, _, ba)
+              when ba < allowed
+                   || (ba = allowed
+                      && (Graph.degree g bv, -bv) >= (Graph.degree g v, -v)) ->
+                best
+            | Some _ | None -> Some (v, fv, allowed))
+          comp None
+        |> function
+        | Some x -> x
+        | None -> assert false
+      in
+      if allowed = 0 then None
+      else
+        let rest = ISet.remove v comp in
+        let rec try_color c =
+          if c >= k then None
+          else if ISet.mem c f then try_color (c + 1)
+          else
+            match solve (IMap.add v c col) rest with
+            | Some _ as ok -> ok
+            | None -> try_color (c + 1)
+        in
+        try_color 0
+    in
+    solve pre uncolored0
+
+(* A greedily grown clique (max-degree seed, max-degree extension). *)
+let greedy_clique g =
+  match
+    Graph.fold_vertices
+      (fun v best ->
+        match best with
+        | Some b when Graph.degree g b >= Graph.degree g v -> best
+        | _ -> Some v)
+      g None
+  with
+  | None -> []
+  | Some seed ->
+      let rec grow clique candidates =
+        match
+          ISet.fold
+            (fun v best ->
+              match best with
+              | Some b when Graph.degree g b >= Graph.degree g v -> best
+              | _ -> Some v)
+            candidates None
+        with
+        | None -> List.rev clique
+        | Some v ->
+            grow (v :: clique)
+              (ISet.inter (ISet.remove v candidates) (Graph.neighbors g v))
+      in
+      grow [ seed ] (Graph.neighbors g seed)
+
+let k_colorable g k =
+  (* Pre-coloring a maximal clique with colors 0..|Q|-1 is a sound
+     symmetry break: any k-coloring can be permuted to match it.  It
+     anchors propagation far better than the incremental color cap. *)
+  let clique = greedy_clique g in
+  if List.length clique > k then None
+  else
+    let pre =
+      List.mapi (fun i v -> (v, i)) clique
+      |> List.fold_left (fun m (v, c) -> IMap.add v c m) IMap.empty
+    in
+    k_colorable_with g k pre
+
+let chromatic_number g =
+  if Graph.num_vertices g = 0 then 0
+  else
+    (* Lower bound: a greedily grown clique. *)
+    let lower =
+      let rec grow clique candidates =
+        match ISet.choose_opt candidates with
+        | None -> List.length clique
+        | Some v ->
+            grow (v :: clique)
+              (ISet.inter (ISet.remove v candidates) (Graph.neighbors g v))
+      in
+      grow [] (Graph.vertex_set g)
+    in
+    let rec search k =
+      match k_colorable g k with Some _ -> k | None -> search (k + 1)
+    in
+    search (max 1 lower)

@@ -1,0 +1,37 @@
+(** Graph coloring: heuristics and exact search.
+
+    A coloring is a map from vertices to colors [0 .. k-1] such that
+    adjacent vertices receive different colors.  Exact routines are
+    backtracking searches intended for the small instances used to verify
+    the paper's reductions; heuristics scale to the benchmark sizes. *)
+
+type coloring = int Graph.IMap.t
+
+val is_valid : Graph.t -> coloring -> bool
+(** Every vertex colored, all colors non-negative, and no monochromatic
+    edge. *)
+
+val num_colors : coloring -> int
+(** Number of distinct colors used (0 for the empty coloring). *)
+
+val greedy : Graph.t -> Graph.vertex list -> coloring
+(** First-fit coloring along the given vertex order, which must enumerate
+    every vertex exactly once. *)
+
+val dsatur : Graph.t -> coloring
+(** DSATUR heuristic: repeatedly color the vertex with the most distinctly
+    colored neighbors. *)
+
+val k_colorable : Graph.t -> int -> coloring option
+(** Exact backtracking search for a [k]-coloring.  Returns a witness
+    coloring, or [None] if the graph is not [k]-colorable.  Exponential in
+    the worst case; prunes with degree-order and symmetry breaking on the
+    first vertices. *)
+
+val k_colorable_with : Graph.t -> int -> coloring -> coloring option
+(** Like {!k_colorable} but with some vertices pre-colored (the partial
+    assignment must itself be conflict-free, otherwise [None]). *)
+
+val chromatic_number : Graph.t -> int
+(** Exact chromatic number by iterating {!k_colorable} from the clique
+    lower bound; small graphs only. *)

@@ -1,0 +1,26 @@
+let to_string ?(name = "G") ?(affinities = []) ?labels g =
+  let buf = Buffer.create 1024 in
+  let label v =
+    match labels with Some f -> f v | None -> string_of_int v
+  in
+  Buffer.add_string buf (Printf.sprintf "graph %s {\n" name);
+  Buffer.add_string buf "  node [shape=circle];\n";
+  List.iter
+    (fun v -> Buffer.add_string buf (Printf.sprintf "  n%d [label=\"%s\"];\n" v (label v)))
+    (Graph.vertices g);
+  Graph.iter_edges
+    (fun u v -> Buffer.add_string buf (Printf.sprintf "  n%d -- n%d;\n" u v))
+    g;
+  List.iter
+    (fun (u, v) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d -- n%d [style=dotted];\n" u v))
+    affinities;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let write_file path ?affinities ?labels g =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string ?affinities ?labels g))

@@ -1,0 +1,22 @@
+(** Graphviz (DOT) export of interference graphs.
+
+    Interference edges are drawn solid, affinities dotted — the
+    convention the paper uses in its figures. *)
+
+val to_string :
+  ?name:string ->
+  ?affinities:(Graph.vertex * Graph.vertex) list ->
+  ?labels:(Graph.vertex -> string) ->
+  Graph.t ->
+  string
+(** Renders a graph as a DOT document.  [affinities] adds dotted edges on
+    top of the (solid) interference edges; [labels] overrides the default
+    numeric vertex labels. *)
+
+val write_file :
+  string ->
+  ?affinities:(Graph.vertex * Graph.vertex) list ->
+  ?labels:(Graph.vertex -> string) ->
+  Graph.t ->
+  unit
+(** Writes {!to_string} output to a file. *)

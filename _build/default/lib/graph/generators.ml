@@ -1,0 +1,120 @@
+module ISet = Graph.ISet
+
+let gnp rng ~n ~p =
+  let g = ref Graph.empty in
+  for v = 0 to n - 1 do
+    g := Graph.add_vertex !g v
+  done;
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if Random.State.float rng 1.0 < p then g := Graph.add_edge !g u v
+    done
+  done;
+  !g
+
+let random_tree rng ~n =
+  let g = ref Graph.empty in
+  if n > 0 then g := Graph.add_vertex !g 0;
+  for v = 1 to n - 1 do
+    g := Graph.add_edge !g v (Random.State.int rng v)
+  done;
+  !g
+
+let random_subtree rng tree ~size =
+  (* Grow a connected node set by random frontier expansion. *)
+  let nodes = Graph.vertices tree in
+  let start = List.nth nodes (Random.State.int rng (List.length nodes)) in
+  let rec grow acc frontier remaining =
+    if remaining = 0 || ISet.is_empty frontier then acc
+    else
+      let arr = ISet.elements frontier in
+      let pick = List.nth arr (Random.State.int rng (List.length arr)) in
+      let acc = ISet.add pick acc in
+      let frontier =
+        ISet.union
+          (ISet.remove pick frontier)
+          (ISet.diff (Graph.neighbors tree pick) acc)
+      in
+      grow acc frontier (remaining - 1)
+  in
+  grow (ISet.singleton start)
+    (Graph.neighbors tree start)
+    (max 0 (size - 1))
+
+let random_chordal rng ~n ~extra =
+  let tree_size = max 1 (n + extra) in
+  let tree = random_tree rng ~n:tree_size in
+  let subtrees =
+    Array.init n (fun _ ->
+        let size = 1 + Random.State.int rng (max 1 (tree_size / 3)) in
+        random_subtree rng tree ~size)
+  in
+  let g = ref Graph.empty in
+  for v = 0 to n - 1 do
+    g := Graph.add_vertex !g v
+  done;
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if not (ISet.is_empty (ISet.inter subtrees.(u) subtrees.(v))) then
+        g := Graph.add_edge !g u v
+    done
+  done;
+  !g
+
+let random_interval rng ~n ~span =
+  let intervals =
+    Array.init n (fun _ ->
+        let a = Random.State.int rng (span + 1) in
+        let b = Random.State.int rng (span + 1) in
+        (min a b, max a b))
+  in
+  let g = ref Graph.empty in
+  for v = 0 to n - 1 do
+    g := Graph.add_vertex !g v
+  done;
+  for u = 0 to n - 1 do
+    let au, bu = intervals.(u) in
+    for v = u + 1 to n - 1 do
+      let av, bv = intervals.(v) in
+      if max au av <= min bu bv then g := Graph.add_edge !g u v
+    done
+  done;
+  !g
+
+let random_k_partition rng ~n ~k = Array.init n (fun _ -> Random.State.int rng k)
+
+let random_k_colorable rng ~n ~k ~p =
+  let classes = random_k_partition rng ~n ~k in
+  let g = ref Graph.empty in
+  for v = 0 to n - 1 do
+    g := Graph.add_vertex !g v
+  done;
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if classes.(u) <> classes.(v) && Random.State.float rng 1.0 < p then
+        g := Graph.add_edge !g u v
+    done
+  done;
+  !g
+
+let random_bounded_degree rng ~n ~max_degree ~edges =
+  let g = ref Graph.empty in
+  for v = 0 to n - 1 do
+    g := Graph.add_vertex !g v
+  done;
+  let attempts = ref (20 * edges) in
+  let added = ref 0 in
+  while !added < edges && !attempts > 0 do
+    decr attempts;
+    let u = Random.State.int rng n and v = Random.State.int rng n in
+    if
+      u <> v
+      && (not (Graph.mem_edge !g u v))
+      && Graph.degree !g u < max_degree
+      && Graph.degree !g v < max_degree
+    then begin
+      g := Graph.add_edge !g u v;
+      incr added
+    end
+  done;
+  !g

@@ -1,0 +1,38 @@
+(** Seeded random graph generators for tests and benchmarks.
+
+    All generators are deterministic given their [Random.State.t]; the
+    benchmark harness derives states from fixed integer seeds so every
+    run regenerates the same instances. *)
+
+val gnp : Random.State.t -> n:int -> p:float -> Graph.t
+(** Erdős–Rényi G(n, p) on vertices [0 .. n-1].  Isolated vertices are
+    kept. *)
+
+val random_chordal : Random.State.t -> n:int -> extra:int -> Graph.t
+(** Random chordal graph built as the intersection graph of [n] random
+    subtrees of a random tree with [n + extra] nodes.  Larger [extra]
+    yields sparser graphs.  Chordal by construction (Golumbic Thm 4.8 —
+    the same characterization the paper's Theorem 1 rests on). *)
+
+val random_interval : Random.State.t -> n:int -> span:int -> Graph.t
+(** Random interval graph: [n] intervals with endpoints drawn from
+    [0 .. span].  Interval graphs are chordal. *)
+
+val random_k_colorable : Random.State.t -> n:int -> k:int -> p:float -> Graph.t
+(** Random graph that is k-colorable by construction: vertices are
+    pre-partitioned into [k] classes and only cross-class edges are
+    drawn with probability [p]. *)
+
+val random_k_partition : Random.State.t -> n:int -> k:int -> int array
+(** The hidden coloring used by {!random_k_colorable}: a uniformly random
+    assignment of [n] vertices to [k] classes (exposed so tests can
+    cross-check). *)
+
+val random_bounded_degree :
+  Random.State.t -> n:int -> max_degree:int -> edges:int -> Graph.t
+(** Random graph with at most [edges] edges where every vertex keeps
+    degree <= [max_degree] — the shape required by the vertex-cover
+    reduction of Theorem 6 (degree at most 3). *)
+
+val random_tree : Random.State.t -> n:int -> Graph.t
+(** Uniform random labelled tree (random attachment). *)

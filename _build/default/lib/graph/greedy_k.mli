@@ -1,0 +1,35 @@
+(** Greedy-k-colorability (Chaitin's simplification scheme).
+
+    A graph is greedy-k-colorable iff repeatedly removing some vertex of
+    degree [< k] empties the graph (Section 2.2 of the paper).  The order
+    of removals does not matter, so the test is deterministic.  The
+    smallest k for which a graph is greedy-k-colorable is the coloring
+    number col(G), computed from a smallest-last order. *)
+
+val is_greedy_k_colorable : Graph.t -> int -> bool
+
+val elimination_order : Graph.t -> int -> Graph.vertex list option
+(** [elimination_order g k] returns the removal order used by the greedy
+    scheme (first removed first), or [None] if the graph is not
+    greedy-k-colorable. *)
+
+val color : Graph.t -> int -> Coloring.coloring option
+(** Colors a greedy-k-colorable graph with at most [k] colors by
+    assigning colors in reverse elimination order — the select phase of a
+    Chaitin-style allocator. *)
+
+val coloring_number : Graph.t -> int
+(** col(G) = 1 + max over the smallest-last suffixes of their minimum
+    degree; the smallest [k] such that [g] is greedy-k-colorable.  Returns
+    0 on the empty graph. *)
+
+val smallest_last_order : Graph.t -> Graph.vertex list
+(** A smallest-last order: each vertex has minimum degree in the subgraph
+    induced by itself and the vertices after it.  Returned first-removed
+    first, i.e. the reverse of the usual "last" naming. *)
+
+val witness_subgraph : Graph.t -> int -> Graph.ISet.t option
+(** If [g] is not greedy-k-colorable, returns the canonical witness: the
+    (maximal) subgraph in which every vertex has degree at least [k]
+    (the residue of the elimination scheme).  [None] when greedy-k-
+    colorable. *)

@@ -1,0 +1,94 @@
+type interval = { lo : int; hi : int; tag : int }
+
+let validate ~len ~source ~target others =
+  let check_one i =
+    if i.hi < i.lo || i.lo < 0 || i.hi >= len then
+      invalid_arg
+        (Printf.sprintf "Interval_cover: bad interval [%d, %d] (len %d)" i.lo
+           i.hi len)
+  in
+  check_one source;
+  check_one target;
+  List.iter check_one others;
+  if source.lo <> 0 then invalid_arg "Interval_cover: source must start at 0";
+  if target.hi <> len - 1 then
+    invalid_arg "Interval_cover: target must end at len - 1"
+
+(* Left-to-right marking.  Intervals are processed by increasing [lo];
+   an interval is reachable iff it is the source, or some reachable
+   interval ends at lo - 1.  Because chains advance strictly rightward,
+   one reachable representative per end position suffices. *)
+let solve ~len ~source ~target others =
+  validate ~len ~source ~target others;
+  if len = 0 then Some []
+  else begin
+    (* Distinguish source/target physically: process them as unique
+       participants even when identical intervals exist in [others]. *)
+    let all =
+      (source, `Source) :: (target, `Target)
+      :: List.map (fun i -> (i, `Other)) others
+    in
+    let sorted =
+      List.stable_sort (fun ((a : interval), _) (b, _) -> compare (a.lo, a.hi) (b.lo, b.hi)) all
+    in
+    (* reach_end.(p) = Some chain (reversed) of a reachable interval
+       ending at p. *)
+    let reach_end = Array.make len None in
+    let target_chain = ref None in
+    List.iter
+      (fun ((i : interval), role) ->
+        let prefix =
+          match role with
+          | `Source -> if i.lo = 0 then Some [] else None
+          | `Target | `Other ->
+              if i.lo = 0 then None
+              else
+                (match reach_end.(i.lo - 1) with
+                | Some chain -> Some chain
+                | None -> None)
+        in
+        match prefix with
+        | None -> ()
+        | Some chain ->
+            let chain = i :: chain in
+            (match role with
+            | `Target when i.hi = len - 1 && !target_chain = None ->
+                target_chain := Some (List.rev chain)
+            | `Target | `Source | `Other ->
+                if reach_end.(i.hi) = None then reach_end.(i.hi) <- Some chain))
+      sorted;
+    !target_chain
+  end
+
+let solvable ~len ~source ~target others =
+  solve ~len ~source ~target others <> None
+
+let brute_force ~len ~source ~target others =
+  validate ~len ~source ~target others;
+  if len = 0 then true
+  else
+    let others = Array.of_list others in
+    let n = Array.length others in
+    let covers chosen =
+      let covered = Array.make len false in
+      let disjoint = ref true in
+      let place (i : interval) =
+        for p = i.lo to i.hi do
+          if covered.(p) then disjoint := false else covered.(p) <- true
+        done
+      in
+      place source;
+      place target;
+      List.iter place chosen;
+      !disjoint && Array.for_all (fun c -> c) covered
+    in
+    let rec go mask =
+      if mask >= 1 lsl n then false
+      else
+        let chosen =
+          List.filteri (fun b _ -> mask land (1 lsl b) <> 0)
+            (Array.to_list others)
+        in
+        covers chosen || go (mask + 1)
+    in
+    go 0

@@ -1,0 +1,40 @@
+(** Figure 5's interval-covering decision, standalone.
+
+    Input: a set of closed integer intervals on positions
+    [0 .. len-1], two distinguished intervals [source] and [target].
+    Question: is there a set of pairwise-disjoint intervals containing
+    [source] and [target] that covers every position?
+
+    This is the combinatorial core of Theorem 5: after projecting the
+    clique-tree subtrees onto the path between [T_x] and [T_y] and
+    padding every position to omega intervals, x and y can share a color
+    iff such a cover exists.  The paper solves it by laying the
+    intervals on omega full lines and marking reachability "from the end
+    of an interval to the beginning of another"; the equivalent
+    formulation used here chains contiguous intervals left to right
+    (an interval is reachable when some reachable interval ends exactly
+    where it starts), which is the same O(total interval length)
+    marking process without materializing the lines. *)
+
+type interval = { lo : int; hi : int; tag : int }
+(** Closed interval with a caller-chosen tag ([tag] values need not be
+    distinct; the algorithm treats equal-endpoint intervals as distinct
+    objects). *)
+
+val solve :
+  len:int -> source:interval -> target:interval -> interval list ->
+  interval list option
+(** [solve ~len ~source ~target others] returns the chain — a list of
+    pairwise-disjoint contiguous intervals starting with [source] and
+    ending with [target] whose union is [0 .. len-1] — or [None] when no
+    such cover exists.  Raises [Invalid_argument] when an interval is
+    empty ([hi < lo]) or out of bounds, or when [source] does not start
+    at 0 or [target] does not end at [len - 1]. *)
+
+val solvable :
+  len:int -> source:interval -> target:interval -> interval list -> bool
+
+val brute_force :
+  len:int -> source:interval -> target:interval -> interval list -> bool
+(** Exponential reference implementation (subset enumeration), used by
+    the property tests to validate {!solve}.  Small inputs only. *)

@@ -1,0 +1,1 @@
+lib/ir/dominance.ml: Cfg Ir List Printf Rc_graph

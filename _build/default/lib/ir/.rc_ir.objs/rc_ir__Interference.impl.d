@@ -1,0 +1,1 @@
+lib/ir/interference.ml: Hashtbl Ir List Liveness Rc_graph

@@ -1,0 +1,1 @@
+lib/ir/interference.mli: Ir Rc_graph

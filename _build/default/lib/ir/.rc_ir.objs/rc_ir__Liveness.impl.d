@@ -1,0 +1,1 @@
+lib/ir/liveness.ml: Cfg Ir List Rc_graph

@@ -1,0 +1,1 @@
+lib/ir/out_of_ssa.ml: Cfg Hashtbl Ir List Rc_graph Ssa

@@ -1,0 +1,1 @@
+lib/ir/out_of_ssa.mli: Ir

@@ -1,0 +1,1 @@
+lib/ir/randprog.ml: Ir List Random

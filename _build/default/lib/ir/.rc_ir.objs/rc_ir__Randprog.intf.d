@@ -1,0 +1,1 @@
+lib/ir/randprog.mli: Ir Random

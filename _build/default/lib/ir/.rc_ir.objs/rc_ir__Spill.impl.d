@@ -1,0 +1,1 @@
+lib/ir/spill.ml: Hashtbl Ir List Liveness Printf Rc_graph

@@ -1,0 +1,1 @@
+lib/ir/spill.mli: Ir

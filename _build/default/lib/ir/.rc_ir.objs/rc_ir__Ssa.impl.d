@@ -1,0 +1,1 @@
+lib/ir/ssa.ml: Cfg Dominance Hashtbl Ir List Liveness Printf Rc_graph

@@ -1,0 +1,75 @@
+module IMap = Rc_graph.Graph.IMap
+module ISet = Rc_graph.Graph.ISet
+
+let predecessors (f : Ir.func) =
+  IMap.fold
+    (fun l (b : Ir.block) acc ->
+      List.fold_left
+        (fun acc s ->
+          let cur = match IMap.find_opt s acc with Some x -> x | None -> [] in
+          if List.mem l cur then acc else IMap.add s (l :: cur) acc)
+        acc b.succs)
+    f.blocks IMap.empty
+
+let reverse_postorder (f : Ir.func) =
+  let visited = Hashtbl.create 16 in
+  let order = ref [] in
+  let rec dfs l =
+    if not (Hashtbl.mem visited l) then begin
+      Hashtbl.replace visited l ();
+      List.iter dfs (Ir.block f l).succs;
+      order := l :: !order
+    end
+  in
+  dfs f.entry;
+  !order
+
+let reachable f =
+  List.fold_left (fun s l -> ISet.add l s) ISet.empty (reverse_postorder f)
+
+let critical_edges (f : Ir.func) =
+  let preds = predecessors f in
+  let num_preds l =
+    match IMap.find_opt l preds with Some ps -> List.length ps | None -> 0
+  in
+  IMap.fold
+    (fun l (b : Ir.block) acc ->
+      if List.length b.succs > 1 then
+        List.fold_left
+          (fun acc s -> if num_preds s > 1 then (l, s) :: acc else acc)
+          acc b.succs
+      else acc)
+    f.blocks []
+  |> List.rev
+
+let split_critical_edges (f : Ir.func) =
+  let split f (a, b) =
+    let f, fresh = Ir.fresh_label f in
+    let block_a = Ir.block f a in
+    let succs =
+      List.map (fun s -> if s = b then fresh else s) block_a.succs
+    in
+    let f = Ir.update_block f a { block_a with succs } in
+    let f =
+      {
+        f with
+        blocks =
+          IMap.add fresh
+            ({ phis = []; body = []; succs = [ b ] } : Ir.block)
+            f.blocks;
+      }
+    in
+    (* Redirect phi argument labels in [b] from [a] to the new block. *)
+    let block_b = Ir.block f b in
+    let phis =
+      List.map
+        (fun (p : Ir.phi) ->
+          {
+            p with
+            args = List.map (fun (l, v) -> ((if l = a then fresh else l), v)) p.args;
+          })
+        block_b.phis
+    in
+    Ir.update_block f b { block_b with phis }
+  in
+  List.fold_left split f (critical_edges f)

@@ -1,0 +1,18 @@
+(** Control-flow-graph utilities over {!Ir.func}. *)
+
+val predecessors : Ir.func -> Ir.label list Rc_graph.Graph.IMap.t
+(** Predecessor lists (unsorted, no duplicates for distinct edges). *)
+
+val reverse_postorder : Ir.func -> Ir.label list
+(** Reverse postorder of the blocks reachable from the entry. *)
+
+val reachable : Ir.func -> Rc_graph.Graph.ISet.t
+(** Labels reachable from the entry. *)
+
+val critical_edges : Ir.func -> (Ir.label * Ir.label) list
+(** Edges [(a, b)] where [a] has several successors and [b] several
+    predecessors.  Such edges must be split before phi lowering. *)
+
+val split_critical_edges : Ir.func -> Ir.func
+(** Inserts a fresh empty block on every critical edge and updates phi
+    argument labels accordingly. *)

@@ -1,0 +1,119 @@
+module IMap = Rc_graph.Graph.IMap
+
+type t = {
+  idoms : Ir.label IMap.t; (* entry maps to itself *)
+  entry : Ir.label;
+  rpo_index : int IMap.t;
+  children : Ir.label list IMap.t;
+  frontiers : Ir.label list IMap.t;
+}
+
+let find_exn what m l =
+  match IMap.find_opt l m with
+  | Some x -> x
+  | None ->
+      invalid_arg (Printf.sprintf "Dominance.%s: unknown/unreachable label %d" what l)
+
+let compute (f : Ir.func) =
+  let rpo = Cfg.reverse_postorder f in
+  let rpo_index =
+    List.mapi (fun i l -> (l, i)) rpo
+    |> List.fold_left (fun m (l, i) -> IMap.add l i m) IMap.empty
+  in
+  let preds_map = Cfg.predecessors f in
+  let preds l =
+    (match IMap.find_opt l preds_map with Some ps -> ps | None -> [])
+    |> List.filter (fun p -> IMap.mem p rpo_index)
+  in
+  let idoms = ref (IMap.singleton f.entry f.entry) in
+  let intersect a b =
+    (* Walk the two candidate dominators up the current idom forest until
+       they meet; comparisons use RPO indices. *)
+    let index l = IMap.find l rpo_index in
+    let rec go a b =
+      if a = b then a
+      else if index a > index b then go (IMap.find a !idoms) b
+      else go a (IMap.find b !idoms)
+    in
+    go a b
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun l ->
+        if l <> f.entry then begin
+          let processed =
+            List.filter (fun p -> IMap.mem p !idoms) (preds l)
+          in
+          match processed with
+          | [] -> ()
+          | first :: rest ->
+              let new_idom = List.fold_left intersect first rest in
+              if IMap.find_opt l !idoms <> Some new_idom then begin
+                idoms := IMap.add l new_idom !idoms;
+                changed := true
+              end
+        end)
+      rpo
+  done;
+  let children =
+    IMap.fold
+      (fun l d acc ->
+        if l = f.entry then acc
+        else
+          let cur = match IMap.find_opt d acc with Some x -> x | None -> [] in
+          IMap.add d (l :: cur) acc)
+      !idoms IMap.empty
+  in
+  let frontiers = ref IMap.empty in
+  let add_frontier l x =
+    let cur = match IMap.find_opt l !frontiers with Some s -> s | None -> [] in
+    if not (List.mem x cur) then frontiers := IMap.add l (x :: cur) !frontiers
+  in
+  List.iter
+    (fun l ->
+      let ps = preds l in
+      if List.length ps >= 2 then
+        List.iter
+          (fun p ->
+            let rec runner r =
+              if r <> IMap.find l !idoms then begin
+                add_frontier r l;
+                runner (IMap.find r !idoms)
+              end
+            in
+            runner p)
+          ps)
+    rpo;
+  {
+    idoms = !idoms;
+    entry = f.entry;
+    rpo_index;
+    children;
+    frontiers = !frontiers;
+  }
+
+let idom t l =
+  let d = find_exn "idom" t.idoms l in
+  if l = t.entry then None else Some d
+
+let rec dominates t a b =
+  if a = b then true
+  else if b = t.entry then false
+  else dominates t a (find_exn "dominates" t.idoms b)
+
+let children t l =
+  ignore (find_exn "children" t.idoms l);
+  match IMap.find_opt l t.children with Some c -> c | None -> []
+
+let frontier t l =
+  ignore (find_exn "frontier" t.idoms l);
+  match IMap.find_opt l t.frontiers with Some fr -> fr | None -> []
+
+let dom_tree_preorder t =
+  let rec walk l acc =
+    let acc = l :: acc in
+    List.fold_left (fun acc c -> walk c acc) acc (children t l)
+  in
+  List.rev (walk t.entry [])

@@ -1,0 +1,25 @@
+(** Dominance: immediate dominators, dominator tree, dominance frontiers.
+
+    Implements the Cooper–Harvey–Kennedy iterative algorithm ("A Simple,
+    Fast Dominance Algorithm").  Only blocks reachable from the entry are
+    considered. *)
+
+type t
+
+val compute : Ir.func -> t
+
+val idom : t -> Ir.label -> Ir.label option
+(** Immediate dominator; [None] for the entry block.  Raises
+    [Invalid_argument] for unreachable or unknown labels. *)
+
+val dominates : t -> Ir.label -> Ir.label -> bool
+(** [dominates t a b] iff [a] dominates [b] (reflexively). *)
+
+val children : t -> Ir.label -> Ir.label list
+(** Children in the dominator tree. *)
+
+val frontier : t -> Ir.label -> Ir.label list
+(** Dominance frontier of a block. *)
+
+val dom_tree_preorder : t -> Ir.label list
+(** Blocks in a preorder traversal of the dominator tree. *)

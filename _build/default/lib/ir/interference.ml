@@ -1,0 +1,47 @@
+module IMap = Rc_graph.Graph.IMap
+module ISet = Rc_graph.Graph.ISet
+module Graph = Rc_graph.Graph
+
+let build ?(move_aware = true) (f : Ir.func) =
+  let live = Liveness.compute f in
+  let g = ref Graph.empty in
+  List.iter (fun v -> g := Graph.add_vertex !g v) (Ir.all_vars f);
+  let add_def d live_after instr =
+    let targets =
+      match instr with
+      | Ir.Move { src; _ } when move_aware -> ISet.remove src live_after
+      | Ir.Move _ | Ir.Op _ -> live_after
+    in
+    ISet.iter (fun u -> if u <> d then g := Graph.add_edge !g d u) targets
+  in
+  Liveness.backward_walk f live ~at_point:(fun _ -> ()) ~at_def:add_def;
+  (* Parameters are defined simultaneously on entry: they interfere with
+     each other and with everything live at the entry point. *)
+  let entry_live = Liveness.live_in live f.entry in
+  let params = f.params in
+  List.iteri
+    (fun i p ->
+      List.iteri (fun j q -> if i < j && p <> q then g := Graph.add_edge !g p q) params;
+      ISet.iter (fun u -> if u <> p then g := Graph.add_edge !g p u) entry_live)
+    params;
+  !g
+
+let affinities ?(weights = fun _ -> 1) (f : Ir.func) =
+  let tbl = Hashtbl.create 16 in
+  let add u v w =
+    if u <> v then begin
+      let key = (min u v, max u v) in
+      let cur = match Hashtbl.find_opt tbl key with Some x -> x | None -> 0 in
+      Hashtbl.replace tbl key (cur + w)
+    end
+  in
+  List.iter (fun (l, dst, src) -> add dst src (weights l)) (Ir.moves f);
+  IMap.iter
+    (fun _ (b : Ir.block) ->
+      List.iter
+        (fun (p : Ir.phi) ->
+          List.iter (fun (l, v) -> add p.dst v (weights l)) p.args)
+        b.phis)
+    f.blocks;
+  Hashtbl.fold (fun k w acc -> (k, w) :: acc) tbl []
+  |> List.sort compare

@@ -1,0 +1,21 @@
+(** Interference-graph and affinity extraction.
+
+    Two variables interfere when their live-ranges intersect; at a move
+    instruction the classical Chaitin refinement optionally omits the
+    dst/src edge so that move-related variables stay coalescable.  Phi
+    functions never make their operands interfere ("ignoring phi
+    functions", as in Theorem 1); instead every phi contributes
+    affinities between its destination and each argument. *)
+
+val build : ?move_aware:bool -> Ir.func -> Rc_graph.Graph.t
+(** Interference graph over all variables of the program (every variable
+    is present as a vertex, even when isolated).  With [move_aware]
+    (default [true]) the destination of a move does not interfere with
+    its source. *)
+
+val affinities : ?weights:(Ir.label -> int) -> Ir.func -> ((Ir.var * Ir.var) * int) list
+(** Affinities from moves and phis, merged per unordered pair with
+    weights summed.  [weights] gives the execution-frequency weight of a
+    block (default: constant 1); a phi affinity (dst, arg-from-l) is
+    weighted by the predecessor block [l].  Pairs whose endpoints are
+    equal are dropped. *)

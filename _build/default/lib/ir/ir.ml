@@ -1,0 +1,198 @@
+module IMap = Rc_graph.Graph.IMap
+module ISet = Rc_graph.Graph.ISet
+
+type var = int
+type label = int
+
+type instr =
+  | Op of { def : var option; uses : var list }
+  | Move of { dst : var; src : var }
+
+type phi = { dst : var; args : (label * var) list }
+
+type block = { phis : phi list; body : instr list; succs : label list }
+
+type func = {
+  entry : label;
+  blocks : block IMap.t;
+  params : var list;
+  next_var : var;
+  next_label : label;
+}
+
+let block f l =
+  match IMap.find_opt l f.blocks with
+  | Some b -> b
+  | None -> invalid_arg (Printf.sprintf "Ir.block: unknown label %d" l)
+
+let labels f = IMap.fold (fun l _ acc -> l :: acc) f.blocks [] |> List.rev
+
+let defs_of_instr = function
+  | Op { def = Some d; _ } -> [ d ]
+  | Op { def = None; _ } -> []
+  | Move { dst; _ } -> [ dst ]
+
+let uses_of_instr = function
+  | Op { uses; _ } -> uses
+  | Move { src; _ } -> [ src ]
+
+let instr_is_move = function Move _ -> true | Op _ -> false
+
+let vars_of_block b =
+  let from_instr acc i =
+    List.fold_left (fun acc v -> ISet.add v acc) acc
+      (defs_of_instr i @ uses_of_instr i)
+  in
+  let acc = List.fold_left from_instr ISet.empty b.body in
+  List.fold_left
+    (fun acc (p : phi) ->
+      List.fold_left
+        (fun acc (_, v) -> ISet.add v acc)
+        (ISet.add p.dst acc) p.args)
+    acc b.phis
+
+let all_vars f =
+  IMap.fold
+    (fun _ b acc -> ISet.union acc (vars_of_block b))
+    f.blocks
+    (ISet.of_list f.params)
+  |> ISet.elements
+
+let def_sites f =
+  let per_block l b acc =
+    let acc =
+      List.fold_left (fun acc (p : phi) -> (p.dst, l) :: acc) acc b.phis
+    in
+    List.fold_left
+      (fun acc i -> List.fold_left (fun acc d -> (d, l) :: acc) acc (defs_of_instr i))
+      acc b.body
+  in
+  let acc = List.map (fun v -> (v, f.entry)) f.params in
+  IMap.fold per_block f.blocks acc |> List.rev
+
+let moves f =
+  IMap.fold
+    (fun l b acc ->
+      List.fold_left
+        (fun acc i ->
+          match i with
+          | Move { dst; src } -> (l, dst, src) :: acc
+          | Op _ -> acc)
+        acc b.body)
+    f.blocks []
+  |> List.rev
+
+let make ~entry ~params blocks =
+  let bmap =
+    List.fold_left (fun m (l, b) -> IMap.add l b m) IMap.empty blocks
+  in
+  if not (IMap.mem entry bmap) then invalid_arg "Ir.make: entry label missing";
+  IMap.iter
+    (fun l b ->
+      List.iter
+        (fun s ->
+          if not (IMap.mem s bmap) then
+            invalid_arg
+              (Printf.sprintf "Ir.make: block %d has unknown successor %d" l s))
+        b.succs)
+    bmap;
+  let next_var =
+    IMap.fold
+      (fun _ b acc ->
+        ISet.fold (fun v acc -> max acc (v + 1)) (vars_of_block b) acc)
+      bmap
+      (List.fold_left (fun acc v -> max acc (v + 1)) 0 params)
+  in
+  let next_label = IMap.fold (fun l _ acc -> max acc (l + 1)) bmap 0 in
+  { entry; blocks = bmap; params; next_var; next_label }
+
+let fresh_var f = ({ f with next_var = f.next_var + 1 }, f.next_var)
+let fresh_label f = ({ f with next_label = f.next_label + 1 }, f.next_label)
+
+let update_block f l b =
+  if not (IMap.mem l f.blocks) then
+    invalid_arg (Printf.sprintf "Ir.update_block: unknown label %d" l);
+  { f with blocks = IMap.add l b f.blocks }
+
+let predecessors f =
+  IMap.fold
+    (fun l b acc ->
+      List.fold_left
+        (fun acc s ->
+          let cur = match IMap.find_opt s acc with Some x -> x | None -> [] in
+          IMap.add s (l :: cur) acc)
+        acc b.succs)
+    f.blocks IMap.empty
+
+let validate f =
+  let ( let* ) r k = match r with Ok () -> k () | Error _ as e -> e in
+  let* () =
+    if IMap.mem f.entry f.blocks then Ok () else Error "entry label missing"
+  in
+  let preds = predecessors f in
+  let check_block l (b : block) acc =
+    let* () = acc in
+    let* () =
+      if List.for_all (fun s -> IMap.mem s f.blocks) b.succs then Ok ()
+      else Error (Printf.sprintf "block %d: unknown successor" l)
+    in
+    let block_preds =
+      match IMap.find_opt l preds with
+      | Some ps -> List.sort_uniq compare ps
+      | None -> []
+    in
+    let* () =
+      if
+        List.for_all
+          (fun (p : phi) ->
+            List.sort_uniq compare (List.map fst p.args) = block_preds)
+          b.phis
+      then Ok ()
+      else Error (Printf.sprintf "block %d: phi args do not match predecessors" l)
+    in
+    let dsts = List.map (fun (p : phi) -> p.dst) b.phis in
+    if List.length (List.sort_uniq compare dsts) = List.length dsts then Ok ()
+    else Error (Printf.sprintf "block %d: duplicate phi destinations" l)
+  in
+  IMap.fold check_block f.blocks (Ok ())
+
+let pp_instr ppf = function
+  | Op { def = Some d; uses } ->
+      Format.fprintf ppf "v%d <- op(%a)" d
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+           (fun ppf v -> Format.fprintf ppf "v%d" v))
+        uses
+  | Op { def = None; uses } ->
+      Format.fprintf ppf "use(%a)"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+           (fun ppf v -> Format.fprintf ppf "v%d" v))
+        uses
+  | Move { dst; src } -> Format.fprintf ppf "v%d <- v%d" dst src
+
+let pp ppf f =
+  Format.fprintf ppf "@[<v>func entry=L%d params=(%a)@," f.entry
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       (fun ppf v -> Format.fprintf ppf "v%d" v))
+    f.params;
+  IMap.iter
+    (fun l b ->
+      Format.fprintf ppf "L%d:@," l;
+      List.iter
+        (fun (p : phi) ->
+          Format.fprintf ppf "  v%d <- phi(%a)@," p.dst
+            (Format.pp_print_list
+               ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+               (fun ppf (l, v) -> Format.fprintf ppf "L%d: v%d" l v))
+            p.args)
+        b.phis;
+      List.iter (fun i -> Format.fprintf ppf "  %a@," pp_instr i) b.body;
+      Format.fprintf ppf "  -> %a@,"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+           (fun ppf l -> Format.fprintf ppf "L%d" l))
+        b.succs)
+    f.blocks;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,81 @@
+(** A small SSA-capable intermediate representation.
+
+    Programs are control-flow graphs of basic blocks.  Each block carries
+    a list of phi-functions (empty before SSA construction), a body of
+    ordinary instructions, and its successor labels.  Variables and
+    labels are integers; [next_var]/[next_label] provide a fresh-name
+    supply so transformations can allocate new names without collisions.
+
+    This is the substrate for Theorem 1 (interference graphs of strict
+    SSA programs are chordal) and for the synthetic coalescing-challenge
+    generator. *)
+
+type var = int
+type label = int
+
+type instr =
+  | Op of { def : var option; uses : var list }
+      (** A generic computation: defines [def] (if any) from [uses]. *)
+  | Move of { dst : var; src : var }
+      (** A register-to-register copy — the instruction coalescing wants
+          to remove. *)
+
+type phi = { dst : var; args : (label * var) list }
+(** [dst := phi(args)]: on entry from predecessor [l], [dst] receives the
+    value of the variable paired with [l].  Every predecessor must be
+    listed exactly once. *)
+
+type block = { phis : phi list; body : instr list; succs : label list }
+
+type func = {
+  entry : label;
+  blocks : block Rc_graph.Graph.IMap.t;
+  params : var list;  (** variables defined on function entry *)
+  next_var : var;  (** all variables are < [next_var] *)
+  next_label : label;  (** all labels are < [next_label] *)
+}
+
+(** {1 Accessors} *)
+
+val block : func -> label -> block
+(** Raises [Invalid_argument] on an unknown label. *)
+
+val labels : func -> label list
+(** All block labels, increasing. *)
+
+val defs_of_instr : instr -> var list
+val uses_of_instr : instr -> var list
+
+val instr_is_move : instr -> bool
+
+val all_vars : func -> var list
+(** Every variable defined or used anywhere (params included), sorted. *)
+
+val def_sites : func -> (var * label) list
+(** [(v, l)] for each definition of [v] in block [l] (phi or body);
+    params are reported at the entry label. *)
+
+val moves : func -> (label * var * var) list
+(** All [Move] instructions as [(block, dst, src)]. *)
+
+(** {1 Construction helpers} *)
+
+val make :
+  entry:label -> params:var list -> (label * block) list -> func
+(** Builds a function, computing [next_var] and [next_label] from the
+    contents.  Raises [Invalid_argument] if a successor label does not
+    exist or the entry label is missing. *)
+
+val fresh_var : func -> func * var
+val fresh_label : func -> func * label
+
+val update_block : func -> label -> block -> func
+
+(** {1 Validation and printing} *)
+
+val validate : func -> (unit, string) result
+(** Structural sanity: entry exists, successors exist, phi argument
+    labels are exactly the block's predecessors (when phis are present),
+    no duplicated phi destinations in a block. *)
+
+val pp : Format.formatter -> func -> unit

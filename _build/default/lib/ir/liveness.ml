@@ -1,0 +1,119 @@
+module IMap = Rc_graph.Graph.IMap
+module ISet = Rc_graph.Graph.ISet
+
+type t = { ins : ISet.t IMap.t; outs : ISet.t IMap.t }
+
+let phi_defs (b : Ir.block) =
+  List.fold_left (fun s (p : Ir.phi) -> ISet.add p.dst s) ISet.empty b.phis
+
+(* Variables this block contributes to the live-out of predecessor [l]
+   through its phis. *)
+let phi_uses_from (b : Ir.block) l =
+  List.fold_left
+    (fun s (p : Ir.phi) ->
+      List.fold_left
+        (fun s (pl, v) -> if pl = l then ISet.add v s else s)
+        s p.args)
+    ISet.empty b.phis
+
+(* Backward transfer through the block body (no phis). *)
+let transfer_body (b : Ir.block) live_out =
+  List.fold_right
+    (fun i live ->
+      let live =
+        List.fold_left (fun l d -> ISet.remove d l) live (Ir.defs_of_instr i)
+      in
+      List.fold_left (fun l u -> ISet.add u l) live (Ir.uses_of_instr i))
+    b.body live_out
+
+let compute (f : Ir.func) =
+  let labels = Ir.labels f in
+  let ins = ref IMap.empty and outs = ref IMap.empty in
+  let get m l = match IMap.find_opt l m with Some s -> s | None -> ISet.empty in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    (* Iterate in reverse RPO for fast convergence. *)
+    List.iter
+      (fun l ->
+        let b = Ir.block f l in
+        let out =
+          List.fold_left
+            (fun acc s ->
+              let sb = Ir.block f s in
+              ISet.union acc
+                (ISet.union
+                   (ISet.diff (get !ins s) (phi_defs sb))
+                   (phi_uses_from sb l)))
+            ISet.empty b.succs
+        in
+        (* live at top of body = transfer(out); live-in excludes phi defs *)
+        let after_phis = transfer_body b out in
+        let inn = ISet.diff after_phis (phi_defs b) in
+        if not (ISet.equal out (get !outs l) && ISet.equal inn (get !ins l))
+        then begin
+          outs := IMap.add l out !outs;
+          ins := IMap.add l inn !ins;
+          changed := true
+        end)
+      (List.rev (Cfg.reverse_postorder f) @ labels)
+  done;
+  { ins = !ins; outs = !outs }
+
+let live_in t l =
+  match IMap.find_opt l t.ins with Some s -> s | None -> ISet.empty
+
+let live_out t l =
+  match IMap.find_opt l t.outs with Some s -> s | None -> ISet.empty
+
+(* Walk a block backward, calling [at_point] on every live set and
+   [at_def] on (definition, live-at-def-minus-self) pairs.  A variable's
+   live range is taken to include its definition point even when the
+   value is dead (the convention under which SSA live-ranges are
+   subtrees and omega = Maxlive, Theorem 1); the phi definitions of a
+   block happen simultaneously, so they are all live together at the
+   point just after them. *)
+let backward_walk (f : Ir.func) t ~at_point ~at_def =
+  List.iter
+    (fun l ->
+      let b = Ir.block f l in
+      let live = ref (live_out t l) in
+      at_point !live;
+      List.iter
+        (fun i ->
+          let defs = Ir.defs_of_instr i in
+          let at_def_point =
+            List.fold_left (fun s d -> ISet.add d s) !live defs
+          in
+          if defs <> [] then at_point at_def_point;
+          List.iter (fun d -> at_def d (ISet.remove d at_def_point) i) defs;
+          live := List.fold_left (fun s d -> ISet.remove d s) !live defs;
+          live := List.fold_left (fun s u -> ISet.add u s) !live (Ir.uses_of_instr i);
+          at_point !live)
+        (List.rev b.body);
+      let at_phi_point = ISet.union !live (phi_defs b) in
+      if b.phis <> [] then at_point at_phi_point;
+      List.iter
+        (fun (p : Ir.phi) ->
+          at_def p.dst
+            (ISet.remove p.dst at_phi_point)
+            (Ir.Op { def = Some p.dst; uses = [] }))
+        b.phis;
+      at_point (ISet.diff !live (phi_defs b)))
+    (Ir.labels f)
+
+let maxlive (f : Ir.func) t =
+  let m = ref 0 in
+  backward_walk f t
+    ~at_point:(fun live -> m := max !m (ISet.cardinal live))
+    ~at_def:(fun _ _ _ -> ());
+  (* Parameters are all live at entry. *)
+  m := max !m (List.length f.params);
+  !m
+
+let live_at_def (f : Ir.func) t =
+  let acc = ref [] in
+  backward_walk f t
+    ~at_point:(fun _ -> ())
+    ~at_def:(fun d live _ -> acc := (d, live) :: !acc);
+  List.rev !acc

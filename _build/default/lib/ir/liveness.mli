@@ -1,0 +1,42 @@
+(** Liveness analysis (backward dataflow) with SSA-aware phi semantics.
+
+    A phi argument [(l, v)] is a use of [v] at the end of predecessor
+    [l]; a phi destination is defined at the very top of its block (so
+    it is never part of the block's live-in).  This is the standard
+    convention under which the live-ranges of a strict SSA program are
+    subtrees of the dominance tree (Theorem 1). *)
+
+type t
+
+val compute : Ir.func -> t
+
+val live_in : t -> Ir.label -> Rc_graph.Graph.ISet.t
+(** Variables live on entry to a block, before its phi definitions. *)
+
+val live_out : t -> Ir.label -> Rc_graph.Graph.ISet.t
+(** Variables live at the end of a block, including successor phi
+    arguments contributed by this block. *)
+
+val backward_walk :
+  Ir.func ->
+  t ->
+  at_point:(Rc_graph.Graph.ISet.t -> unit) ->
+  at_def:(Ir.var -> Rc_graph.Graph.ISet.t -> Ir.instr -> unit) ->
+  unit
+(** Drives a backward per-point traversal of every block: [at_point] is
+    called with each live set encountered (block boundaries and between
+    instructions) and [at_def] with each definition, the set of variables
+    live just after it (minus the defined variable), and the defining
+    instruction (phi definitions are reported as a nullary [Op]).  This
+    is the primitive the interference construction and Maxlive are built
+    on. *)
+
+val maxlive : Ir.func -> t -> int
+(** Maximum number of simultaneously live variables over all program
+    points (between instructions, after phi definitions, and at block
+    boundaries). *)
+
+val live_at_def : Ir.func -> t -> (Ir.var * Rc_graph.Graph.ISet.t) list
+(** For every definition point, the variables live just after it
+    (excluding the defined variable itself).  Used by tests to
+    cross-check the interference construction. *)

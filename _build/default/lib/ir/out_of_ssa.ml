@@ -1,0 +1,136 @@
+module IMap = Rc_graph.Graph.IMap
+
+(* Two-list parallel-copy sequentialization.  Repeatedly emit copies
+   whose destination is not the source of a pending copy; when only
+   cycles remain, break one with a temporary. *)
+let sequentialize_parallel_copy ~fresh copies =
+  let dsts = List.map fst copies in
+  if List.length (List.sort_uniq compare dsts) <> List.length dsts then
+    invalid_arg "sequentialize_parallel_copy: duplicate destinations";
+  (* Drop no-op self copies. *)
+  let pending = List.filter (fun (d, s) -> d <> s) copies in
+  let rec go pending emitted =
+    match pending with
+    | [] -> List.rev emitted
+    | _ ->
+        let is_pending_src v = List.exists (fun (_, s) -> s = v) pending in
+        let ready, blocked =
+          List.partition (fun (d, _) -> not (is_pending_src d)) pending
+        in
+        if ready <> [] then go blocked (List.rev_append ready emitted)
+        else
+          (* Only cycles remain: save one pending source into a temp and
+             redirect its readers, which opens the cycle. *)
+          let s =
+            match blocked with (_, s) :: _ -> s | [] -> assert false
+          in
+          let t = fresh () in
+          let emitted = (t, s) :: emitted in
+          let blocked =
+            List.map
+              (fun (d', s') -> if s' = s then (d', t) else (d', s'))
+              blocked
+          in
+          go blocked emitted
+  in
+  go pending []
+
+let eliminate_phis_isolated (f : Ir.func) =
+  if not (Ssa.is_ssa f) then
+    invalid_arg "Out_of_ssa.eliminate_phis_isolated: program is not in SSA form";
+  let f = Cfg.split_critical_edges f in
+  let counter = ref f.next_var in
+  let fresh () =
+    let v = !counter in
+    incr counter;
+    v
+  in
+  (* One isolation temp per phi; collect per-predecessor copies. *)
+  let temp_of : (Ir.var, Ir.var) Hashtbl.t = Hashtbl.create 16 in
+  IMap.iter
+    (fun _l (b : Ir.block) ->
+      List.iter
+        (fun (p : Ir.phi) -> Hashtbl.replace temp_of p.dst (fresh ()))
+        b.phis)
+    f.blocks;
+  let pred_copies =
+    IMap.fold
+      (fun _l (b : Ir.block) acc ->
+        List.fold_left
+          (fun acc (p : Ir.phi) ->
+            let t = Hashtbl.find temp_of p.dst in
+            List.fold_left
+              (fun acc (pl, a) ->
+                let cur =
+                  match IMap.find_opt pl acc with Some c -> c | None -> []
+                in
+                IMap.add pl ((t, a) :: cur) acc)
+              acc p.args)
+          acc b.phis)
+      f.blocks IMap.empty
+  in
+  (* The temps are all distinct and fresh, so the per-predecessor copies
+     never clobber each other: plain sequential emission is fine. *)
+  let f =
+    IMap.fold
+      (fun pl copies f ->
+        let b = Ir.block f pl in
+        let moves =
+          List.rev_map (fun (t, a) -> Ir.Move { dst = t; src = a }) copies
+        in
+        Ir.update_block f pl { b with body = b.body @ moves })
+      pred_copies f
+  in
+  (* Each phi block starts by copying its temp into the destination. *)
+  let blocks =
+    IMap.map
+      (fun (b : Ir.block) ->
+        let head =
+          List.map
+            (fun (p : Ir.phi) ->
+              Ir.Move { dst = p.dst; src = Hashtbl.find temp_of p.dst })
+            b.phis
+        in
+        { b with phis = []; body = head @ b.body })
+      f.blocks
+  in
+  { f with blocks; next_var = !counter }
+
+let eliminate_phis (f : Ir.func) =
+  if not (Ssa.is_ssa f) then
+    invalid_arg "Out_of_ssa.eliminate_phis: program is not in SSA form";
+  let f = Cfg.split_critical_edges f in
+  (* Collect, per predecessor block, the parallel copy it must perform
+     (one (dst, src) per phi of each successor). *)
+  let copies_per_pred =
+    IMap.fold
+      (fun _l (b : Ir.block) acc ->
+        List.fold_left
+          (fun acc (p : Ir.phi) ->
+            List.fold_left
+              (fun acc (pl, v) ->
+                let cur =
+                  match IMap.find_opt pl acc with Some c -> c | None -> []
+                in
+                IMap.add pl ((p.dst, v) :: cur) acc)
+              acc p.args)
+          acc b.phis)
+      f.blocks IMap.empty
+  in
+  let counter = ref f.next_var in
+  let fresh () =
+    let v = !counter in
+    incr counter;
+    v
+  in
+  let f =
+    IMap.fold
+      (fun pl copies f ->
+        let seq = sequentialize_parallel_copy ~fresh (List.rev copies) in
+        let b = Ir.block f pl in
+        let moves = List.map (fun (d, s) -> Ir.Move { dst = d; src = s }) seq in
+        Ir.update_block f pl { b with body = b.body @ moves })
+      copies_per_pred f
+  in
+  let blocks = IMap.map (fun (b : Ir.block) -> { b with phis = [] }) f.blocks in
+  { f with blocks; next_var = !counter }

@@ -1,0 +1,36 @@
+(** Out-of-SSA translation by phi elimination.
+
+    Critical edges are split, then every phi [d := phi(.., (l, v), ..)]
+    is replaced by a copy [d <- v] at the end of predecessor [l].  The
+    copies feeding one block from one predecessor form a *parallel copy*
+    and are sequentialized correctly (the classical two-list algorithm:
+    emit a copy whenever some destination is not also a pending source,
+    break remaining permutation cycles with a fresh temporary).
+
+    The resulting program is phi-free; every inserted [Move] is an
+    affinity candidate for coalescing — this is the "aggressive
+    coalescing" workload of Section 3 and the source of the synthetic
+    coalescing-challenge instances. *)
+
+val eliminate_phis : Ir.func -> Ir.func
+(** Input must be in SSA form ({!Ssa.is_ssa}); raises [Invalid_argument]
+    otherwise.  The output contains no phis. *)
+
+val eliminate_phis_isolated : Ir.func -> Ir.func
+(** Alternative lowering in the style of Sreedhar et al.'s Method I
+    (cited as the classical conservative out-of-SSA translation): every
+    phi [d := phi(.., (l, a), ..)] is *isolated* through a fresh name
+    [t] — each predecessor assigns [t <- a] and the phi block starts
+    with [d <- t].  This inserts roughly one extra move per phi compared
+    to {!eliminate_phis} (the affinity-dense workload the coalescing
+    phase is then expected to clean up; see the lowering ablation in the
+    benchmark harness), but is robust even when a phi destination
+    interferes with its arguments.  Critical edges are split first; the
+    same preconditions as {!eliminate_phis} apply. *)
+
+val sequentialize_parallel_copy :
+  fresh:(unit -> Ir.var) -> (Ir.var * Ir.var) list -> (Ir.var * Ir.var) list
+(** [sequentialize_parallel_copy ~fresh copies] orders a parallel copy
+    [(dst, src) list] into a sequence of moves with the same semantics,
+    calling [fresh] when a cycle needs a temporary.  Destinations must be
+    pairwise distinct.  Exposed for direct testing. *)

@@ -1,0 +1,190 @@
+type config = {
+  params : int;
+  depth : int;
+  regions : int;
+  instrs_per_block : int;
+  move_fraction : float;
+  redefine_fraction : float;
+}
+
+let default_config =
+  {
+    params = 3;
+    depth = 3;
+    regions = 3;
+    instrs_per_block = 4;
+    move_fraction = 0.25;
+    redefine_fraction = 0.3;
+  }
+
+(* Builder state: blocks under construction, fresh supplies. *)
+type builder = {
+  mutable blocks : (Ir.label * Ir.block) list;
+  mutable next_label : int;
+  mutable next_var : int;
+  rng : Random.State.t;
+  cfg : config;
+}
+
+let fresh_label b =
+  let l = b.next_label in
+  b.next_label <- l + 1;
+  l
+
+let fresh_var b =
+  let v = b.next_var in
+  b.next_var <- v + 1;
+  v
+
+let pick b xs = List.nth xs (Random.State.int b.rng (List.length xs))
+
+(* Random straight-line body; returns the instructions and the variables
+   available afterwards. *)
+let gen_body b avail =
+  let n = 1 + Random.State.int b.rng (max 1 (2 * b.cfg.instrs_per_block)) in
+  let rec go i avail acc =
+    if i = 0 then (List.rev acc, avail)
+    else
+      let target () =
+        if
+          Random.State.float b.rng 1.0 < b.cfg.redefine_fraction
+          && avail <> []
+        then pick b avail
+        else fresh_var b
+      in
+      let instr, avail =
+        if Random.State.float b.rng 1.0 < b.cfg.move_fraction && avail <> []
+        then
+          let src = pick b avail in
+          let dst = target () in
+          if dst = src then
+            (Ir.Op { def = None; uses = [ src ] }, avail)
+          else
+            ( Ir.Move { dst; src },
+              if List.mem dst avail then avail else dst :: avail )
+        else
+          let n_uses = Random.State.int b.rng 3 in
+          let uses =
+            List.init (min n_uses (List.length avail)) (fun _ -> pick b avail)
+          in
+          let dst = target () in
+          ( Ir.Op { def = Some dst; uses },
+            if List.mem dst avail then avail else dst :: avail )
+      in
+      go (i - 1) avail (instr :: acc)
+  in
+  go n avail []
+
+let add_block b l block = b.blocks <- (l, block) :: b.blocks
+
+(* Generates a region of control flow from a fresh entry label to a
+   returned exit label whose successor list is left empty for the caller
+   to fill in.  Returns (entry, exit_label, exit_phis_body, avail). *)
+let rec gen_region b depth avail =
+  let shape =
+    if depth <= 0 then `Line
+    else
+      match Random.State.int b.rng 4 with
+      | 0 -> `Line
+      | 1 -> `Seq
+      | 2 -> `If
+      | _ -> `Loop
+  in
+  match shape with
+  | `Line ->
+      let l = fresh_label b in
+      let body, avail = gen_body b avail in
+      (* successors patched by the caller *)
+      add_block b l { phis = []; body; succs = [] };
+      (l, l, avail)
+  | `Seq ->
+      let e1, x1, avail1 = gen_region b (depth - 1) avail in
+      let e2, x2, avail2 = gen_region b (depth - 1) avail1 in
+      let xb = List.assoc x1 b.blocks in
+      b.blocks <-
+        (x1, { xb with succs = [ e2 ] }) :: List.remove_assoc x1 b.blocks;
+      (e1, x2, avail2)
+  | `If ->
+      let cond_label = fresh_label b in
+      let cond_body, avail0 = gen_body b avail in
+      let te, tx, _tavail = gen_region b (depth - 1) avail0 in
+      let ee, ex, _eavail = gen_region b (depth - 1) avail0 in
+      let join = fresh_label b in
+      let join_body, avail' = gen_body b avail0 in
+      add_block b cond_label
+        { phis = []; body = cond_body; succs = [ te; ee ] };
+      add_block b join { phis = []; body = join_body; succs = [] };
+      let patch x =
+        let xb = List.assoc x b.blocks in
+        b.blocks <-
+          (x, { xb with succs = [ join ] }) :: List.remove_assoc x b.blocks
+      in
+      patch tx;
+      patch ex;
+      (cond_label, join, avail')
+  | `Loop ->
+      let header = fresh_label b in
+      let header_body, avail0 = gen_body b avail in
+      let be, bx, _bavail = gen_region b (depth - 1) avail0 in
+      let exit = fresh_label b in
+      let exit_body, avail' = gen_body b avail0 in
+      add_block b header
+        { phis = []; body = header_body; succs = [ be; exit ] };
+      add_block b exit { phis = []; body = exit_body; succs = [] };
+      let xb = List.assoc bx b.blocks in
+      b.blocks <-
+        (bx, { xb with succs = [ header ] }) :: List.remove_assoc bx b.blocks;
+      (header, exit, avail')
+
+let generate rng cfg =
+  let b =
+    {
+      blocks = [];
+      next_label = 0;
+      next_var = max 1 cfg.params;
+      rng;
+      cfg;
+    }
+  in
+  let params = List.init (max 1 cfg.params) (fun i -> i) in
+  let rec chain n avail entries =
+    if n = 0 then (avail, entries)
+    else
+      let e, x, avail = gen_region b cfg.depth avail in
+      (avail, entries @ [ (e, x) ]) |> fun (avail, entries) ->
+      chain (n - 1) avail entries
+  in
+  let avail, regions = chain (max 1 cfg.regions) params [] in
+  (* Link the regions in sequence and terminate with a sink that uses a
+     handful of live variables, extending ranges to the end. *)
+  let sink = fresh_label b in
+  let sink_uses = List.filteri (fun i _ -> i mod 2 = 0) avail in
+  (* One use instruction per pair of variables: a single wide use would
+     impose an intrinsic register pressure no spiller can reduce. *)
+  let rec chunk = function
+    | [] -> []
+    | [ v ] -> [ Ir.Op { def = None; uses = [ v ] } ]
+    | v1 :: v2 :: rest -> Ir.Op { def = None; uses = [ v1; v2 ] } :: chunk rest
+  in
+  add_block b sink { phis = []; body = chunk sink_uses; succs = [] };
+  let rec link = function
+    | [] -> sink
+    | (e, x) :: rest ->
+        let next = link rest in
+        let xb = List.assoc x b.blocks in
+        b.blocks <-
+          (x, { xb with succs = [ next ] }) :: List.remove_assoc x b.blocks;
+        e
+  in
+  let first =
+    match regions with
+    | [] -> sink
+    | (e, _) :: _ ->
+        ignore (link regions);
+        e
+  in
+  (* Dedicated entry block: never a loop header, so parameter live
+     ranges (and spill stores) cannot wrap around a back edge. *)
+  let entry = fresh_label b in
+  add_block b entry { phis = []; body = []; succs = [ first ] };
+  Ir.make ~entry ~params b.blocks

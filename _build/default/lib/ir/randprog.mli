@@ -1,0 +1,25 @@
+(** Seeded random structured-program generator.
+
+    Produces strict, reducible, non-SSA programs made of straight-line
+    blocks, if/else diamonds and while loops — the raw material of the
+    synthetic coalescing challenge (DESIGN.md, substitution for the
+    Appel–George graph corpus).  All choices are drawn from the supplied
+    [Random.State.t], so instances are reproducible. *)
+
+type config = {
+  params : int;  (** number of function parameters (>= 1) *)
+  depth : int;  (** maximum nesting depth of control structures *)
+  regions : int;  (** number of sequenced top-level regions *)
+  instrs_per_block : int;  (** average straight-line block size *)
+  move_fraction : float;  (** fraction of generated instructions that are moves *)
+  redefine_fraction : float;
+      (** probability that a definition reuses an existing variable name
+          instead of a fresh one (drives phi insertion) *)
+}
+
+val default_config : config
+
+val generate : Random.State.t -> config -> Ir.func
+(** A fresh random program; validated ({!Ir.validate}) and strict by
+    construction (every use is of a variable defined on all incoming
+    paths). *)

@@ -1,0 +1,254 @@
+module IMap = Rc_graph.Graph.IMap
+module ISet = Rc_graph.Graph.ISet
+
+(* Reloads are modeled as zero-input [Op]s (a load from the spill slot)
+   and stores as no-def [Op]s consuming the stored variable.
+
+   Spilling a phi destination implements a "memory phi": the phi
+   disappears entirely and each argument is stored to the slot at the
+   end of its predecessor (right after the argument's definition when it
+   is local, so reload temporaries stay momentary); uses of the old
+   destination reload from the slot.  Without this, the reloads feeding
+   a parallel copy pile up at the end of predecessors and the pressure
+   cannot go below the phi arity. *)
+
+type info = {
+  func : Ir.func;
+  (* Reload temporaries introduced for a phi *argument*: spilling the
+     destination of that phi is what removes the pile-up they create, so
+     the pressure-reduction loop treats the destination as the spill
+     candidate when such a temp sits at a pressure peak. *)
+  owners : (Ir.var * Ir.var) list; (* temp -> phi destination it feeds *)
+}
+
+(* Insert [store] right after the last definition of [a] in [body], or
+   at the end when [a] is not defined locally (live-through value). *)
+let insert_store_after body a store =
+  let rec last_def_index i best = function
+    | [] -> best
+    | instr :: rest ->
+        let best = if List.mem a (Ir.defs_of_instr instr) then Some i else best in
+        last_def_index (i + 1) best rest
+  in
+  match last_def_index 0 None body with
+  | None -> body @ [ store ]
+  | Some idx ->
+      List.concat (List.mapi (fun i instr -> if i = idx then [ instr; store ] else [ instr ]) body)
+
+let spill_var_info (f : Ir.func) v =
+  let counter = ref f.next_var in
+  let fresh () =
+    let r = !counter in
+    incr counter;
+    r
+  in
+  let owners = ref [] in
+  (* Pass 1: body rewrite — reload before each use, store after each
+     def; drop phis whose destination is [v] and remember their
+     arguments for pass 2. *)
+  let memory_phi_args = ref [] in
+  let blocks =
+    IMap.mapi
+      (fun _l (b : Ir.block) ->
+        let body =
+          List.concat_map
+            (fun (i : Ir.instr) ->
+              let uses = Ir.uses_of_instr i in
+              let reload, substitute =
+                if List.mem v uses then begin
+                  let r = fresh () in
+                  ( [ Ir.Op { def = Some r; uses = [] } ],
+                    fun u -> if u = v then r else u )
+                end
+                else ([], fun u -> u)
+              in
+              let i =
+                match i with
+                | Ir.Move { dst; src } -> Ir.Move { dst; src = substitute src }
+                | Ir.Op { def; uses } ->
+                    Ir.Op { def; uses = List.map substitute uses }
+              in
+              let store =
+                if List.mem v (Ir.defs_of_instr i) then
+                  [ Ir.Op { def = None; uses = [ v ] } ]
+                else []
+              in
+              reload @ [ i ] @ store)
+            b.body
+        in
+        let kept_phis, dropped =
+          List.partition (fun (p : Ir.phi) -> p.dst <> v) b.phis
+        in
+        List.iter
+          (fun (p : Ir.phi) -> memory_phi_args := p.args @ !memory_phi_args)
+          dropped;
+        { b with phis = kept_phis; body })
+      f.blocks
+  in
+  let f = { f with blocks; next_var = !counter } in
+  (* Pass 2: memory-phi stores in the predecessors. *)
+  let f =
+    List.fold_left
+      (fun f (pl, a) ->
+        let b = Ir.block f pl in
+        let store = Ir.Op { def = None; uses = [ a ] } in
+        Ir.update_block f pl { b with body = insert_store_after b.body a store })
+      f !memory_phi_args
+  in
+  (* Pass 3: phi arguments mentioning v elsewhere reload at the end of
+     the predecessor; the temp is owned by that phi's destination. *)
+  let counter = ref f.next_var in
+  let fresh () =
+    let r = !counter in
+    incr counter;
+    r
+  in
+  (* (pred, phi dst) -> reload name, shared when one predecessor feeds v
+     to several phis (one reload suffices per predecessor). *)
+  let reload_name : (Ir.label, Ir.var) Hashtbl.t = Hashtbl.create 4 in
+  let needs_reload = ref [] in
+  IMap.iter
+    (fun _l (b : Ir.block) ->
+      List.iter
+        (fun (p : Ir.phi) ->
+          List.iter
+            (fun (pl, a) ->
+              if a = v then begin
+                if not (Hashtbl.mem reload_name pl) then begin
+                  let r = fresh () in
+                  Hashtbl.replace reload_name pl r;
+                  needs_reload := pl :: !needs_reload
+                end;
+                owners := (Hashtbl.find reload_name pl, p.dst) :: !owners
+              end)
+            p.args)
+        b.phis)
+    f.blocks;
+  let f = { f with next_var = !counter } in
+  let f =
+    List.fold_left
+      (fun f pl ->
+        let r = Hashtbl.find reload_name pl in
+        let b = Ir.block f pl in
+        Ir.update_block f pl
+          { b with body = b.body @ [ Ir.Op { def = Some r; uses = [] } ] })
+      f !needs_reload
+  in
+  let blocks =
+    IMap.map
+      (fun (b : Ir.block) ->
+        let phis =
+          List.map
+            (fun (p : Ir.phi) ->
+              {
+                p with
+                args =
+                  List.map
+                    (fun (pl, a) ->
+                      if a = v then (pl, Hashtbl.find reload_name pl) else (pl, a))
+                    p.args;
+              })
+            b.phis
+        in
+        { b with phis })
+      f.blocks
+  in
+  let f = { f with blocks } in
+  (* A spilled parameter is stored at the top of the entry block. *)
+  let f =
+    if List.mem v f.params then begin
+      let b = Ir.block f f.entry in
+      Ir.update_block f f.entry
+        { b with body = (Ir.Op { def = None; uses = [ v ] }) :: b.body }
+    end
+    else f
+  in
+  { func = f; owners = !owners }
+
+let spill_var f v = (spill_var_info f v).func
+
+(* Number of program points at which each variable is live. *)
+let liveness_footprint f live =
+  let counts = Hashtbl.create 64 in
+  Liveness.backward_walk f live
+    ~at_point:(fun s ->
+      ISet.iter
+        (fun v ->
+          Hashtbl.replace counts v
+            (1 + match Hashtbl.find_opt counts v with Some c -> c | None -> 0))
+        s)
+    ~at_def:(fun _ _ _ -> ());
+  counts
+
+(* Variables live at some point of pressure above k. *)
+let candidates_at_peak f live k =
+  let acc = ref ISet.empty in
+  Liveness.backward_walk f live
+    ~at_point:(fun s -> if ISet.cardinal s > k then acc := ISet.union !acc s)
+    ~at_def:(fun _ _ _ -> ());
+  !acc
+
+let spill_everywhere (f : Ir.func) ~k =
+  let no_spill = ref ISet.empty in
+  let owners = Hashtbl.create 16 in
+  let mark_temps before after =
+    for v = before to after - 1 do
+      no_spill := ISet.add v !no_spill
+    done
+  in
+  let rec loop f rounds =
+    let live = Liveness.compute f in
+    if Liveness.maxlive f live <= k then f
+    else if rounds <= 0 then
+      failwith
+        (Printf.sprintf "Spill.spill_everywhere: cannot reach Maxlive <= %d" k)
+    else begin
+      let peak = candidates_at_peak f live k in
+      let present = ISet.of_list (Ir.all_vars f) in
+      let direct = ISet.diff peak !no_spill in
+      (* Temporaries feeding a phi at the peak point at the phi's
+         destination instead. *)
+      let via_owner =
+        ISet.fold
+          (fun t acc ->
+            List.fold_left
+              (fun acc d -> if ISet.mem d present then ISet.add d acc else acc)
+              acc
+              (Hashtbl.find_all owners t))
+          (ISet.inter peak !no_spill) ISet.empty
+      in
+      let candidates = ISet.union direct via_owner in
+      match ISet.elements candidates with
+      | [] ->
+          failwith
+            (Printf.sprintf
+               "Spill.spill_everywhere: pressure > %d from unspillable temporaries"
+               k)
+      | vs ->
+          let counts = liveness_footprint f live in
+          let footprint v =
+            match Hashtbl.find_opt counts v with Some c -> c | None -> 0
+          in
+          let victim =
+            List.fold_left
+              (fun best v ->
+                match best with
+                | Some b when footprint b >= footprint v -> best
+                | _ -> Some v)
+              None vs
+            |> function
+            | Some v -> v
+            | None -> assert false
+          in
+          let before = f.next_var in
+          let { func = f; owners = new_owners } = spill_var_info f victim in
+          mark_temps before f.next_var;
+          (* A spilled variable's residual live ranges are momentary
+             def/store pairs; spilling it again would only churn. *)
+          no_spill := ISet.add victim !no_spill;
+          (* One shared reload can feed several phis: keep every owner. *)
+          List.iter (fun (t, d) -> Hashtbl.add owners t d) new_owners;
+          loop f (rounds - 1)
+    end
+  in
+  loop f (2 * List.length (Ir.all_vars f))

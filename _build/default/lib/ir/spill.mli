@@ -1,0 +1,35 @@
+(** "Spill everywhere" register-pressure reduction.
+
+    The first phase of the two-phase (spill-then-coalesce) allocators
+    discussed in the paper's introduction: entire live ranges are
+    spilled — a store right after each definition, a reload right before
+    each use — until Maxlive drops to the register count [k].  On a
+    strict SSA program the transformation preserves SSA and strictness
+    (reloads are fresh variables; spilled phi arguments are reloaded at
+    the end of the predecessor block), so by Theorem 1 the resulting
+    interference graph is chordal with omega <= k and hence k-colorable
+    (Property 1 makes it greedy-k-colorable). *)
+
+val spill_everywhere : Ir.func -> k:int -> Ir.func
+(** Reduces Maxlive to at most [k] by repeatedly spilling the variable
+    with the widest live range among those alive at a maximal-pressure
+    point.  Raises [Failure] if the pressure cannot be reduced to [k]
+    (e.g. [k] is smaller than the arity of some instruction plus its
+    definition). *)
+
+val spill_var : Ir.func -> Ir.var -> Ir.func
+(** Spills one variable: its definition is stored immediately and every
+    use reloads into a fresh variable.  Spilling a phi destination turns
+    the phi into a "memory phi": the phi is deleted and each argument is
+    stored to the slot in its predecessor.  Exposed for tests. *)
+
+type info = {
+  func : Ir.func;
+  owners : (Ir.var * Ir.var) list;
+      (** reload temporaries introduced for a phi argument, paired with
+          that phi's destination — spilling the destination is what
+          removes the pile-up such temps can create *)
+}
+
+val spill_var_info : Ir.func -> Ir.var -> info
+(** {!spill_var} with the bookkeeping the pressure-reduction loop needs. *)

@@ -1,0 +1,215 @@
+module IMap = Rc_graph.Graph.IMap
+module ISet = Rc_graph.Graph.ISet
+
+let drop_unreachable (f : Ir.func) =
+  let keep = Cfg.reachable f in
+  { f with blocks = IMap.filter (fun l _ -> ISet.mem l keep) f.blocks }
+
+(* Iterated dominance frontier of a set of blocks. *)
+let iterated_frontier dom sites =
+  let rec go frontier worklist =
+    match worklist with
+    | [] -> frontier
+    | l :: rest ->
+        let news =
+          List.filter
+            (fun x -> not (ISet.mem x frontier))
+            (Dominance.frontier dom l)
+        in
+        go
+          (List.fold_left (fun s x -> ISet.add x s) frontier news)
+          (news @ rest)
+  in
+  go ISet.empty (ISet.elements sites)
+
+let construct (f : Ir.func) =
+  let f = drop_unreachable f in
+  let dom = Dominance.compute f in
+  let live = Liveness.compute f in
+  (* Definition sites per original variable. *)
+  let def_blocks =
+    List.fold_left
+      (fun m (v, l) ->
+        let cur = match IMap.find_opt v m with Some s -> s | None -> ISet.empty in
+        IMap.add v (ISet.add l cur) m)
+      IMap.empty (Ir.def_sites f)
+  in
+  (* Pruned SSA: place a phi for v at join j iff j is in the iterated
+     frontier of v's def sites and v is live-in at j. *)
+  let phis_to_insert =
+    IMap.fold
+      (fun v sites acc ->
+        ISet.fold
+          (fun j acc ->
+            if ISet.mem v (Liveness.live_in live j) then
+              let cur =
+                match IMap.find_opt j acc with Some l -> l | None -> []
+              in
+              IMap.add j (v :: cur) acc
+            else acc)
+          (iterated_frontier dom sites)
+          acc)
+      def_blocks IMap.empty
+  in
+  let preds = Cfg.predecessors f in
+  (* Insert placeholder phis (args filled during renaming). *)
+  let f =
+    IMap.fold
+      (fun j vars f ->
+        let b = Ir.block f j in
+        let ps = match IMap.find_opt j preds with Some p -> p | None -> [] in
+        let new_phis =
+          List.map
+            (fun v ->
+              ({ dst = v; args = List.map (fun l -> (l, v)) ps } : Ir.phi))
+            vars
+        in
+        Ir.update_block f j { b with phis = new_phis @ b.phis })
+      phis_to_insert f
+  in
+  (* Renaming along the dominator tree. *)
+  let counter = ref f.next_var in
+  let fresh () =
+    let v = !counter in
+    incr counter;
+    v
+  in
+  let stacks : (Ir.var, Ir.var list) Hashtbl.t = Hashtbl.create 16 in
+  let top v =
+    match Hashtbl.find_opt stacks v with
+    | Some (x :: _) -> x
+    | Some [] | None ->
+        failwith (Printf.sprintf "Ssa.construct: variable v%d used before definition" v)
+  in
+  let push v x =
+    let cur = match Hashtbl.find_opt stacks v with Some l -> l | None -> [] in
+    Hashtbl.replace stacks v (x :: cur)
+  in
+  let pop v =
+    match Hashtbl.find_opt stacks v with
+    | Some (_ :: rest) -> Hashtbl.replace stacks v rest
+    | Some [] | None -> assert false
+  in
+  (* Params keep their names and act as entry definitions. *)
+  List.iter (fun p -> push p p) f.params;
+  let blocks = ref f.blocks in
+  (* Map from (block, original phi index) is avoided by rewriting blocks
+     in place as we go: first rewrite dsts/body, then successors patch
+     phi args of their predecessors' phi argument slots. *)
+  let rec rename l =
+    let b = IMap.find l !blocks in
+    let pushed = ref [] in
+    let phis =
+      List.map
+        (fun (p : Ir.phi) ->
+          let d = fresh () in
+          push p.dst d;
+          pushed := p.dst :: !pushed;
+          (* Remember the original variable in the argument slots; they
+             are still original names and get patched by predecessors. *)
+          { p with dst = d })
+        b.phis
+    in
+    let body =
+      List.map
+        (fun (i : Ir.instr) ->
+          match i with
+          | Ir.Move { dst; src } ->
+              let src' = top src in
+              let d = fresh () in
+              push dst d;
+              pushed := dst :: !pushed;
+              Ir.Move { dst = d; src = src' }
+          | Ir.Op { def; uses } ->
+              let uses' = List.map top uses in
+              let def' =
+                match def with
+                | None -> None
+                | Some d ->
+                    let nd = fresh () in
+                    push d nd;
+                    pushed := d :: !pushed;
+                    Some nd
+              in
+              Ir.Op { def = def'; uses = uses' })
+        b.body
+    in
+    blocks := IMap.add l { b with phis; body } !blocks;
+    (* Patch phi arguments of successors for the edge l -> s.  Distinct
+       successors only: patching twice would rename an already renamed
+       argument. *)
+    List.iter
+      (fun s ->
+        let sb = IMap.find s !blocks in
+        let phis =
+          List.map
+            (fun (p : Ir.phi) ->
+              {
+                p with
+                args =
+                  List.map
+                    (fun (pl, v) -> if pl = l then (pl, top v) else (pl, v))
+                    p.args;
+              })
+            sb.phis
+        in
+        blocks := IMap.add s { sb with phis } !blocks)
+      (List.sort_uniq compare b.succs);
+    List.iter rename (Dominance.children dom l);
+    List.iter pop !pushed
+  in
+  rename f.entry;
+  { f with blocks = !blocks; next_var = !counter }
+
+let def_count (f : Ir.func) =
+  List.fold_left
+    (fun m (v, _) ->
+      IMap.add v (1 + match IMap.find_opt v m with Some c -> c | None -> 0) m)
+    IMap.empty (Ir.def_sites f)
+
+let is_ssa f = IMap.for_all (fun _ c -> c <= 1) (def_count f)
+
+let is_strict (f : Ir.func) =
+  let dom = Dominance.compute f in
+  let def_block =
+    List.fold_left
+      (fun m (v, l) -> IMap.add v l m)
+      IMap.empty (Ir.def_sites f)
+  in
+  let param_set = ISet.of_list f.params in
+  let defined_before_in_block l target_use_index v =
+    (* v defined by a phi or an earlier body instruction of block l. *)
+    let b = Ir.block f l in
+    List.exists (fun (p : Ir.phi) -> p.dst = v) b.phis
+    || List.exists2
+         (fun idx i -> idx < target_use_index && List.mem v (Ir.defs_of_instr i))
+         (List.mapi (fun i _ -> i) b.body)
+         b.body
+  in
+  let dominated_use l idx v =
+    ISet.mem v param_set
+    ||
+    match IMap.find_opt v def_block with
+    | None -> false
+    | Some dl ->
+        if dl = l then defined_before_in_block l idx v
+        else Dominance.dominates dom dl l
+  in
+  let check_block l (b : Ir.block) =
+    List.for_all
+      (fun (idx, i) -> List.for_all (dominated_use l idx) (Ir.uses_of_instr i))
+      (List.mapi (fun i x -> (i, x)) b.body)
+    && List.for_all
+         (fun (p : Ir.phi) ->
+           List.for_all
+             (fun (pl, v) ->
+               ISet.mem v param_set
+               ||
+               match IMap.find_opt v def_block with
+               | None -> false
+               | Some dl -> Dominance.dominates dom dl pl)
+             p.args)
+         b.phis
+  in
+  is_ssa f
+  && List.for_all (fun l -> check_block l (Ir.block f l)) (Ir.labels f)

@@ -1,0 +1,20 @@
+(** Static single assignment construction (Cytron et al.).
+
+    Phi functions are placed at iterated dominance frontiers of
+    definition sites, then variables are renamed along the dominator
+    tree.  The input program must be *strict*: every use must be
+    dominated by a definition (params count as entry definitions);
+    [construct] raises [Failure] otherwise. *)
+
+val construct : Ir.func -> Ir.func
+(** Converts a (possibly non-SSA) strict program to strict SSA.  The
+    output satisfies {!is_ssa} and {!is_strict}, and unreachable blocks
+    are dropped. *)
+
+val is_ssa : Ir.func -> bool
+(** Every variable has at most one definition site (phi, body or param). *)
+
+val is_strict : Ir.func -> bool
+(** Every use is dominated by its (unique, for SSA) definition; for phi
+    arguments [(l, v)], the definition of [v] must dominate the end of
+    block [l]. *)

@@ -1,0 +1,1 @@
+lib/reductions/figures.ml: List Multiway_cut Rc_core Rc_graph

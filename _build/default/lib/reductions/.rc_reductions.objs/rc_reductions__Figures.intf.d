@@ -1,0 +1,1 @@
+lib/reductions/figures.mli: Multiway_cut Rc_core

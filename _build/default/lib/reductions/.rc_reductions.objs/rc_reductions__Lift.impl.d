@@ -1,0 +1,1 @@
+lib/reductions/lift.ml: List Rc_core Rc_graph

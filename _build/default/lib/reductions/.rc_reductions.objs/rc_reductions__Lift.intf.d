@@ -1,0 +1,1 @@
+lib/reductions/lift.mli: Rc_core Rc_graph

@@ -1,0 +1,1 @@
+lib/reductions/multiway_cut.ml: Hashtbl List Rc_graph

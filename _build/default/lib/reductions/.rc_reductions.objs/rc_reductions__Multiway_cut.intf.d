@@ -1,0 +1,1 @@
+lib/reductions/multiway_cut.mli: Random Rc_graph

@@ -1,0 +1,1 @@
+lib/reductions/sat.ml: Hashtbl List Random Rc_graph

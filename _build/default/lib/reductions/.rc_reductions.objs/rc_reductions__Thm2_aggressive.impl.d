@@ -1,0 +1,1 @@
+lib/reductions/thm2_aggressive.ml: List Multiway_cut Rc_core Rc_graph Rc_ir

@@ -1,0 +1,1 @@
+lib/reductions/thm2_aggressive.mli: Multiway_cut Rc_core Rc_graph Rc_ir

@@ -1,0 +1,1 @@
+lib/reductions/thm3_conservative.ml: List Rc_core Rc_graph

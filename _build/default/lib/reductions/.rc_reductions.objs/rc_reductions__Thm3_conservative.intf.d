@@ -1,0 +1,1 @@
+lib/reductions/thm3_conservative.mli: Rc_core Rc_graph

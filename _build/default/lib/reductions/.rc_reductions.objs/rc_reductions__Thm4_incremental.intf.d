@@ -1,0 +1,1 @@
+lib/reductions/thm4_incremental.mli: Rc_core Rc_graph Sat

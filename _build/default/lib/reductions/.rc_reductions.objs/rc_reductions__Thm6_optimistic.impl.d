@@ -1,0 +1,1 @@
+lib/reductions/thm6_optimistic.ml: Hashtbl List Rc_core Rc_graph Vertex_cover

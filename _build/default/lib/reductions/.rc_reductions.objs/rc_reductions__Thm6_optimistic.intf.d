@@ -1,0 +1,1 @@
+lib/reductions/thm6_optimistic.mli: Rc_core Rc_graph

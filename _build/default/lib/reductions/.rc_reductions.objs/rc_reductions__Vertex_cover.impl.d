@@ -1,0 +1,1 @@
+lib/reductions/vertex_cover.ml: Rc_graph

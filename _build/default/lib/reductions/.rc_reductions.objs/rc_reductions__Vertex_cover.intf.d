@@ -1,0 +1,1 @@
+lib/reductions/vertex_cover.mli: Rc_graph

@@ -1,0 +1,42 @@
+module G = Rc_graph.Graph
+
+let fig1_multiway_cut () =
+  (* terminals 0 1 2 (s1 s2 s3); inner 3 4 5 (u v w) *)
+  let g = G.of_edges [ (0, 3); (1, 3); (3, 4); (4, 2); (4, 5) ] in
+  Multiway_cut.make g [ 0; 1; 2 ]
+
+let fig3_permutation ?(pendants = true) () =
+  let k = 6 in
+  let g = ref G.empty in
+  for i = 0 to 3 do
+    for j = i + 1 to 3 do
+      g := G.add_edge !g i j;
+      g := G.add_edge !g (4 + i) (4 + j)
+    done
+  done;
+  for i = 0 to 3 do
+    for j = 0 to 3 do
+      if i <> j then g := G.add_edge !g i (4 + j)
+    done
+  done;
+  if pendants then begin
+    let fresh = ref 8 in
+    for v = 1 to 3 do
+      g := G.add_edge !g v !fresh;
+      incr fresh;
+      g := G.add_edge !g (4 + v) !fresh;
+      incr fresh
+    done
+  end;
+  let affinities = List.init 4 (fun i -> ((i, 4 + i), 1)) in
+  Rc_core.Problem.make ~graph:!g ~affinities ~k
+
+let fig3_pairwise () =
+  let g =
+    G.of_edges
+      [
+        (0, 6); (1, 3); (1, 4); (1, 5); (2, 3); (2, 4); (2, 5); (3, 6); (4, 5);
+        (5, 6);
+      ]
+  in
+  Rc_core.Problem.make ~graph:g ~affinities:[ ((0, 1), 1); ((0, 2), 1) ] ~k:3

@@ -1,0 +1,30 @@
+(** The paper's figures as library values.
+
+    Figures 1, 2, 4, 6, 7 are reduction gadgets and are produced by the
+    corresponding [ThmN_*] modules; this module provides the concrete
+    *example instances* drawn in the paper (Figure 1's multiway-cut
+    example) and the two Figure 3 counterexamples, so examples, tests
+    and benchmarks can refer to them by name. *)
+
+val fig1_multiway_cut : unit -> Multiway_cut.t
+(** The multiway-cut instance drawn on the left of Figure 1: three
+    terminals s1 s2 s3 and three inner vertices u v w with five edges
+    (drawn here as s1-u, s2-u, u-v, v-s3, v-w).  Feed it to
+    {!Thm2_aggressive.build} / {!Thm2_aggressive.program} to reproduce
+    the whole figure. *)
+
+val fig3_permutation : ?pendants:bool -> unit -> Rc_core.Problem.t
+(** Figure 3 (left): the interference/affinity fragment of a parallel
+    copy (permutation) of 4 values with k = 6 — vertices u1..u4 are
+    [0..3], v1..v4 are [4..7], affinities (ui, vi) of weight 1.  With
+    [pendants] (default [true]) each ui, vi for i >= 2 gets one extra
+    neighbor, realizing the figure's "due to other vertices not shown":
+    Briggs then rejects each single coalescing while coalescing all four
+    moves simultaneously is conservative. *)
+
+val fig3_pairwise : unit -> Rc_core.Problem.t
+(** Figure 3 (right): a greedy-3-colorable graph with two affinities
+    (a, b) and (a, c) — vertices 0, 1, 2 — such that coalescing both is
+    conservative but coalescing either alone is not.  The paper only
+    draws this graph; this realization (7 vertices) was found by
+    exhaustive search over all candidate graphs. *)

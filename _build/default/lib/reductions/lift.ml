@@ -1,0 +1,28 @@
+module Graph = Rc_graph.Graph
+
+let augment g ~p =
+  if p < 0 then invalid_arg "Lift.augment: negative p";
+  let next = Graph.max_vertex g + 1 in
+  let fresh = List.init p (fun i -> next + i) in
+  let g = List.fold_left Graph.add_vertex g fresh in
+  let rec clique g = function
+    | [] -> g
+    | v :: rest ->
+        clique (List.fold_left (fun g u -> Graph.add_edge g v u) g rest) rest
+  in
+  let g = clique g fresh in
+  List.fold_left
+    (fun g c ->
+      Graph.fold_vertices
+        (fun v g -> if List.mem v fresh then g else Graph.add_edge g c v)
+        g g)
+    g fresh
+
+let augment_problem (pb : Rc_core.Problem.t) ~p =
+  let graph = augment pb.graph ~p in
+  Rc_core.Problem.make ~graph
+    ~affinities:
+      (List.map
+         (fun (a : Rc_core.Problem.affinity) -> ((a.u, a.v), a.weight))
+         pb.affinities)
+    ~k:(pb.k + p)

@@ -1,0 +1,14 @@
+(** Property 2: clique augmentation.
+
+    [augment g ~p] adds a clique of [p] fresh vertices, each connected
+    to every vertex of [g].  Then [g] is k-colorable iff the result is
+    (k+p)-colorable, chordal iff it is chordal, and greedy-k-colorable
+    iff it is greedy-(k+p)-colorable — the device the paper uses to lift
+    its NP-completeness results from a fixed [k] to any [k' >= k]. *)
+
+val augment : Rc_graph.Graph.t -> p:int -> Rc_graph.Graph.t
+
+val augment_problem : Rc_core.Problem.t -> p:int -> Rc_core.Problem.t
+(** Lifts a whole coalescing instance: the graph is augmented and [k]
+    becomes [k + p]; affinities are unchanged.  Optimal conservative
+    solutions are preserved (the clique constrains no affinity). *)

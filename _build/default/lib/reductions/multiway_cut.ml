@@ -1,0 +1,90 @@
+module Graph = Rc_graph.Graph
+
+type t = {
+  graph : Graph.t;
+  terminals : Graph.vertex list;
+  weight : Graph.vertex -> Graph.vertex -> int;
+}
+
+let make ?(weights = []) graph terminals =
+  if List.length (List.sort_uniq compare terminals) <> List.length terminals
+  then invalid_arg "Multiway_cut.make: duplicate terminals";
+  List.iter
+    (fun s ->
+      if not (Graph.mem_vertex graph s) then
+        invalid_arg "Multiway_cut.make: terminal not in graph")
+    terminals;
+  List.iter
+    (fun (_, w) ->
+      if w <= 0 then invalid_arg "Multiway_cut.make: non-positive weight")
+    weights;
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun ((u, v), w) -> Hashtbl.replace tbl (min u v, max u v) w)
+    weights;
+  let weight u v =
+    match Hashtbl.find_opt tbl (min u v, max u v) with
+    | Some w -> w
+    | None -> 1
+  in
+  { graph; terminals; weight }
+
+let cut_value inst assign =
+  let ok =
+    List.for_all
+      (fun (i, s) -> assign s = i)
+      (List.mapi (fun i s -> (i, s)) inst.terminals)
+  in
+  if not ok then None
+  else
+    Some
+      (Graph.fold_edges
+         (fun u v acc ->
+           if assign u <> assign v then acc + inst.weight u v else acc)
+         inst.graph 0)
+
+let solve inst =
+  let k = List.length inst.terminals in
+  let terminal_index =
+    List.mapi (fun i s -> (s, i)) inst.terminals
+    |> List.fold_left (fun m (s, i) -> Graph.IMap.add s i m) Graph.IMap.empty
+  in
+  let free =
+    List.filter
+      (fun v -> not (Graph.IMap.mem v terminal_index))
+      (Graph.vertices inst.graph)
+  in
+  let best = ref max_int in
+  let best_assign = ref Graph.IMap.empty in
+  let rec go assign = function
+    | [] ->
+        let lookup v =
+          match Graph.IMap.find_opt v terminal_index with
+          | Some i -> i
+          | None -> Graph.IMap.find v assign
+        in
+        (match cut_value inst lookup with
+        | Some value when value < !best ->
+            best := value;
+            best_assign :=
+              List.fold_left
+                (fun m v -> Graph.IMap.add v (lookup v) m)
+                assign
+                (List.map fst (Graph.IMap.bindings terminal_index))
+        | Some _ | None -> ())
+    | v :: rest ->
+        for i = 0 to k - 1 do
+          go (Graph.IMap.add v i assign) rest
+        done
+  in
+  go Graph.IMap.empty free;
+  let witness = !best_assign in
+  (!best, fun v -> Graph.IMap.find v witness)
+
+let decide inst ~bound =
+  let value, _ = solve inst in
+  value <= bound
+
+let random rng ~n ~p ~terminals =
+  let g = Rc_graph.Generators.gnp rng ~n ~p in
+  make g (List.init terminals (fun i -> i))

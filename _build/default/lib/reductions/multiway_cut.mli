@@ -1,0 +1,42 @@
+(** MULTIWAY CUT — the source problem of Theorem 2.
+
+    Given a graph, [k] terminal vertices and a budget [bound], can at
+    most [bound] edges be removed so that the terminals end up in
+    pairwise distinct connected components?  NP-complete for unweighted
+    edges and k = 3 (Dahlhaus et al.). *)
+
+type t = {
+  graph : Rc_graph.Graph.t;
+  terminals : Rc_graph.Graph.vertex list;  (** pairwise distinct *)
+  weight : Rc_graph.Graph.vertex -> Rc_graph.Graph.vertex -> int;
+      (** edge weight (symmetric); constant 1 unless [make] was given
+          weights — the paper notes the problem is NP-complete already
+          for the unweighted version *)
+}
+
+val make :
+  ?weights:((Rc_graph.Graph.vertex * Rc_graph.Graph.vertex) * int) list ->
+  Rc_graph.Graph.t ->
+  Rc_graph.Graph.vertex list ->
+  t
+(** Raises [Invalid_argument] on duplicate or absent terminals, or on a
+    non-positive weight.  Unlisted edges weigh 1. *)
+
+val cut_value :
+  t -> (Rc_graph.Graph.vertex -> int) -> int option
+(** [cut_value inst assign] evaluates an assignment of every vertex to a
+    terminal index: the total weight of edges whose endpoints get
+    different indices.  [None] if some terminal is not assigned its own
+    index. *)
+
+val solve : t -> int * (Rc_graph.Graph.vertex -> int)
+(** Exact minimum multiway cut by exhaustive assignment of non-terminal
+    vertices to terminal sides (O(k^n); small instances).  Returns the
+    optimum value and a witness assignment. *)
+
+val decide : t -> bound:int -> bool
+(** Decision version: is there a cut of size at most [bound]? *)
+
+val random : Random.State.t -> n:int -> p:float -> terminals:int -> t
+(** Random instance on a G(n,p) graph with the first [terminals]
+    vertices as terminals. *)

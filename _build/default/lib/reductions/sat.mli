@@ -1,0 +1,31 @@
+(** CNF satisfiability — source problem of Theorem 4.
+
+    Variables are positive integers; a literal is a non-zero integer
+    (negative = negated variable), DIMACS style.  The DPLL solver is the
+    exact oracle the Theorem 4 experiment compares the coalescing side
+    against. *)
+
+type literal = int
+type clause = literal list
+type cnf = clause list
+
+val vars : cnf -> int list
+(** Distinct variables, increasing. *)
+
+val eval : cnf -> (int -> bool) -> bool
+
+val solve : cnf -> (int -> bool) option
+(** DPLL with unit propagation and pure-literal elimination; returns a
+    satisfying assignment (total on {!vars}, arbitrary elsewhere) or
+    [None] if unsatisfiable.  The empty clause is unsatisfiable; the
+    empty formula is satisfiable. *)
+
+val random_3sat : Random.State.t -> vars:int -> clauses:int -> cnf
+(** Random 3-CNF: each clause picks 3 distinct variables with random
+    signs. *)
+
+val to_4sat : cnf -> int * cnf
+(** The paper's 3SAT-to-4SAT padding: returns [(x0, cnf')] where [x0] is
+    a fresh variable appended (positively) to every clause.  [cnf'] is
+    always satisfiable (set [x0] true); the original is satisfiable iff
+    [cnf'] is satisfiable with [x0] false. *)

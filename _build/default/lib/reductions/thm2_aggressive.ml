@@ -1,0 +1,130 @@
+module Graph = Rc_graph.Graph
+module Problem = Rc_core.Problem
+
+type gadget = {
+  problem : Problem.t;
+  edge_vertex : ((Graph.vertex * Graph.vertex) * Graph.vertex) list;
+  source : Multiway_cut.t;
+}
+
+let build (source : Multiway_cut.t) =
+  let next = ref (Graph.max_vertex source.graph + 1) in
+  let fresh () =
+    let v = !next in
+    incr next;
+    v
+  in
+  let edge_vertex =
+    List.map (fun (u, v) -> ((u, v), fresh ())) (Graph.edges source.graph)
+  in
+  (* Interference: a clique on the terminals; everything else isolated. *)
+  let g =
+    List.fold_left Graph.add_vertex Graph.empty (Graph.vertices source.graph)
+  in
+  let g = List.fold_left (fun g (_, x) -> Graph.add_vertex g x) g edge_vertex in
+  let g =
+    let rec clique g = function
+      | [] -> g
+      | s :: rest ->
+          clique (List.fold_left (fun g t -> Graph.add_edge g s t) g rest) rest
+    in
+    clique g source.terminals
+  in
+  (* Each subdivided edge contributes two affinities carrying the source
+     edge's weight: cutting the edge corresponds to giving up exactly one
+     of them. *)
+  let affinities =
+    List.concat_map
+      (fun ((u, v), x) ->
+        let w = source.weight u v in
+        [ ((u, x), w); ((x, v), w) ])
+      edge_vertex
+  in
+  let k = max 1 (List.length source.terminals) in
+  { problem = Problem.make ~graph:g ~affinities ~k; edge_vertex; source }
+
+let program (source : Multiway_cut.t) =
+  let gadget = build source in
+  let terminals = source.terminals in
+  let non_terminals =
+    List.filter
+      (fun v -> not (List.mem v terminals))
+      (Graph.vertices source.graph)
+  in
+  (* Labels: 0 = entry block B; then one per non-terminal; then three per
+     edge (two move blocks and the use block C_e). *)
+  let next_label = ref 0 in
+  let fresh_label () =
+    let l = !next_label in
+    incr next_label;
+    l
+  in
+  let entry = fresh_label () in
+  let bv_label = List.map (fun v -> (v, fresh_label ())) non_terminals in
+  let edge_blocks =
+    List.map
+      (fun ((u, v), x) ->
+        ((u, v), x, fresh_label (), fresh_label (), fresh_label ()))
+      gadget.edge_vertex
+  in
+  (* Moves hang either off the entry (terminal endpoint) or off the
+     defining block B_v. *)
+  let hook endpoint = match List.assoc_opt endpoint bv_label with
+    | Some l -> l
+    | None -> entry
+  in
+  let succs_of_label l =
+    List.concat_map
+      (fun ((u, v), _x, pu, pv, _ce) ->
+        (if hook u = l then [ pu ] else [])
+        @ if hook v = l then [ pv ] else [])
+      edge_blocks
+  in
+  let blocks =
+    ({ Rc_ir.Ir.phis = [];
+       body = [];
+       succs =
+         List.map snd bv_label @ succs_of_label entry }
+    |> fun b -> [ (entry, b) ])
+    @ List.map
+        (fun (v, l) ->
+          ( l,
+            {
+              Rc_ir.Ir.phis = [];
+              body = [ Rc_ir.Ir.Op { def = Some v; uses = [] } ];
+              succs = succs_of_label l;
+            } ))
+        bv_label
+    @ List.concat_map
+        (fun ((u, v), x, pu, pv, ce) ->
+          [
+            ( pu,
+              {
+                Rc_ir.Ir.phis = [];
+                body = [ Rc_ir.Ir.Move { dst = x; src = u } ];
+                succs = [ ce ];
+              } );
+            ( pv,
+              {
+                Rc_ir.Ir.phis = [];
+                body = [ Rc_ir.Ir.Move { dst = x; src = v } ];
+                succs = [ ce ];
+              } );
+            ( ce,
+              {
+                Rc_ir.Ir.phis = [];
+                body = [ Rc_ir.Ir.Op { def = None; uses = [ x ] } ];
+                succs = [];
+              } );
+          ])
+        edge_blocks
+  in
+  Rc_ir.Ir.make ~entry ~params:terminals blocks
+
+let min_uncoalesced gadget =
+  let sol = Rc_core.Exact.aggressive gadget.problem in
+  Rc_core.Coalescing.remaining_weight sol
+
+let verify source ~bound =
+  let gadget = build source in
+  (Multiway_cut.decide source ~bound, min_uncoalesced gadget <= bound)

@@ -1,0 +1,42 @@
+(** Theorem 2: MULTIWAY CUT reduces to aggressive coalescing (Figure 1).
+
+    From a multiway-cut instance [(G, S)] the reduction builds an
+    interference graph that is just a clique on the terminals [S] (a
+    triangle for the NP-complete case |S| = 3, so "only 3
+    interferences") plus isolated vertices, and one affinity per
+    subdivided edge: each source edge [e = (u, v)] becomes a fresh
+    vertex [x_e] with affinities [(u, x_e)] and [(x_e, v)].  Removing at
+    most [K] edges to separate the terminals corresponds exactly to
+    leaving at most [K] affinities uncoalesced. *)
+
+type gadget = {
+  problem : Rc_core.Problem.t;
+      (** aggressive instances ignore [k]; it is set to [|S|] so the
+          instance is also well-formed for conservative solvers *)
+  edge_vertex : ((Rc_graph.Graph.vertex * Rc_graph.Graph.vertex) * Rc_graph.Graph.vertex) list;
+      (** source edge (u, v) with u < v -> its subdivision vertex x_e *)
+  source : Multiway_cut.t;
+}
+
+val build : Multiway_cut.t -> gadget
+
+val program : Multiway_cut.t -> Rc_ir.Ir.func
+(** The witness code of Figure 1: terminals are the function parameters
+    (defined together in block B), each non-terminal [v] is defined in
+    its own block [B_v], and each subdivided edge contributes the two
+    move blocks feeding the use block [C_e].  Variable numbering matches
+    {!build}, so the interference graph computed from this program by
+    {!Rc_ir.Interference.build} equals the gadget's graph and its moves
+    are the gadget's affinities — the realizability claim of the proof,
+    checked by the test suite. *)
+
+val min_uncoalesced : gadget -> int
+(** Optimal aggressive coalescing of the gadget (via {!Rc_core.Exact}),
+    reported as the total *weight* of affinities left uncoalesced —
+    which for unit weights is the number of uncoalesced moves, matching
+    the unweighted multiway cut, and in general matches the weighted
+    minimum cut. *)
+
+val verify : Multiway_cut.t -> bound:int -> bool * bool
+(** [(multiway_cut_answer, coalescing_answer)] for the decision bound —
+    Theorem 2 says they are always equal. *)

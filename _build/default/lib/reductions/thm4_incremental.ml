@@ -1,0 +1,86 @@
+module Graph = Rc_graph.Graph
+module Problem = Rc_core.Problem
+
+type gadget = {
+  problem : Problem.t;
+  vertex_t : Graph.vertex;
+  vertex_f : Graph.vertex;
+  vertex_r : Graph.vertex;
+  pos : int -> Graph.vertex;
+  neg : int -> Graph.vertex;
+  x0 : int;
+}
+
+let build (cnf : Sat.cnf) =
+  let x0, cnf4 = Sat.to_4sat cnf in
+  let vars = Sat.vars cnf4 in
+  (* Vertex layout: 0 = T, 1 = F, 2 = R, then 2 per variable, then 8 per
+     clause. *)
+  let vertex_t = 0 and vertex_f = 1 and vertex_r = 2 in
+  let base = 3 in
+  let index_of =
+    List.mapi (fun i v -> (v, i)) vars
+    |> List.fold_left (fun m (v, i) -> Graph.IMap.add v i m) Graph.IMap.empty
+  in
+  let pos v = base + (2 * Graph.IMap.find v index_of) in
+  let neg v = base + (2 * Graph.IMap.find v index_of) + 1 in
+  let clause_base = base + (2 * List.length vars) in
+  let literal_vertex l = if l > 0 then pos l else neg (-l) in
+  let g = ref Graph.empty in
+  let edge u v = g := Graph.add_edge !g u v in
+  (* Base triangle. *)
+  edge vertex_t vertex_f;
+  edge vertex_f vertex_r;
+  edge vertex_r vertex_t;
+  (* Variable triangles with R. *)
+  List.iter
+    (fun v ->
+      edge (pos v) (neg v);
+      edge (pos v) vertex_r;
+      edge (neg v) vertex_r)
+    vars;
+  (* Clause gadgets: an OR-widget maps two inputs to an output [out]
+     through two internal vertices [p, q]; [out] is forced to F's color
+     iff both inputs have it. *)
+  let or_widget input1 input2 p q out =
+    edge input1 p;
+    edge input2 q;
+    edge p q;
+    edge p out;
+    edge q out
+  in
+  List.iteri
+    (fun i clause ->
+      match List.map literal_vertex clause with
+      | [ l1; l2; l3; l4 ] ->
+          let a = clause_base + (8 * i) in
+          let a1 = a and a2 = a + 1 and a3 = a + 2 and a4 = a + 3 in
+          let b1 = a + 4 and b2 = a + 5 and c1 = a + 6 and c2 = a + 7 in
+          or_widget l1 l2 a1 a2 b1;
+          or_widget l3 l4 a3 a4 b2;
+          (* Final widget: output is T itself, so b1 = b2 = F-colored is
+             uncolorable. *)
+          or_widget b1 b2 c1 c2 vertex_t
+      | _ -> invalid_arg "Thm4_incremental.build: clause is not 4-literal")
+    cnf4;
+  let problem =
+    Problem.make ~graph:!g ~affinities:[ ((pos x0, vertex_f), 1) ] ~k:3
+  in
+  { problem; vertex_t; vertex_f; vertex_r; pos; neg; x0 }
+
+let coloring_to_assignment gadget coloring v =
+  match
+    ( Graph.IMap.find_opt (gadget.pos v) coloring,
+      Graph.IMap.find_opt gadget.vertex_t coloring )
+  with
+  | Some cv, Some ct -> cv = ct
+  | _ -> false
+
+let verify cnf =
+  let gadget = build cnf in
+  let sat = Sat.solve cnf <> None in
+  let coalescable =
+    Rc_core.Exact.incremental gadget.problem (gadget.pos gadget.x0)
+      gadget.vertex_f
+  in
+  (sat, coalescable)

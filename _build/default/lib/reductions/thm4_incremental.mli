@@ -1,0 +1,38 @@
+(** Theorem 4: 3SAT reduces to incremental conservative coalescing on
+    arbitrary 3-colorable graphs (Figure 4).
+
+    The 3SAT formula is first padded to 4SAT with a fresh variable [x0]
+    appended to every clause ({!Sat.to_4sat}), which makes the padded
+    formula trivially satisfiable and hence the gadget graph 3-colorable.
+    The gadget is the classical coloring construction: a base triangle
+    {T, F, R}; per variable a triangle {x_i, not-x_i, R}; per clause two
+    OR-widgets (vertices a_{i,1..4}, outputs b_{i,1}, b_{i,2}) and a
+    final widget (c_{i,1}, c_{i,2}) wired to [T] so that a 3-coloring
+    exists iff not all four literals are colored false.
+
+    The single affinity is [(x0, F)]: the original 3SAT formula is
+    satisfiable iff the gadget admits a 3-coloring giving [x0] and [F]
+    the same color — i.e. iff that one affinity is conservatively
+    coalescable. *)
+
+type gadget = {
+  problem : Rc_core.Problem.t;  (** k = 3, one affinity: (x0, F) *)
+  vertex_t : Rc_graph.Graph.vertex;
+  vertex_f : Rc_graph.Graph.vertex;
+  vertex_r : Rc_graph.Graph.vertex;
+  pos : int -> Rc_graph.Graph.vertex;  (** SAT variable -> its gadget vertex *)
+  neg : int -> Rc_graph.Graph.vertex;  (** SAT variable -> negation vertex *)
+  x0 : int;  (** the padding variable *)
+}
+
+val build : Sat.cnf -> gadget
+(** Input is the raw 3SAT formula; the 4SAT padding happens inside. *)
+
+val coloring_to_assignment : gadget -> Rc_graph.Coloring.coloring -> int -> bool
+(** Reads a truth assignment off a 3-coloring of the gadget: a variable
+    is true iff its positive vertex has [T]'s color. *)
+
+val verify : Sat.cnf -> bool * bool
+(** [(sat_answer, coalescing_answer)]: DPLL on the 3SAT formula versus
+    exact incremental coalescing of [(x0, F)] with k = 3 — equal by
+    Theorem 4. *)

@@ -1,0 +1,71 @@
+(** Theorem 6: VERTEX COVER (degree <= 3) reduces to optimistic
+    coalescing / de-coalescing with k = 4 (Figures 6–7).
+
+    Every source vertex [v] becomes an 12-vertex structure whose heart
+    is an affinity pair (A, A'); the three branch vertices [v1, v2, v3]
+    carry the (at most three) edges of [v] to neighbor structures.  The
+    paper describes the structure through hexagonal widgets whose exact
+    wiring is only given pictorially; this module uses a concrete
+    reconstruction with the same four behavioural properties the proof
+    relies on, each of which is checked by the test suite:
+
+    + with every affinity coalesced, all structure vertices except
+      orphaned branches have degree >= 4, so the greedy-4 scheme cannot
+      start inside an intact structure;
+    + a structure none of whose branch edges remain is eliminated
+      completely (branches first, then widgets, then the heart);
+    + a structure with at least one live branch edge is stuck: the
+      residue keeps every vertex at degree >= 4;
+    + de-coalescing (A, A') lets the greedy scheme eat the whole
+      structure "from the heart", regardless of live branch edges.
+
+    Consequently the coalesced graph can be de-coalesced into a
+    greedy-4-colorable graph by giving up at most [K] affinities iff the
+    source graph has a vertex cover of size at most [K].
+
+    Concrete structure for [v] (k = 4): heart [A] (split as A/A' in the
+    de-coalesced graph), branches [v1 v2 v3], widget vertices
+    [w1 w2 w3], core 4-clique [c1 c2 c3 c4]; edges: the clique,
+    [A-c1 A-c2 A-c3], per branch [vi-A, vi-c4, vi-wi] and
+    [wi-c1, wi-c2, wi-c4].  In the de-coalesced (input) graph [A] keeps
+    the [c]-side edges and [A'] the branch-side edges, so both have
+    degree 3 and the input is greedy-4-colorable; it is also verified to
+    be the aggressive coalescing of all (A, A') affinities. *)
+
+type gadget = {
+  problem : Rc_core.Problem.t;
+      (** the de-coalesced graph H' with one (A, A') affinity per source
+          vertex; k = 4 *)
+  heart : Rc_graph.Graph.vertex -> Rc_graph.Graph.vertex * Rc_graph.Graph.vertex;
+      (** source vertex -> its (A, A') pair *)
+  structure_vertices : Rc_graph.Graph.vertex -> Rc_graph.Graph.vertex list;
+      (** all 12 vertices of a source vertex's structure *)
+  source : Rc_graph.Graph.t;
+}
+
+val build : Rc_graph.Graph.t -> gadget
+(** Raises [Invalid_argument] if some source vertex has degree > 3. *)
+
+val build_chordal : Rc_graph.Graph.t -> gadget
+(** The Figure 7 refinement: each branch vertex is further split into an
+    [A']-side piece, an inner piece (core side) and an external piece
+    (carrying the branch edge), chained by affinities.  This breaks
+    every chordless cycle, so the de-coalesced graph H' is *chordal* —
+    the full strengthening of Theorem 6.  The minimum number of
+    de-coalescings is unchanged: killing one branch edge through a chain
+    split costs 1, exactly like covering it through the endpoint's
+    heart, so any mixed optimum maps back to a vertex cover of equal
+    size (each bought branch split is replaced by its endpoint).  Seven
+    affinities per source vertex (1 heart + 2 per branch). *)
+
+val coalesced_graph : gadget -> Rc_graph.Graph.t
+(** H: the gadget graph with every (A, A') affinity merged (keeping the
+    A vertex id). *)
+
+val min_decoalesced : gadget -> int
+(** Minimum number of affinities left uncoalesced so that the coalesced
+    graph is greedy-4-colorable ({!Rc_core.Exact}); equals the minimum
+    vertex cover size of the source by Theorem 6. *)
+
+val verify : Rc_graph.Graph.t -> bound:int -> bool * bool
+(** [(vertex_cover_answer, decoalescing_answer)] — equal by Theorem 6. *)

@@ -1,0 +1,28 @@
+module Graph = Rc_graph.Graph
+module ISet = Graph.ISet
+
+let is_cover g cover =
+  Graph.fold_edges
+    (fun u v ok -> ok && (ISet.mem u cover || ISet.mem v cover))
+    g true
+
+let max_degree g =
+  Graph.fold_vertices (fun v m -> max m (Graph.degree g v)) g 0
+
+let minimum g =
+  (* Branch on an endpoint of some uncovered edge; the remaining graph
+     shrinks by the chosen vertex each time. *)
+  let best = ref (Graph.vertex_set g) in
+  let rec go g chosen =
+    if ISet.cardinal chosen >= ISet.cardinal !best then ()
+    else
+      match Graph.edges g with
+      | [] -> best := chosen
+      | (u, v) :: _ ->
+          go (Graph.remove_vertex g u) (ISet.add u chosen);
+          go (Graph.remove_vertex g v) (ISet.add v chosen)
+  in
+  go g ISet.empty;
+  !best
+
+let decide g ~bound = ISet.cardinal (minimum g) <= bound

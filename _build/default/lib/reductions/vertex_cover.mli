@@ -1,0 +1,15 @@
+(** VERTEX COVER — source problem of Theorem 6.
+
+    NP-complete even when every vertex has degree at most 3 (Garey,
+    Johnson & Stockmeyer), which is the variant the reduction uses. *)
+
+val is_cover : Rc_graph.Graph.t -> Rc_graph.Graph.ISet.t -> bool
+
+val minimum : Rc_graph.Graph.t -> Rc_graph.Graph.ISet.t
+(** Exact minimum vertex cover by branching on an endpoint of an
+    uncovered edge (O(2^n) worst case; fine for the reduction tests). *)
+
+val decide : Rc_graph.Graph.t -> bound:int -> bool
+(** Is there a cover of size at most [bound]? *)
+
+val max_degree : Rc_graph.Graph.t -> int

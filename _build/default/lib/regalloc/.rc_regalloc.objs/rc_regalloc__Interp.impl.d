@@ -1,0 +1,1 @@
+lib/regalloc/interp.ml: Hashtbl List Random Rc_ir

@@ -1,0 +1,1 @@
+lib/regalloc/interp.mli: Rc_ir

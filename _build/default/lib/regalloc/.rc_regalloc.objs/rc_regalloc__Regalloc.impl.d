@@ -1,0 +1,1 @@
+lib/regalloc/regalloc.ml: Interp List Option Printf Rc_core Rc_graph Rc_ir

@@ -1,0 +1,1 @@
+lib/regalloc/regalloc.mli: Rc_core Rc_graph Rc_ir

@@ -1,0 +1,99 @@
+module Ir = Rc_ir.Ir
+
+type token = int
+
+let uninitialized = -1000000
+
+type observation = token list
+
+(* Core interpreter.  Returns the observation stream and whether the
+   step budget was exhausted (the run was truncated mid-path). *)
+let run_status ?(seed = 1) ?(max_steps = 2000) (f : Ir.func) =
+  let rng = Random.State.make [| seed; 0xacc |] in
+  let env : (Ir.var, token) Hashtbl.t = Hashtbl.create 64 in
+  List.iteri (fun i p -> Hashtbl.replace env p (-1 - i)) f.params;
+  let next_token = ref 0 in
+  let fresh () =
+    incr next_token;
+    !next_token
+  in
+  let read v =
+    match Hashtbl.find_opt env v with Some t -> t | None -> uninitialized
+  in
+  let observations = ref [] in
+  let steps = ref 0 in
+  let truncated = ref false in
+  let rec exec_block prev l =
+    let b = Ir.block f l in
+    (* Phi functions evaluate in parallel against the incoming edge. *)
+    let phi_values =
+      List.map
+        (fun (p : Ir.phi) ->
+          let arg =
+            match List.assoc_opt prev p.args with
+            | Some a -> read a
+            | None -> uninitialized
+          in
+          (p.dst, arg))
+        b.phis
+    in
+    List.iter (fun (d, t) -> Hashtbl.replace env d t) phi_values;
+    List.iter
+      (fun (i : Ir.instr) ->
+        if not !truncated then begin
+          incr steps;
+          if !steps > max_steps then truncated := true
+          else
+            match i with
+            | Ir.Move { dst; src } ->
+                (* moves are transparent: coalescing may delete them, so
+                   they contribute nothing to the observation stream *)
+                Hashtbl.replace env dst (read src)
+            | Ir.Op { def = Some d; uses } ->
+                (* value-producing ops are preserved 1:1 by every
+                   pipeline stage: observe their inputs too, so that a
+                   corrupted operand is caught even before the result
+                   reaches a sink *)
+                observations := List.map read uses :: !observations;
+                Hashtbl.replace env d (fresh ())
+            | Ir.Op { def = None; uses } ->
+                observations := List.map read uses :: !observations
+        end)
+      b.body;
+    if not !truncated then
+      match b.succs with
+      | [] -> ()
+      | [ s ] ->
+          (* no RNG draw on straight edges: edge splitting inserts
+             single-successor blocks and must not desynchronize the
+             branch choices of the two compared programs *)
+          exec_block l s
+      | succs ->
+          let s = List.nth succs (Random.State.int rng (List.length succs)) in
+          exec_block l s
+  in
+  exec_block (-1) f.entry;
+  (List.rev !observations, !truncated)
+
+let run ?seed ?max_steps f = fst (run_status ?seed ?max_steps f)
+
+(* When either run was cut off by the step budget, the two programs may
+   have been interrupted at different semantic points (they do not have
+   the same instruction counts), so only the common observation prefix
+   is comparable. *)
+let equal_streams (o1, t1) (o2, t2) =
+  if not (t1 || t2) then o1 = o2
+  else
+    let rec prefix a b =
+      match (a, b) with
+      | [], _ | _, [] -> true
+      | x :: a', y :: b' -> x = y && prefix a' b'
+    in
+    prefix o1 o2
+
+let equivalent ?(seeds = [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ]) ?max_steps f1 f2 =
+  List.for_all
+    (fun seed ->
+      equal_streams (run_status ~seed ?max_steps f1)
+        (run_status ~seed ?max_steps f2))
+    seeds

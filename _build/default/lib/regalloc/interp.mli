@@ -1,0 +1,33 @@
+(** Symbolic interpreter for {!Rc_ir.Ir.func} — the dynamic correctness
+    oracle for the register-allocation pipeline.
+
+    Execution follows one control-flow path (branch choices drawn from a
+    seeded RNG, step-bounded for loops).  Every executed [Op] with a
+    destination produces a fresh token; moves and phis copy tokens; every
+    [Op] without a destination ("use") records the tokens it consumes.
+    Two programs with identical block labels and successor structure are
+    behaviourally equivalent along a path iff their observation streams
+    coincide: the stream is insensitive to variable *names*, so it is
+    preserved by register renaming, by coalesced-move deletion, and by
+    phi elimination — and violated by any interference/coloring bug that
+    makes two simultaneously-live values share a register. *)
+
+type token = int
+(** Positive tokens are produced by executed definitions in order;
+    parameters hold the negative tokens [-1, -2, ...]; reading a never
+    written variable yields {!uninitialized}. *)
+
+val uninitialized : token
+
+type observation = token list
+(** Tokens consumed by one executed use point, in operand order. *)
+
+val run : ?seed:int -> ?max_steps:int -> Rc_ir.Ir.func -> observation list
+(** Executes the program along one seeded path, at most [max_steps]
+    (default 2000) instructions, and returns the observation stream. *)
+
+val equivalent :
+  ?seeds:int list -> ?max_steps:int -> Rc_ir.Ir.func -> Rc_ir.Ir.func -> bool
+(** Compares observation streams of two programs over several seeded
+    paths (default seeds 1..10).  Both programs must use the same block
+    labels and successor structure, which all pipeline stages preserve. *)

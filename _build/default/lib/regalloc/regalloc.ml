@@ -1,0 +1,92 @@
+module G = Rc_graph.Graph
+module IMap = G.IMap
+module Ir = Rc_ir.Ir
+
+type report = {
+  ssa : Ir.func;
+  lowered : Ir.func;
+  allocated : Ir.func;
+  assignment : int IMap.t;
+  k : int;
+  registers_used : int;
+  moves_before : int;
+  moves_after : int;
+  rebuild_rounds : int;
+}
+
+(* Chaitin rebuild loop on a phi-free program: color with IRC; if the
+   select phase spills, rewrite the program (spill everywhere for the
+   spilled variables) and start over. *)
+let color_loop ~rule ~biased (f : Ir.func) ~k =
+  let rec go f round =
+    if round > 1 + List.length (Ir.all_vars f) then
+      failwith "Regalloc.allocate: coloring loop did not converge"
+    else
+      let graph = Rc_ir.Interference.build f in
+      let affinities = Rc_ir.Interference.affinities f in
+      let problem = Rc_core.Problem.make ~graph ~affinities ~k in
+      let result = Rc_core.Irc.allocate ~rule ~biased problem in
+      match result.spilled with
+      | [] -> (f, result.coloring, round)
+      | spilled ->
+          let f = List.fold_left Rc_ir.Spill.spill_var f spilled in
+          go f (round + 1)
+  in
+  go f 1
+
+(* Rename variables to registers; drop moves that became self-moves. *)
+let apply_assignment (f : Ir.func) assignment =
+  let reg v =
+    match IMap.find_opt v assignment with
+    | Some r -> r
+    | None ->
+        invalid_arg (Printf.sprintf "Regalloc: variable v%d has no register" v)
+  in
+  let blocks =
+    IMap.map
+      (fun (b : Ir.block) ->
+        let body =
+          List.filter_map
+            (fun (i : Ir.instr) ->
+              match i with
+              | Ir.Move { dst; src } ->
+                  let rd = reg dst and rs = reg src in
+                  if rd = rs then None else Some (Ir.Move { dst = rd; src = rs })
+              | Ir.Op { def; uses } ->
+                  Some (Ir.Op { def = Option.map reg def; uses = List.map reg uses }))
+            b.body
+        in
+        { b with body })
+      f.blocks
+  in
+  let params = List.map reg f.params in
+  { f with blocks; params; next_var = f.next_var }
+
+let allocate ?(rule = Rc_core.Irc.Briggs_and_george) ?(biased = false)
+    (f : Ir.func) ~k =
+  let ssa = Rc_ir.Ssa.construct f in
+  let ssa = Rc_ir.Spill.spill_everywhere ssa ~k in
+  let lowered = Rc_ir.Out_of_ssa.eliminate_phis ssa in
+  let colored, coloring, rebuild_rounds = color_loop ~rule ~biased lowered ~k in
+  let allocated = apply_assignment colored coloring in
+  let registers_used =
+    IMap.fold (fun _ r acc -> max acc (r + 1)) coloring 0
+  in
+  {
+    ssa;
+    lowered = colored;
+    allocated;
+    assignment = coloring;
+    k;
+    registers_used;
+    moves_before = List.length (Ir.moves colored);
+    moves_after = List.length (Ir.moves allocated);
+    rebuild_rounds;
+  }
+
+let check r =
+  (* The ssa/lowered comparison is only meaningful when the coloring
+     loop did not rewrite the lowered program further (extra spill
+     reloads shift the token stream). *)
+  (r.rebuild_rounds > 1 || Interp.equivalent r.lowered r.ssa)
+  && Interp.equivalent r.lowered r.allocated

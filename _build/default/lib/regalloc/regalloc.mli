@@ -1,0 +1,40 @@
+(** End-to-end register allocation of an {!Rc_ir.Ir.func} — the concrete
+    compiler pass the paper's coalescing problems live inside.
+
+    Pipeline: SSA construction → spill-everywhere to Maxlive <= k
+    (Theorem 1 makes the graph chordal and k-colorable) → out-of-SSA
+    lowering (parallel copies become moves, the aggressive-coalescing
+    workload of Section 3) → Chaitin-style build/color loop with
+    iterated register coalescing — and, should the lowered program ever
+    need it, actual spilling and rebuilding.  Finally variables are
+    renamed to their registers and moves whose sides received the same
+    register (the coalesced ones) are deleted.
+
+    Correctness of the whole pipeline is checkable dynamically with
+    {!Interp.equivalent}: the allocated program produces the same
+    observation stream as the lowered one (and the lowered one the same
+    stream as the SSA program). *)
+
+type report = {
+  ssa : Rc_ir.Ir.func;  (** after SSA construction and spilling *)
+  lowered : Rc_ir.Ir.func;  (** after out-of-SSA (phi-free) *)
+  allocated : Rc_ir.Ir.func;
+      (** variables renamed to registers [0..k-1], coalesced moves
+          removed *)
+  assignment : int Rc_graph.Graph.IMap.t;  (** lowered variable -> register *)
+  k : int;
+  registers_used : int;
+  moves_before : int;  (** move instructions in the lowered program *)
+  moves_after : int;  (** moves surviving in the allocated program *)
+  rebuild_rounds : int;  (** 1 = no actual spill during coloring *)
+}
+
+val allocate :
+  ?rule:Rc_core.Irc.rule -> ?biased:bool -> Rc_ir.Ir.func -> k:int -> report
+(** Raises [Failure] if the program's pressure cannot be brought down to
+    [k] (e.g. [k] smaller than some instruction's arity).  The input
+    must be a strict program ({!Rc_ir.Ssa.construct}'s precondition). *)
+
+val check : report -> bool
+(** Dynamic validation: [lowered] is observationally equivalent to both
+    [ssa] and [allocated] over ten seeded paths. *)

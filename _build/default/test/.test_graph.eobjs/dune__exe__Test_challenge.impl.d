@@ -1,0 +1,1 @@
+test/test_challenge.ml: Alcotest Filename Fun List QCheck QCheck_alcotest Rc_challenge Rc_core Rc_graph Rc_ir Sys

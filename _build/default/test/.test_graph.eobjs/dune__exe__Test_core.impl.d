@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array List Printf QCheck QCheck_alcotest Random Rc_core Rc_graph Rc_reductions String

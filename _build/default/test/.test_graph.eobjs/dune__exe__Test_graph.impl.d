@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Gen List Printf QCheck QCheck_alcotest Random Rc_graph String

@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Gen Hashtbl List Printf QCheck QCheck_alcotest Random Rc_graph Rc_ir Result

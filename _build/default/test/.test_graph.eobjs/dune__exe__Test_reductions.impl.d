@@ -1,0 +1,1 @@
+test/test_reductions.ml: Alcotest List QCheck QCheck_alcotest Random Rc_core Rc_graph Rc_ir Rc_reductions

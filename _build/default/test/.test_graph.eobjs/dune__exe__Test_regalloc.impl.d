@@ -1,0 +1,1 @@
+test/test_regalloc.ml: Alcotest List Printf Random Rc_core Rc_graph Rc_ir Rc_regalloc

@@ -1,0 +1,186 @@
+(* Tests for the synthetic coalescing-challenge pipeline (experiment
+   E11): program -> SSA -> spill -> instance, plus the leaderboard. *)
+
+module G = Rc_graph.Graph
+module Challenge = Rc_challenge.Challenge
+module Strategies = Rc_core.Strategies
+module Coalescing = Rc_core.Coalescing
+
+let check = Alcotest.(check bool)
+
+let test_instance_invariants () =
+  List.iter
+    (fun k ->
+      for seed = 1 to 6 do
+        let inst = Challenge.generate ~seed ~k () in
+        check "problem validates" true
+          (Rc_core.Problem.validate inst.problem = Ok ());
+        check "maxlive <= k" true (inst.maxlive <= k);
+        check "graph greedy-k-colorable" true
+          (Rc_graph.Greedy_k.is_greedy_k_colorable inst.problem.graph k);
+        check "program is strict SSA" true
+          (Rc_ir.Ssa.is_ssa inst.func && Rc_ir.Ssa.is_strict inst.func)
+      done)
+    [ 4; 6; 8 ]
+
+let test_deterministic () =
+  let a = Challenge.generate ~seed:7 ~k:6 () in
+  let b = Challenge.generate ~seed:7 ~k:6 () in
+  check "same stats" true
+    (Rc_core.Problem.stats a.problem = Rc_core.Problem.stats b.problem);
+  check "same graph" true (G.equal a.problem.graph b.problem.graph)
+
+let test_pure_intersection_is_chordal () =
+  (* Theorem 1 applies when the Chaitin move refinement is off *)
+  for seed = 1 to 8 do
+    let inst = Challenge.generate ~seed ~move_aware:false ~k:6 () in
+    check "chordal instance" true
+      (Rc_graph.Chordal.is_chordal inst.problem.graph)
+  done
+
+let test_weights_positive_and_loop_weighted () =
+  let inst = Challenge.generate ~seed:11 ~k:6 () in
+  check "weights positive" true
+    (List.for_all
+       (fun (a : Rc_core.Problem.affinity) -> a.weight >= 1)
+       inst.problem.affinities)
+
+let test_leaderboard () =
+  let instances = Challenge.generate_batch ~seed:20 ~k:6 ~count:3 () in
+  let board =
+    Challenge.leaderboard
+      [
+        Strategies.Conservative Rc_core.Conservative.Briggs;
+        Strategies.Conservative Rc_core.Conservative.Brute_force;
+        Strategies.Optimistic;
+      ]
+      instances
+  in
+  check "three rows" true (List.length board = 3);
+  (* sorted by decreasing score *)
+  let scores = List.map (fun (_, s, _, _) -> s) board in
+  check "sorted" true (List.sort (fun a b -> compare b a) scores = scores);
+  (* all conservative strategies report conservative *)
+  List.iter (fun (_, _, _, cons) -> check "conservative" true cons) board;
+  (* brute force should not lose to briggs *)
+  let score name =
+    match List.find_opt (fun (n, _, _, _) -> n = name) board with
+    | Some (_, s, _, _) -> s
+    | None -> Alcotest.fail ("missing " ^ name)
+  in
+  check "brute force >= briggs" true
+    (score "conservative/brute-force" >= score "conservative/briggs")
+
+let test_strategies_sound_on_challenge () =
+  let inst = Challenge.generate ~seed:33 ~k:6 () in
+  List.iter
+    (fun s ->
+      let sol = Strategies.run s inst.problem in
+      check
+        (Strategies.name s ^ " sound")
+        true
+        (Coalescing.check inst.problem sol = Ok ()))
+    Strategies.all_heuristics
+
+(* ------------------------------------------------------------------ *)
+(* Instance I/O                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_io_roundtrip () =
+  let inst = Challenge.generate ~seed:5 ~k:5 () in
+  let text = Rc_challenge.Instance_io.print inst.problem in
+  match Rc_challenge.Instance_io.parse text with
+  | Error m -> Alcotest.fail m
+  | Ok p ->
+      check "graph preserved" true (G.equal p.graph inst.problem.graph);
+      check "k preserved" true (p.k = inst.problem.k);
+      check "affinities preserved" true (p.affinities = inst.problem.affinities)
+
+let test_io_format () =
+  let text = "# demo\nk 3\nv 9\ne 0 1\na 0 2 7\na 1 2\n" in
+  match Rc_challenge.Instance_io.parse text with
+  | Error m -> Alcotest.fail m
+  | Ok p ->
+      check "k" true (p.k = 3);
+      check "isolated vertex kept" true (G.mem_vertex p.graph 9);
+      check "edge" true (G.mem_edge p.graph 0 1);
+      check "weights" true
+        (List.exists
+           (fun (a : Rc_core.Problem.affinity) ->
+             a.u = 0 && a.v = 2 && a.weight = 7)
+           p.affinities
+        && List.exists
+             (fun (a : Rc_core.Problem.affinity) ->
+               a.u = 1 && a.v = 2 && a.weight = 1)
+             p.affinities)
+
+let test_io_rejects () =
+  let expect_error text =
+    match Rc_challenge.Instance_io.parse text with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "accepted malformed input: %S" text
+  in
+  List.iter expect_error
+    [
+      "e 0 1\n" (* missing k *);
+      "k 0\n" (* non-positive k *);
+      "k 2\nk 3\n" (* duplicate k *);
+      "k 2\ne 1 1\n" (* self-loop *);
+      "k 2\na 0 1 0\n" (* zero weight *);
+      "k 2\nq 1 2\n" (* unknown directive *);
+      "k 2\ne 0 x\n" (* bad integer *);
+      "k 2\ne 0 1\na 0 1 2 3 4\n" (* arity *);
+    ]
+
+let test_io_file_roundtrip () =
+  let inst = Challenge.generate ~seed:6 ~k:4 () in
+  let path = Filename.temp_file "rc_instance" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Rc_challenge.Instance_io.write_file path inst.problem;
+      match Rc_challenge.Instance_io.read_file path with
+      | Error m -> Alcotest.fail m
+      | Ok p -> check "file roundtrip" true (G.equal p.graph inst.problem.graph))
+
+let prop_io_roundtrip =
+  QCheck.Test.make ~name:"print/parse roundtrip on random instances" ~count:25
+    QCheck.small_nat (fun seed ->
+      let inst = Challenge.generate ~seed:(1 + seed) ~k:5 () in
+      match
+        Rc_challenge.Instance_io.parse
+          (Rc_challenge.Instance_io.print inst.problem)
+      with
+      | Ok p ->
+          G.equal p.graph inst.problem.graph
+          && p.k = inst.problem.k
+          && p.affinities = inst.problem.affinities
+      | Error _ -> false)
+
+let () =
+  Alcotest.run "rc_challenge"
+    [
+      ( "pipeline",
+        [
+          Alcotest.test_case "instance invariants" `Slow test_instance_invariants;
+          Alcotest.test_case "deterministic" `Quick test_deterministic;
+          Alcotest.test_case "pure intersection chordal" `Quick
+            test_pure_intersection_is_chordal;
+          Alcotest.test_case "weights" `Quick test_weights_positive_and_loop_weighted;
+        ] );
+      ( "evaluation",
+        [
+          Alcotest.test_case "leaderboard" `Slow test_leaderboard;
+          Alcotest.test_case "strategies sound" `Slow
+            test_strategies_sound_on_challenge;
+        ] );
+      ( "instance_io",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_io_roundtrip;
+          Alcotest.test_case "format" `Quick test_io_format;
+          Alcotest.test_case "malformed rejected" `Quick test_io_rejects;
+          Alcotest.test_case "file roundtrip" `Quick test_io_file_roundtrip;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_io_roundtrip ] );
+    ]

@@ -1,0 +1,578 @@
+(* Tests for the rc_ir SSA substrate: Ir, Cfg, Dominance, Liveness,
+   Ssa, Interference, Out_of_ssa, Spill, Randprog — including the
+   executable version of Theorem 1. *)
+
+module G = Rc_graph.Graph
+module ISet = G.ISet
+module IMap = G.IMap
+module Ir = Rc_ir.Ir
+module Cfg = Rc_ir.Cfg
+module Dominance = Rc_ir.Dominance
+module Liveness = Rc_ir.Liveness
+module Ssa = Rc_ir.Ssa
+module Interference = Rc_ir.Interference
+module Out_of_ssa = Rc_ir.Out_of_ssa
+module Spill = Rc_ir.Spill
+module Randprog = Rc_ir.Randprog
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let op ?def uses : Ir.instr = Ir.Op { def; uses }
+let mv dst src : Ir.instr = Ir.Move { dst; src }
+let block ?(phis = []) ?(body = []) succs : Ir.block = { phis; body; succs }
+
+(* A diamond: 0 -> 1, 2 -> 3; variable 0 redefined on both branches and
+   used at the join. *)
+let diamond () =
+  Ir.make ~entry:0 ~params:[ 0 ]
+    [
+      (0, block ~body:[ op ~def:1 [ 0 ] ] [ 1; 2 ]);
+      (1, block ~body:[ op ~def:0 [ 1 ] ] [ 3 ]);
+      (2, block ~body:[ op ~def:0 [] ] [ 3 ]);
+      (3, block ~body:[ op [ 0 ] ] []);
+    ]
+
+(* A while loop: 0 -> 1 (header) -> 2 (body) -> 1; 1 -> 3 (exit). *)
+let loop_prog () =
+  Ir.make ~entry:0 ~params:[ 0 ]
+    [
+      (0, block ~body:[ op ~def:1 [] ] [ 1 ]);
+      (1, block ~body:[ op [ 1; 0 ] ] [ 2; 3 ]);
+      (2, block ~body:[ op ~def:1 [ 1 ] ] [ 1 ]);
+      (3, block ~body:[ op [ 1 ] ] []);
+    ]
+
+(* ------------------------------------------------------------------ *)
+
+let test_make_and_validate () =
+  let f = diamond () in
+  check "validates" true (Ir.validate f = Ok ());
+  check_int "labels" 4 (List.length (Ir.labels f));
+  check "next_var covers" true (f.next_var >= 2);
+  Alcotest.check_raises "unknown successor"
+    (Invalid_argument "Ir.make: block 0 has unknown successor 9") (fun () ->
+      ignore (Ir.make ~entry:0 ~params:[] [ (0, block [ 9 ]) ]))
+
+let test_accessors () =
+  let f = diamond () in
+  check "defs of op" true (Ir.defs_of_instr (op ~def:7 [ 1 ]) = [ 7 ]);
+  check "uses of move" true (Ir.uses_of_instr (mv 3 4) = [ 4 ]);
+  check "move is move" true (Ir.instr_is_move (mv 1 2));
+  check "op not move" false (Ir.instr_is_move (op []));
+  check "all_vars" true (Ir.all_vars f = [ 0; 1 ]);
+  check_int "def sites" 4 (List.length (Ir.def_sites f))
+
+let test_fresh () =
+  let f = diamond () in
+  let f1, v = Ir.fresh_var f in
+  let _, v' = Ir.fresh_var f1 in
+  check "fresh distinct" true (v <> v');
+  let f2, l = Ir.fresh_label f in
+  check "fresh label unused" false (List.mem l (Ir.labels f2))
+
+let test_moves_listing () =
+  let f =
+    Ir.make ~entry:0 ~params:[ 1 ] [ (0, block ~body:[ mv 2 1; op [ 2 ] ] []) ]
+  in
+  check "moves" true (Ir.moves f = [ (0, 2, 1) ])
+
+let test_validate_phi_mismatch () =
+  let f =
+    Ir.make ~entry:0 ~params:[ 1 ]
+      [
+        (0, block [ 1 ]);
+        (1, block ~phis:[ { Ir.dst = 2; args = [ (5, 1) ] } ] []);
+      ]
+  in
+  check "phi args must match preds" true (Result.is_error (Ir.validate f))
+
+(* ------------------------------------------------------------------ *)
+
+let test_predecessors () =
+  let f = diamond () in
+  let preds = Cfg.predecessors f in
+  check "join preds" true (List.sort compare (IMap.find 3 preds) = [ 1; 2 ]);
+  check "entry no preds" true (IMap.find_opt 0 preds = None)
+
+let test_rpo () =
+  let f = diamond () in
+  let rpo = Cfg.reverse_postorder f in
+  check_int "all blocks" 4 (List.length rpo);
+  check "entry first" true (List.hd rpo = 0);
+  check "join last" true (List.nth rpo 3 = 3)
+
+let test_reachable_drops () =
+  let f = Ir.make ~entry:0 ~params:[] [ (0, block []); (1, block []) ] in
+  check "unreachable excluded" false (ISet.mem 1 (Cfg.reachable f))
+
+let test_critical_edges () =
+  (* 0 -> {1, 3}; 1 -> 3: edge (0,3) is critical *)
+  let f =
+    Ir.make ~entry:0 ~params:[]
+      [ (0, block [ 1; 3 ]); (1, block [ 3 ]); (3, block []) ]
+  in
+  check "critical edge found" true (Cfg.critical_edges f = [ (0, 3) ]);
+  let split = Cfg.split_critical_edges f in
+  check "no critical edges after split" true (Cfg.critical_edges split = []);
+  check "still valid" true (Ir.validate split = Ok ());
+  check_int "one new block" 4 (List.length (Ir.labels split))
+
+(* ------------------------------------------------------------------ *)
+
+let test_dominance_diamond () =
+  let f = diamond () in
+  let d = Dominance.compute f in
+  check "entry has no idom" true (Dominance.idom d 0 = None);
+  check "idom of branches" true
+    (Dominance.idom d 1 = Some 0 && Dominance.idom d 2 = Some 0);
+  check "idom of join is entry" true (Dominance.idom d 3 = Some 0);
+  check "entry dominates all" true
+    (List.for_all (Dominance.dominates d 0) [ 0; 1; 2; 3 ]);
+  check "branch does not dominate join" false (Dominance.dominates d 1 3);
+  check "frontier of branch is join" true (Dominance.frontier d 1 = [ 3 ])
+
+let test_dominance_loop () =
+  let f = loop_prog () in
+  let d = Dominance.compute f in
+  check "header dominates body" true (Dominance.dominates d 1 2);
+  check "header dominates exit" true (Dominance.dominates d 1 3);
+  check "body frontier contains header" true
+    (List.mem 1 (Dominance.frontier d 2));
+  let pre = Dominance.dom_tree_preorder d in
+  check "preorder starts at entry" true (List.hd pre = 0);
+  check_int "preorder covers all" 4 (List.length pre)
+
+(* ------------------------------------------------------------------ *)
+
+let test_liveness_straightline () =
+  let f =
+    Ir.make ~entry:0 ~params:[ 0 ]
+      [ (0, block ~body:[ op ~def:1 [ 0 ]; op [ 1 ] ] []) ]
+  in
+  let l = Liveness.compute f in
+  check "param live in" true (ISet.mem 0 (Liveness.live_in l 0));
+  check "live out empty" true (ISet.is_empty (Liveness.live_out l 0));
+  (* v0 dies exactly where v1 is defined, so pressure never exceeds 1 *)
+  check_int "maxlive" 1 (Liveness.maxlive f l)
+
+let test_liveness_loop () =
+  let f = loop_prog () in
+  let l = Liveness.compute f in
+  check "v0 live into body" true (ISet.mem 0 (Liveness.live_in l 2));
+  check "v1 live out of body" true (ISet.mem 1 (Liveness.live_out l 2));
+  check_int "maxlive 2" 2 (Liveness.maxlive f l)
+
+let test_liveness_phi () =
+  let f =
+    Ir.make ~entry:0 ~params:[]
+      [
+        (0, block ~body:[ op ~def:1 [] ] [ 1; 2 ]);
+        (1, block ~body:[ op ~def:2 [] ] [ 3 ]);
+        (2, block ~body:[ op ~def:3 [] ] [ 3 ]);
+        ( 3,
+          block
+            ~phis:[ { Ir.dst = 4; args = [ (1, 2); (2, 3) ] } ]
+            ~body:[ op [ 4 ] ] [] );
+      ]
+  in
+  let l = Liveness.compute f in
+  check "arg live out of pred 1" true (ISet.mem 2 (Liveness.live_out l 1));
+  check "arg live out of pred 2" true (ISet.mem 3 (Liveness.live_out l 2));
+  check "other arg not live out of pred 1" false
+    (ISet.mem 3 (Liveness.live_out l 1));
+  check "phi dst not live-in" false (ISet.mem 4 (Liveness.live_in l 3))
+
+let test_dead_def_counts_at_def_point () =
+  (* dead v1 defined while v0 is live: pressure 2 at the def point *)
+  let f =
+    Ir.make ~entry:0 ~params:[ 0 ]
+      [ (0, block ~body:[ op ~def:1 []; op [ 0 ] ] []) ]
+  in
+  let l = Liveness.compute f in
+  check_int "maxlive counts dead def" 2 (Liveness.maxlive f l)
+
+let test_live_at_def () =
+  let f =
+    Ir.make ~entry:0 ~params:[ 0 ]
+      [ (0, block ~body:[ op ~def:1 []; op [ 0; 1 ] ] []) ]
+  in
+  let l = Liveness.compute f in
+  match Liveness.live_at_def f l with
+  | [ (1, live) ] ->
+      check "v0 live at v1's def" true (ISet.mem 0 live);
+      check "self excluded" false (ISet.mem 1 live)
+  | other -> Alcotest.failf "expected one def site, got %d" (List.length other)
+
+(* ------------------------------------------------------------------ *)
+
+let test_ssa_diamond () =
+  let f = diamond () in
+  let ssa = Ssa.construct f in
+  check "valid" true (Ir.validate ssa = Ok ());
+  check "is ssa" true (Ssa.is_ssa ssa);
+  check "is strict" true (Ssa.is_strict ssa);
+  let join = Ir.block ssa 3 in
+  check_int "one phi at join" 1 (List.length join.phis)
+
+let test_ssa_loop () =
+  let ssa = Ssa.construct (loop_prog ()) in
+  check "is ssa" true (Ssa.is_ssa ssa);
+  check "is strict" true (Ssa.is_strict ssa);
+  let header = Ir.block ssa 1 in
+  check_int "loop phi at header" 1 (List.length header.phis)
+
+let test_ssa_no_dead_phis () =
+  let f =
+    Ir.make ~entry:0 ~params:[ 0 ]
+      [
+        (0, block ~body:[ op ~def:1 [] ] [ 1; 2 ]);
+        (1, block ~body:[ op ~def:1 [] ] [ 3 ]);
+        (2, block ~body:[ op ~def:1 [] ] [ 3 ]);
+        (3, block ~body:[ op [ 0 ] ] []);
+      ]
+  in
+  let ssa = Ssa.construct f in
+  check "no phi for dead variable" true ((Ir.block ssa 3).phis = [])
+
+let test_ssa_non_strict_rejected () =
+  let f = Ir.make ~entry:0 ~params:[] [ (0, block ~body:[ op [ 1 ] ] []) ] in
+  check "fails on non-strict" true
+    (try
+       ignore (Ssa.construct f);
+       false
+     with Failure _ -> true)
+
+let test_ssa_on_random () =
+  let rng = Random.State.make [| 7 |] in
+  for _ = 1 to 15 do
+    let prog = Randprog.generate rng Randprog.default_config in
+    check "input valid" true (Ir.validate prog = Ok ());
+    let ssa = Ssa.construct prog in
+    check "ssa valid" true (Ir.validate ssa = Ok ());
+    check "is ssa" true (Ssa.is_ssa ssa);
+    check "is strict" true (Ssa.is_strict ssa)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Theorem 1                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_theorem1 () =
+  let rng = Random.State.make [| 1 |] in
+  for _ = 1 to 25 do
+    let prog = Randprog.generate rng Randprog.default_config in
+    let ssa = Ssa.construct prog in
+    let g = Interference.build ~move_aware:false ssa in
+    check "Theorem 1: chordal" true (Rc_graph.Chordal.is_chordal g);
+    let live = Liveness.compute ssa in
+    check_int "Theorem 1: omega = Maxlive" (Liveness.maxlive ssa live)
+      (Rc_graph.Chordal.omega g)
+  done
+
+(* ------------------------------------------------------------------ *)
+
+let test_move_refinement () =
+  let f =
+    Ir.make ~entry:0 ~params:[ 0 ]
+      [ (0, block ~body:[ mv 1 0; op [ 0; 1 ] ] []) ]
+  in
+  let aware = Interference.build ~move_aware:true f in
+  let plain = Interference.build ~move_aware:false f in
+  check "refined: no dst-src edge" false (G.mem_edge aware 0 1);
+  check "plain: dst-src edge" true (G.mem_edge plain 0 1)
+
+let test_params_interfere () =
+  let f = Ir.make ~entry:0 ~params:[ 0; 1; 2 ] [ (0, block []) ] in
+  let g = Interference.build f in
+  check "params pairwise" true
+    (G.mem_edge g 0 1 && G.mem_edge g 1 2 && G.mem_edge g 0 2)
+
+let test_affinities_from_moves_and_phis () =
+  let f =
+    Ir.make ~entry:0 ~params:[ 1 ]
+      [
+        (0, block ~body:[ mv 2 1 ] [ 1; 2 ]);
+        (1, block ~body:[ op ~def:3 [] ] [ 3 ]);
+        (2, block ~body:[ op ~def:4 [] ] [ 3 ]);
+        ( 3,
+          block
+            ~phis:[ { Ir.dst = 5; args = [ (1, 3); (2, 4) ] } ]
+            ~body:[ op [ 5; 2 ] ] [] );
+      ]
+  in
+  let affs = Interference.affinities f in
+  check "move affinity" true (List.mem_assoc (1, 2) affs);
+  check "phi affinities" true
+    (List.mem_assoc (3, 5) affs && List.mem_assoc (4, 5) affs);
+  let affs_w = Interference.affinities ~weights:(fun l -> l + 1) f in
+  check_int "phi arg weighted by pred block" 2 (List.assoc (3, 5) affs_w)
+
+(* ------------------------------------------------------------------ *)
+
+let test_sequentialize_simple () =
+  let fresh = ref 100 in
+  let f () = incr fresh; !fresh in
+  let seq = Out_of_ssa.sequentialize_parallel_copy ~fresh:f [ (1, 2); (2, 3) ] in
+  check "emits 2 moves" true (List.length seq = 2);
+  check "a<-b first" true (List.hd seq = (1, 2))
+
+let test_sequentialize_swap () =
+  let fresh = ref 100 in
+  let f () = incr fresh; !fresh in
+  let seq = Out_of_ssa.sequentialize_parallel_copy ~fresh:f [ (1, 2); (2, 1) ] in
+  check_int "swap uses a temp: 3 moves" 3 (List.length seq);
+  let env = Hashtbl.create 8 in
+  Hashtbl.replace env 1 "v1";
+  Hashtbl.replace env 2 "v2";
+  List.iter
+    (fun (d, s) ->
+      Hashtbl.replace env d
+        (match Hashtbl.find_opt env s with Some x -> x | None -> "?"))
+    seq;
+  check "1 gets old 2" true (Hashtbl.find env 1 = "v2");
+  check "2 gets old 1" true (Hashtbl.find env 2 = "v1")
+
+let test_sequentialize_self_and_dup () =
+  let fresh = ref 0 in
+  let f () = incr fresh; !fresh in
+  check "self copy dropped" true
+    (Out_of_ssa.sequentialize_parallel_copy ~fresh:f [ (1, 1) ] = []);
+  check "duplicate destinations rejected" true
+    (try
+       ignore
+         (Out_of_ssa.sequentialize_parallel_copy ~fresh:f [ (1, 2); (1, 3) ]);
+       false
+     with Invalid_argument _ -> true)
+
+let prop_sequentialize_semantics =
+  QCheck.Test.make
+    ~name:"parallel copy sequentialization is semantics-preserving" ~count:200
+    QCheck.(list_of_size Gen.(1 -- 6) (pair (0 -- 5) (0 -- 5)))
+    (fun pairs ->
+      let copies =
+        List.fold_left
+          (fun acc (d, s) -> if List.mem_assoc d acc then acc else (d, s) :: acc)
+          [] pairs
+      in
+      let fresh = ref 100 in
+      let f () = incr fresh; !fresh in
+      let seq = Out_of_ssa.sequentialize_parallel_copy ~fresh:f copies in
+      let env = Hashtbl.create 16 in
+      for v = 0 to 5 do
+        Hashtbl.replace env v (Printf.sprintf "t%d" v)
+      done;
+      List.iter
+        (fun (d, s) ->
+          Hashtbl.replace env d
+            (match Hashtbl.find_opt env s with Some x -> x | None -> "?"))
+        seq;
+      List.for_all
+        (fun (d, s) -> Hashtbl.find env d = Printf.sprintf "t%d" s)
+        copies)
+
+let test_eliminate_phis () =
+  let rng = Random.State.make [| 77 |] in
+  for _ = 1 to 10 do
+    let ssa = Ssa.construct (Randprog.generate rng Randprog.default_config) in
+    let lowered = Out_of_ssa.eliminate_phis ssa in
+    check "valid after lowering" true (Ir.validate lowered = Ok ());
+    check "no phis left" true
+      (List.for_all
+         (fun l -> (Ir.block lowered l).phis = [])
+         (Ir.labels lowered));
+    check "no critical edges left" true (Cfg.critical_edges lowered = [])
+  done
+
+let test_eliminate_phis_isolated () =
+  let rng = Random.State.make [| 78 |] in
+  for _ = 1 to 8 do
+    let ssa = Ssa.construct (Randprog.generate rng Randprog.default_config) in
+    let direct = Out_of_ssa.eliminate_phis ssa in
+    let isolated = Out_of_ssa.eliminate_phis_isolated ssa in
+    check "isolated valid" true (Ir.validate isolated = Ok ());
+    check "isolated phi-free" true
+      (List.for_all
+         (fun l -> (Ir.block isolated l).phis = [])
+         (Ir.labels isolated));
+    (* Method I inserts one extra copy per phi (dst <- temp), so it can
+       never produce fewer moves than the direct lowering. *)
+    check "isolated has at least as many moves" true
+      (List.length (Ir.moves isolated) >= List.length (Ir.moves direct))
+  done
+
+let test_eliminate_phis_requires_ssa () =
+  let f =
+    Ir.make ~entry:0 ~params:[]
+      [ (0, block ~body:[ op ~def:1 []; op ~def:1 [] ] []) ]
+  in
+  check "rejects non-SSA" true
+    (try
+       ignore (Out_of_ssa.eliminate_phis f);
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+
+let test_spill_var_shrinks_range () =
+  let f =
+    Ir.make ~entry:0 ~params:[ 0; 1 ]
+      [ (0, block ~body:[ op ~def:2 [ 1 ]; op [ 2; 1 ]; op [ 0; 1 ] ] []) ]
+  in
+  let spilled = Spill.spill_var f 0 in
+  check "still valid" true (Ir.validate spilled = Ok ());
+  let uses_zero =
+    IMap.fold
+      (fun _ (b : Ir.block) acc ->
+        acc
+        + List.length
+            (List.filter (fun i -> List.mem 0 (Ir.uses_of_instr i)) b.body))
+      spilled.blocks 0
+  in
+  check_int "only the store uses v0" 1 uses_zero
+
+let test_spill_everywhere_reaches_k () =
+  let rng = Random.State.make [| 55 |] in
+  List.iter
+    (fun k ->
+      for _ = 1 to 8 do
+        let ssa =
+          Ssa.construct (Randprog.generate rng Randprog.default_config)
+        in
+        let spilled = Spill.spill_everywhere ssa ~k in
+        check "valid" true (Ir.validate spilled = Ok ());
+        check "still strict SSA" true
+          (Ssa.is_ssa spilled && Ssa.is_strict spilled);
+        let live = Liveness.compute spilled in
+        check "maxlive <= k" true (Liveness.maxlive spilled live <= k)
+      done)
+    [ 4; 6; 10 ]
+
+let test_spill_memory_phi () =
+  let f =
+    Ir.make ~entry:0 ~params:[]
+      [
+        (0, block ~body:[ op ~def:1 [] ] [ 1; 2 ]);
+        (1, block ~body:[ op ~def:2 [] ] [ 3 ]);
+        (2, block ~body:[ op ~def:3 [] ] [ 3 ]);
+        ( 3,
+          block
+            ~phis:[ { Ir.dst = 4; args = [ (1, 2); (2, 3) ] } ]
+            ~body:[ op [ 4 ] ] [] );
+      ]
+  in
+  let spilled = Spill.spill_var f 4 in
+  check "phi deleted" true ((Ir.block spilled 3).phis = []);
+  check "valid" true (Ir.validate spilled = Ok ());
+  let stores l v =
+    List.exists
+      (fun (i : Ir.instr) ->
+        match i with Ir.Op { def = None; uses } -> uses = [ v ] | _ -> false)
+      (Ir.block spilled l).body
+  in
+  check "arg stored in pred 1" true (stores 1 2);
+  check "arg stored in pred 2" true (stores 2 3)
+
+(* ------------------------------------------------------------------ *)
+
+let test_randprog_valid_and_deterministic () =
+  let cfg = Randprog.default_config in
+  let p1 = Randprog.generate (Random.State.make [| 5 |]) cfg in
+  let p2 = Randprog.generate (Random.State.make [| 5 |]) cfg in
+  check "deterministic" true (p1 = p2);
+  check "valid" true (Ir.validate p1 = Ok ());
+  let preds = Cfg.predecessors p1 in
+  check "entry has no predecessors" true (IMap.find_opt p1.entry preds = None)
+
+let test_randprog_configs () =
+  let rng = Random.State.make [| 6 |] in
+  let cfg = { Randprog.default_config with move_fraction = 0.9; regions = 2 } in
+  let p = Randprog.generate rng cfg in
+  check "has moves" true (Ir.moves p <> []);
+  let cfg0 = { Randprog.default_config with move_fraction = 0.0 } in
+  let p0 = Randprog.generate rng cfg0 in
+  check "no moves when fraction 0" true (Ir.moves p0 = [])
+
+let () =
+  let qc = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "rc_ir"
+    [
+      ( "ir",
+        [
+          Alcotest.test_case "make and validate" `Quick test_make_and_validate;
+          Alcotest.test_case "accessors" `Quick test_accessors;
+          Alcotest.test_case "fresh supplies" `Quick test_fresh;
+          Alcotest.test_case "moves listing" `Quick test_moves_listing;
+          Alcotest.test_case "phi arg mismatch" `Quick test_validate_phi_mismatch;
+        ] );
+      ( "cfg",
+        [
+          Alcotest.test_case "predecessors" `Quick test_predecessors;
+          Alcotest.test_case "reverse postorder" `Quick test_rpo;
+          Alcotest.test_case "reachability" `Quick test_reachable_drops;
+          Alcotest.test_case "critical edges" `Quick test_critical_edges;
+        ] );
+      ( "dominance",
+        [
+          Alcotest.test_case "diamond" `Quick test_dominance_diamond;
+          Alcotest.test_case "loop" `Quick test_dominance_loop;
+        ] );
+      ( "liveness",
+        [
+          Alcotest.test_case "straight line" `Quick test_liveness_straightline;
+          Alcotest.test_case "loop" `Quick test_liveness_loop;
+          Alcotest.test_case "phi semantics" `Quick test_liveness_phi;
+          Alcotest.test_case "dead def pressure" `Quick
+            test_dead_def_counts_at_def_point;
+          Alcotest.test_case "live at def" `Quick test_live_at_def;
+        ] );
+      ( "ssa",
+        [
+          Alcotest.test_case "diamond" `Quick test_ssa_diamond;
+          Alcotest.test_case "loop" `Quick test_ssa_loop;
+          Alcotest.test_case "pruned (no dead phis)" `Quick test_ssa_no_dead_phis;
+          Alcotest.test_case "non-strict rejected" `Quick
+            test_ssa_non_strict_rejected;
+          Alcotest.test_case "random programs" `Quick test_ssa_on_random;
+        ] );
+      ( "theorem1",
+        [
+          Alcotest.test_case "SSA interference chordal, omega=Maxlive" `Quick
+            test_theorem1;
+        ] );
+      ( "interference",
+        [
+          Alcotest.test_case "move refinement" `Quick test_move_refinement;
+          Alcotest.test_case "params interfere" `Quick test_params_interfere;
+          Alcotest.test_case "affinity extraction" `Quick
+            test_affinities_from_moves_and_phis;
+        ] );
+      ( "out_of_ssa",
+        [
+          Alcotest.test_case "sequentialize chain" `Quick
+            test_sequentialize_simple;
+          Alcotest.test_case "sequentialize swap" `Quick test_sequentialize_swap;
+          Alcotest.test_case "self/dup handling" `Quick
+            test_sequentialize_self_and_dup;
+          Alcotest.test_case "phi elimination" `Quick test_eliminate_phis;
+          Alcotest.test_case "isolated lowering (Sreedhar I)" `Quick
+            test_eliminate_phis_isolated;
+          Alcotest.test_case "requires SSA" `Quick
+            test_eliminate_phis_requires_ssa;
+        ] );
+      ( "spill",
+        [
+          Alcotest.test_case "spill_var shrinks" `Quick
+            test_spill_var_shrinks_range;
+          Alcotest.test_case "spill everywhere reaches k" `Quick
+            test_spill_everywhere_reaches_k;
+          Alcotest.test_case "memory phi" `Quick test_spill_memory_phi;
+        ] );
+      ( "randprog",
+        [
+          Alcotest.test_case "valid and deterministic" `Quick
+            test_randprog_valid_and_deterministic;
+          Alcotest.test_case "config knobs" `Quick test_randprog_configs;
+        ] );
+      ("properties", qc [ prop_sequentialize_semantics ]);
+    ]

@@ -1,0 +1,248 @@
+(* Tests for rc_regalloc: the symbolic interpreter and the end-to-end
+   register-allocation pipeline it validates. *)
+
+module G = Rc_graph.Graph
+module IMap = G.IMap
+module Ir = Rc_ir.Ir
+module Interp = Rc_regalloc.Interp
+module Regalloc = Rc_regalloc.Regalloc
+
+let check = Alcotest.(check bool)
+
+let op ?def uses : Ir.instr = Ir.Op { def; uses }
+let mv dst src : Ir.instr = Ir.Move { dst; src }
+let block ?(phis = []) ?(body = []) succs : Ir.block = { phis; body; succs }
+
+(* ------------------------------------------------------------------ *)
+(* Interpreter                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_interp_straightline () =
+  let f =
+    Ir.make ~entry:0 ~params:[ 0 ]
+      [ (0, block ~body:[ op ~def:1 [ 0 ]; op [ 1; 0 ] ] []) ]
+  in
+  match Interp.run f with
+  | [ [ p ]; [ t1; p' ] ] ->
+      check "param token negative" true (p < 0 && p > Interp.uninitialized);
+      check "param stable" true (p = p');
+      check "op token positive" true (t1 > 0)
+  | other -> Alcotest.failf "unexpected stream of %d" (List.length other)
+
+let test_interp_move_transparent () =
+  (* moving a value does not change the observed token *)
+  let f1 =
+    Ir.make ~entry:0 ~params:[ 0 ]
+      [ (0, block ~body:[ mv 1 0; op [ 1 ] ] []) ]
+  in
+  let f2 =
+    Ir.make ~entry:0 ~params:[ 0 ] [ (0, block ~body:[ op [ 0 ] ] []) ]
+  in
+  check "move-transparent equivalence" true (Interp.equivalent f1 f2)
+
+let test_interp_detects_renaming_bug () =
+  (* a "register allocation" that wrongly maps two live values to the
+     same name must be caught *)
+  let good =
+    Ir.make ~entry:0 ~params:[ 0; 1 ]
+      [ (0, block ~body:[ op ~def:2 [ 0 ]; op [ 2; 1 ] ] []) ]
+  in
+  let bad =
+    (* pretend 2 and 1 share a register: use(2, 2) reads the wrong token *)
+    Ir.make ~entry:0 ~params:[ 0; 1 ]
+      [ (0, block ~body:[ op ~def:2 [ 0 ]; op [ 2; 2 ] ] []) ]
+  in
+  check "corruption detected" false (Interp.equivalent good bad)
+
+let test_interp_uninitialized () =
+  let f = Ir.make ~entry:0 ~params:[] [ (0, block ~body:[ op [ 9 ] ] []) ] in
+  check "uninitialized token" true (Interp.run f = [ [ Interp.uninitialized ] ])
+
+let test_interp_phi_semantics () =
+  (* a diamond with a phi: the observation depends on the branch *)
+  let f =
+    Ir.make ~entry:0 ~params:[]
+      [
+        (0, block ~body:[ op ~def:1 []; op ~def:2 [] ] [ 1; 2 ]);
+        (1, block [ 3 ]);
+        (2, block [ 3 ]);
+        ( 3,
+          block
+            ~phis:[ { Ir.dst = 4; args = [ (1, 1); (2, 2) ] } ]
+            ~body:[ op [ 4 ] ] [] );
+      ]
+  in
+  (* over several seeds, the final observation must be token of v1 or v2
+     (which are tokens 1 and 2 in definition order) *)
+  List.iter
+    (fun seed ->
+      match Interp.run ~seed f with
+      | [ _; _; [ t ] ] -> check "phi selects an arm" true (t = 1 || t = 2)
+      | _ -> Alcotest.fail "unexpected stream shape")
+    [ 1; 2; 3; 4; 5 ]
+
+let test_interp_swap_phis () =
+  (* the classical swap: two phis exchanging values must evaluate in
+     parallel, not sequentially *)
+  let f =
+    Ir.make ~entry:0 ~params:[]
+      [
+        (0, block ~body:[ op ~def:1 []; op ~def:2 [] ] [ 1 ]);
+        ( 1,
+          block
+            ~phis:
+              [
+                { Ir.dst = 3; args = [ (0, 1); (1, 4) ] };
+                { Ir.dst = 4; args = [ (0, 2); (1, 3) ] };
+              ]
+            ~body:[ op [ 3; 4 ] ]
+            [ 1; 2 ] );
+        (2, block []);
+      ]
+  in
+  (* follow the loop once: after one iteration the values must have
+     swapped, i.e. second observation is the reverse of the first *)
+  let rec find_swap seed =
+    if seed > 50 then Alcotest.fail "no seed loops twice"
+    else
+      (* keep only the 2-operand use observations (the defs in block 0
+         contribute empty observations) *)
+      let pairs =
+        List.filter (fun o -> List.length o = 2) (Interp.run ~seed f)
+      in
+      match pairs with
+      | [ a; b ] :: [ c; d ] :: _ -> ((a, b), (c, d))
+      | _ -> find_swap (seed + 1)
+  in
+  let (a, b), (c, d) = find_swap 1 in
+  check "swap semantics" true (a = d && b = c)
+
+let test_interp_truncation_tolerant () =
+  (* an infinite loop is compared on prefixes without failing *)
+  let f =
+    Ir.make ~entry:0 ~params:[ 0 ]
+      [ (0, block ~body:[ op [ 0 ] ] [ 0 ]) ]
+  in
+  check "self-equivalent under truncation" true
+    (Interp.equivalent ~max_steps:50 f f)
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end allocation                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_allocate_random_programs () =
+  for seed = 1 to 12 do
+    let rng = Random.State.make [| seed |] in
+    let prog = Rc_ir.Randprog.generate rng Rc_ir.Randprog.default_config in
+    let k = 4 + (seed mod 4) in
+    let r = Regalloc.allocate prog ~k in
+    check
+      (Printf.sprintf "seed %d: registers within k" seed)
+      true (r.registers_used <= k);
+    check
+      (Printf.sprintf "seed %d: observationally correct" seed)
+      true (Regalloc.check r);
+    check
+      (Printf.sprintf "seed %d: allocated program phi-free and valid" seed)
+      true
+      (Ir.validate r.allocated = Ok ()
+      && List.for_all (fun l -> (Ir.block r.allocated l).phis = [])
+           (Ir.labels r.allocated));
+    (* every variable of the allocated program is a register < k *)
+    check
+      (Printf.sprintf "seed %d: vars are registers" seed)
+      true
+      (List.for_all (fun v -> v < k) (Ir.all_vars r.allocated));
+    check
+      (Printf.sprintf "seed %d: coalescing removed moves" seed)
+      true (r.moves_after <= r.moves_before)
+  done
+
+let test_allocate_deterministic () =
+  let prog =
+    Rc_ir.Randprog.generate (Random.State.make [| 5 |])
+      Rc_ir.Randprog.default_config
+  in
+  let r1 = Regalloc.allocate prog ~k:5 in
+  let r2 = Regalloc.allocate prog ~k:5 in
+  check "same assignment" true (IMap.equal ( = ) r1.assignment r2.assignment)
+
+let test_allocate_biased_removes_more_moves () =
+  (* biased coloring can only help the same-color move count; assert it
+     never hurts in aggregate over a few programs *)
+  let total biased =
+    let acc = ref 0 in
+    for seed = 1 to 8 do
+      let prog =
+        Rc_ir.Randprog.generate (Random.State.make [| seed |])
+          Rc_ir.Randprog.default_config
+      in
+      let ssa = Rc_ir.Ssa.construct prog in
+      let ssa = Rc_ir.Spill.spill_everywhere ssa ~k:5 in
+      let lowered = Rc_ir.Out_of_ssa.eliminate_phis ssa in
+      let graph = Rc_ir.Interference.build lowered in
+      let affinities = Rc_ir.Interference.affinities lowered in
+      let p = Rc_core.Problem.make ~graph ~affinities ~k:5 in
+      let result = Rc_core.Irc.allocate ~biased p in
+      acc :=
+        !acc + List.length (Rc_core.Irc.same_color_moves result p.affinities)
+    done;
+    !acc
+  in
+  check "biased >= unbiased (same-color moves)" true (total true >= total false)
+
+let test_isolated_lowering_equivalent () =
+  (* the two out-of-SSA strategies are observationally equivalent *)
+  for seed = 1 to 8 do
+    let prog =
+      Rc_ir.Randprog.generate (Random.State.make [| 90 + seed |])
+        Rc_ir.Randprog.default_config
+    in
+    let ssa = Rc_ir.Ssa.construct prog in
+    let direct = Rc_ir.Out_of_ssa.eliminate_phis ssa in
+    let isolated = Rc_ir.Out_of_ssa.eliminate_phis_isolated ssa in
+    check "direct ~ ssa" true (Interp.equivalent direct ssa);
+    check "isolated ~ ssa" true (Interp.equivalent isolated ssa)
+  done
+
+let test_allocate_rejects_impossible_k () =
+  let prog =
+    Rc_ir.Randprog.generate (Random.State.make [| 3 |])
+      { Rc_ir.Randprog.default_config with params = 5 }
+  in
+  (* five parameters are simultaneously live: k = 2 is impossible *)
+  check "impossible k fails" true
+    (try
+       ignore (Regalloc.allocate prog ~k:2);
+       false
+     with Failure _ -> true)
+
+let () =
+  Alcotest.run "rc_regalloc"
+    [
+      ( "interp",
+        [
+          Alcotest.test_case "straight line" `Quick test_interp_straightline;
+          Alcotest.test_case "moves transparent" `Quick
+            test_interp_move_transparent;
+          Alcotest.test_case "detects corruption" `Quick
+            test_interp_detects_renaming_bug;
+          Alcotest.test_case "uninitialized" `Quick test_interp_uninitialized;
+          Alcotest.test_case "phi semantics" `Quick test_interp_phi_semantics;
+          Alcotest.test_case "parallel phi swap" `Quick test_interp_swap_phis;
+          Alcotest.test_case "truncation tolerant" `Quick
+            test_interp_truncation_tolerant;
+        ] );
+      ( "allocate",
+        [
+          Alcotest.test_case "random programs end-to-end" `Slow
+            test_allocate_random_programs;
+          Alcotest.test_case "deterministic" `Quick test_allocate_deterministic;
+          Alcotest.test_case "biased coloring" `Slow
+            test_allocate_biased_removes_more_moves;
+          Alcotest.test_case "lowering strategies equivalent" `Slow
+            test_isolated_lowering_equivalent;
+          Alcotest.test_case "impossible k" `Quick
+            test_allocate_rejects_impossible_k;
+        ] );
+    ]
