@@ -18,6 +18,27 @@ module G = Rc_graph.Graph
 
 let quick = Array.exists (( = ) "quick") Sys.argv
 
+(* [--json FILE] writes the timing trajectory (every ns/run estimate
+   plus the derived old-vs-new speedups) as a JSON document. *)
+let json_file =
+  let r = ref None in
+  Array.iteri
+    (fun i a ->
+      if a = "--json" && i + 1 < Array.length Sys.argv then
+        r := Some Sys.argv.(i + 1))
+    Sys.argv;
+  !r
+
+(* Fail on an unwritable --json path now, not after the whole run. *)
+let () =
+  match json_file with
+  | None -> ()
+  | Some f -> (
+      try close_out (open_out f)
+      with Sys_error m ->
+        prerr_endline ("bench: cannot write --json file: " ^ m);
+        exit 1)
+
 let section fmt =
   Format.printf "@.=====================================================@.";
   Format.printf (fmt ^^ "@.")
@@ -25,6 +46,11 @@ let section fmt =
 (* ------------------------------------------------------------------ *)
 (* Bechamel plumbing                                                   *)
 (* ------------------------------------------------------------------ *)
+
+(* Every estimate printed by [run_bench], in run order, plus derived
+   metrics (speedup ratios), for the [--json] trajectory. *)
+let all_rows : (string * float) list ref = ref []
+let derived : (string * float) list ref = ref []
 
 let run_bench ~name tests =
   Format.printf "@.-- timing: %s --@." name;
@@ -40,12 +66,85 @@ let run_bench ~name tests =
   in
   let results = Analyze.all ols Instance.monotonic_clock raw in
   let rows = Hashtbl.fold (fun k v acc -> (k, v) :: acc) results [] in
+  let estimates =
+    List.filter_map
+      (fun (label, est) ->
+        match Analyze.OLS.estimates est with
+        | Some [ ns ] -> Some (label, ns)
+        | Some _ | None -> None)
+      (List.sort compare rows)
+  in
   List.iter
-    (fun (label, est) ->
-      match Analyze.OLS.estimates est with
-      | Some [ ns ] -> Format.printf "  %-46s %12.1f ns/run@." label ns
-      | Some _ | None -> Format.printf "  %-46s (no estimate)@." label)
-    (List.sort compare rows)
+    (fun (label, ns) -> Format.printf "  %-46s %12.1f ns/run@." label ns)
+    estimates;
+  all_rows := !all_rows @ estimates;
+  estimates
+
+let ignore_rows : (string * float) list -> unit = ignore
+
+let find_row rows needle =
+  List.find_opt
+    (fun (label, _) ->
+      let ln = String.length needle and ll = String.length label in
+      let rec at i = i + ln <= ll && (String.sub label i ln = needle || at (i + 1)) in
+      at 0)
+    rows
+
+let report_speedup rows ~what ~old_label ~new_label =
+  match (find_row rows old_label, find_row rows new_label) with
+  | Some (_, old_ns), Some (_, new_ns) when new_ns > 0. ->
+      let ratio = old_ns /. new_ns in
+      Format.printf "  speedup %-39s %11.1fx@." what ratio;
+      derived := !derived @ [ ("speedup:" ^ what, ratio) ]
+  | _ -> Format.printf "  speedup %-39s (no estimate)@." what
+
+(* ------------------------------------------------------------------ *)
+(* K0: flat kernel vs the persistent-map code paths                    *)
+(* ------------------------------------------------------------------ *)
+
+let k0_flat_kernels () =
+  section
+    "K0 | flat kernel vs persistent-map kernels (old vs new code path)";
+  let rng = Random.State.make [| 2007 |] in
+  let g = Rc_graph.Generators.gnp rng ~n:2000 ~p:0.01 in
+  let f = Rc_graph.Flat.of_graph g in
+  (* k = col(G): the elimination scheme then empties the graph, which is
+     the most work either path can do. *)
+  let k = Rc_graph.Greedy_k.coloring_number g in
+  Format.printf "gnp ~n:2000 ~p:0.01: %d vertices, %d edges, col(G) = %d@."
+    (G.num_vertices g) (G.num_edges g) k;
+  let rows =
+    run_bench ~name:"K0 kernels"
+      [
+        Test.make ~name:"greedy-k/old-imap"
+          (Staged.stage (fun () ->
+               Rc_graph.Greedy_k.Reference.is_greedy_k_colorable g k));
+        Test.make ~name:"greedy-k/new-flat+convert"
+          (Staged.stage (fun () ->
+               Rc_graph.Greedy_k.is_greedy_k_colorable g k));
+        Test.make ~name:"greedy-k/new-flat-kernel"
+          (Staged.stage (fun () ->
+               Rc_graph.Greedy_k.flat_is_greedy_k_colorable f k));
+        Test.make ~name:"smallest-last/old-imap"
+          (Staged.stage (fun () ->
+               Rc_graph.Greedy_k.Reference.smallest_last_order g));
+        Test.make ~name:"smallest-last/new-flat"
+          (Staged.stage (fun () -> Rc_graph.Greedy_k.smallest_last_order g));
+        Test.make ~name:"chordality/old-hashtbl"
+          (Staged.stage (fun () -> Rc_graph.Chordal.Reference.is_chordal g));
+        Test.make ~name:"chordality/new-flat"
+          (Staged.stage (fun () -> Rc_graph.Chordal.is_chordal g));
+      ]
+  in
+  Format.printf "@.";
+  report_speedup rows ~what:"greedy-k elimination (flat vs imap)"
+    ~old_label:"greedy-k/old-imap" ~new_label:"greedy-k/new-flat-kernel";
+  report_speedup rows ~what:"greedy-k end-to-end (incl. of_graph)"
+    ~old_label:"greedy-k/old-imap" ~new_label:"greedy-k/new-flat+convert";
+  report_speedup rows ~what:"smallest-last" ~old_label:"smallest-last/old-imap"
+    ~new_label:"smallest-last/new-flat";
+  report_speedup rows ~what:"chordality (MCS + PEO check)"
+    ~old_label:"chordality/old-hashtbl" ~new_label:"chordality/new-flat"
 
 (* ------------------------------------------------------------------ *)
 (* E1: Theorem 1 pipeline — SSA interference graphs are chordal        *)
@@ -74,7 +173,7 @@ let e1_theorem1 () =
   let prog = Rc_ir.Randprog.generate rng Rc_ir.Randprog.default_config in
   let ssa = Rc_ir.Ssa.construct prog in
   let g = Rc_ir.Interference.build ~move_aware:false ssa in
-  run_bench ~name:"E1 ssa pipeline"
+  ignore_rows (run_bench ~name:"E1 ssa pipeline"
     [
       Test.make ~name:"ssa-construct"
         (Staged.stage (fun () -> Rc_ir.Ssa.construct prog));
@@ -82,7 +181,7 @@ let e1_theorem1 () =
         (Staged.stage (fun () -> Rc_ir.Interference.build ssa));
       Test.make ~name:"chordality-check"
         (Staged.stage (fun () -> Rc_graph.Chordal.is_chordal g));
-    ]
+    ])
 
 (* ------------------------------------------------------------------ *)
 (* E4/E5/E6/E8: the four reductions, verified and timed                *)
@@ -170,7 +269,7 @@ let reductions_bench () =
     Rc_graph.Generators.random_bounded_degree rng ~n:4 ~max_degree:3 ~edges:4
   in
   let gnp = Rc_graph.Generators.gnp rng ~n:6 ~p:0.4 in
-  run_bench ~name:"reduction gadget construction"
+  ignore_rows (run_bench ~name:"reduction gadget construction"
     [
       Test.make ~name:"thm2-build"
         (Staged.stage (fun () -> Rc_reductions.Thm2_aggressive.build mwc));
@@ -181,7 +280,7 @@ let reductions_bench () =
         (Staged.stage (fun () -> Rc_reductions.Thm4_incremental.build cnf));
       Test.make ~name:"thm6-build"
         (Staged.stage (fun () -> Rc_reductions.Thm6_optimistic.build vc_src));
-    ]
+    ])
 
 (* ------------------------------------------------------------------ *)
 (* E7: Theorem 5's polynomial algorithm, scaling series                *)
@@ -215,7 +314,7 @@ let e7_chordal_incremental () =
   let rng = Random.State.make [| 48 |] in
   let g = Rc_graph.Generators.random_chordal rng ~n:150 ~extra:60 in
   let k = Rc_graph.Chordal.omega g in
-  run_bench ~name:"E7 chordal machinery (n=150)"
+  ignore_rows (run_bench ~name:"E7 chordal machinery (n=150)"
     [
       Test.make ~name:"mcs-order"
         (Staged.stage (fun () -> Rc_graph.Chordal.mcs_order g));
@@ -224,7 +323,7 @@ let e7_chordal_incremental () =
       Test.make ~name:"thm5-decide"
         (Staged.stage (fun () ->
              ignore (Rc_core.Chordal_coalescing.can_coalesce g ~k 0 1)));
-    ]
+    ])
 
 (* ------------------------------------------------------------------ *)
 (* E11: the synthetic coalescing challenge                             *)
@@ -252,7 +351,7 @@ let e11_challenge () =
         board)
     [ 4; 6; 8 ];
   let inst = Rc_challenge.Challenge.generate ~seed:1003 ~k:6 () in
-  run_bench ~name:"E11 one challenge instance, per strategy"
+  ignore_rows (run_bench ~name:"E11 one challenge instance, per strategy"
     (List.filter_map
        (fun s ->
          match s with
@@ -262,7 +361,7 @@ let e11_challenge () =
                (Test.make ~name:(Rc_core.Strategies.name s)
                   (Staged.stage (fun () ->
                        ignore (Rc_core.Strategies.run s inst.problem)))))
-       Rc_core.Strategies.all_heuristics)
+       Rc_core.Strategies.all_heuristics))
 
 (* ------------------------------------------------------------------ *)
 (* E12: optimality gap of the heuristics on small instances            *)
@@ -562,11 +661,51 @@ let a4_decoalescing_scoring () =
   done
 
 (* ------------------------------------------------------------------ *)
+(* JSON trajectory                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let emit_json file =
+  let buf = Buffer.create 4096 in
+  let entry (label, v) =
+    Printf.sprintf "    {\"name\": \"%s\", \"value\": %.3f}" (json_escape label)
+      v
+  in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"benchmark\": \"register-coalescing-complexity\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"mode\": \"%s\",\n" (if quick then "quick" else "full"));
+  Buffer.add_string buf "  \"unit\": \"ns/run\",\n";
+  Buffer.add_string buf "  \"rows\": [\n";
+  Buffer.add_string buf (String.concat ",\n" (List.map entry !all_rows));
+  Buffer.add_string buf "\n  ],\n";
+  Buffer.add_string buf "  \"derived\": [\n";
+  Buffer.add_string buf (String.concat ",\n" (List.map entry !derived));
+  Buffer.add_string buf "\n  ]\n}\n";
+  let oc = open_out file in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Format.printf "@.wrote %s (%d rows, %d derived metrics)@." file
+    (List.length !all_rows) (List.length !derived)
 
 let () =
   Format.printf
     "Register-coalescing complexity reproduction — benchmark harness@.";
   Format.printf "(paper: Bouchez, Darte, Rastello, CGO 2007; see DESIGN.md)@.";
+  k0_flat_kernels ();
   e1_theorem1 ();
   e4_thm2 ();
   e5_thm3 ();
@@ -583,4 +722,5 @@ let () =
   a2_set_coalescing ();
   a3_lowering ();
   a4_decoalescing_scoring ();
+  (match json_file with Some f -> emit_json f | None -> ());
   Format.printf "@.done.@."

@@ -64,10 +64,12 @@ let generate_cmd =
   let run seed k dot chordal =
     let inst = instance ~seed ~k ~chordal in
     Format.printf "%s@." (Rc_core.Problem.stats inst.problem);
-    Format.printf "maxlive=%d chordal=%b greedy-%d-colorable=%b@." inst.maxlive
+    Format.printf "maxlive=%d chordal=%b greedy-%d-colorable=%b col=%d@."
+      inst.maxlive
       (Rc_graph.Chordal.is_chordal inst.problem.graph)
       k
-      (Rc_graph.Greedy_k.is_greedy_k_colorable inst.problem.graph k);
+      (Rc_graph.Greedy_k.is_greedy_k_colorable inst.problem.graph k)
+      (Rc_graph.Greedy_k.coloring_number inst.problem.graph);
     match dot with
     | None -> ()
     | Some file ->

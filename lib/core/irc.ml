@@ -1,4 +1,5 @@
 module Graph = Rc_graph.Graph
+module Flat = Rc_graph.Flat
 module ISet = Graph.ISet
 module IMap = Graph.IMap
 
@@ -21,16 +22,24 @@ type location =
 
 type move_state = Worklist_m | Active_m | Coalesced_m | Constrained_m | Frozen_m
 
+(* The whole context is flat: nodes are dense indices into [f] (the
+   mutable adjacency, which grows as combine adds edges) and every
+   per-node attribute is an array read.  Only the worklists stay as
+   integer sets — they are small, and min-element selection keeps the
+   processing order deterministic (indices preserve the vertex order,
+   so the order matches the previous node-id-keyed implementation). *)
 type ctx = {
   k : int;
   rule : rule;
-  adj : (int, ISet.t ref) Hashtbl.t;
-  degree : (int, int) Hashtbl.t;
-  where : (int, location) Hashtbl.t;
-  alias : (int, int) Hashtbl.t;
+  f : Flat.t; (* adjacency + O(1) mem_edge over dense indices *)
+  degree : int array; (* IRC's degree, maintained by the worklist logic *)
+  where : location array;
+  alias : int array;
   moves : Problem.affinity array;
+  move_u : int array; (* endpoint indices of each move *)
+  move_v : int array;
   mstate : move_state array;
-  move_list : (int, int list ref) Hashtbl.t; (* node -> move indices *)
+  move_list : int list array; (* node -> move indices *)
   mutable simplify_wl : ISet.t;
   mutable freeze_wl : ISet.t;
   mutable spill_wl : ISet.t;
@@ -38,64 +47,41 @@ type ctx = {
   mutable stack : int list;
 }
 
-let adj_ref c n =
-  match Hashtbl.find_opt c.adj n with
-  | Some r -> r
-  | None ->
-      let r = ref ISet.empty in
-      Hashtbl.replace c.adj n r;
-      r
-
-let degree_of c n = match Hashtbl.find_opt c.degree n with Some d -> d | None -> 0
-
-let move_list_ref c n =
-  match Hashtbl.find_opt c.move_list n with
-  | Some r -> r
-  | None ->
-      let r = ref [] in
-      Hashtbl.replace c.move_list n r;
-      r
-
 let rec get_alias c n =
-  if Hashtbl.find_opt c.where n = Some Coalesced_node then
-    get_alias c (Hashtbl.find c.alias n)
-  else n
+  if c.where.(n) = Coalesced_node then get_alias c c.alias.(n) else n
+
+let in_play c m =
+  match c.where.(m) with
+  | On_stack | Coalesced_node -> false
+  | Simplify_wl | Freeze_wl | Spill_wl -> true
 
 (* Neighbors still in play: not on the stack, not coalesced away. *)
-let adjacent c n =
-  ISet.filter
-    (fun m ->
-      match Hashtbl.find_opt c.where m with
-      | Some (On_stack | Coalesced_node) -> false
-      | Some (Simplify_wl | Freeze_wl | Spill_wl) | None -> true)
-    !(adj_ref c n)
+let iter_adjacent c n fn =
+  Flat.iter_neighbors c.f n (fun m -> if in_play c m then fn m)
 
 let node_moves c n =
   List.filter
     (fun i -> match c.mstate.(i) with Active_m | Worklist_m -> true | _ -> false)
-    !(move_list_ref c n)
+    c.move_list.(n)
 
 let move_related c n = node_moves c n <> []
 
-let enable_moves c nodes =
-  ISet.iter
-    (fun n ->
-      List.iter
-        (fun i ->
-          if c.mstate.(i) = Active_m then begin
-            c.mstate.(i) <- Worklist_m;
-            c.worklist_moves <- ISet.add i c.worklist_moves
-          end)
-        (node_moves c n))
-    nodes
+let enable_moves_one c n =
+  List.iter
+    (fun i ->
+      if c.mstate.(i) = Active_m then begin
+        c.mstate.(i) <- Worklist_m;
+        c.worklist_moves <- ISet.add i c.worklist_moves
+      end)
+    (node_moves c n)
 
 let set_location c n loc =
-  (match Hashtbl.find_opt c.where n with
-  | Some Simplify_wl -> c.simplify_wl <- ISet.remove n c.simplify_wl
-  | Some Freeze_wl -> c.freeze_wl <- ISet.remove n c.freeze_wl
-  | Some Spill_wl -> c.spill_wl <- ISet.remove n c.spill_wl
-  | Some (On_stack | Coalesced_node) | None -> ());
-  Hashtbl.replace c.where n loc;
+  (match c.where.(n) with
+  | Simplify_wl -> c.simplify_wl <- ISet.remove n c.simplify_wl
+  | Freeze_wl -> c.freeze_wl <- ISet.remove n c.freeze_wl
+  | Spill_wl -> c.spill_wl <- ISet.remove n c.spill_wl
+  | On_stack | Coalesced_node -> ());
+  c.where.(n) <- loc;
   match loc with
   | Simplify_wl -> c.simplify_wl <- ISet.add n c.simplify_wl
   | Freeze_wl -> c.freeze_wl <- ISet.add n c.freeze_wl
@@ -103,60 +89,62 @@ let set_location c n loc =
   | On_stack | Coalesced_node -> ()
 
 let decrement_degree c m =
-  let d = degree_of c m in
-  Hashtbl.replace c.degree m (d - 1);
+  let d = c.degree.(m) in
+  c.degree.(m) <- d - 1;
   if d = c.k then begin
-    enable_moves c (ISet.add m (adjacent c m));
-    if Hashtbl.find_opt c.where m = Some Spill_wl then
+    enable_moves_one c m;
+    iter_adjacent c m (fun n -> enable_moves_one c n);
+    if c.where.(m) = Spill_wl then
       if move_related c m then set_location c m Freeze_wl
       else set_location c m Simplify_wl
   end
 
 let add_edge c u v =
-  if u <> v && not (ISet.mem v !(adj_ref c u)) then begin
-    let ru = adj_ref c u and rv = adj_ref c v in
-    ru := ISet.add v !ru;
-    rv := ISet.add u !rv;
-    Hashtbl.replace c.degree u (degree_of c u + 1);
-    Hashtbl.replace c.degree v (degree_of c v + 1)
+  if u <> v && not (Flat.mem_edge c.f u v) then begin
+    Flat.add_edge c.f u v;
+    c.degree.(u) <- c.degree.(u) + 1;
+    c.degree.(v) <- c.degree.(v) + 1
   end
 
 let add_work_list c u =
-  if (not (move_related c u)) && degree_of c u < c.k then
+  if (not (move_related c u)) && c.degree.(u) < c.k then
     set_location c u Simplify_wl
 
 (* George: every in-play neighbor t of [a] is low-degree or already a
-   neighbor of [b]. *)
+   neighbor of [b] (an O(1) bitmatrix probe). *)
 let ok_george c a b =
-  ISet.for_all
-    (fun t -> degree_of c t < c.k || ISet.mem t !(adj_ref c b))
-    (adjacent c a)
+  let ok = ref true in
+  iter_adjacent c a (fun t ->
+      if !ok && c.degree.(t) >= c.k && not (Flat.mem_edge c.f t b) then
+        ok := false);
+  !ok
 
-(* Briggs on the union neighborhood. *)
+(* Briggs on the union neighborhood; deduplication between the two
+   adjacency rows is the O(1) membership probe. *)
 let conservative_briggs c u v =
-  let nodes = ISet.union (adjacent c u) (adjacent c v) in
-  let high = ISet.fold (fun n acc -> if degree_of c n >= c.k then acc + 1 else acc) nodes 0 in
-  high < c.k
+  let high = ref 0 in
+  iter_adjacent c u (fun n -> if c.degree.(n) >= c.k then incr high);
+  iter_adjacent c v (fun n ->
+      if (not (Flat.mem_edge c.f u n)) && c.degree.(n) >= c.k then incr high);
+  !high < c.k
 
 let combine c u v =
   set_location c v Coalesced_node;
-  Hashtbl.replace c.alias v u;
-  let mu = move_list_ref c u and mv = move_list_ref c v in
-  mu := !mu @ !mv;
-  enable_moves c (ISet.singleton v);
-  ISet.iter
-    (fun t ->
+  c.alias.(v) <- u;
+  c.move_list.(u) <- c.move_list.(u) @ c.move_list.(v);
+  enable_moves_one c v;
+  (* [v]'s adjacency row is not mutated by add_edge/decrement_degree on
+     other nodes, so iterating it live is safe. *)
+  iter_adjacent c v (fun t ->
       add_edge c t u;
-      decrement_degree c t)
-    (adjacent c v);
-  if degree_of c u >= c.k && Hashtbl.find_opt c.where u = Some Freeze_wl then
+      decrement_degree c t);
+  if c.degree.(u) >= c.k && c.where.(u) = Freeze_wl then
     set_location c u Spill_wl
 
 let freeze_moves c u =
   List.iter
     (fun i ->
-      let m = c.moves.(i) in
-      let x = get_alias c m.u and y = get_alias c m.v in
+      let x = get_alias c c.move_u.(i) and y = get_alias c c.move_v.(i) in
       let v = if y = get_alias c u then x else y in
       (match c.mstate.(i) with
       | Active_m -> c.mstate.(i) <- Frozen_m
@@ -164,7 +152,7 @@ let freeze_moves c u =
           c.worklist_moves <- ISet.remove i c.worklist_moves;
           c.mstate.(i) <- Frozen_m
       | Coalesced_m | Constrained_m | Frozen_m -> ());
-      if (not (move_related c v)) && degree_of c v < c.k then
+      if (not (move_related c v)) && c.degree.(v) < c.k then
         set_location c v Simplify_wl)
     (node_moves c u)
 
@@ -174,7 +162,7 @@ let simplify c =
   | Some n ->
       set_location c n On_stack;
       c.stack <- n :: c.stack;
-      ISet.iter (fun m -> decrement_degree c m) (adjacent c n);
+      iter_adjacent c n (fun m -> decrement_degree c m);
       true
 
 let coalesce_step c =
@@ -182,13 +170,12 @@ let coalesce_step c =
   | None -> false
   | Some i ->
       c.worklist_moves <- ISet.remove i c.worklist_moves;
-      let m = c.moves.(i) in
-      let x = get_alias c m.u and y = get_alias c m.v in
+      let x = get_alias c c.move_u.(i) and y = get_alias c c.move_v.(i) in
       if x = y then begin
         c.mstate.(i) <- Coalesced_m;
         add_work_list c x
       end
-      else if ISet.mem y !(adj_ref c x) then begin
+      else if Flat.mem_edge c.f x y then begin
         c.mstate.(i) <- Constrained_m;
         add_work_list c x;
         add_work_list c y
@@ -219,46 +206,52 @@ let freeze c =
       true
 
 let select_spill c =
-  (* Spill-metric: prefer high current degree, low move weight. *)
-  match ISet.elements c.spill_wl with
-  | [] -> false
-  | candidates ->
-      let move_weight n =
-        List.fold_left (fun acc i -> acc + c.moves.(i).weight) 0 !(move_list_ref c n)
-      in
-      let metric n =
-        float_of_int (degree_of c n) /. float_of_int (1 + move_weight n)
-      in
-      let m =
-        List.fold_left
-          (fun best n ->
-            match best with
-            | Some b when metric b >= metric n -> best
-            | _ -> Some n)
-          None candidates
-        |> function
-        | Some n -> n
-        | None -> assert false
-      in
-      set_location c m Simplify_wl;
-      freeze_moves c m;
-      true
+  (* Spill-metric: prefer high current degree, low move weight.  Each
+     candidate's metric is computed exactly once (the previous
+     implementation recomputed both sides per comparison). *)
+  if ISet.is_empty c.spill_wl then false
+  else begin
+    let best =
+      ISet.fold
+        (fun n best ->
+          let move_weight =
+            List.fold_left
+              (fun acc i -> acc + c.moves.(i).weight)
+              0 c.move_list.(n)
+          in
+          let metric =
+            float_of_int c.degree.(n) /. float_of_int (1 + move_weight)
+          in
+          match best with
+          | Some (_, bm) when bm >= metric -> best
+          | _ -> Some (n, metric))
+        c.spill_wl None
+    in
+    let m = match best with Some (n, _) -> n | None -> assert false in
+    set_location c m Simplify_wl;
+    freeze_moves c m;
+    true
+  end
 
 (* One build/simplify/select round on the given instance. *)
 let round ~rule ~biased (p : Problem.t) =
-  let nodes = Graph.vertices p.graph in
+  let f = Flat.of_graph p.graph in
+  let n = Flat.capacity f in
   let moves = Array.of_list p.affinities in
+  let nmoves = Array.length moves in
   let c =
     {
       k = p.k;
       rule;
-      adj = Hashtbl.create 64;
-      degree = Hashtbl.create 64;
-      where = Hashtbl.create 64;
-      alias = Hashtbl.create 16;
+      f;
+      degree = Array.init n (Flat.degree f);
+      where = Array.make n Simplify_wl;
+      alias = Array.init n Fun.id;
       moves;
-      mstate = Array.make (Array.length moves) Active_m;
-      move_list = Hashtbl.create 64;
+      move_u = Array.map (fun (a : Problem.affinity) -> Flat.index f a.u) moves;
+      move_v = Array.map (fun (a : Problem.affinity) -> Flat.index f a.v) moves;
+      mstate = Array.make nmoves Active_m;
+      move_list = Array.make n [];
       simplify_wl = ISet.empty;
       freeze_wl = ISet.empty;
       spill_wl = ISet.empty;
@@ -266,27 +259,24 @@ let round ~rule ~biased (p : Problem.t) =
       stack = [];
     }
   in
-  (* Build *)
-  List.iter (fun v -> ignore (adj_ref c v)) nodes;
-  Graph.iter_edges (fun u v -> add_edge c u v) p.graph;
-  Array.iteri
-    (fun i (a : Problem.affinity) ->
-      if not (Graph.mem_edge p.graph a.u a.v) then begin
-        c.mstate.(i) <- Worklist_m;
-        c.worklist_moves <- ISet.add i c.worklist_moves;
-        let ru = move_list_ref c a.u and rv = move_list_ref c a.v in
-        ru := i :: !ru;
-        rv := i :: !rv
-      end
-      else c.mstate.(i) <- Constrained_m)
-    moves;
+  (* Build: the interference edges are already in [f]; only the moves
+     need classifying. *)
+  for i = 0 to nmoves - 1 do
+    let iu = c.move_u.(i) and iv = c.move_v.(i) in
+    if not (Flat.mem_edge f iu iv) then begin
+      c.mstate.(i) <- Worklist_m;
+      c.worklist_moves <- ISet.add i c.worklist_moves;
+      c.move_list.(iu) <- i :: c.move_list.(iu);
+      c.move_list.(iv) <- i :: c.move_list.(iv)
+    end
+    else c.mstate.(i) <- Constrained_m
+  done;
   (* MakeWorklist *)
-  List.iter
-    (fun n ->
-      if degree_of c n >= c.k then set_location c n Spill_wl
-      else if move_related c n then set_location c n Freeze_wl
-      else set_location c n Simplify_wl)
-    nodes;
+  for v = 0 to n - 1 do
+    if c.degree.(v) >= c.k then set_location c v Spill_wl
+    else if move_related c v then set_location c v Freeze_wl
+    else set_location c v Simplify_wl
+  done;
   (* Main loop *)
   let rec loop () =
     if simplify c then loop ()
@@ -298,18 +288,14 @@ let round ~rule ~biased (p : Problem.t) =
   (* AssignColors.  With [biased], prefer a color already held by a
      move partner (biased coloring, mentioned in the paper's Section 1):
      uncoalesced moves then still have a chance to disappear. *)
-  let colors = Hashtbl.create 64 in
+  let colors = Array.make n (-1) in
   let spilled = ref [] in
   List.iter
-    (fun n ->
+    (fun v ->
       let ok = Array.make c.k true in
-      ISet.iter
-        (fun w ->
+      Flat.iter_neighbors f v (fun w ->
           let wa = get_alias c w in
-          match Hashtbl.find_opt colors wa with
-          | Some col -> ok.(col) <- false
-          | None -> ())
-        !(adj_ref c n);
+          if colors.(wa) >= 0 then ok.(colors.(wa)) <- false);
       let preferred () =
         if not biased then None
         else
@@ -318,49 +304,42 @@ let round ~rule ~biased (p : Problem.t) =
               match acc with
               | Some _ -> acc
               | None ->
-                  let m = c.moves.(i) in
                   let partner =
-                    if get_alias c m.u = n then get_alias c m.v
-                    else get_alias c m.u
+                    if get_alias c c.move_u.(i) = v then
+                      get_alias c c.move_v.(i)
+                    else get_alias c c.move_u.(i)
                   in
-                  (match Hashtbl.find_opt colors partner with
-                  | Some col when col < c.k && ok.(col) -> Some col
-                  | Some _ | None -> None))
-            None
-            !(move_list_ref c n)
+                  let col = colors.(partner) in
+                  if col >= 0 && col < c.k && ok.(col) then Some col else None)
+            None c.move_list.(v)
       in
-      let rec first i = if i >= c.k then None else if ok.(i) then Some i else first (i + 1) in
+      let rec first i =
+        if i >= c.k then None else if ok.(i) then Some i else first (i + 1)
+      in
       match (preferred (), first 0) with
-      | Some col, _ -> Hashtbl.replace colors n col
-      | None, Some col -> Hashtbl.replace colors n col
-      | None, None -> spilled := n :: !spilled)
+      | Some col, _ -> colors.(v) <- col
+      | None, Some col -> colors.(v) <- col
+      | None, None -> spilled := Flat.label f v :: !spilled)
     c.stack;
   (* Push colors out to coalesced members. *)
-  let coalesced_pairs =
-    Hashtbl.fold
-      (fun n loc acc -> if loc = Coalesced_node then n :: acc else acc)
-      c.where []
-  in
-  List.iter
-    (fun n ->
-      match Hashtbl.find_opt colors (get_alias c n) with
-      | Some col -> Hashtbl.replace colors n col
-      | None -> ())
-    coalesced_pairs;
-  let merges =
-    List.filter_map
-      (fun n ->
-        let a = get_alias c n in
-        if a <> n then Some (a, n) else None)
-      coalesced_pairs
-  in
-  (colors, List.rev !spilled, merges)
+  let coloring = ref IMap.empty in
+  let merges = ref [] in
+  for v = 0 to n - 1 do
+    if c.where.(v) = Coalesced_node then begin
+      let a = get_alias c v in
+      merges := (Flat.label f a, Flat.label f v) :: !merges;
+      if colors.(a) >= 0 then colors.(v) <- colors.(a)
+    end;
+    if colors.(v) >= 0 then
+      coloring := IMap.add (Flat.label f v) colors.(v) !coloring
+  done;
+  (!coloring, List.rev !spilled, List.rev !merges)
 
 let allocate ?(rule = Briggs_and_george) ?(biased = false) (p : Problem.t) =
   (* Rebuild loop: restart on the instance without actually-spilled
      vertices until the select phase colors everything. *)
   let rec go (q : Problem.t) all_spilled rounds =
-    let colors, spilled, merges = round ~rule ~biased q in
+    let coloring, spilled, merges = round ~rule ~biased q in
     match spilled with
     | [] ->
         let st =
@@ -369,9 +348,6 @@ let allocate ?(rule = Briggs_and_george) ?(biased = false) (p : Problem.t) =
               match Coalescing.merge st a n with Some st' -> st' | None -> st)
             (Coalescing.initial q.graph)
             merges
-        in
-        let coloring =
-          Hashtbl.fold (fun n col acc -> IMap.add n col acc) colors IMap.empty
         in
         (* Report the solution against the original problem: affinities
            with a spilled endpoint count as given up. *)

@@ -65,3 +65,78 @@ let george_extended g ~k u v =
 
 let briggs_or_george g ~k u v =
   briggs g ~k u v || george g ~k u v || george g ~k v u
+
+(* ------------------------------------------------------------------ *)
+(* The same tests on the flat kernel (dense indices).  Adjacency probes
+   are O(1) bitmatrix reads, so Briggs is O(deg u + deg v) and George
+   O(deg u) with zero allocation — these are the inner loops of the
+   conservative worklist (Conservative.coalesce_state) and of IRC.     *)
+(* ------------------------------------------------------------------ *)
+
+module Flat = Rc_graph.Flat
+
+let check_preconditions_flat name f u v =
+  if u = v then
+    invalid_arg (Printf.sprintf "Rules.%s: identical vertices" name);
+  if not (Flat.is_live f u && Flat.is_live f v) then
+    invalid_arg (Printf.sprintf "Rules.%s: absent vertex" name);
+  if Flat.mem_edge f u v then
+    invalid_arg (Printf.sprintf "Rules.%s: interfering vertices" name)
+
+(* Degree of [w] in the graph where u and v have been merged. *)
+let merged_degree_flat f u v w =
+  let d = Flat.degree f w in
+  if Flat.mem_edge f u w && Flat.mem_edge f v w then d - 1 else d
+
+let briggs_flat f ~k u v =
+  check_preconditions_flat "briggs_flat" f u v;
+  (* Union neighborhood without materializing it: neighbors of u, plus
+     neighbors of v not already adjacent to u (an O(1) probe). *)
+  let high = ref 0 in
+  Flat.iter_neighbors f u (fun w ->
+      if w <> v && merged_degree_flat f u v w >= k then incr high);
+  Flat.iter_neighbors f v (fun w ->
+      if w <> u && (not (Flat.mem_edge f u w)) && Flat.degree f w >= k then
+        incr high);
+  !high < k
+
+let george_flat f ~k u v =
+  check_preconditions_flat "george_flat" f u v;
+  let ok = ref true in
+  Flat.iter_neighbors f u (fun w ->
+      if w <> v && Flat.degree f w >= k && not (Flat.mem_edge f w v) then
+        ok := false);
+  !ok
+
+let george_extended_flat f ~k u v =
+  check_preconditions_flat "george_extended_flat" f u v;
+  let merged_vertex_degree =
+    Flat.fold_neighbors f u
+      (fun acc w -> if w <> v then acc + 1 else acc)
+      (Flat.fold_neighbors f v
+         (fun acc w ->
+           if w <> u && not (Flat.mem_edge f u w) then acc + 1 else acc)
+         0)
+  in
+  let briggs_simplifiable w =
+    let high =
+      Flat.fold_neighbors f w
+        (fun acc x ->
+          if x <> u && x <> v && merged_degree_flat f u v x >= k then acc + 1
+          else acc)
+        (if merged_vertex_degree >= k then 1 else 0)
+    in
+    high <= k - 1
+  in
+  let ok = ref true in
+  Flat.iter_neighbors f u (fun w ->
+      if
+        !ok && w <> v
+        && merged_degree_flat f u v w >= k
+        && (not (Flat.mem_edge f w v))
+        && not (briggs_simplifiable w)
+      then ok := false);
+  !ok
+
+let briggs_or_george_flat f ~k u v =
+  briggs_flat f ~k u v || george_flat f ~k u v || george_flat f ~k v u

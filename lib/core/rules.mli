@@ -30,3 +30,16 @@ val george_extended :
 val briggs_or_george : Rc_graph.Graph.t -> k:int -> Rc_graph.Graph.vertex -> Rc_graph.Graph.vertex -> bool
 (** Briggs, or George in either orientation — the combination Section 4
     recommends once spilling is already settled. *)
+
+(** {1 Flat-kernel variants}
+
+    The same tests over dense {!Rc_graph.Flat} indices; adjacency
+    probes are O(1) bitmatrix reads and no sets are materialized, so
+    these are the allocation-free inner loops of the conservative
+    worklist and IRC.  Same preconditions and semantics as their
+    persistent counterparts (verified by property tests). *)
+
+val briggs_flat : Rc_graph.Flat.t -> k:int -> int -> int -> bool
+val george_flat : Rc_graph.Flat.t -> k:int -> int -> int -> bool
+val george_extended_flat : Rc_graph.Flat.t -> k:int -> int -> int -> bool
+val briggs_or_george_flat : Rc_graph.Flat.t -> k:int -> int -> int -> bool

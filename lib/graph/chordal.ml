@@ -1,61 +1,113 @@
 module ISet = Graph.ISet
 module IMap = Graph.IMap
 
-(* Maximum-cardinality search.  Visits vertices by decreasing number of
-   already-visited neighbors; the reverse visit order is a PEO iff the
-   graph is chordal.  Weights are kept in a map from weight to vertex
-   bucket for an O((V + E) log V) implementation. *)
-let mcs_order g =
-  let n = Graph.num_vertices g in
+(* Maximum-cardinality search on the flat kernel.  Visits vertices by
+   decreasing number of already-visited neighbors; the reverse visit
+   order is a PEO iff the graph is chordal.  Weights live in a scratch
+   array and the weight buckets are plain stacks with lazy deletion
+   (an entry is stale when the vertex was visited or re-pushed at a
+   higher weight), giving O(V + E) total.  Returns dense indices in
+   reverse visit order — the head is eliminated first. *)
+let flat_mcs_order f =
+  let n = Flat.num_live f in
   if n = 0 then []
   else begin
-    let weight = Hashtbl.create n in
-    let visited = Hashtbl.create n in
-    List.iter (fun v -> Hashtbl.replace weight v 0) (Graph.vertices g);
-    (* Buckets: weight -> vertex set, lazily cleaned. *)
-    let buckets = Hashtbl.create n in
-    let bucket w =
-      match Hashtbl.find_opt buckets w with Some s -> s | None -> ISet.empty
-    in
-    List.iter
-      (fun v -> Hashtbl.replace buckets 0 (ISet.add v (bucket 0)))
-      (Graph.vertices g);
+    let weight = Flat.scratch1 f in
+    let visited = Flat.scratch2 f in
+    Flat.iter_live f (fun v ->
+        weight.(v) <- 0;
+        visited.(v) <- 0);
+    let buckets = Array.make (n + 1) [] in
+    Flat.iter_live f (fun v -> buckets.(0) <- v :: buckets.(0));
     let max_w = ref 0 in
-    let visit_order = ref [] in
+    let order = ref [] in
     for _ = 1 to n do
-      (* Find the highest non-empty bucket with an unvisited vertex. *)
-      let rec pick w =
-        if w < 0 then None
-        else
-          let s = ISet.filter (fun v -> not (Hashtbl.mem visited v)) (bucket w) in
-          Hashtbl.replace buckets w s;
-          match ISet.choose_opt s with
-          | Some v -> Some (v, w)
-          | None -> pick (w - 1)
+      let rec pop () =
+        match buckets.(!max_w) with
+        | [] ->
+            decr max_w;
+            pop ()
+        | v :: rest ->
+            buckets.(!max_w) <- rest;
+            if visited.(v) = 1 || weight.(v) <> !max_w then pop () else v
       in
-      match pick !max_w with
-      | None -> assert false
-      | Some (v, w) ->
-          max_w := w;
-          Hashtbl.replace visited v ();
-          visit_order := v :: !visit_order;
-          ISet.iter
-            (fun u ->
-              if not (Hashtbl.mem visited u) then begin
-                let wu = Hashtbl.find weight u in
-                Hashtbl.replace weight u (wu + 1);
-                Hashtbl.replace buckets (wu + 1)
-                  (ISet.add u (bucket (wu + 1)));
-                if wu + 1 > !max_w then max_w := wu + 1
-              end)
-            (Graph.neighbors g v)
+      let v = pop () in
+      visited.(v) <- 1;
+      order := v :: !order;
+      Flat.iter_neighbors f v (fun u ->
+          if visited.(u) = 0 then begin
+            let w = weight.(u) + 1 in
+            weight.(u) <- w;
+            buckets.(w) <- u :: buckets.(w);
+            if w > !max_w then max_w := w
+          end)
     done;
-    (* visit_order already holds the reverse of the visit order. *)
-    !visit_order
+    !order
   end
 
+(* Zero-fill-in check of a candidate PEO, flat: for each vertex, its
+   later neighbors minus the follower (earliest later neighbor) must
+   all be adjacent to the follower — each adjacency probe is an O(1)
+   bitmatrix read, so the whole check is O(V + E).  [order] must
+   enumerate the live indices exactly once. *)
+let flat_is_peo f order =
+  let pos = Flat.scratch1 f in
+  List.iteri (fun i v -> pos.(v) <- i) order;
+  let ok = ref true in
+  List.iteri
+    (fun pv v ->
+      if !ok then begin
+        let follower = ref (-1) and follower_pos = ref max_int in
+        Flat.iter_neighbors f v (fun u ->
+            if pos.(u) > pv && pos.(u) < !follower_pos then begin
+              follower := u;
+              follower_pos := pos.(u)
+            end);
+        if !follower >= 0 then
+          Flat.iter_neighbors f v (fun u ->
+              if pos.(u) > pv && u <> !follower
+                 && not (Flat.mem_edge f !follower u)
+              then ok := false)
+      end)
+    order;
+  !ok
+
+let flat_is_chordal f = flat_is_peo f (flat_mcs_order f)
+
+let mcs_order g =
+  let f = Flat.of_graph g in
+  List.map (Flat.label f) (flat_mcs_order f)
+
+let is_perfect_elimination_order g order =
+  if
+    List.length order <> Graph.num_vertices g
+    || not (List.for_all (Graph.mem_vertex g) order)
+  then false
+  else begin
+    let f = Flat.of_graph g in
+    let idx_order = List.map (Flat.index f) order in
+    (* Reject repeats: combined with the length check above this makes
+       [order] a permutation of the vertex set. *)
+    let seen = Array.make (max 1 (Flat.capacity f)) false in
+    let distinct =
+      List.for_all
+        (fun v ->
+          if seen.(v) then false
+          else begin
+            seen.(v) <- true;
+            true
+          end)
+        idx_order
+    in
+    distinct && flat_is_peo f idx_order
+  end
+
+let is_chordal g = flat_is_chordal (Flat.of_graph g)
+
 (* Later-neighbor map: for each vertex, its neighbors occurring strictly
-   after it in [order]. *)
+   after it in [order].  Feeds the PEO-derived structures below (omega,
+   coloring, maximal cliques), which stay on the persistent
+   representation — they are not on the hot paths. *)
 let later_neighbors g order =
   let position = Hashtbl.create (List.length order) in
   List.iteri (fun i v -> Hashtbl.replace position v i) order;
@@ -64,36 +116,6 @@ let later_neighbors g order =
     ISet.filter (fun u -> Hashtbl.find position u > pv) (Graph.neighbors g v)
   in
   (position, later)
-
-let is_perfect_elimination_order g order =
-  if
-    List.length order <> Graph.num_vertices g
-    || not (List.for_all (Graph.mem_vertex g) order)
-  then false
-  else
-    let position, later = later_neighbors g order in
-    (* Classical linear test: the later neighbors of v minus its follower
-       (earliest later neighbor) must all be neighbors of the follower. *)
-    List.for_all
-      (fun v ->
-        let ln = later v in
-        match
-          ISet.fold
-            (fun u best ->
-              match best with
-              | Some b when Hashtbl.find position b <= Hashtbl.find position u
-                -> best
-              | _ -> Some u)
-            ln None
-        with
-        | None -> true
-        | Some follower ->
-            ISet.subset
-              (ISet.remove follower ln)
-              (Graph.neighbors g follower))
-      order
-
-let is_chordal g = is_perfect_elimination_order g (mcs_order g)
 
 let simplicial_vertices g =
   List.filter
@@ -198,3 +220,86 @@ let find_chordless_cycle g =
     in
     List.iter check (Graph.vertices g);
     !result
+
+(* ------------------------------------------------------------------ *)
+(* Reference implementations on the persistent representation, kept as
+   the baseline for equivalence property tests and the old-vs-new
+   benchmark trajectory (bench/main.ml, BENCH_*.json).                 *)
+(* ------------------------------------------------------------------ *)
+
+module Reference = struct
+  let mcs_order g =
+    let n = Graph.num_vertices g in
+    if n = 0 then []
+    else begin
+      let weight = Hashtbl.create n in
+      let visited = Hashtbl.create n in
+      List.iter (fun v -> Hashtbl.replace weight v 0) (Graph.vertices g);
+      let buckets = Hashtbl.create n in
+      let bucket w =
+        match Hashtbl.find_opt buckets w with Some s -> s | None -> ISet.empty
+      in
+      List.iter
+        (fun v -> Hashtbl.replace buckets 0 (ISet.add v (bucket 0)))
+        (Graph.vertices g);
+      let max_w = ref 0 in
+      let visit_order = ref [] in
+      for _ = 1 to n do
+        let rec pick w =
+          if w < 0 then None
+          else
+            let s =
+              ISet.filter (fun v -> not (Hashtbl.mem visited v)) (bucket w)
+            in
+            Hashtbl.replace buckets w s;
+            match ISet.choose_opt s with
+            | Some v -> Some (v, w)
+            | None -> pick (w - 1)
+        in
+        match pick !max_w with
+        | None -> assert false
+        | Some (v, w) ->
+            max_w := w;
+            Hashtbl.replace visited v ();
+            visit_order := v :: !visit_order;
+            ISet.iter
+              (fun u ->
+                if not (Hashtbl.mem visited u) then begin
+                  let wu = Hashtbl.find weight u in
+                  Hashtbl.replace weight u (wu + 1);
+                  Hashtbl.replace buckets (wu + 1)
+                    (ISet.add u (bucket (wu + 1)));
+                  if wu + 1 > !max_w then max_w := wu + 1
+                end)
+              (Graph.neighbors g v)
+      done;
+      !visit_order
+    end
+
+  let is_perfect_elimination_order g order =
+    if
+      List.length order <> Graph.num_vertices g
+      || not (List.for_all (Graph.mem_vertex g) order)
+    then false
+    else
+      let position, later = later_neighbors g order in
+      List.for_all
+        (fun v ->
+          let ln = later v in
+          match
+            ISet.fold
+              (fun u best ->
+                match best with
+                | Some b
+                  when Hashtbl.find position b <= Hashtbl.find position u ->
+                    best
+                | _ -> Some u)
+              ln None
+          with
+          | None -> true
+          | Some follower ->
+              ISet.subset (ISet.remove follower ln) (Graph.neighbors g follower))
+        order
+
+  let is_chordal g = is_perfect_elimination_order g (mcs_order g)
+end

@@ -5,7 +5,12 @@
     is produced by maximum-cardinality search (MCS) exactly when the
     graph is chordal, which gives a linear-time recognition algorithm and
     — since chordal graphs are perfect — an optimal coloring with
-    omega(G) colors by coloring along the reverse PEO. *)
+    omega(G) colors by coloring along the reverse PEO.
+
+    MCS and the zero-fill-in PEO check run on the {!Flat} kernel (array
+    weight buckets, O(1) bitmatrix adjacency probes), making recognition
+    O(V + E); the [flat_*] variants below operate directly on an
+    existing {!Flat.t} over dense indices. *)
 
 val mcs_order : Graph.t -> Graph.vertex list
 (** Maximum-cardinality search order.  The returned list is a candidate
@@ -40,3 +45,29 @@ val maximal_cliques : Graph.t -> Graph.ISet.t list
 val find_chordless_cycle : Graph.t -> Graph.vertex list option
 (** A certificate of non-chordality: a cycle of length >= 4 without a
     chord, or [None] if the graph is chordal. *)
+
+(** {1 Flat-kernel entry points}
+
+    Read-only on the graph; they claim both scratch buffers. *)
+
+val flat_mcs_order : Flat.t -> int list
+(** MCS order over dense indices, reverse visit order (like
+    {!mcs_order}). *)
+
+val flat_is_peo : Flat.t -> int list -> bool
+(** Zero-fill-in check of a candidate PEO over dense indices.  The list
+    must enumerate every live index exactly once (not re-validated). *)
+
+val flat_is_chordal : Flat.t -> bool
+
+(** {1 Reference implementations}
+
+    The pre-flat-kernel code paths on the persistent {!Graph}
+    representation, kept as the baseline for equivalence property tests
+    and the old-vs-new benchmark trajectory ([bench --json]). *)
+
+module Reference : sig
+  val mcs_order : Graph.t -> Graph.vertex list
+  val is_perfect_elimination_order : Graph.t -> Graph.vertex list -> bool
+  val is_chordal : Graph.t -> bool
+end

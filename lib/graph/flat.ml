@@ -1,0 +1,359 @@
+(* Flat mutable graph kernel.  See the interface for the design notes.
+
+   Representation invariants:
+   - [bits] holds the symmetric adjacency bitmatrix over dense indices;
+     bit (u, v) is at u * cap + v and is set iff (v, u) is set.
+   - [adj.(u)] holds exactly the live neighbors of a live [u] in its
+     first [len.(u)] cells, without duplicates (dead vertices have all
+     incident edges removed before dying, so no stale entries survive).
+   - [len.(u)] is therefore the degree, maintained incrementally.
+   - The undo log records primitive operations (edge added, edge
+     removed, vertex killed) newest-last; rollback replays inverses
+     newest-first.  Logging is active iff [ncheck > 0]. *)
+
+type op =
+  | Op_add of int * int (* edge (u, v) was added *)
+  | Op_remove of int * int (* edge (u, v) was removed *)
+  | Op_kill of int (* vertex was marked dead (edges already removed) *)
+
+type t = {
+  cap : int;
+  bits : Bytes.t;
+  adj : int array array;
+  len : int array;
+  alive : Bytes.t; (* one byte per index: '\001' live, '\000' dead *)
+  mutable nlive : int;
+  mutable nedges : int;
+  labels : int array; (* index -> original vertex *)
+  index_tbl : (int, int) Hashtbl.t; (* original vertex -> index *)
+  mutable log : op array;
+  mutable log_len : int;
+  mutable ncheck : int;
+  mutable sbuf1 : int array;
+  mutable sbuf2 : int array;
+}
+
+type checkpoint = int
+
+(* ------------------------------------------------------------------ *)
+(* Bitmatrix                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let get_bit t u v =
+  let i = (u * t.cap) + v in
+  Char.code (Bytes.unsafe_get t.bits (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let set_bit1 t u v =
+  let i = (u * t.cap) + v in
+  Bytes.unsafe_set t.bits (i lsr 3)
+    (Char.unsafe_chr
+       (Char.code (Bytes.unsafe_get t.bits (i lsr 3)) lor (1 lsl (i land 7))))
+
+let clear_bit1 t u v =
+  let i = (u * t.cap) + v in
+  Bytes.unsafe_set t.bits (i lsr 3)
+    (Char.unsafe_chr
+       (Char.code (Bytes.unsafe_get t.bits (i lsr 3))
+       land lnot (1 lsl (i land 7))))
+
+(* ------------------------------------------------------------------ *)
+(* Basic queries                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let capacity t = t.cap
+let num_live t = t.nlive
+let num_edges t = t.nedges
+let is_live t v = v >= 0 && v < t.cap && Bytes.unsafe_get t.alive v <> '\000'
+let label t v = t.labels.(v)
+let index t orig = Hashtbl.find t.index_tbl orig
+let mem_edge t u v = get_bit t u v
+let degree t v = t.len.(v)
+
+let check_index t name v =
+  if v < 0 || v >= t.cap then
+    invalid_arg (Printf.sprintf "Flat.%s: index %d out of range" name v);
+  if not (is_live t v) then
+    invalid_arg (Printf.sprintf "Flat.%s: dead index %d" name v)
+
+let iter_neighbors t v f =
+  let a = t.adj.(v) and n = t.len.(v) in
+  for i = 0 to n - 1 do
+    f (Array.unsafe_get a i)
+  done
+
+let fold_neighbors t v f init =
+  let a = t.adj.(v) and n = t.len.(v) in
+  let acc = ref init in
+  for i = 0 to n - 1 do
+    acc := f !acc (Array.unsafe_get a i)
+  done;
+  !acc
+
+let neighbor_list t v = fold_neighbors t v (fun acc u -> u :: acc) []
+
+let iter_live t f =
+  for v = 0 to t.cap - 1 do
+    if Bytes.unsafe_get t.alive v <> '\000' then f v
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Raw (unlogged) mutations                                            *)
+(* ------------------------------------------------------------------ *)
+
+let push_neighbor t u v =
+  let a = t.adj.(u) in
+  let n = t.len.(u) in
+  if n = Array.length a then begin
+    let b = Array.make (max 4 (2 * n)) 0 in
+    Array.blit a 0 b 0 n;
+    t.adj.(u) <- b;
+    b.(n) <- v
+  end
+  else a.(n) <- v;
+  t.len.(u) <- n + 1
+
+(* Swap-remove [v] from the adjacency row of [u]; the row order is not
+   meaningful, so this is O(degree) worst case and O(1) amortized for
+   rollbacks of fresh additions. *)
+let drop_neighbor t u v =
+  let a = t.adj.(u) in
+  let n = t.len.(u) in
+  let rec find i = if a.(i) = v then i else find (i + 1) in
+  let i = find 0 in
+  a.(i) <- a.(n - 1);
+  t.len.(u) <- n - 1
+
+let raw_add_edge t u v =
+  set_bit1 t u v;
+  set_bit1 t v u;
+  push_neighbor t u v;
+  push_neighbor t v u;
+  t.nedges <- t.nedges + 1
+
+let raw_remove_edge t u v =
+  clear_bit1 t u v;
+  clear_bit1 t v u;
+  drop_neighbor t u v;
+  drop_neighbor t v u;
+  t.nedges <- t.nedges - 1
+
+(* ------------------------------------------------------------------ *)
+(* Undo log                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let log_op t op =
+  if t.ncheck > 0 then begin
+    if t.log_len = Array.length t.log then begin
+      let b = Array.make (max 16 (2 * t.log_len)) op in
+      Array.blit t.log 0 b 0 t.log_len;
+      t.log <- b
+    end;
+    t.log.(t.log_len) <- op;
+    t.log_len <- t.log_len + 1
+  end
+
+let checkpoint t =
+  t.ncheck <- t.ncheck + 1;
+  t.log_len
+
+let rollback t c =
+  if t.ncheck <= 0 then invalid_arg "Flat.rollback: no open checkpoint";
+  while t.log_len > c do
+    t.log_len <- t.log_len - 1;
+    match t.log.(t.log_len) with
+    | Op_add (u, v) -> raw_remove_edge t u v
+    | Op_remove (u, v) -> raw_add_edge t u v
+    | Op_kill v ->
+        Bytes.unsafe_set t.alive v '\001';
+        t.nlive <- t.nlive + 1
+  done;
+  t.ncheck <- t.ncheck - 1
+
+let release t _c =
+  if t.ncheck <= 0 then invalid_arg "Flat.release: no open checkpoint";
+  t.ncheck <- t.ncheck - 1;
+  if t.ncheck = 0 then t.log_len <- 0
+
+(* ------------------------------------------------------------------ *)
+(* Logged mutations                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let add_edge t u v =
+  check_index t "add_edge" u;
+  check_index t "add_edge" v;
+  if u = v then invalid_arg "Flat.add_edge: self-loop";
+  if not (get_bit t u v) then begin
+    raw_add_edge t u v;
+    log_op t (Op_add (u, v))
+  end
+
+let remove_edge t u v =
+  if get_bit t u v then begin
+    raw_remove_edge t u v;
+    log_op t (Op_remove (u, v))
+  end
+
+let remove_vertex t v =
+  if is_live t v then begin
+    while t.len.(v) > 0 do
+      let u = t.adj.(v).(t.len.(v) - 1) in
+      raw_remove_edge t v u;
+      log_op t (Op_remove (v, u))
+    done;
+    Bytes.unsafe_set t.alive v '\000';
+    t.nlive <- t.nlive - 1;
+    log_op t (Op_kill v)
+  end
+
+let merge t u v =
+  check_index t "merge" u;
+  check_index t "merge" v;
+  if u = v then invalid_arg "Flat.merge: identical vertices";
+  if get_bit t u v then invalid_arg "Flat.merge: adjacent vertices";
+  (* Snapshot v's neighbors before removing it, then graft them onto u.
+     Every step is logged individually, so rollback works for free. *)
+  let nv = Array.sub t.adj.(v) 0 t.len.(v) in
+  remove_vertex t v;
+  Array.iter (fun w -> add_edge t u w) nv
+
+(* ------------------------------------------------------------------ *)
+(* Construction and bridges                                            *)
+(* ------------------------------------------------------------------ *)
+
+let make_raw ~cap ~labels ~row_caps =
+  let bytes_needed = ((cap * cap) + 7) / 8 in
+  let t =
+    {
+      cap;
+      bits = Bytes.make bytes_needed '\000';
+      adj = Array.init cap (fun i -> Array.make (max 1 row_caps.(i)) 0);
+      len = Array.make cap 0;
+      alive = Bytes.make cap '\001';
+      nlive = cap;
+      nedges = 0;
+      labels;
+      index_tbl = Hashtbl.create (max 16 cap);
+      log = [||];
+      log_len = 0;
+      ncheck = 0;
+      sbuf1 = [||];
+      sbuf2 = [||];
+    }
+  in
+  Array.iteri (fun i l -> Hashtbl.replace t.index_tbl l i) labels;
+  t
+
+let create n =
+  if n < 0 then invalid_arg "Flat.create: negative size";
+  make_raw ~cap:n ~labels:(Array.init n Fun.id) ~row_caps:(Array.make n 1)
+
+let of_graph g =
+  let labels = Array.of_list (Graph.vertices g) in
+  let cap = Array.length labels in
+  (* Label -> index translation for the two edge passes below: labels
+     arrive sorted, so when their range is dense (the common case —
+     vertex ids are small ints) a direct-mapped array beats a hashtable
+     lookup per edge endpoint. *)
+  let translate =
+    if cap = 0 then fun _ -> 0
+    else
+      let lo = labels.(0) and hi = labels.(cap - 1) in
+      if hi - lo < (8 * cap) + 64 then begin
+        let map = Array.make (hi - lo + 1) 0 in
+        Array.iteri (fun i v -> map.(v - lo) <- i) labels;
+        fun v -> Array.unsafe_get map (v - lo)
+      end
+      else begin
+        let tbl = Hashtbl.create (2 * cap) in
+        Array.iteri (fun i v -> Hashtbl.add tbl v i) labels;
+        Hashtbl.find tbl
+      end
+  in
+  (* Single adjacency traversal: each directed visit (u, v) fills u's
+     row and sets bit (u, v) — the symmetric visit handles the mirror
+     image.  Rows grow by doubling, which is cheaper overall than a
+     separate degree-counting pass. *)
+  let t = make_raw ~cap ~labels ~row_caps:(Array.make cap 0) in
+  Array.iteri
+    (fun iu u ->
+      Graph.ISet.iter
+        (fun v ->
+          let iv = translate v in
+          set_bit1 t iu iv;
+          push_neighbor t iu iv)
+        (Graph.neighbors g u))
+    labels;
+  t.nedges <- Array.fold_left ( + ) 0 t.len / 2;
+  t
+
+let to_graph t =
+  let g = ref Graph.empty in
+  iter_live t (fun v -> g := Graph.add_vertex !g t.labels.(v));
+  iter_live t (fun u ->
+      iter_neighbors t u (fun v ->
+          if u < v then g := Graph.add_edge !g t.labels.(u) t.labels.(v)));
+  !g
+
+let copy t =
+  {
+    t with
+    bits = Bytes.copy t.bits;
+    adj = Array.map Array.copy t.adj;
+    len = Array.copy t.len;
+    alive = Bytes.copy t.alive;
+    labels = Array.copy t.labels;
+    index_tbl = Hashtbl.copy t.index_tbl;
+    log = [||];
+    log_len = 0;
+    ncheck = 0;
+    sbuf1 = [||];
+    sbuf2 = [||];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Scratch buffers                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let scratch1 t =
+  if Array.length t.sbuf1 < t.cap then t.sbuf1 <- Array.make t.cap 0;
+  t.sbuf1
+
+let scratch2 t =
+  if Array.length t.sbuf2 < t.cap then t.sbuf2 <- Array.make t.cap 0;
+  t.sbuf2
+
+(* ------------------------------------------------------------------ *)
+(* Invariant checking (tests)                                          *)
+(* ------------------------------------------------------------------ *)
+
+let check_invariants t =
+  let fail fmt = Printf.ksprintf failwith fmt in
+  let edges = ref 0 in
+  for u = 0 to t.cap - 1 do
+    if not (is_live t u) then begin
+      if t.len.(u) <> 0 then fail "dead vertex %d has degree %d" u t.len.(u)
+    end
+    else begin
+      for i = 0 to t.len.(u) - 1 do
+        let v = t.adj.(u).(i) in
+        if not (is_live t v) then fail "edge (%d, %d) to dead vertex" u v;
+        if not (get_bit t u v) then fail "adjacency (%d, %d) missing bit" u v;
+        if u < v then incr edges;
+        for j = i + 1 to t.len.(u) - 1 do
+          if t.adj.(u).(j) = v then fail "duplicate neighbor %d of %d" v u
+        done
+      done;
+      for v = 0 to t.cap - 1 do
+        if get_bit t u v then begin
+          if not (get_bit t v u) then fail "asymmetric bit (%d, %d)" u v;
+          let found = ref false in
+          for i = 0 to t.len.(u) - 1 do
+            if t.adj.(u).(i) = v then found := true
+          done;
+          if not !found then fail "bit (%d, %d) without adjacency entry" u v
+        end
+      done
+    end
+  done;
+  if !edges <> t.nedges then
+    fail "edge count drift: counted %d, cached %d" !edges t.nedges

@@ -1,0 +1,140 @@
+(** Flat mutable graphs: the hot-path kernel behind {!Greedy_k},
+    {!Chordal} and the coalescing searches of [rc_core].
+
+    The persistent {!Graph} representation ([ISet.t IMap.t]) pays
+    O(log n) plus allocation on every adjacency probe; every algorithm
+    of this reproduction funnels through it.  [Flat] re-represents a
+    graph over a {e dense vertex index} [0 .. capacity-1]:
+
+    - adjacency as per-vertex int arrays (cache-friendly iteration),
+    - a [Bytes] bitmatrix giving O(1) {!mem_edge},
+    - cached degrees ({!degree} is an array read),
+    - reusable scratch buffers for client algorithms, and
+    - an {e undo log} ({!checkpoint} / {!rollback}) so merge-heavy
+      searches can speculate on [merge]/[remove_vertex] and back out in
+      time proportional to the work done, instead of copying the graph.
+
+    Vertices of the source {!Graph.t} are mapped to dense indices by
+    {!of_graph} (in increasing vertex order); {!label} and {!index}
+    translate between the two worlds, and {!to_graph} converts back.
+    All operations below speak {e indices}, not original vertex ids.
+
+    The bitmatrix costs [capacity^2 / 8] bytes — fine up to a few tens
+    of thousands of vertices, which covers every workload in this
+    repository by a wide margin.
+
+    Mutability discipline: a [Flat.t] is single-owner mutable state.
+    Functions in this library that accept one never retain it. *)
+
+type t
+
+type checkpoint
+(** A point in the undo log.  Checkpoints must be consumed in LIFO
+    order (most recent first), either by {!rollback} or {!release}. *)
+
+(** {1 Construction and bridges} *)
+
+val create : int -> t
+(** [create n] is the edgeless graph on live indices [0 .. n-1], with
+    [label t i = i]. *)
+
+val of_graph : Graph.t -> t
+(** Dense snapshot of a persistent graph.  Index [i] corresponds to the
+    [i]-th smallest vertex of the source. *)
+
+val to_graph : t -> Graph.t
+(** Persistent snapshot of the live part, with original labels. *)
+
+val copy : t -> t
+(** Independent copy (the undo log is not copied). *)
+
+(** {1 Index mapping} *)
+
+val capacity : t -> int
+(** Number of dense indices, live or dead.  Never changes. *)
+
+val label : t -> int -> Graph.vertex
+(** Original vertex id of an index. *)
+
+val index : t -> Graph.vertex -> int
+(** Dense index of an original vertex id.  Raises [Not_found] if the
+    vertex was not in the source graph. *)
+
+(** {1 Queries} *)
+
+val is_live : t -> int -> bool
+val num_live : t -> int
+val num_edges : t -> int
+
+val mem_edge : t -> int -> int -> bool
+(** O(1), via the bitmatrix. *)
+
+val degree : t -> int -> int
+(** O(1).  0 for dead vertices. *)
+
+val iter_neighbors : t -> int -> (int -> unit) -> unit
+(** Iterates the live neighbors of a live index, in unspecified order.
+    The graph must not be mutated during iteration. *)
+
+val fold_neighbors : t -> int -> ('a -> int -> 'a) -> 'a -> 'a
+
+val neighbor_list : t -> int -> int list
+
+val iter_live : t -> (int -> unit) -> unit
+(** Iterates live indices in increasing order. *)
+
+(** {1 Mutation}
+
+    All mutations are recorded in the undo log whenever at least one
+    checkpoint is outstanding, and are O(degree) or better. *)
+
+val add_edge : t -> int -> int -> unit
+(** No-op if the edge exists.  Raises [Invalid_argument] on self-loops
+    or dead endpoints. *)
+
+val remove_edge : t -> int -> int -> unit
+(** No-op if the edge is absent. *)
+
+val remove_vertex : t -> int -> unit
+(** Removes the incident edges, then marks the index dead.  No-op if
+    already dead. *)
+
+val merge : t -> int -> int -> unit
+(** [merge t u v] contracts [v] into [u] (the coalescing primitive):
+    all neighbors of [v] become neighbors of [u] and [v] dies.  Raises
+    [Invalid_argument] if [u = v], either index is dead, or [u] and [v]
+    are adjacent — mirroring {!Graph.merge}. *)
+
+(** {1 Speculation: the undo log} *)
+
+val checkpoint : t -> checkpoint
+(** Opens a speculation scope: subsequent mutations are logged. *)
+
+val rollback : t -> checkpoint -> unit
+(** Undoes every mutation since the checkpoint (edge content is
+    restored exactly; adjacency-array order may differ) and closes the
+    scope.  Cost is proportional to the number of logged primitive
+    edge/vertex operations. *)
+
+val release : t -> checkpoint -> unit
+(** Closes the scope, {e keeping} the mutations.  If it was the
+    outermost scope the log is discarded; otherwise the mutations
+    become part of the enclosing scope (an outer {!rollback} still
+    undoes them). *)
+
+(** {1 Scratch buffers}
+
+    Two lazily allocated [capacity]-sized int arrays for client
+    algorithms (degree copies, marks, positions...), so steady-state
+    kernels allocate nothing.  A caller must be done with a buffer
+    before any function that may also claim it runs; the library itself
+    never holds one across a callback into client code. *)
+
+val scratch1 : t -> int array
+val scratch2 : t -> int array
+
+(** {1 Debug} *)
+
+val check_invariants : t -> unit
+(** Verifies bitmatrix/adjacency/degree consistency; raises [Failure]
+    with a description on corruption.  O(capacity^2); tests only. *)

@@ -4,7 +4,14 @@
     degree [< k] empties the graph (Section 2.2 of the paper).  The order
     of removals does not matter, so the test is deterministic.  The
     smallest k for which a graph is greedy-k-colorable is the coloring
-    number col(G), computed from a smallest-last order. *)
+    number col(G), computed from a smallest-last order.
+
+    All entry points below run on the {!Flat} kernel internally — an
+    array worklist for the elimination scheme and a bucket queue for the
+    smallest-last order, both O(V + E).  The [flat_*] variants operate
+    directly on an existing {!Flat.t} (speaking dense indices) so that
+    merge-heavy searches can re-test colorability after speculative
+    mutations without rebuilding anything. *)
 
 val is_greedy_k_colorable : Graph.t -> int -> bool
 
@@ -33,3 +40,32 @@ val witness_subgraph : Graph.t -> int -> Graph.ISet.t option
     (maximal) subgraph in which every vertex has degree at least [k]
     (the residue of the elimination scheme).  [None] when greedy-k-
     colorable. *)
+
+(** {1 Flat-kernel entry points}
+
+    These read the graph but never mutate it; they do claim both scratch
+    buffers of the {!Flat.t}. *)
+
+val flat_is_greedy_k_colorable : Flat.t -> int -> bool
+
+val flat_elimination_order : Flat.t -> int -> int list option
+(** Elimination order over dense indices. *)
+
+val flat_smallest_last : Flat.t -> order:int array -> int
+(** Writes a smallest-last order (dense indices, first removed first)
+    into [order.(0 .. num_live - 1)] ([order] must be at least
+    [capacity]-sized) and returns the degeneracy, i.e. col(G) - 1.
+    Returns 0 on an empty graph. *)
+
+(** {1 Reference implementations}
+
+    The pre-flat-kernel code paths on the persistent {!Graph}
+    representation, kept as the baseline for equivalence property tests
+    and the old-vs-new benchmark trajectory ([bench --json]). *)
+
+module Reference : sig
+  val is_greedy_k_colorable : Graph.t -> int -> bool
+  val elimination_order : Graph.t -> int -> Graph.vertex list option
+  val smallest_last_order : Graph.t -> Graph.vertex list
+  val coloring_number : Graph.t -> int
+end

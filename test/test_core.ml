@@ -200,6 +200,28 @@ let prop_rules_sound =
           (not accepted)
           || Greedy_k.is_greedy_k_colorable (G.merge g u v) k)
 
+(* The flat-kernel rule tests decide exactly like the persistent ones. *)
+let prop_rules_flat_equivalent =
+  QCheck.Test.make ~name:"flat Briggs/George = persistent Briggs/George"
+    ~count:200
+    QCheck.(pair small_nat (2 -- 5))
+    (fun (seed, k) ->
+      let rng = Random.State.make [| seed; 19 |] in
+      let g = Generators.gnp rng ~n:12 ~p:0.3 in
+      let f = Rc_graph.Flat.of_graph g in
+      let vs = Array.of_list (G.vertices g) in
+      let u = vs.(Random.State.int rng (Array.length vs)) in
+      let v = vs.(Random.State.int rng (Array.length vs)) in
+      if u = v || G.mem_edge g u v then true
+      else
+        let iu = Rc_graph.Flat.index f u and iv = Rc_graph.Flat.index f v in
+        Rules.briggs g ~k u v = Rules.briggs_flat f ~k iu iv
+        && Rules.george g ~k u v = Rules.george_flat f ~k iu iv
+        && Rules.george_extended g ~k u v
+           = Rules.george_extended_flat f ~k iu iv
+        && Rules.briggs_or_george g ~k u v
+           = Rules.briggs_or_george_flat f ~k iu iv)
+
 (* ------------------------------------------------------------------ *)
 (* Aggressive                                                          *)
 (* ------------------------------------------------------------------ *)
@@ -696,7 +718,8 @@ let () =
             test_briggs_rejects_on_fig3;
           Alcotest.test_case "george" `Quick test_george_subset;
           Alcotest.test_case "preconditions" `Quick test_rules_preconditions;
-        ] );
+        ]
+        @ qc [ prop_rules_flat_equivalent ] );
       ( "aggressive",
         [
           Alcotest.test_case "simple" `Quick test_aggressive_simple;

@@ -9,6 +9,7 @@ module Greedy_k = Rc_graph.Greedy_k
 module Chordal = Rc_graph.Chordal
 module Clique_tree = Rc_graph.Clique_tree
 module Generators = Rc_graph.Generators
+module Flat = Rc_graph.Flat
 
 let check = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
@@ -646,6 +647,163 @@ let prop_coloring_number_vs_chromatic =
       let g = Generators.gnp rng ~n:10 ~p:0.35 in
       Coloring.chromatic_number g <= max 1 (Greedy_k.coloring_number g))
 
+(* ------------------------------------------------------------------ *)
+(* Flat kernel: mirrors, equivalence with the persistent paths, and    *)
+(* the undo log                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let graph_equal g1 g2 =
+  G.vertices g1 = G.vertices g2
+  && G.num_edges g1 = G.num_edges g2
+  && G.fold_edges (fun u v ok -> ok && G.mem_edge g2 u v) g1 true
+
+let test_flat_mirror () =
+  let rng = Random.State.make [| 91 |] in
+  for _ = 1 to 10 do
+    let g = Generators.gnp rng ~n:30 ~p:0.2 in
+    let f = Flat.of_graph g in
+    Flat.check_invariants f;
+    check_int "num_live" (G.num_vertices g) (Flat.num_live f);
+    Alcotest.(check int) "num_edges" (G.num_edges g) (Flat.num_edges f);
+    List.iter
+      (fun v ->
+        let i = Flat.index f v in
+        check_int "label round-trip" v (Flat.label f i);
+        Alcotest.(check int) "degree" (G.degree g v) (Flat.degree f i);
+        G.ISet.iter
+          (fun w ->
+            Alcotest.(check bool) "edge mirrored" true
+              (Flat.mem_edge f i (Flat.index f w)))
+          (G.neighbors g v))
+      (G.vertices g);
+    Alcotest.(check bool) "to_graph round-trip" true
+      (graph_equal g (Flat.to_graph f))
+  done
+
+let test_flat_mutations_mirror_graph () =
+  (* The same mutation script on both representations stays in sync. *)
+  let rng = Random.State.make [| 92 |] in
+  for _ = 1 to 10 do
+    let g = ref (Generators.gnp rng ~n:16 ~p:0.25) in
+    let f = Flat.of_graph !g in
+    for _ = 1 to 40 do
+      let cap = Flat.capacity f in
+      let u = Random.State.int rng cap and v = Random.State.int rng cap in
+      if u <> v && Flat.is_live f u && Flat.is_live f v then begin
+        let lu = Flat.label f u and lv = Flat.label f v in
+        match Random.State.int rng 4 with
+        | 0 ->
+            Flat.add_edge f u v;
+            g := G.add_edge !g lu lv
+        | 1 ->
+            Flat.remove_edge f u v;
+            g := G.remove_edge !g lu lv
+        | 2 when not (Flat.mem_edge f u v) ->
+            Flat.merge f u v;
+            g := G.merge !g lu lv
+        | _ ->
+            Flat.remove_vertex f u;
+            g := G.remove_vertex !g lu
+      end
+    done;
+    Flat.check_invariants f;
+    Alcotest.(check bool) "still mirrors" true (graph_equal !g (Flat.to_graph f))
+  done
+
+let test_flat_rollback_nested () =
+  let rng = Random.State.make [| 93 |] in
+  let g = Generators.gnp rng ~n:12 ~p:0.3 in
+  let f = Flat.of_graph g in
+  let c1 = Flat.checkpoint f in
+  Flat.remove_vertex f 0;
+  let mid = Flat.to_graph f in
+  let c2 = Flat.checkpoint f in
+  Flat.remove_vertex f 1;
+  (if not (Flat.mem_edge f 2 3) then Flat.merge f 2 3);
+  Flat.rollback f c2;
+  Flat.check_invariants f;
+  Alcotest.(check bool) "inner rollback -> mid state" true
+    (graph_equal mid (Flat.to_graph f));
+  Flat.rollback f c1;
+  Flat.check_invariants f;
+  Alcotest.(check bool) "outer rollback -> original" true
+    (graph_equal g (Flat.to_graph f));
+  (* release keeps mutations *)
+  let c3 = Flat.checkpoint f in
+  Flat.remove_vertex f 0;
+  let after = Flat.to_graph f in
+  Flat.release f c3;
+  Alcotest.(check bool) "release keeps mutations" true
+    (graph_equal after (Flat.to_graph f))
+
+(* Verdict agreement between the flat kernel and the pre-flat reference
+   implementations: >= 200 random graphs each for greedy-k and
+   chordality (the ISSUE's equivalence bar). *)
+let prop_flat_greedy_k_agrees =
+  QCheck.Test.make ~name:"flat greedy-k verdicts = reference verdicts"
+    ~count:200 gnp_arbitrary (fun (seed, n, p) ->
+      let rng = Random.State.make [| seed; 17 |] in
+      let g = Generators.gnp rng ~n ~p in
+      let col_ref = Greedy_k.Reference.coloring_number g in
+      Greedy_k.coloring_number g = col_ref
+      && List.for_all
+           (fun k ->
+             Greedy_k.is_greedy_k_colorable g k
+             = Greedy_k.Reference.is_greedy_k_colorable g k)
+           [ 1; 2; max 1 (col_ref - 1); col_ref; col_ref + 1 ])
+
+let prop_flat_chordal_agrees =
+  QCheck.Test.make ~name:"flat chordality verdicts = reference verdicts"
+    ~count:200 gnp_arbitrary (fun (seed, n, p) ->
+      let rng = Random.State.make [| seed; 19 |] in
+      let g = Generators.gnp rng ~n ~p in
+      Chordal.is_chordal g = Chordal.Reference.is_chordal g
+      && Chordal.is_perfect_elimination_order g (Chordal.mcs_order g)
+         = Chordal.Reference.is_perfect_elimination_order g
+             (Chordal.Reference.mcs_order g))
+
+let prop_flat_elimination_order_valid =
+  QCheck.Test.make ~name:"flat elimination order is a valid greedy order"
+    ~count:100 gnp_arbitrary (fun (seed, n, p) ->
+      let rng = Random.State.make [| seed; 23 |] in
+      let g = Generators.gnp rng ~n ~p in
+      let k = Greedy_k.coloring_number g in
+      match Greedy_k.elimination_order g k with
+      | None -> k > 0
+      | Some order ->
+          (* Replaying the order on the persistent graph: every removed
+             vertex must have degree < k at its turn. *)
+          List.length order = G.num_vertices g
+          && fst
+               (List.fold_left
+                  (fun (ok, h) v ->
+                    (ok && G.degree h v < k, G.remove_vertex h v))
+                  (true, g) order))
+
+let prop_flat_merge_rollback_roundtrip =
+  QCheck.Test.make ~name:"random merge scripts roll back exactly" ~count:100
+    gnp_arbitrary (fun (seed, n, p) ->
+      let rng = Random.State.make [| seed; 29 |] in
+      let g = Generators.gnp rng ~n ~p in
+      let f = Flat.of_graph g in
+      let cap = Flat.capacity f in
+      let c = Flat.checkpoint f in
+      for _ = 1 to 30 do
+        if cap > 1 then begin
+          let u = Random.State.int rng cap and v = Random.State.int rng cap in
+          if u <> v && Flat.is_live f u && Flat.is_live f v then
+            match Random.State.int rng 4 with
+            | 0 -> Flat.add_edge f u v
+            | 1 -> Flat.remove_edge f u v
+            | 2 when not (Flat.mem_edge f u v) -> Flat.merge f u v
+            | _ -> Flat.remove_vertex f u
+        end
+      done;
+      Flat.check_invariants f;
+      Flat.rollback f c;
+      Flat.check_invariants f;
+      graph_equal g (Flat.to_graph f))
+
 let () =
   let qc = List.map QCheck_alcotest.to_alcotest in
   Alcotest.run "rc_graph"
@@ -728,6 +886,22 @@ let () =
             test_random_interval_is_chordal;
           Alcotest.test_case "random k-colorable" `Quick test_random_k_colorable;
         ] );
+      ( "flat",
+        Alcotest.
+          [
+            test_case "mirror of persistent graph" `Quick test_flat_mirror;
+            test_case "mutation scripts stay in sync" `Quick
+              test_flat_mutations_mirror_graph;
+            test_case "nested checkpoint/rollback/release" `Quick
+              test_flat_rollback_nested;
+          ]
+        @ qc
+            [
+              prop_flat_greedy_k_agrees;
+              prop_flat_chordal_agrees;
+              prop_flat_elimination_order_valid;
+              prop_flat_merge_rollback_roundtrip;
+            ] );
       ( "properties",
         qc
           [
