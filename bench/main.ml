@@ -147,6 +147,106 @@ let k0_flat_kernels () =
     ~old_label:"chordality/old-hashtbl" ~new_label:"chordality/new-flat"
 
 (* ------------------------------------------------------------------ *)
+(* K1: merge-heavy searches on the speculation context vs the          *)
+(* persistent-graph Reference paths                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Each search is timed on the workload its speculation is for — an
+   instance that actually forces merge-heavy exploration.  (On
+   instances where the search terminates after one colorability check,
+   both code paths degenerate to that check and the ratio is ~1.)
+
+   - exact: a sparse random graph at tight k = col(G), where merges
+     frequently break greedy-k-colorability, so the branch-and-bound
+     explores deep with a leaf test per branch;
+   - optimistic: a Theorem 6 vertex-cover gadget, built so that
+     aggressive coalescing always breaks greedy-4-colorability and the
+     de-coalescing loop must split one class per uncovered vertex;
+   - set-2: disjoint copies of the Figure 3 (right) gadget — singleton
+     coalescing is stuck by construction, so the whole search happens
+     in the size-2 set probes.  The weights are graded so the heavy
+     halves of distinct copies pair up first in the by-weight
+     enumeration: all those probes fail, which is exactly the
+     merge-speculate-rollback traffic the set search generates on
+     instances needing simultaneous coalescing. *)
+
+let k1_exact_instance () =
+  let rng = Random.State.make [| 1; 888 |] in
+  let g = Rc_graph.Generators.gnp rng ~n:80 ~p:0.06 in
+  let k = max 2 (Rc_graph.Greedy_k.coloring_number g) in
+  let vs = Array.of_list (G.vertices g) in
+  let nv = Array.length vs in
+  let affinities = ref [] in
+  let attempts = ref 0 in
+  while List.length !affinities < 13 && !attempts < 780 do
+    incr attempts;
+    let u = vs.(Random.State.int rng nv) and v = vs.(Random.State.int rng nv) in
+    if u <> v && not (G.mem_edge g u v) then
+      affinities := ((u, v), 1 + Random.State.int rng 9) :: !affinities
+  done;
+  Rc_core.Problem.make ~graph:g ~affinities:!affinities ~k
+
+let k1_optimistic_instance () =
+  let rng = Random.State.make [| 77 |] in
+  let src =
+    Rc_graph.Generators.random_bounded_degree rng ~n:16 ~max_degree:3 ~edges:20
+  in
+  (Rc_reductions.Thm6_optimistic.build src).problem
+
+let k1_set_instance () =
+  let base = Rc_reductions.Figures.fig3_pairwise () in
+  let copies = 12 in
+  let g = ref G.empty in
+  let affs = ref [] in
+  for c = 0 to copies - 1 do
+    let off = c * 7 in
+    G.fold_edges (fun u v () -> g := G.add_edge !g (u + off) (v + off))
+      base.graph ();
+    List.iteri
+      (fun i (a : Rc_core.Problem.affinity) ->
+        let w = if i = 0 then 10 + c else 1 in
+        affs := ((a.u + off, a.v + off), w) :: !affs)
+      base.affinities
+  done;
+  Rc_core.Problem.make ~graph:!g ~affinities:!affs ~k:3
+
+let k1_search_drivers () =
+  section
+    "K1 | merge-heavy searches: speculation context vs persistent rebuilds";
+  let p_exact = k1_exact_instance () in
+  let p_opt = k1_optimistic_instance () in
+  let p_set = k1_set_instance () in
+  Format.printf "exact (sparse gnp):     %s@." (Rc_core.Problem.stats p_exact);
+  Format.printf "optimistic (thm6):      %s@." (Rc_core.Problem.stats p_opt);
+  Format.printf "set-2 (fig3b x12):      %s@." (Rc_core.Problem.stats p_set);
+  let rows =
+    run_bench ~name:"K1 searches"
+      [
+        Test.make ~name:"exact/old-persistent"
+          (Staged.stage (fun () -> Rc_core.Exact.Reference.conservative p_exact));
+        Test.make ~name:"exact/new-flat"
+          (Staged.stage (fun () -> Rc_core.Exact.conservative p_exact));
+        Test.make ~name:"optimistic/old-persistent"
+          (Staged.stage (fun () -> Rc_core.Optimistic.Reference.coalesce p_opt));
+        Test.make ~name:"optimistic/new-flat"
+          (Staged.stage (fun () -> Rc_core.Optimistic.coalesce p_opt));
+        Test.make ~name:"set-2/old-persistent"
+          (Staged.stage (fun () ->
+               Rc_core.Set_coalescing.Reference.coalesce ~max_set:2 p_set));
+        Test.make ~name:"set-2/new-flat"
+          (Staged.stage (fun () ->
+               Rc_core.Set_coalescing.coalesce ~max_set:2 p_set));
+      ]
+  in
+  Format.printf "@.";
+  report_speedup rows ~what:"exact branch-and-bound"
+    ~old_label:"exact/old-persistent" ~new_label:"exact/new-flat";
+  report_speedup rows ~what:"optimistic coalescing"
+    ~old_label:"optimistic/old-persistent" ~new_label:"optimistic/new-flat";
+  report_speedup rows ~what:"set coalescing (max_set = 2)"
+    ~old_label:"set-2/old-persistent" ~new_label:"set-2/new-flat"
+
+(* ------------------------------------------------------------------ *)
 (* E1: Theorem 1 pipeline — SSA interference graphs are chordal        *)
 (* ------------------------------------------------------------------ *)
 
@@ -706,6 +806,7 @@ let () =
     "Register-coalescing complexity reproduction — benchmark harness@.";
   Format.printf "(paper: Bouchez, Darte, Rastello, CGO 2007; see DESIGN.md)@.";
   k0_flat_kernels ();
+  k1_search_drivers ();
   e1_theorem1 ();
   e4_thm2 ();
   e5_thm3 ();

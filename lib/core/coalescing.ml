@@ -47,6 +47,103 @@ let class_of st v =
     st.repr []
   |> List.rev
 
+(* ------------------------------------------------------------------ *)
+(* Speculation: the shared flat merge-search context                    *)
+(* ------------------------------------------------------------------ *)
+
+module Speculation = struct
+  module Flat = Rc_graph.Flat
+
+  (* Rebind the state-level operations the submodule shadows. *)
+  let state_find = find
+  let state_merge = merge
+
+  type spec = {
+    base : state;
+    f : Flat.t;
+    parent : int array;
+        (* Union-find over flat indices for the merges performed on [f].
+           Unions always attach the surviving flat vertex as the root
+           ([parent.(iv) <- iu] exactly when [Flat.merge f iu iv] ran),
+           and there is no path compression: a rollback then only has to
+           re-root the [iv] of each undone merge, newest first. *)
+    mutable merges : (int * int) array; (* (iu, iv) pairs, oldest first *)
+    mutable mlen : int;
+  }
+
+  type mark = { fcp : Flat.checkpoint; mmark : int }
+
+  let of_state st =
+    let f = Flat.of_graph st.graph in
+    {
+      base = st;
+      f;
+      parent = Array.init (Flat.capacity f) Fun.id;
+      merges = [||];
+      mlen = 0;
+    }
+
+  let flat s = s.f
+
+  let rec root s i = if s.parent.(i) = i then i else root s s.parent.(i)
+
+  let repr s v = root s (Flat.index s.f (state_find s.base v))
+  let label s i = Flat.label s.f i
+  let same_class s u v = repr s u = repr s v
+
+  let push_merge s iu iv =
+    if s.mlen = Array.length s.merges then begin
+      let b = Array.make (max 16 (2 * s.mlen)) (iu, iv) in
+      Array.blit s.merges 0 b 0 s.mlen;
+      s.merges <- b
+    end;
+    s.merges.(s.mlen) <- (iu, iv);
+    s.mlen <- s.mlen + 1
+
+  let merge_roots s iu iv =
+    Flat.merge s.f iu iv;
+    s.parent.(iv) <- iu;
+    push_merge s iu iv
+
+  let merge s u v =
+    let iu = repr s u and iv = repr s v in
+    if iu = iv || Flat.mem_edge s.f iu iv then false
+    else begin
+      merge_roots s iu iv;
+      true
+    end
+
+  let mark s = { fcp = Flat.checkpoint s.f; mmark = s.mlen }
+
+  let rollback s m =
+    Flat.rollback s.f m.fcp;
+    while s.mlen > m.mmark do
+      s.mlen <- s.mlen - 1;
+      let _, iv = s.merges.(s.mlen) in
+      s.parent.(iv) <- iv
+    done
+
+  let release s m = Flat.release s.f m.fcp
+
+  let merge_log s =
+    List.init s.mlen (fun i ->
+        let iu, iv = s.merges.(i) in
+        (Flat.label s.f iu, Flat.label s.f iv))
+
+  (* Replay a merge log onto a persistent state.  Each entry was
+     validated against the very graph it is applied to, so no merge can
+     fail. *)
+  let replay st log =
+    List.fold_left
+      (fun st (u, v) ->
+        match state_merge st u v with
+        | Some st' -> st'
+        | None -> assert false)
+      st log
+
+  let commit s = replay s.base (merge_log s)
+end
+
 type solution = {
   state : state;
   coalesced : Problem.affinity list;

@@ -32,6 +32,74 @@ val classes : state -> (Graph.vertex * Graph.vertex list) list
 val class_of : state -> Graph.vertex -> Graph.vertex list
 (** Original vertices merged into the class of the given vertex. *)
 
+(** {1 Speculation}
+
+    The shared kernel of every merge-heavy search driver (conservative
+    fixpoints, optimistic de-coalescing replays, exact branch-and-bound,
+    set probing): one {!Rc_graph.Flat} mirror of a state's merged graph,
+    a union-find over its dense indices tracking speculative merges, and
+    marks that snapshot both so a whole burst of merges can be undone in
+    time proportional to the work done — instead of rebuilding a
+    persistent graph per probe.
+
+    Discipline: marks are LIFO, exactly like {!Rc_graph.Flat}
+    checkpoints (each mark opens one).  A [spec] is single-owner mutable
+    state; accepted merges are replayed onto the persistent base state
+    once, by {!Speculation.commit}, so callers keep the same boundary
+    types. *)
+
+module Speculation : sig
+  type spec
+  type mark
+
+  val of_state : state -> spec
+  (** Flat mirror of [state]'s current merged graph.  The state is
+      retained as the commit base; it is never mutated. *)
+
+  val flat : spec -> Rc_graph.Flat.t
+  (** The underlying flat graph, for verdict kernels
+      ({!Rc_graph.Greedy_k.flat_is_greedy_k_colorable}, the flat
+      conservative rules...).  Callers must not mutate it directly —
+      all mutation goes through {!merge}/{!merge_roots} so the
+      union-find stays in sync. *)
+
+  val repr : spec -> Graph.vertex -> int
+  (** Flat index currently representing an original vertex's class
+      (composition of the base state's representative map and the
+      speculative union-find). *)
+
+  val label : spec -> int -> Graph.vertex
+  val same_class : spec -> Graph.vertex -> Graph.vertex -> bool
+
+  val merge : spec -> Graph.vertex -> Graph.vertex -> bool
+  (** Speculatively coalesce two classes, by any member vertices.
+      [false] (and no mutation) when the classes are equal or
+      interfere; [true] when the merge was applied to the flat graph
+      and logged. *)
+
+  val merge_roots : spec -> int -> int -> unit
+  (** Lower-level variant for drivers that already hold the class
+      roots: contracts root [iv] into root [iu].  The caller must have
+      checked [iu <> iv] and non-interference (as the conservative
+      fixpoint does before running its rule tests). *)
+
+  val mark : spec -> mark
+  val rollback : spec -> mark -> unit
+  val release : spec -> mark -> unit
+
+  val merge_log : spec -> (Graph.vertex * Graph.vertex) list
+  (** The accepted merges so far (oldest first), as original-vertex
+      pairs — a branch-and-bound search snapshots this at improving
+      leaves. *)
+
+  val replay : state -> (Graph.vertex * Graph.vertex) list -> state
+  (** Replays a merge log onto a persistent state. *)
+
+  val commit : spec -> state
+  (** [replay base (merge_log spec)]: the persistent state realizing
+      every merge accepted so far. *)
+end
+
 (** {1 Solutions} *)
 
 type solution = {

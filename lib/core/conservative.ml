@@ -16,94 +16,79 @@ let rule_name = function
   | Briggs_george_extended -> "briggs+george-ext"
   | Brute_force -> "brute-force"
 
-(* The worklist fixpoint runs entirely on a flat mirror of the current
-   merge state: local rules are the allocation-free flat tests, and the
-   Brute_force rule speculates — checkpoint, merge, re-run the linear
-   greedy-k check, and roll back on rejection — instead of rebuilding a
-   persistent graph per probe.  Accepted merges are replayed onto the
-   persistent [Coalescing.state] once, at the end, so callers keep the
-   same boundary type. *)
+(* The worklist fixpoint runs entirely on a flat speculation context
+   (Coalescing.Speculation): local rules are the allocation-free flat
+   tests, and the Brute_force rule speculates — mark, merge, re-run the
+   linear greedy-k check, and roll back on rejection — instead of
+   rebuilding a persistent graph per probe.  Accepted merges are
+   replayed onto the persistent [Coalescing.state] once, at the end, so
+   callers keep the same boundary type. *)
 
-(* Does merging the (flat) representatives [iu], [iv] keep the graph
+module Spec = Coalescing.Speculation
+
+(* Does merging the (flat) class roots [iu], [iv] keep the graph
    greedy-k-colorable according to the rule?  On acceptance the merge
-   is applied to [f]. *)
-let test_and_merge rule ~k f iu iv =
-  let accept =
-    match rule with
-    | Briggs -> Rules.briggs_flat f ~k iu iv
-    | George -> Rules.george_flat f ~k iu iv || Rules.george_flat f ~k iv iu
-    | Briggs_george -> Rules.briggs_or_george_flat f ~k iu iv
-    | Briggs_george_extended ->
-        Rules.briggs_or_george_flat f ~k iu iv
-        || Rules.george_extended_flat f ~k iu iv
-        || Rules.george_extended_flat f ~k iv iu
-    | Brute_force ->
-        let c = Flat.checkpoint f in
-        Flat.merge f iu iv;
-        if Greedy_k.flat_is_greedy_k_colorable f k then begin
-          Flat.release f c;
-          true
-        end
-        else begin
-          Flat.rollback f c;
-          false
-        end
-  in
-  if accept && rule <> Brute_force then Flat.merge f iu iv;
-  accept
+   is applied to the speculation context. *)
+let test_and_merge rule ~k spec iu iv =
+  let f = Spec.flat spec in
+  match rule with
+  | Brute_force ->
+      let m = Spec.mark spec in
+      Spec.merge_roots spec iu iv;
+      if Greedy_k.flat_is_greedy_k_colorable f k then begin
+        Spec.release spec m;
+        true
+      end
+      else begin
+        Spec.rollback spec m;
+        false
+      end
+  | _ ->
+      let accept =
+        match rule with
+        | Briggs -> Rules.briggs_flat f ~k iu iv
+        | George -> Rules.george_flat f ~k iu iv || Rules.george_flat f ~k iv iu
+        | Briggs_george -> Rules.briggs_or_george_flat f ~k iu iv
+        | Briggs_george_extended ->
+            Rules.briggs_or_george_flat f ~k iu iv
+            || Rules.george_extended_flat f ~k iu iv
+            || Rules.george_extended_flat f ~k iv iu
+        | Brute_force -> assert false
+      in
+      if accept then Spec.merge_roots spec iu iv;
+      accept
 
-let coalesce_state rule ~k st affinities =
-  let g0 = Coalescing.graph st in
-  let f = Flat.of_graph g0 in
-  (* Union-find over flat indices, tracking merges performed on [f]
-     during this fixpoint ([st]'s own history stays inside [st]). *)
-  let parent = Array.init (Flat.capacity f) Fun.id in
-  let rec find i =
-    if parent.(i) = i then i
-    else begin
-      let r = find parent.(i) in
-      parent.(i) <- r;
-      r
-    end
-  in
-  let index_of_orig v = find (Flat.index f (Coalescing.find st v)) in
+(* Fixpoint over an existing speculation context: each pass tries every
+   still-open affinity by decreasing weight; stop when a pass coalesces
+   nothing.  Set_coalescing runs this as its singleton pass on the one
+   context its whole search lives in. *)
+let coalesce_spec rule ~k spec affinities =
+  let f = Spec.flat spec in
   let by_weight =
     List.sort
       (fun (a : Problem.affinity) b ->
         compare (b.weight, a.u, a.v) (a.weight, b.u, b.v))
       affinities
   in
-  let merges = ref [] in
-  (* Fixpoint: each pass tries every still-open affinity; stop when a
-     pass coalesces nothing. *)
   let rec pass pending =
     let kept, progress =
       List.fold_left
         (fun (kept, progress) (a : Problem.affinity) ->
-          let iu = index_of_orig a.u and iv = index_of_orig a.v in
+          let iu = Spec.repr spec a.u and iv = Spec.repr spec a.v in
           if iu = iv then (kept, progress)
           else if Flat.mem_edge f iu iv then (a :: kept, progress)
-          else if test_and_merge rule ~k f iu iv then begin
-            parent.(iv) <- iu;
-            merges := (Flat.label f iu, Flat.label f iv) :: !merges;
-            (kept, true)
-          end
+          else if test_and_merge rule ~k spec iu iv then (kept, true)
           else (a :: kept, progress))
         ([], false) pending
     in
     if progress then pass (List.rev kept)
   in
-  pass by_weight;
-  (* Replay the accepted merges (oldest first) onto the persistent
-     state; each one was validated against the very graph it is applied
-     to, so none can fail. *)
-  List.fold_left
-    (fun st (u, v) ->
-      match Coalescing.merge st u v with
-      | Some st' -> st'
-      | None -> assert false)
-    st
-    (List.rev !merges)
+  pass by_weight
+
+let coalesce_state rule ~k st affinities =
+  let spec = Spec.of_state st in
+  coalesce_spec rule ~k spec affinities;
+  Spec.commit spec
 
 let coalesce rule (p : Problem.t) =
   let st = coalesce_state rule ~k:p.k (Coalescing.initial p.graph) p.affinities in

@@ -28,3 +28,14 @@ val coalesce_state :
   rule -> k:int -> Coalescing.state -> Problem.affinity list -> Coalescing.state
 (** The same worklist loop starting from an existing merge state —
     building block for {!Optimistic} re-coalescing passes. *)
+
+val coalesce_spec :
+  rule ->
+  k:int ->
+  Coalescing.Speculation.spec ->
+  Problem.affinity list ->
+  unit
+(** The worklist loop on an existing speculation context, mutating it in
+    place (no commit) — building block for searches that interleave
+    singleton fixpoints with their own speculative probes on one shared
+    flat mirror ({!Set_coalescing}). *)

@@ -1,69 +1,95 @@
 module Graph = Rc_graph.Graph
 module Greedy_k = Rc_graph.Greedy_k
 module Coloring = Rc_graph.Coloring
+module Flat = Rc_graph.Flat
+module Spec = Coalescing.Speculation
 
-(* Depth-first search over affinity decisions.  [final_ok] validates the
-   merged graph at the leaves; the weight bound prunes branches that
-   cannot beat the incumbent. *)
-let search (p : Problem.t) ~final_ok =
+(* Affinities sorted by decreasing weight (ties by endpoints) plus the
+   suffix-weight table the branch-and-bound prunes with:
+   suffix.(i) = total weight of affinities.(i..). *)
+let sorted_affinities (p : Problem.t) =
   let affinities =
     List.sort
       (fun (a : Problem.affinity) b ->
         compare (b.weight, a.u, a.v) (a.weight, b.u, b.v))
       p.affinities
   in
-  let suffix_weight =
-    (* suffix_weight.(i) = total weight of affinities.(i..) *)
-    let arr = Array.of_list (List.map (fun (a : Problem.affinity) -> a.weight) affinities) in
-    let n = Array.length arr in
-    let s = Array.make (n + 1) 0 in
-    for i = n - 1 downto 0 do
-      s.(i) <- s.(i + 1) + arr.(i)
-    done;
-    s
+  let arr = Array.of_list affinities in
+  let n = Array.length arr in
+  let suffix = Array.make (n + 1) 0 in
+  for i = n - 1 downto 0 do
+    suffix.(i) <- suffix.(i + 1) + arr.(i).weight
+  done;
+  (arr, suffix)
+
+(* What the merged graph must satisfy at accepted leaves. *)
+type target = Any | Greedy_k_colorable | K_colorable
+
+(* Depth-first search over affinity decisions, running entirely on one
+   flat speculation context: branching merges on the flat graph, the
+   leaf verdict is the in-place linear kernel, and backtracking is a
+   rollback — the persistent graph is touched exactly once, to realize
+   the best merge log found.  The weight bound prunes branches that
+   cannot beat the incumbent. *)
+let search (p : Problem.t) ~target =
+  let affinities, suffix = sorted_affinities p in
+  let spec = Spec.of_state (Coalescing.initial p.graph) in
+  let leaf_ok () =
+    match target with
+    | Any -> true
+    | Greedy_k_colorable ->
+        Greedy_k.flat_is_greedy_k_colorable (Spec.flat spec) p.k
+    | K_colorable ->
+        (* No flat exact-coloring kernel (tiny instances only): convert
+           the merged graph at the leaf. *)
+        Coloring.k_colorable (Flat.to_graph (Spec.flat spec)) p.k <> None
   in
-  let affinities = Array.of_list affinities in
   let best = ref None in
   let best_weight = ref (-1) in
-  let rec go i st gained =
-    if gained + suffix_weight.(i) <= !best_weight then ()
+  let rec go i gained =
+    if gained + suffix.(i) <= !best_weight then ()
     else if i = Array.length affinities then begin
-      if final_ok (Coalescing.graph st) then begin
-        best := Some st;
+      if leaf_ok () then begin
+        best := Some (Spec.merge_log spec);
         best_weight := gained
       end
     end
     else begin
       let a = affinities.(i) in
-      if Coalescing.same_class st a.u a.v then go (i + 1) st (gained + a.weight)
+      if Spec.same_class spec a.u a.v then go (i + 1) (gained + a.weight)
       else begin
         (* Branch 1: coalesce (if interference allows). *)
-        (match Coalescing.merge st a.u a.v with
-        | Some st' -> go (i + 1) st' (gained + a.weight)
-        | None -> ());
+        let m = Spec.mark spec in
+        if Spec.merge spec a.u a.v then begin
+          go (i + 1) (gained + a.weight);
+          Spec.rollback spec m
+        end
+        else Spec.release spec m;
         (* Branch 2: give up. *)
-        go (i + 1) st gained
+        go (i + 1) gained
       end
     end
   in
-  go 0 (Coalescing.initial p.graph) 0;
+  go 0 0;
   match !best with
-  | Some st -> Coalescing.solution_of_state p st
+  | Some log ->
+      Coalescing.solution_of_state p
+        (Spec.replay (Coalescing.initial p.graph) log)
   | None ->
-      (* Even the empty coalescing failed [final_ok]. *)
+      (* Even the empty coalescing failed the leaf check. *)
       invalid_arg "Exact.search: the uncoalesced graph is not acceptable"
 
-let aggressive p = search p ~final_ok:(fun _ -> true)
+let aggressive p = search p ~target:Any
 
 let conservative (p : Problem.t) =
   if not (Greedy_k.is_greedy_k_colorable p.graph p.k) then
     invalid_arg "Exact.conservative: input graph is not greedy-k-colorable";
-  search p ~final_ok:(fun g -> Greedy_k.is_greedy_k_colorable g p.k)
+  search p ~target:Greedy_k_colorable
 
 let conservative_k_colorable (p : Problem.t) =
   if Coloring.k_colorable p.graph p.k = None then
     invalid_arg "Exact.conservative_k_colorable: input graph is not k-colorable";
-  search p ~final_ok:(fun g -> Coloring.k_colorable g p.k <> None)
+  search p ~target:K_colorable
 
 let decoalesce (p : Problem.t) st =
   let all =
@@ -82,3 +108,57 @@ let incremental (p : Problem.t) x y =
     match Coalescing.merge (Coalescing.initial p.graph) x y with
     | None -> false
     | Some st -> Coloring.k_colorable (Coalescing.graph st) p.k <> None
+
+(* ------------------------------------------------------------------ *)
+(* Reference: the persistent-graph search, kept verbatim as the
+   baseline for the differential test suite (test_search_equiv) and the
+   old-vs-new benchmark trajectory (bench K1, BENCH_*.json).  Each
+   probe pays a full persistent [Graph.merge] plus an O(n) repr-map
+   rewrite; the flat path above replaces both with checkpointed
+   mutations.                                                          *)
+(* ------------------------------------------------------------------ *)
+
+module Reference = struct
+  let search (p : Problem.t) ~final_ok =
+    let affinities, suffix_weight = sorted_affinities p in
+    let best = ref None in
+    let best_weight = ref (-1) in
+    let rec go i st gained =
+      if gained + suffix_weight.(i) <= !best_weight then ()
+      else if i = Array.length affinities then begin
+        if final_ok (Coalescing.graph st) then begin
+          best := Some st;
+          best_weight := gained
+        end
+      end
+      else begin
+        let a = affinities.(i) in
+        if Coalescing.same_class st a.u a.v then
+          go (i + 1) st (gained + a.weight)
+        else begin
+          (match Coalescing.merge st a.u a.v with
+          | Some st' -> go (i + 1) st' (gained + a.weight)
+          | None -> ());
+          go (i + 1) st gained
+        end
+      end
+    in
+    go 0 (Coalescing.initial p.graph) 0;
+    match !best with
+    | Some st -> Coalescing.solution_of_state p st
+    | None ->
+        invalid_arg "Exact.search: the uncoalesced graph is not acceptable"
+
+  let aggressive p = search p ~final_ok:(fun _ -> true)
+
+  let conservative (p : Problem.t) =
+    if not (Greedy_k.is_greedy_k_colorable p.graph p.k) then
+      invalid_arg "Exact.conservative: input graph is not greedy-k-colorable";
+    search p ~final_ok:(fun g -> Greedy_k.is_greedy_k_colorable g p.k)
+
+  let conservative_k_colorable (p : Problem.t) =
+    if Coloring.k_colorable p.graph p.k = None then
+      invalid_arg
+        "Exact.conservative_k_colorable: input graph is not k-colorable";
+    search p ~final_ok:(fun g -> Coloring.k_colorable g p.k <> None)
+end

@@ -47,4 +47,25 @@ val decoalesce : Problem.t -> Coalescing.state -> Coalescing.solution
 val incremental : Problem.t -> Rc_graph.Graph.vertex -> Rc_graph.Graph.vertex -> bool
 (** Exact incremental conservative coalescing: does the problem's graph
     admit a k-coloring with [f x = f y]?  (Backtracking search; the
-    ground truth for Theorem 4 and Theorem 5 experiments.) *)
+    ground truth for Theorem 4 and Theorem 5 experiments.)
+
+    {1 Implementation note}
+
+    The search drivers above run on one {!Coalescing.Speculation}
+    context: branches merge on the flat graph, leaves re-run the linear
+    verdict kernel in place, and backtracking is a checkpoint rollback.
+    Exploration order, pruning and tie-breaking are identical to the
+    persistent-graph search, so both paths return the same optimum. *)
+
+(** {1 Reference implementation}
+
+    The pre-speculation code path on the persistent {!Coalescing.state}
+    representation (one [Graph.merge] plus an O(n) representative-map
+    rewrite per probe), kept as the baseline for the differential test
+    suite and the old-vs-new benchmark trajectory ([bench --json]). *)
+
+module Reference : sig
+  val aggressive : Problem.t -> Coalescing.solution
+  val conservative : Problem.t -> Coalescing.solution
+  val conservative_k_colorable : Problem.t -> Coalescing.solution
+end

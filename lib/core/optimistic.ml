@@ -1,5 +1,6 @@
 module Graph = Rc_graph.Graph
 module ISet = Graph.ISet
+module Flat = Rc_graph.Flat
 module Greedy_k = Rc_graph.Greedy_k
 
 (* Rebuild a merge state realizing the given classes (lists of original
@@ -29,54 +30,109 @@ let internal_weight affinities members =
 
 type scoring = Degree_per_weight | Weight_only | Degree_only
 
+(* Victim choice shared by both code paths: among the merged classes
+   whose representative sits in the stuck residue (iterated in
+   increasing representative order), the first one whose score strictly
+   beats the running best.  [residue_degree] gives the representative's
+   degree within the residue-induced subgraph. *)
+let pick_victim ~scoring ~affinities ~residue_degree merged_classes =
+  let score (rep, members) =
+    let gain = float_of_int (residue_degree rep) in
+    let cost = float_of_int (1 + internal_weight affinities members) in
+    match scoring with
+    | Degree_per_weight -> gain /. cost
+    | Weight_only -> -.cost
+    | Degree_only -> gain
+  in
+  let victim, _ =
+    List.fold_left
+      (fun (bv, bs) c ->
+        let s = score c in
+        if s > bs then (Some c, s) else (bv, bs))
+      (None, neg_infinity) merged_classes
+    |> fun (v, s) ->
+    (match v with Some v -> (v, s) | None -> assert false)
+  in
+  victim
+
+(* De-coalescing on the flat kernel: one mirror of the base graph, and
+   per iteration a checkpointed replay of the surviving class merges —
+   O(merges + V + E) instead of a persistent-state rebuild (each
+   persistent merge costs an O(n) representative-map rewrite on top of
+   the O(log n) graph surgery).  The classes are carried explicitly;
+   the persistent state is realized exactly once, at the end.
+
+   Class bookkeeping mirrors the Reference path bit for bit: after
+   every split the class representatives collapse to the smallest
+   member (as [state_of_classes] makes them) and the class list is
+   iterated in increasing representative order (as [Coalescing.classes]
+   yields it), so victim scoring and tie-breaking agree. *)
 let decoalesce_greedy ?(scoring = Degree_per_weight) (p : Problem.t) st =
-  let rec loop st =
-    let g = Coalescing.graph st in
-    match Greedy_k.witness_subgraph g p.k with
-    | None -> st
+  let f = Flat.of_graph p.graph in
+  let in_residue = Array.make (Flat.capacity f) false in
+  let splits = ref 0 in
+  (* (rep, members) pairs, members ascending, list sorted by rep — the
+     shape [Coalescing.classes] returns. *)
+  let rec loop classes =
+    let c = Flat.checkpoint f in
+    List.iter
+      (fun (rep, members) ->
+        let ir = Flat.index f rep in
+        List.iter
+          (fun m -> if m <> rep then Flat.merge f ir (Flat.index f m))
+          members)
+      classes;
+    match Greedy_k.flat_residue f p.k with
+    | None ->
+        (* Greedy-k-colorable: done speculating. *)
+        Flat.rollback f c;
+        classes
     | Some residue ->
+        List.iter (fun i -> in_residue.(i) <- true) residue;
         let merged_classes =
           List.filter
-            (fun (r, members) ->
-              ISet.mem r residue && List.length members >= 2)
-            (Coalescing.classes st)
+            (fun (rep, members) ->
+              in_residue.(Flat.index f rep) && List.length members >= 2)
+            classes
         in
         (match merged_classes with
         | [] ->
+            List.iter (fun i -> in_residue.(i) <- false) residue;
+            Flat.rollback f c;
             invalid_arg
               "Optimistic.decoalesce_greedy: residue without merged classes \
                (base graph not greedy-k-colorable)"
         | _ ->
-            (* Split the class the scoring policy prefers. *)
-            let residue_graph = Graph.induced g residue in
-            let score (r, members) =
-              let gain = float_of_int (Graph.degree residue_graph r) in
-              let cost = float_of_int (1 + internal_weight p.affinities members) in
-              match scoring with
-              | Degree_per_weight -> gain /. cost
-              | Weight_only -> -. cost
-              | Degree_only -> gain
+            let residue_degree rep =
+              Flat.fold_neighbors f (Flat.index f rep)
+                (fun acc j -> if in_residue.(j) then acc + 1 else acc)
+                0
             in
-            let victim, _ =
-              List.fold_left
-                (fun (bv, bs) c ->
-                  let s = score c in
-                  if s > bs then (Some c, s) else (bv, bs))
-                (None, neg_infinity) merged_classes
-              |> fun (v, s) ->
-              (match v with Some v -> (v, s) | None -> assert false)
+            let victim_repr, _ =
+              pick_victim ~scoring ~affinities:p.affinities ~residue_degree
+                merged_classes
             in
-            let victim_repr = fst victim in
-            let classes =
-              List.concat_map
-                (fun (r, members) ->
-                  if r = victim_repr then List.map (fun m -> [ m ]) members
-                  else [ members ])
-                (Coalescing.classes st)
-            in
-            loop (state_of_classes p.graph classes))
+            List.iter (fun i -> in_residue.(i) <- false) residue;
+            Flat.rollback f c;
+            incr splits;
+            (* Split the victim into singletons (which stop being
+               tracked) and re-root every survivor at its smallest
+               member, exactly like the persistent rebuild does. *)
+            List.filter (fun (rep, _) -> rep <> victim_repr) classes
+            |> List.map (fun (_, members) -> (List.hd members, members))
+            |> List.sort (fun (r1, _) (r2, _) -> compare r1 r2)
+            |> loop)
   in
-  loop st
+  let classes =
+    loop
+      (List.filter
+         (fun (_, members) -> List.length members >= 2)
+         (Coalescing.classes st))
+  in
+  (* No class was split: the input state is the answer, exactly as the
+     persistent path returns it (skipping the rebuild also keeps the
+     original representatives). *)
+  if !splits = 0 then st else state_of_classes p.graph (List.map snd classes)
 
 let coalesce ?scoring (p : Problem.t) =
   if not (Greedy_k.is_greedy_k_colorable p.graph p.k) then
@@ -96,3 +152,66 @@ let coalesce ?scoring (p : Problem.t) =
       open_affinities
   in
   Coalescing.solution_of_state p st
+
+(* ------------------------------------------------------------------ *)
+(* Reference: the persistent-graph de-coalescing loop, kept verbatim as
+   the baseline for the differential test suite and the old-vs-new
+   benchmark trajectory.  Every iteration rebuilds the whole merge
+   state from its classes and re-derives the witness residue on the
+   persistent representation.                                          *)
+(* ------------------------------------------------------------------ *)
+
+module Reference = struct
+  let decoalesce_greedy ?(scoring = Degree_per_weight) (p : Problem.t) st =
+    let rec loop st =
+      let g = Coalescing.graph st in
+      match Greedy_k.witness_subgraph g p.k with
+      | None -> st
+      | Some residue ->
+          let merged_classes =
+            List.filter
+              (fun (r, members) ->
+                ISet.mem r residue && List.length members >= 2)
+              (Coalescing.classes st)
+          in
+          (match merged_classes with
+          | [] ->
+              invalid_arg
+                "Optimistic.decoalesce_greedy: residue without merged classes \
+                 (base graph not greedy-k-colorable)"
+          | _ ->
+              let residue_graph = Graph.induced g residue in
+              let victim_repr, _ =
+                pick_victim ~scoring ~affinities:p.affinities
+                  ~residue_degree:(Graph.degree residue_graph)
+                  merged_classes
+              in
+              let classes =
+                List.concat_map
+                  (fun (r, members) ->
+                    if r = victim_repr then List.map (fun m -> [ m ]) members
+                    else [ members ])
+                  (Coalescing.classes st)
+              in
+              loop (state_of_classes p.graph classes))
+    in
+    loop st
+
+  let coalesce ?scoring (p : Problem.t) =
+    if not (Greedy_k.is_greedy_k_colorable p.graph p.k) then
+      invalid_arg "Optimistic.coalesce: input graph is not greedy-k-colorable";
+    let st =
+      Aggressive.coalesce_state (Coalescing.initial p.graph) p.affinities
+    in
+    let st = decoalesce_greedy ?scoring p st in
+    let open_affinities =
+      List.filter
+        (fun (a : Problem.affinity) -> not (Coalescing.same_class st a.u a.v))
+        p.affinities
+    in
+    let st =
+      Conservative.coalesce_state Conservative.Brute_force ~k:p.k st
+        open_affinities
+    in
+    Coalescing.solution_of_state p st
+end

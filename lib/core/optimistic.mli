@@ -30,4 +30,23 @@ val decoalesce_greedy :
   ?scoring:scoring -> Problem.t -> Coalescing.state -> Coalescing.state
 (** Phase 2 alone, exposed for tests, the Theorem 6 experiment and the
     de-coalescing ablation: splits classes of the given all-merged
-    state until the graph is greedy-k-colorable. *)
+    state until the graph is greedy-k-colorable.
+
+    Runs on the {!Rc_graph.Flat} kernel: one mirror of the base graph,
+    and per iteration a checkpointed replay of the surviving class
+    merges followed by a rollback — victim scoring and tie-breaking
+    match the persistent {!Reference} path exactly. *)
+
+(** {1 Reference implementation}
+
+    The pre-speculation code path, kept as the baseline for the
+    differential test suite and the old-vs-new benchmark trajectory
+    ([bench --json]): every de-coalescing iteration rebuilds the merge
+    state from its classes on the persistent representation. *)
+
+module Reference : sig
+  val coalesce : ?scoring:scoring -> Problem.t -> Coalescing.solution
+
+  val decoalesce_greedy :
+    ?scoring:scoring -> Problem.t -> Coalescing.state -> Coalescing.state
+end

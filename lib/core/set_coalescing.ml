@@ -1,70 +1,92 @@
 module Graph = Rc_graph.Graph
 module Greedy_k = Rc_graph.Greedy_k
+module Spec = Coalescing.Speculation
 
-(* Try to merge every affinity of [set] on top of [st]; succeed only if
-   all merges are possible and the merged graph stays greedy-k. *)
-let try_set ~k st set =
-  let merged =
-    List.fold_left
-      (fun acc (a : Problem.affinity) ->
-        match acc with
-        | None -> None
-        | Some st ->
-            if Coalescing.same_class st a.u a.v then Some st
-            else Coalescing.merge st a.u a.v)
-      (Some st) set
-  in
-  match merged with
-  | Some st' when Greedy_k.is_greedy_k_colorable (Coalescing.graph st') k ->
-      Some st'
-  | Some _ | None -> None
-
-(* All size-[n] subsets of [xs], by decreasing combined weight. *)
+(* All size-[n] subsets of [xs], by decreasing combined weight.  The
+   enumeration threads an accumulator (prefix grown head-first, result
+   pushed per complete subset) instead of the naive
+   [List.map cons ... @ subsets ...] recursion, whose repeated appends
+   made it quadratic in the C(m, n) output size.  The final order is
+   independent of the enumeration: the sort key (weight, members) is
+   injective over distinct subsets. *)
 let subsets_by_weight n xs =
-  let rec subsets n xs =
-    if n = 0 then [ [] ]
+  let out = ref [] in
+  (* [prefix] holds the chosen elements newest-first; a complete subset
+     is reversed back into [xs] order. *)
+  let rec go n xs prefix =
+    if n = 0 then out := List.rev prefix :: !out
     else
       match xs with
-      | [] -> []
+      | [] -> ()
       | x :: rest ->
-          List.map (fun s -> x :: s) (subsets (n - 1) rest) @ subsets n rest
+          go (n - 1) rest (x :: prefix);
+          go n rest prefix
   in
-  subsets n xs
+  go n xs [];
+  !out
   |> List.map (fun s ->
          (List.fold_left (fun w (a : Problem.affinity) -> w + a.weight) 0 s, s))
   |> List.sort (fun (w1, s1) (w2, s2) -> compare (w2, s1) (w1, s2))
   |> List.map snd
 
+(* The whole search lives on one speculation context: candidate sets
+   are probed with a single mark (merge every affinity of the set,
+   re-run the linear greedy-k kernel in place, roll back on failure),
+   and the singleton fixpoint between set hits is the shared
+   conservative worklist on the same context.  The persistent state is
+   realized once, at the very end. *)
+
+(* Try to merge every affinity of [set] on top of the current context;
+   keep the merges only if all are possible and the merged graph stays
+   greedy-k. *)
+let try_set ~k spec set =
+  let m = Spec.mark spec in
+  let merged =
+    List.for_all
+      (fun (a : Problem.affinity) ->
+        Spec.same_class spec a.u a.v || Spec.merge spec a.u a.v)
+      set
+  in
+  if merged && Greedy_k.flat_is_greedy_k_colorable (Spec.flat spec) k then begin
+    Spec.release spec m;
+    true
+  end
+  else begin
+    Spec.rollback spec m;
+    false
+  end
+
 let coalesce ?(max_set = 2) (p : Problem.t) =
   if max_set < 1 then invalid_arg "Set_coalescing.coalesce: max_set < 1";
-  let open_affinities st =
+  let spec = Spec.of_state (Coalescing.initial p.graph) in
+  let open_affinities () =
     List.filter
-      (fun (a : Problem.affinity) -> not (Coalescing.same_class st a.u a.v))
+      (fun (a : Problem.affinity) -> not (Spec.same_class spec a.u a.v))
       p.affinities
   in
   (* Singleton fixpoint = brute-force conservative coalescing. *)
-  let singles st =
-    Conservative.coalesce_state Conservative.Brute_force ~k:p.k st
-      (open_affinities st)
+  let singles () =
+    Conservative.coalesce_spec Conservative.Brute_force ~k:p.k spec
+      (open_affinities ())
   in
-  let rec grow st size =
-    if size > max_set then st
-    else
-      let candidates = subsets_by_weight size (open_affinities st) in
+  let rec grow size =
+    if size <= max_set then
+      let candidates = subsets_by_weight size (open_affinities ()) in
       let rec try_all = function
-        | [] -> grow st (size + 1)
-        | set :: rest -> (
-            match try_set ~k:p.k st set with
-            | Some st' ->
-                (* a set succeeded: re-run singles, restart from size 2 *)
-                grow (singles st') 2
-            | None -> try_all rest)
+        | [] -> grow (size + 1)
+        | set :: rest ->
+            if try_set ~k:p.k spec set then begin
+              (* a set succeeded: re-run singles, restart from size 2 *)
+              singles ();
+              grow 2
+            end
+            else try_all rest
       in
       try_all candidates
   in
-  let st = singles (Coalescing.initial p.graph) in
-  let st = grow st 2 in
-  Coalescing.solution_of_state p st
+  singles ();
+  grow 2;
+  Coalescing.solution_of_state p (Spec.commit spec)
 
 let transitive_closure_affinities (p : Problem.t) =
   let by_vertex = Hashtbl.create 16 in
@@ -108,3 +130,57 @@ let transitive_closure_affinities (p : Problem.t) =
     (fun (u, v) weight acc -> { Problem.u; v; weight } :: acc)
     out []
   |> List.sort compare
+
+(* ------------------------------------------------------------------ *)
+(* Reference: the persistent-graph set search, kept verbatim as the
+   baseline for the differential test suite and the old-vs-new
+   benchmark trajectory.  Every probed candidate set folds persistent
+   [Coalescing.merge]s (each an O(n) representative rewrite) and every
+   singleton pass rebuilds a fresh flat mirror of the current state.   *)
+(* ------------------------------------------------------------------ *)
+
+module Reference = struct
+  let try_set ~k st set =
+    let merged =
+      List.fold_left
+        (fun acc (a : Problem.affinity) ->
+          match acc with
+          | None -> None
+          | Some st ->
+              if Coalescing.same_class st a.u a.v then Some st
+              else Coalescing.merge st a.u a.v)
+        (Some st) set
+    in
+    match merged with
+    | Some st' when Greedy_k.is_greedy_k_colorable (Coalescing.graph st') k ->
+        Some st'
+    | Some _ | None -> None
+
+  let coalesce ?(max_set = 2) (p : Problem.t) =
+    if max_set < 1 then invalid_arg "Set_coalescing.coalesce: max_set < 1";
+    let open_affinities st =
+      List.filter
+        (fun (a : Problem.affinity) -> not (Coalescing.same_class st a.u a.v))
+        p.affinities
+    in
+    let singles st =
+      Conservative.coalesce_state Conservative.Brute_force ~k:p.k st
+        (open_affinities st)
+    in
+    let rec grow st size =
+      if size > max_set then st
+      else
+        let candidates = subsets_by_weight size (open_affinities st) in
+        let rec try_all = function
+          | [] -> grow st (size + 1)
+          | set :: rest -> (
+              match try_set ~k:p.k st set with
+              | Some st' -> grow (singles st') 2
+              | None -> try_all rest)
+        in
+        try_all candidates
+    in
+    let st = singles (Coalescing.initial p.graph) in
+    let st = grow st 2 in
+    Coalescing.solution_of_state p st
+end

@@ -20,9 +20,30 @@ val coalesce : ?max_set:int -> Problem.t -> Coalescing.solution
     Exponential in [max_set] only (the set enumeration is
     O(m^max_set)). *)
 
+val subsets_by_weight :
+  int -> Problem.affinity list -> Problem.affinity list list
+(** All size-[n] subsets of the given affinities, each in input order,
+    sorted by decreasing combined weight (ties by members, ascending).
+    Exposed for the enumeration unit tests; the implementation is the
+    accumulator form (linear in the output size), not the naive
+    append-based recursion. *)
+
 val transitive_closure_affinities : Problem.t -> Problem.affinity list
 (** The affinities "obtained by transitivity": pairs (b, c) such that
     some vertex [a] has affinities to both [b] and [c], weighted by the
     minimum of the two weights.  Only pairs that do not interfere and
     are not already affinities are returned.  Exposed so strategies can
     widen their affinity set the way Section 4 describes. *)
+
+(** {1 Reference implementation}
+
+    The pre-speculation code path, kept as the baseline for the
+    differential test suite and the old-vs-new benchmark trajectory
+    ([bench --json]): set probes fold persistent merges and every
+    singleton pass rebuilds a fresh flat mirror, where the primary path
+    above keeps the entire search on one
+    {!Coalescing.Speculation} context. *)
+
+module Reference : sig
+  val coalesce : ?max_set:int -> Problem.t -> Coalescing.solution
+end

@@ -174,6 +174,8 @@ let release t _c =
   t.ncheck <- t.ncheck - 1;
   if t.ncheck = 0 then t.log_len <- 0
 
+let checkpoint_depth t = t.ncheck
+
 (* ------------------------------------------------------------------ *)
 (* Logged mutations                                                    *)
 (* ------------------------------------------------------------------ *)

@@ -122,6 +122,11 @@ val release : t -> checkpoint -> unit
     become part of the enclosing scope (an outer {!rollback} still
     undoes them). *)
 
+val checkpoint_depth : t -> int
+(** Number of currently open speculation scopes.  Search drivers built
+    on checkpoint/rollback use this to assert their scope discipline is
+    balanced (tests). *)
+
 (** {1 Scratch buffers}
 
     Two lazily allocated [capacity]-sized int arrays for client

@@ -51,6 +51,13 @@ val flat_is_greedy_k_colorable : Flat.t -> int -> bool
 val flat_elimination_order : Flat.t -> int -> int list option
 (** Elimination order over dense indices. *)
 
+val flat_residue : Flat.t -> int -> int list option
+(** Dense-index version of {!witness_subgraph}: [Some residue] (the
+    live indices of the maximal subgraph with all degrees >= k, in
+    decreasing order) when the graph is not greedy-k-colorable, [None]
+    when it is.  Merge-heavy searches use this to pick de-coalescing
+    victims without leaving the flat representation. *)
+
 val flat_smallest_last : Flat.t -> order:int array -> int
 (** Writes a smallest-last order (dense indices, first removed first)
     into [order.(0 .. num_live - 1)] ([order] must be at least

@@ -804,6 +804,78 @@ let prop_flat_merge_rollback_roundtrip =
       Flat.check_invariants f;
       graph_equal g (Flat.to_graph f))
 
+(* Checkpoint stress: random scripts interleaving mutations with nested
+   checkpoint pushes, rollbacks and releases, shadowed by a persistent
+   replay.  Every rollback must restore the exact graph saved when its
+   checkpoint was taken, and [checkpoint_depth] must track the scope
+   stack through arbitrary interleavings. *)
+let prop_flat_checkpoint_stress =
+  QCheck.Test.make ~name:"nested checkpoint scripts match persistent replay"
+    ~count:100 gnp_arbitrary (fun (seed, n, p) ->
+      let rng = Random.State.make [| seed; 31 |] in
+      let g0 = Generators.gnp rng ~n ~p in
+      let f = Flat.of_graph g0 in
+      let cap = Flat.capacity f in
+      (* shadow of the current flat contents *)
+      let g = ref g0 in
+      (* open scopes, innermost first: checkpoint + graph at push time *)
+      let stack = ref [] in
+      let ok = ref (Flat.checkpoint_depth f = 0) in
+      let mutate () =
+        if cap > 1 then begin
+          let u = Random.State.int rng cap and v = Random.State.int rng cap in
+          if u <> v && Flat.is_live f u && Flat.is_live f v then begin
+            let lu = Flat.label f u and lv = Flat.label f v in
+            match Random.State.int rng 4 with
+            | 0 ->
+                Flat.add_edge f u v;
+                g := G.add_edge !g lu lv
+            | 1 ->
+                Flat.remove_edge f u v;
+                g := G.remove_edge !g lu lv
+            | 2 when not (Flat.mem_edge f u v) ->
+                Flat.merge f u v;
+                g := G.merge !g lu lv
+            | _ ->
+                Flat.remove_vertex f u;
+                g := G.remove_vertex !g lu
+          end
+        end
+      in
+      for _ = 1 to 60 do
+        (match Random.State.int rng 5 with
+        | 0 | 1 -> mutate ()
+        | 2 -> stack := (Flat.checkpoint f, !g) :: !stack
+        | 3 -> (
+            match !stack with
+            | [] -> mutate ()
+            | (c, saved) :: rest ->
+                Flat.rollback f c;
+                Flat.check_invariants f;
+                ok := !ok && graph_equal saved (Flat.to_graph f);
+                g := saved;
+                stack := rest)
+        | _ -> (
+            match !stack with
+            | [] -> mutate ()
+            | (c, _) :: rest ->
+                (* releasing keeps the mutations of the innermost scope *)
+                Flat.release f c;
+                Flat.check_invariants f;
+                ok := !ok && graph_equal !g (Flat.to_graph f);
+                stack := rest));
+        ok := !ok && Flat.checkpoint_depth f = List.length !stack
+      done;
+      (* unwind every scope still open; each must restore its snapshot *)
+      List.iter
+        (fun (c, saved) ->
+          Flat.rollback f c;
+          Flat.check_invariants f;
+          ok := !ok && graph_equal saved (Flat.to_graph f);
+          g := saved)
+        !stack;
+      !ok && Flat.checkpoint_depth f = 0)
+
 let () =
   let qc = List.map QCheck_alcotest.to_alcotest in
   Alcotest.run "rc_graph"
@@ -901,6 +973,7 @@ let () =
               prop_flat_chordal_agrees;
               prop_flat_elimination_order_valid;
               prop_flat_merge_rollback_roundtrip;
+              prop_flat_checkpoint_stress;
             ] );
       ( "properties",
         qc

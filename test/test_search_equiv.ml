@@ -1,0 +1,276 @@
+(* Differential lockdown of the flat-kernel search drivers.
+
+   PR 2 moved the merge-heavy searches (Optimistic de-coalescing, Exact
+   branch-and-bound, Set_coalescing) onto the Flat checkpoint/rollback
+   speculation context.  Each driver kept its persistent-graph
+   implementation as a [Reference] submodule; this suite replays >= 200
+   seeded random instances per algorithm through both paths and demands
+   they agree on the removed-affinity weight, plus an independent
+   brute-force oracle for the exact search so the suffix-weight pruning
+   bound can never silently over-prune. *)
+
+module G = Rc_graph.Graph
+module Greedy_k = Rc_graph.Greedy_k
+module Generators = Rc_graph.Generators
+module Problem = Rc_core.Problem
+module Coalescing = Rc_core.Coalescing
+module Aggressive = Rc_core.Aggressive
+module Optimistic = Rc_core.Optimistic
+module Exact = Rc_core.Exact
+module Set_coalescing = Rc_core.Set_coalescing
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* Seeded random problems over a greedy-k-colorable base.  Chordal and
+   gnp bases alternate so both dense-clique and sparse-random shapes are
+   exercised; [k] is the base graph's coloring number, the tightest
+   value for which every driver's precondition holds. *)
+let random_problem ~n ~n_affinities seed =
+  let rng = Random.State.make [| seed; 9091 |] in
+  let g =
+    if seed mod 2 = 0 then Generators.random_chordal rng ~n ~extra:(n / 2)
+    else Generators.gnp rng ~n ~p:0.25
+  in
+  let k = max 2 (Greedy_k.coloring_number g) in
+  let vs = Array.of_list (G.vertices g) in
+  let nv = Array.length vs in
+  let affinities = ref [] in
+  let attempts = ref 0 in
+  while List.length !affinities < n_affinities && !attempts < 60 * n_affinities do
+    incr attempts;
+    let u = vs.(Random.State.int rng nv) and v = vs.(Random.State.int rng nv) in
+    if u <> v && not (G.mem_edge g u v) then
+      affinities := ((u, v), 1 + Random.State.int rng 9) :: !affinities
+  done;
+  Problem.make ~graph:g ~affinities:!affinities ~k
+
+let weight = Coalescing.coalesced_weight
+
+(* Common postcondition of the flat path: sound classification and a
+   greedy-k merged graph. *)
+let assert_valid name p sol =
+  check (name ^ ": flat solution sound") true (Coalescing.check p sol = Ok ());
+  check
+    (name ^ ": flat merged graph greedy-k")
+    true
+    (Coalescing.is_conservative p sol)
+
+(* ------------------------------------------------------------------ *)
+(* Optimistic                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let scoring_of_seed seed =
+  match seed mod 3 with
+  | 0 -> Optimistic.Degree_per_weight
+  | 1 -> Optimistic.Weight_only
+  | _ -> Optimistic.Degree_only
+
+let test_optimistic_differential () =
+  for seed = 1 to 200 do
+    let p = random_problem ~n:12 ~n_affinities:6 seed in
+    let scoring = scoring_of_seed seed in
+    let flat = Optimistic.coalesce ~scoring p in
+    let reference = Optimistic.Reference.coalesce ~scoring p in
+    check_int
+      (Printf.sprintf "optimistic weight (seed %d)" seed)
+      (weight reference) (weight flat);
+    assert_valid (Printf.sprintf "optimistic (seed %d)" seed) p flat
+  done
+
+(* Phase 2 in isolation, from the fully aggressive state the Theorem 6
+   experiments start at. *)
+let test_decoalesce_differential () =
+  for seed = 1 to 200 do
+    let p = random_problem ~n:12 ~n_affinities:6 seed in
+    let scoring = scoring_of_seed (seed + 1) in
+    let st0 =
+      Aggressive.coalesce_state (Coalescing.initial p.graph) p.affinities
+    in
+    let flat =
+      Coalescing.solution_of_state p (Optimistic.decoalesce_greedy ~scoring p st0)
+    in
+    let reference =
+      Coalescing.solution_of_state p
+        (Optimistic.Reference.decoalesce_greedy ~scoring p st0)
+    in
+    check_int
+      (Printf.sprintf "decoalesce weight (seed %d)" seed)
+      (weight reference) (weight flat);
+    assert_valid (Printf.sprintf "decoalesce (seed %d)" seed) p flat
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Exact                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_exact_differential () =
+  for seed = 1 to 200 do
+    let p = random_problem ~n:10 ~n_affinities:6 seed in
+    let flat = Exact.conservative p in
+    let reference = Exact.Reference.conservative p in
+    check_int
+      (Printf.sprintf "exact conservative weight (seed %d)" seed)
+      (weight reference) (weight flat);
+    assert_valid (Printf.sprintf "exact conservative (seed %d)" seed) p flat;
+    check_int
+      (Printf.sprintf "exact aggressive weight (seed %d)" seed)
+      (weight (Exact.Reference.aggressive p))
+      (weight (Exact.aggressive p))
+  done
+
+let test_exact_k_colorable_differential () =
+  (* The doubly-exponential variant: fewer, smaller instances. *)
+  for seed = 1 to 60 do
+    let p = random_problem ~n:8 ~n_affinities:4 seed in
+    check_int
+      (Printf.sprintf "exact k-colorable weight (seed %d)" seed)
+      (weight (Exact.Reference.conservative_k_colorable p))
+      (weight (Exact.conservative_k_colorable p))
+  done
+
+(* Brute-force optimality oracle: enumerate all 2^m affinity subsets,
+   realize each feasible one (merging a subset is order-independent:
+   it succeeds iff no class of its transitive closure contains an
+   interference), and keep the best value among those whose merged
+   graph stays greedy-k.  The value of a subset is the weight of every
+   affinity its closure coalesces — exactly what
+   [Coalescing.coalesced_weight] reports — so the exact search must
+   match it. *)
+let brute_force_optimum (p : Problem.t) =
+  let affinities = Array.of_list p.affinities in
+  let m = Array.length affinities in
+  let best = ref (-1) in
+  for mask = 0 to (1 lsl m) - 1 do
+    let st = ref (Some (Coalescing.initial p.graph)) in
+    for i = 0 to m - 1 do
+      if mask land (1 lsl i) <> 0 then
+        match !st with
+        | None -> ()
+        | Some s ->
+            let a = affinities.(i) in
+            if Coalescing.same_class s a.u a.v then ()
+            else st := Coalescing.merge s a.u a.v
+    done;
+    match !st with
+    | Some s when Greedy_k.is_greedy_k_colorable (Coalescing.graph s) p.k ->
+        let w = weight (Coalescing.solution_of_state p s) in
+        if w > !best then best := w
+    | Some _ | None -> ()
+  done;
+  !best
+
+let test_exact_oracle () =
+  for seed = 1 to 60 do
+    let p = random_problem ~n:10 ~n_affinities:(3 + (seed mod 4)) seed in
+    check_int
+      (Printf.sprintf "exact = brute-force oracle (seed %d)" seed)
+      (brute_force_optimum p)
+      (weight (Exact.conservative p))
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Set coalescing                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_set_differential () =
+  for seed = 1 to 200 do
+    let p = random_problem ~n:12 ~n_affinities:6 seed in
+    let max_set = 2 + (seed mod 2) in
+    let flat = Set_coalescing.coalesce ~max_set p in
+    let reference = Set_coalescing.Reference.coalesce ~max_set p in
+    check_int
+      (Printf.sprintf "set-%d weight (seed %d)" max_set seed)
+      (weight reference) (weight flat);
+    assert_valid (Printf.sprintf "set-%d (seed %d)" max_set seed) p flat;
+    (* Both paths must also agree on which affinities were coalesced,
+       not only on their weight. *)
+    let names sol =
+      List.map (fun (a : Problem.affinity) -> (a.u, a.v)) sol.Coalescing.coalesced
+    in
+    check
+      (Printf.sprintf "set-%d same coalesced set (seed %d)" max_set seed)
+      true
+      (names flat = names reference)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Subset enumeration                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_subsets_by_weight () =
+  let affs =
+    List.mapi
+      (fun i w -> { Problem.u = 2 * i; v = (2 * i) + 1; weight = w })
+      [ 5; 3; 9; 1; 7 ]
+  in
+  let binom n r =
+    let rec f n r = if r = 0 then 1 else n * f (n - 1) (r - 1) / r in
+    f n r
+  in
+  List.iter
+    (fun size ->
+      let subsets = Set_coalescing.subsets_by_weight size affs in
+      check_int
+        (Printf.sprintf "C(5, %d) subsets" size)
+        (binom 5 size) (List.length subsets);
+      (* every subset has the right size, with distinct members in
+         input order *)
+      List.iter
+        (fun s ->
+          check_int "subset size" size (List.length s);
+          let positions =
+            List.map
+              (fun (a : Problem.affinity) ->
+                let rec idx i = function
+                  | [] -> Alcotest.fail "unknown member"
+                  | x :: _ when x == a -> i
+                  | _ :: rest -> idx (i + 1) rest
+                in
+                idx 0 affs)
+              s
+          in
+          check "members in input order" true
+            (List.sort compare positions = positions
+            && List.length (List.sort_uniq compare positions) = size))
+        subsets;
+      (* combined weights are non-increasing *)
+      let weights =
+        List.map
+          (fun s ->
+            List.fold_left (fun w (a : Problem.affinity) -> w + a.weight) 0 s)
+          subsets
+      in
+      check "weights non-increasing" true
+        (List.sort (fun a b -> compare b a) weights = weights))
+    [ 1; 2; 3; 4; 5 ];
+  (* the degenerate sizes *)
+  check_int "size 0" 1 (List.length (Set_coalescing.subsets_by_weight 0 affs));
+  check_int "size > m" 0 (List.length (Set_coalescing.subsets_by_weight 6 affs))
+
+let () =
+  Alcotest.run "rc_search_equiv"
+    [
+      ( "optimistic",
+        [
+          Alcotest.test_case "coalesce: flat = reference (200 seeds)" `Quick
+            test_optimistic_differential;
+          Alcotest.test_case "decoalesce: flat = reference (200 seeds)" `Quick
+            test_decoalesce_differential;
+        ] );
+      ( "exact",
+        [
+          Alcotest.test_case "search: flat = reference (200 seeds)" `Quick
+            test_exact_differential;
+          Alcotest.test_case "k-colorable target: flat = reference" `Quick
+            test_exact_k_colorable_differential;
+          Alcotest.test_case "brute-force optimality oracle" `Quick
+            test_exact_oracle;
+        ] );
+      ( "set_coalescing",
+        [
+          Alcotest.test_case "coalesce: flat = reference (200 seeds)" `Quick
+            test_set_differential;
+          Alcotest.test_case "subset enumeration" `Quick test_subsets_by_weight;
+        ] );
+    ]
