@@ -247,6 +247,51 @@ let k1_search_drivers () =
     ~old_label:"set-2/old-persistent" ~new_label:"set-2/new-flat"
 
 (* ------------------------------------------------------------------ *)
+(* K2: release-profile cost of certifying a coalescing answer          *)
+(* ------------------------------------------------------------------ *)
+
+(* The Rc_check.Certify layer re-derives everything (quotient graph,
+   affinity split, removed weight, greedy-k-colorability of the merged
+   graph) from the Problem and the answer, on the persistent Reference
+   kernels.  This section measures that price in the release profile:
+   solve alone, solve + certify, and certify alone, on the K1 exact
+   instance — the overhead ratio (solve+certify / solve) is the number
+   quoted in DESIGN.md for running every search under certification. *)
+
+let k2_certification () =
+  section "K2 | result certification overhead (release profile)";
+  let p = k1_exact_instance () in
+  Format.printf "instance: %s@." (Rc_core.Problem.stats p);
+  let solve () = Rc_core.Conservative.coalesce Rc_core.Conservative.Brute_force p in
+  let sol = solve () in
+  let answer = Rc_check.Certify.answer_of_solution sol in
+  let claims = [ Rc_check.Certify.Conservative ] in
+  (if not (Rc_check.Certify.ok (Rc_check.Certify.certify ~claims p answer))
+   then failwith "K2: baseline answer failed certification");
+  let rows =
+    run_bench ~name:"K2 certify"
+      [
+        Test.make ~name:"conservative/solve"
+          (Staged.stage (fun () -> solve ()));
+        Test.make ~name:"conservative/solve+certify"
+          (Staged.stage (fun () ->
+               Rc_check.Certify.certify_solution ~claims p (solve ())));
+        Test.make ~name:"certify-only"
+          (Staged.stage (fun () -> Rc_check.Certify.certify ~claims p answer));
+      ]
+  in
+  Format.printf "@.";
+  (match
+     (find_row rows "conservative/solve+certify", find_row rows "conservative/solve")
+   with
+  | Some (_, with_ns), Some (_, solve_ns) when solve_ns > 0. ->
+      let ratio = with_ns /. solve_ns in
+      Format.printf "  certification overhead (solve+certify / solve) %8.2fx@."
+        ratio;
+      derived := !derived @ [ ("overhead:certification", ratio) ]
+  | _ -> Format.printf "  certification overhead (no estimate)@.")
+
+(* ------------------------------------------------------------------ *)
 (* E1: Theorem 1 pipeline — SSA interference graphs are chordal        *)
 (* ------------------------------------------------------------------ *)
 
@@ -807,6 +852,7 @@ let () =
   Format.printf "(paper: Bouchez, Darte, Rastello, CGO 2007; see DESIGN.md)@.";
   k0_flat_kernels ();
   k1_search_drivers ();
+  k2_certification ();
   e1_theorem1 ();
   e4_thm2 ();
   e5_thm3 ();

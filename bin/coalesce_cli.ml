@@ -135,6 +135,122 @@ let solve_cmd =
     (Cmd.info "solve" ~doc:"Run coalescing strategies on an instance.")
     Term.(const run $ seed_arg $ k_arg $ strategy_arg $ chordal_arg $ file_arg)
 
+(* check -------------------------------------------------------------- *)
+
+let check_cmd =
+  let strategy_arg =
+    Arg.(
+      value
+      & opt (some strategy_conv) None
+      & info [ "strategy" ] ~docv:"NAME"
+          ~doc:
+            "Strategy to certify (same names as solve).  Omit to certify \
+             every heuristic.")
+  in
+  let chordal_arg =
+    Arg.(value & flag & info [ "chordal" ] ~doc:"Chordal instance flavor.")
+  in
+  let file_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "file" ] ~docv:"FILE"
+          ~doc:"Load the instance from $(docv) instead of generating one.")
+  in
+  let lint_arg =
+    Arg.(
+      value & flag
+      & info [ "lint" ]
+          ~doc:
+            "Also run the IR/SSA lint and Theorem-1 check on the generated \
+             program (generated instances only).")
+  in
+  let claims_for (s : Rc_core.Strategies.t) =
+    match s with
+    | Rc_core.Strategies.Aggressive -> []
+    | Rc_core.Strategies.Conservative _ | Rc_core.Strategies.Irc _
+    | Rc_core.Strategies.Optimistic | Rc_core.Strategies.Chordal_incremental
+    | Rc_core.Strategies.Set_conservative _
+    | Rc_core.Strategies.Exact_conservative ->
+        [ Rc_check.Certify.Conservative ]
+  in
+  let run seed k strategy chordal file lint =
+    if Rc_check.Sanitize.install_if_enabled () then
+      Format.printf "sanitizer: enabled (profile %s)@."
+        Rc_check.Sanitize.profile;
+    let failures = ref 0 in
+    (if lint && file = None then begin
+       let prog =
+         Rc_ir.Randprog.generate
+           (Random.State.make [| seed |])
+           Rc_ir.Randprog.default_config
+       in
+       let ssa = Rc_ir.Ssa.construct prog in
+       match Rc_check.Lint.check_theorem1 ssa with
+       | [] ->
+           Format.printf
+             "lint: structure + strict SSA + Theorem 1 (chordal, omega = \
+              Maxlive) OK@."
+       | vs ->
+           incr failures;
+           List.iter
+             (fun v ->
+               Format.printf "lint: %s@." (Rc_check.Lint.to_string v))
+             vs
+     end);
+    let problem =
+      match file with
+      | Some path -> (
+          match Rc_challenge.Instance_io.read_file path with
+          | Ok p -> p
+          | Error m -> failwith (Printf.sprintf "%s: %s" path m))
+      | None -> (instance ~seed ~k ~chordal).problem
+    in
+    Format.printf "%s@." (Rc_core.Problem.stats problem);
+    let strategies =
+      match strategy with
+      | Some s -> [ s ]
+      | None -> Rc_core.Strategies.all_heuristics
+    in
+    let solve s =
+      (* IRC may spill, leaving a solution over a reduced instance the
+         original problem cannot certify — detect and skip. *)
+      match s with
+      | Rc_core.Strategies.Irc r ->
+          let res = Rc_core.Irc.allocate ~rule:r problem in
+          if res.spilled = [] then Ok res.solution
+          else
+            Error
+              (Printf.sprintf "spilled %d vertices; reduced instance"
+                 (List.length res.spilled))
+      | s -> Ok (Rc_core.Strategies.run s problem)
+    in
+    List.iter
+      (fun s ->
+        let name = Rc_core.Strategies.name s in
+        match solve s with
+        | exception Invalid_argument m ->
+            Format.printf "%-28s skipped (%s)@." name m
+        | Error m -> Format.printf "%-28s skipped (%s)@." name m
+        | Ok sol ->
+            let claims = claims_for s in
+            let report =
+              Rc_check.Certify.certify_solution ~claims problem sol
+            in
+            if not (Rc_check.Certify.ok report) then incr failures;
+            Format.printf "%-28s %a@." name Rc_check.Certify.pp_report report)
+      strategies;
+    if !failures > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Run strategies and independently certify their answers \
+          (Rc_check.Certify); non-zero exit on any violation.")
+    Term.(
+      const run $ seed_arg $ k_arg $ strategy_arg $ chordal_arg $ file_arg
+      $ lint_arg)
+
 (* reduction ---------------------------------------------------------- *)
 
 let reduction_cmd =
@@ -272,4 +388,11 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ generate_cmd; solve_cmd; reduction_cmd; thm5_cmd; allocate_cmd ]))
+          [
+            generate_cmd;
+            solve_cmd;
+            check_cmd;
+            reduction_cmd;
+            thm5_cmd;
+            allocate_cmd;
+          ]))

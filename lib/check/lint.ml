@@ -1,0 +1,136 @@
+module Graph = Rc_graph.Graph
+module ISet = Graph.ISet
+module IMap = Graph.IMap
+module Chordal = Rc_graph.Chordal
+module Ir = Rc_ir.Ir
+module Cfg = Rc_ir.Cfg
+module Ssa = Rc_ir.Ssa
+module Liveness = Rc_ir.Liveness
+module Interference = Rc_ir.Interference
+
+type violation =
+  | Missing_entry of Ir.label
+  | Unknown_successor of { block : Ir.label; succ : Ir.label }
+  | Duplicate_successor of { block : Ir.label; succ : Ir.label }
+  | Phi_pred_mismatch of { block : Ir.label; var : Ir.var }
+  | Duplicate_phi_dst of { block : Ir.label; var : Ir.var }
+  | Unreachable_block of Ir.label
+  | Strictness of Ssa.strictness_violation
+  | Not_chordal of { cycle_length : int }
+  | Omega_mismatch of { omega : int; maxlive : int }
+
+let pp ppf = function
+  | Missing_entry l -> Format.fprintf ppf "entry block L%d does not exist" l
+  | Unknown_successor { block; succ } ->
+      Format.fprintf ppf "block L%d has unknown successor L%d" block succ
+  | Duplicate_successor { block; succ } ->
+      Format.fprintf ppf "block L%d lists successor L%d twice" block succ
+  | Phi_pred_mismatch { block; var } ->
+      Format.fprintf ppf
+        "block L%d: phi for v%d does not name exactly the predecessors" block
+        var
+  | Duplicate_phi_dst { block; var } ->
+      Format.fprintf ppf "block L%d defines v%d in two phis" block var
+  | Unreachable_block l ->
+      Format.fprintf ppf "block L%d is unreachable from the entry" l
+  | Strictness v -> Ssa.pp_strictness_violation ppf v
+  | Not_chordal { cycle_length } ->
+      Format.fprintf ppf
+        "Theorem 1 violated: interference graph has a chordless cycle of \
+         length %d"
+        cycle_length
+  | Omega_mismatch { omega; maxlive } ->
+      Format.fprintf ppf
+        "Theorem 1 violated: omega = %d but Maxlive = %d" omega maxlive
+
+let to_string v = Format.asprintf "%a" pp v
+
+let check_structure (f : Ir.func) =
+  let viols = ref [] in
+  let add v = viols := v :: !viols in
+  let labels = Ir.labels f in
+  let label_set = ISet.of_list labels in
+  if not (ISet.mem f.entry label_set) then add (Missing_entry f.entry);
+  let preds = Cfg.predecessors f in
+  let rec dup_scan mk = function
+    | a :: (b :: _ as rest) ->
+        if a = b then add (mk a);
+        dup_scan mk rest
+    | _ -> ()
+  in
+  List.iter
+    (fun l ->
+      let b = Ir.block f l in
+      List.iter
+        (fun s ->
+          if not (ISet.mem s label_set) then
+            add (Unknown_successor { block = l; succ = s }))
+        b.succs;
+      dup_scan
+        (fun s -> Duplicate_successor { block = l; succ = s })
+        (List.sort compare b.succs);
+      dup_scan
+        (fun d -> Duplicate_phi_dst { block = l; var = d })
+        (List.sort compare (List.map (fun (p : Ir.phi) -> p.dst) b.phis));
+      let pred_labels =
+        match IMap.find_opt l preds with
+        | Some ps -> List.sort_uniq compare ps
+        | None -> []
+      in
+      List.iter
+        (fun (p : Ir.phi) ->
+          let arg_labels = List.sort compare (List.map fst p.args) in
+          if arg_labels <> pred_labels then
+            add (Phi_pred_mismatch { block = l; var = p.dst }))
+        b.phis)
+    labels;
+  List.rev !viols
+
+let check_strict_ssa (f : Ir.func) =
+  match check_structure f with
+  | _ :: _ as vs -> vs
+  | [] ->
+      let reach = Cfg.reachable f in
+      List.filter_map
+        (fun l -> if ISet.mem l reach then None else Some (Unreachable_block l))
+        (Ir.labels f)
+      @ List.map (fun v -> Strictness v) (Ssa.strictness_violations f)
+
+(* Clique number of a chordal graph from a Reference-path PEO: along a
+   perfect elimination order, every maximal clique appears as a vertex
+   together with its later neighbors.  Kept independent of
+   [Chordal.omega], which runs on the flat MCS kernel. *)
+let omega_reference g peo =
+  let pos = Hashtbl.create 16 in
+  List.iteri (fun i v -> Hashtbl.replace pos v i) peo;
+  List.fold_left
+    (fun best v ->
+      let i = Hashtbl.find pos v in
+      let later =
+        ISet.fold
+          (fun u acc -> if Hashtbl.find pos u > i then acc + 1 else acc)
+          (Graph.neighbors g v) 0
+      in
+      max best (later + 1))
+    0 peo
+
+let check_theorem1 (f : Ir.func) =
+  match check_strict_ssa f with
+  | _ :: _ as vs -> vs
+  | [] ->
+      (* Pure live-range-intersection interference: Theorem 1 speaks of
+         intersecting live ranges, not of the move-aware refinement. *)
+      let g = Interference.build ~move_aware:false f in
+      let peo = Chordal.Reference.mcs_order g in
+      if not (Chordal.Reference.is_perfect_elimination_order g peo) then
+        let cycle_length =
+          match Chordal.find_chordless_cycle g with
+          | Some c -> List.length c
+          | None -> 0
+        in
+        [ Not_chordal { cycle_length } ]
+      else
+        let live = Liveness.compute f in
+        let maxlive = Liveness.maxlive f live in
+        let omega = omega_reference g peo in
+        if omega <> maxlive then [ Omega_mismatch { omega; maxlive } ] else []

@@ -1,0 +1,44 @@
+(** IR / SSA lint: layer 1 of the checking stack (DESIGN.md).
+
+    Three nested passes over an {!Rc_ir.Ir.func}, each returning a list
+    of typed violations (empty = clean):
+
+    - {!check_structure}: CFG well-formedness — entry present,
+      successors exist and are duplicate-free, phi argument labels
+      match the predecessors, phi destinations unique per block.
+    - {!check_strict_ssa}: structure, plus reachability and the full
+      strict-SSA discipline (single definitions, dominance of every
+      use and phi argument) via {!Rc_ir.Ssa.strictness_violations}.
+    - {!check_theorem1}: strict SSA, plus the paper's Theorem 1 on the
+      program's pure live-range interference graph: it must be chordal
+      with clique number omega equal to Maxlive.  Chordality and omega
+      are recomputed on the persistent-path {!Rc_graph.Chordal.Reference}
+      kernel, so this check is independent of the flat MCS
+      implementation it effectively cross-validates.
+
+    Later passes return the earlier pass's violations unchanged when
+    there are any: dominance or interference queries are meaningless on
+    a structurally broken function. *)
+
+module Ir = Rc_ir.Ir
+
+type violation =
+  | Missing_entry of Ir.label
+  | Unknown_successor of { block : Ir.label; succ : Ir.label }
+  | Duplicate_successor of { block : Ir.label; succ : Ir.label }
+  | Phi_pred_mismatch of { block : Ir.label; var : Ir.var }
+      (** the phi's argument labels are not exactly the predecessors *)
+  | Duplicate_phi_dst of { block : Ir.label; var : Ir.var }
+  | Unreachable_block of Ir.label
+  | Strictness of Rc_ir.Ssa.strictness_violation
+  | Not_chordal of { cycle_length : int }
+      (** Theorem 1 broken: a chordless cycle of this length exists *)
+  | Omega_mismatch of { omega : int; maxlive : int }
+      (** Theorem 1 broken: chordal, but omega <> Maxlive *)
+
+val check_structure : Ir.func -> violation list
+val check_strict_ssa : Ir.func -> violation list
+val check_theorem1 : Ir.func -> violation list
+
+val pp : Format.formatter -> violation -> unit
+val to_string : violation -> string

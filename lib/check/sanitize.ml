@@ -1,0 +1,106 @@
+module Flat = Rc_graph.Flat
+module Graph = Rc_graph.Graph
+module Coalescing = Rc_core.Coalescing
+module Speculation = Coalescing.Speculation
+
+let profile = Build_profile.profile
+
+let enabled () =
+  String.equal profile "dev-checked"
+  ||
+  match Sys.getenv_opt "RC_CHECKED" with
+  | None | Some "" | Some "0" -> false
+  | Some _ -> true
+
+let events = ref 0
+let events_seen () = !events
+
+let fail fmt =
+  Printf.ksprintf (fun m -> failwith ("Rc_check.Sanitize: " ^ m)) fmt
+
+(* Rotating cursor over dense indices: each event audits a constant
+   number of vertices, so a whole pass over the graph completes every
+   O(capacity) events — O(1) amortized per event, and every vertex is
+   eventually re-verified. *)
+let cursor = ref 0
+let vertices_per_event = 4
+
+let sample_vertices f =
+  let cap = Flat.capacity f in
+  if cap > 0 then
+    for _ = 1 to vertices_per_event do
+      Flat.check_vertex f (!cursor mod cap);
+      incr cursor
+    done
+
+let on_flat_event ev (f : Flat.t) =
+  incr events;
+  if Flat.checkpoint_depth f < 0 then
+    fail "negative checkpoint depth %d" (Flat.checkpoint_depth f);
+  if Flat.num_edges f < 0 then fail "negative edge count %d" (Flat.num_edges f);
+  if Flat.num_live f < 0 || Flat.num_live f > Flat.capacity f then
+    fail "live count %d outside [0, %d]" (Flat.num_live f) (Flat.capacity f);
+  (match ev with
+  | Flat.Checkpointed c ->
+      if Flat.log_position c <> Flat.log_length f then
+        fail "checkpoint opened at log position %d, but the log has %d entries"
+          (Flat.log_position c) (Flat.log_length f)
+  | Flat.Rolled_back c ->
+      if Flat.log_length f <> Flat.log_position c then
+        fail
+          "undo log unbalanced after rollback: checkpoint position %d, log \
+           length %d"
+          (Flat.log_position c) (Flat.log_length f);
+      if Flat.checkpoint_depth f = 0 && Flat.log_length f <> 0 then
+        fail "outermost rollback left %d undo-log entries" (Flat.log_length f)
+  | Flat.Released c ->
+      if Flat.checkpoint_depth f = 0 then begin
+        if Flat.log_length f <> 0 then
+          fail "outermost release left %d undo-log entries" (Flat.log_length f)
+      end
+      else if Flat.log_length f < Flat.log_position c then
+        fail
+          "undo log shorter than the released checkpoint: position %d, log \
+           length %d"
+          (Flat.log_position c) (Flat.log_length f));
+  sample_vertices f
+
+(* Full self_check on every Nth speculation event; commits always get
+   the full audit (they happen once per search, not per probe). *)
+let spec_period = 16
+
+let on_spec_event ev (s : Speculation.spec) =
+  incr events;
+  match ev with
+  | Speculation.Committed st ->
+      Speculation.self_check s;
+      Flat.check_invariants (Speculation.flat s);
+      let mirror = Flat.to_graph (Speculation.flat s) in
+      if not (Graph.equal mirror (Coalescing.graph st)) then
+        fail
+          "flat mirror and committed persistent graph disagree (%d/%d \
+           vertices, %d/%d edges)"
+          (Graph.num_vertices mirror)
+          (Graph.num_vertices (Coalescing.graph st))
+          (Graph.num_edges mirror)
+          (Graph.num_edges (Coalescing.graph st))
+  | Speculation.Merged | Speculation.Rolled_back | Speculation.Released ->
+      if !events mod spec_period = 0 then Speculation.self_check s
+
+let is_installed = ref false
+
+let install () =
+  Flat.set_monitor (Some on_flat_event);
+  Speculation.set_monitor (Some on_spec_event);
+  is_installed := true
+
+let uninstall () =
+  Flat.set_monitor None;
+  Speculation.set_monitor None;
+  is_installed := false
+
+let installed () = !is_installed
+
+let install_if_enabled () =
+  if enabled () then install ();
+  !is_installed

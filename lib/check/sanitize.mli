@@ -1,0 +1,53 @@
+(** Kernel sanitizer: layer 2 of the checking stack (DESIGN.md).
+
+    Installs global monitors on the two speculation kernels — the
+    {!Rc_graph.Flat} undo log and the {!Rc_core.Coalescing.Speculation}
+    context — and asserts, at every speculation event:
+
+    - undo-log balance: after a rollback the log sits exactly at the
+      checkpoint's position, and closing the outermost scope leaves an
+      empty log (a truncated or over-replayed log fails here);
+    - checkpoint-depth pairing: the depth never goes negative and a
+      released inner scope never leaves the log shorter than its
+      opening position;
+    - adjacency symmetry and degree consistency, sampled: a rotating
+      cursor re-verifies a few vertices per event
+      ({!Rc_graph.Flat.check_vertex}), so every vertex is eventually
+      audited at O(1) amortized vertices per event;
+    - union-find parent acyclicity and merge-log agreement, sampled per
+      speculation event and in full at every commit
+      ({!Rc_core.Coalescing.Speculation.self_check});
+    - mirror-vs-persistent agreement at every commit: the flat mirror,
+      converted back, must equal the committed persistent graph.
+
+    Violations raise [Failure] with a ["Rc_check.Sanitize: ..."]
+    message, at the event where the corruption became observable.
+
+    Enablement: hot paths are unaffected in release builds (monitors
+    default to [None]; the kernels pay one load + branch per
+    checkpoint/rollback/release/merge/commit).  {!install_if_enabled}
+    turns the sanitizer on when the dune profile is [dev-checked] or
+    the [RC_CHECKED] environment variable is set to anything but [0] or
+    the empty string. *)
+
+val profile : string
+(** The dune profile this library was built under. *)
+
+val enabled : unit -> bool
+(** [profile = "dev-checked"] or [RC_CHECKED] set (non-empty, not ["0"]). *)
+
+val install : unit -> unit
+(** Unconditionally install both monitors. *)
+
+val install_if_enabled : unit -> bool
+(** {!install} when {!enabled}; returns whether the sanitizer is now
+    installed. *)
+
+val uninstall : unit -> unit
+(** Remove both monitors. *)
+
+val installed : unit -> bool
+
+val events_seen : unit -> int
+(** Number of speculation events audited since the library was loaded —
+    tests assert this is non-zero to prove the sanitizer actually ran. *)

@@ -73,6 +73,18 @@ module Speculation = struct
 
   type mark = { fcp : Flat.checkpoint; mmark : int }
 
+  (* Speculation events for the kernel sanitizer (Rc_check.Sanitize).
+     Same contract as Flat.set_monitor: a global hook, [None] in release
+     builds, fired after the event completes, once per merge/rollback/
+     release/commit — never inside an edge loop. *)
+  type event = Merged | Rolled_back | Released | Committed of state
+
+  let monitor : (event -> spec -> unit) option ref = ref None
+  let set_monitor m = monitor := m
+
+  let notify ev s =
+    match !monitor with None -> () | Some f -> f ev s
+
   let of_state st =
     let f = Flat.of_graph st.graph in
     {
@@ -103,7 +115,8 @@ module Speculation = struct
   let merge_roots s iu iv =
     Flat.merge s.f iu iv;
     s.parent.(iv) <- iu;
-    push_merge s iu iv
+    push_merge s iu iv;
+    notify Merged s
 
   let merge s u v =
     let iu = repr s u and iv = repr s v in
@@ -121,9 +134,12 @@ module Speculation = struct
       s.mlen <- s.mlen - 1;
       let _, iv = s.merges.(s.mlen) in
       s.parent.(iv) <- iv
-    done
+    done;
+    notify Rolled_back s
 
-  let release s m = Flat.release s.f m.fcp
+  let release s m =
+    Flat.release s.f m.fcp;
+    notify Released s
 
   let merge_log s =
     List.init s.mlen (fun i ->
@@ -141,7 +157,64 @@ module Speculation = struct
         | None -> assert false)
       st log
 
-  let commit s = replay s.base (merge_log s)
+  let commit s =
+    let st = replay s.base (merge_log s) in
+    notify (Committed st) s;
+    st
+
+  (* Full structural audit of the speculative context: union-find shape,
+     merge-log/parent/flat agreement.  O(capacity); checked builds and
+     tests only. *)
+  let self_check s =
+    let fail fmt =
+      Printf.ksprintf (fun m -> failwith ("Speculation.self_check: " ^ m)) fmt
+    in
+    let cap = Flat.capacity s.f in
+    if Array.length s.parent <> cap then
+      fail "parent array length %d, capacity %d" (Array.length s.parent) cap;
+    if s.mlen < 0 || s.mlen > Array.length s.merges then
+      fail "merge-log length %d outside its buffer" s.mlen;
+    (* Parent acyclicity: color 0 = unvisited, 1 = on the current walk,
+       2 = proven rooted. *)
+    let color = Array.make cap 0 in
+    for i = 0 to cap - 1 do
+      if color.(i) = 0 then begin
+        let path = ref [] in
+        let j = ref i in
+        while color.(!j) = 0 do
+          color.(!j) <- 1;
+          path := !j :: !path;
+          let p = s.parent.(!j) in
+          if p < 0 || p >= cap then
+            fail "parent %d of index %d out of range" p !j;
+          if p = !j then color.(!j) <- 2 else j := p
+        done;
+        if color.(!j) = 1 then fail "union-find cycle through index %d" !j;
+        List.iter (fun v -> color.(v) <- 2) !path
+      end
+    done;
+    (* Each live merge-log entry (iu, iv): the link is still in place and
+       iv is gone from the flat mirror; each iv is merged away once. *)
+    let merged_away = Array.make cap false in
+    for idx = 0 to s.mlen - 1 do
+      let iu, iv = s.merges.(idx) in
+      if iu < 0 || iu >= cap || iv < 0 || iv >= cap then
+        fail "merge-log entry %d = (%d, %d) out of range" idx iu iv;
+      if s.parent.(iv) <> iu then
+        fail "merge-log entry %d: parent of %d is %d, expected %d" idx iv
+          s.parent.(iv) iu;
+      if Flat.is_live s.f iv then
+        fail "merged-away index %d still live in the flat mirror" iv;
+      if merged_away.(iv) then fail "index %d merged away twice" iv;
+      merged_away.(iv) <- true
+    done;
+    (* Conversely, an index may only point away from itself if a live
+       log entry re-rooted it (rollback restores self-parenting). *)
+    for i = 0 to cap - 1 do
+      if (not merged_away.(i)) && s.parent.(i) <> i then
+        fail "index %d re-rooted to %d without a live merge-log entry" i
+          s.parent.(i)
+    done
 end
 
 type solution = {

@@ -98,6 +98,25 @@ module Speculation : sig
   val commit : spec -> state
   (** [replay base (merge_log spec)]: the persistent state realizing
       every merge accepted so far. *)
+
+  (** {2 Instrumentation}
+
+      Same contract as {!Rc_graph.Flat.set_monitor}: a global hook for
+      the kernel sanitizer, [None] in release builds (one mutable load
+      and branch per speculation event), fired after the event
+      completes.  [Committed] carries the persistent state just
+      produced so the monitor can compare it against the flat mirror. *)
+
+  type event = Merged | Rolled_back | Released | Committed of state
+
+  val set_monitor : (event -> spec -> unit) option -> unit
+
+  val self_check : spec -> unit
+  (** Full structural audit: union-find parent links are acyclic and in
+      range, every live merge-log entry (iu, iv) still has
+      [parent iv = iu] with [iv] dead in the flat mirror and merged
+      away at most once, and no index is re-rooted without a log entry.
+      O(capacity); raises [Failure] on corruption. *)
 end
 
 (** {1 Solutions} *)

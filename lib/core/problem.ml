@@ -28,26 +28,64 @@ let make ~graph ~affinities ~k =
     affinities;
   { graph; affinities = normalize_affinities affinities; k }
 
-let validate t =
-  let ( let* ) r k = match r with Ok () -> k () | Error _ as e -> e in
-  let* () = if t.k > 0 then Ok () else Error "k must be positive" in
-  let rec check = function
-    | [] -> Ok ()
-    | { u; v; weight } :: rest ->
-        if u >= v then Error (Printf.sprintf "affinity (%d, %d) not normalized" u v)
-        else if weight <= 0 then
-          Error (Printf.sprintf "affinity (%d, %d) has weight %d" u v weight)
-        else if not (Graph.mem_vertex t.graph u && Graph.mem_vertex t.graph v)
-        then Error (Printf.sprintf "affinity (%d, %d) endpoint not in graph" u v)
-        else check rest
-  in
-  let* () = check t.affinities in
-  let sorted = List.sort compare t.affinities in
-  let distinct =
-    List.length (List.sort_uniq (fun a b -> compare (a.u, a.v) (b.u, b.v)) sorted)
-  in
-  if distinct = List.length t.affinities then Ok ()
-  else Error "duplicate affinities"
+type error =
+  | Nonpositive_k of int
+  | Self_affinity of { v : Graph.vertex; weight : int }
+  | Unordered_affinity of { u : Graph.vertex; v : Graph.vertex }
+  | Nonpositive_weight of { u : Graph.vertex; v : Graph.vertex; weight : int }
+  | Missing_endpoint of {
+      u : Graph.vertex;
+      v : Graph.vertex;
+      missing : Graph.vertex;
+    }
+  | Duplicate_affinity of { u : Graph.vertex; v : Graph.vertex }
+  | Constrained_affinity of {
+      u : Graph.vertex;
+      v : Graph.vertex;
+      weight : int;
+    }
+
+let pp_error ppf = function
+  | Nonpositive_k k -> Format.fprintf ppf "k = %d is not positive" k
+  | Self_affinity { v; weight } ->
+      Format.fprintf ppf "self-affinity %d~%d (weight %d)" v v weight
+  | Unordered_affinity { u; v } ->
+      Format.fprintf ppf "affinity (%d, %d) not normalized (u < v required)" u v
+  | Nonpositive_weight { u; v; weight } ->
+      Format.fprintf ppf "affinity (%d, %d) has non-positive weight %d" u v
+        weight
+  | Missing_endpoint { u; v; missing } ->
+      Format.fprintf ppf "affinity (%d, %d): endpoint %d is not in the graph" u
+        v missing
+  | Duplicate_affinity { u; v } ->
+      Format.fprintf ppf "duplicate affinity (%d, %d)" u v
+  | Constrained_affinity { u; v; weight } ->
+      Format.fprintf ppf
+        "affinity (%d, %d) (weight %d) joins interfering vertices" u v weight
+
+let error_to_string e = Format.asprintf "%a" pp_error e
+
+let validate ?(forbid_constrained = false) t =
+  let errs = ref [] in
+  let add e = errs := e :: !errs in
+  if t.k <= 0 then add (Nonpositive_k t.k);
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun { u; v; weight } ->
+      if u = v then add (Self_affinity { v; weight })
+      else if u > v then add (Unordered_affinity { u; v });
+      if weight <= 0 then add (Nonpositive_weight { u; v; weight });
+      let u_in = Graph.mem_vertex t.graph u
+      and v_in = Graph.mem_vertex t.graph v in
+      if not u_in then add (Missing_endpoint { u; v; missing = u });
+      if not v_in then add (Missing_endpoint { u; v; missing = v });
+      let key = (min u v, max u v) in
+      if Hashtbl.mem seen key then add (Duplicate_affinity { u; v })
+      else Hashtbl.replace seen key ();
+      if forbid_constrained && u_in && v_in && Graph.mem_edge t.graph u v then
+        add (Constrained_affinity { u; v; weight }))
+    t.affinities;
+  match List.rev !errs with [] -> Ok () | es -> Error es
 
 let total_weight t = List.fold_left (fun s a -> s + a.weight) 0 t.affinities
 

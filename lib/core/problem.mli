@@ -23,9 +23,48 @@ val make :
     if an endpoint is not a vertex of the graph, a weight is <= 0, or
     [k <= 0]. *)
 
-val validate : t -> (unit, string) result
+(** One violation of the {!make} invariants, naming the offending
+    affinity.  {!Constrained_affinity} is reported only under
+    [~forbid_constrained:true]: affinities between interfering vertices
+    are legitimate instance content (no coalescing can remove them —
+    see {!constrained}), but transformations that promise to produce
+    unconstrained instances can insist. *)
+type error =
+  | Nonpositive_k of int
+  | Self_affinity of { v : Rc_graph.Graph.vertex; weight : int }
+  | Unordered_affinity of {
+      u : Rc_graph.Graph.vertex;
+      v : Rc_graph.Graph.vertex;
+    }
+  | Nonpositive_weight of {
+      u : Rc_graph.Graph.vertex;
+      v : Rc_graph.Graph.vertex;
+      weight : int;
+    }
+  | Missing_endpoint of {
+      u : Rc_graph.Graph.vertex;
+      v : Rc_graph.Graph.vertex;
+      missing : Rc_graph.Graph.vertex;
+    }
+  | Duplicate_affinity of {
+      u : Rc_graph.Graph.vertex;
+      v : Rc_graph.Graph.vertex;
+    }
+  | Constrained_affinity of {
+      u : Rc_graph.Graph.vertex;
+      v : Rc_graph.Graph.vertex;
+      weight : int;
+    }
+
+val validate : ?forbid_constrained:bool -> t -> (unit, error list) result
 (** Re-checks the {!make} invariants (useful when a transformation
-    produced the instance directly). *)
+    produced the instance directly), collecting {e every} violation in
+    affinity-list order rather than stopping at the first.
+    [forbid_constrained] (default [false]) additionally rejects
+    affinities whose endpoints interfere. *)
+
+val pp_error : Format.formatter -> error -> unit
+val error_to_string : error -> string
 
 val total_weight : t -> int
 (** Sum of all affinity weights. *)

@@ -152,9 +152,30 @@ let log_op t op =
     t.log_len <- t.log_len + 1
   end
 
+(* Speculation events, surfaced to an optional global monitor so a
+   sanitizer (Rc_check.Sanitize) can assert undo-log balance and sample
+   structural invariants.  Release builds leave the hook at [None]: the
+   cost is one mutable load and branch per speculation event — which are
+   per-probe, never per-edge. *)
+type event =
+  | Checkpointed of checkpoint
+  | Rolled_back of checkpoint
+  | Released of checkpoint
+
+let monitor : (event -> t -> unit) option ref = ref None
+let set_monitor m = monitor := m
+
+let notify ev t =
+  match !monitor with None -> () | Some f -> f ev t
+
+let log_length t = t.log_len
+let log_position (c : checkpoint) = c
+
 let checkpoint t =
   t.ncheck <- t.ncheck + 1;
-  t.log_len
+  let c = t.log_len in
+  notify (Checkpointed c) t;
+  c
 
 let rollback t c =
   if t.ncheck <= 0 then invalid_arg "Flat.rollback: no open checkpoint";
@@ -167,12 +188,14 @@ let rollback t c =
         Bytes.unsafe_set t.alive v '\001';
         t.nlive <- t.nlive + 1
   done;
-  t.ncheck <- t.ncheck - 1
+  t.ncheck <- t.ncheck - 1;
+  notify (Rolled_back c) t
 
-let release t _c =
+let release t c =
   if t.ncheck <= 0 then invalid_arg "Flat.release: no open checkpoint";
   t.ncheck <- t.ncheck - 1;
-  if t.ncheck = 0 then t.log_len <- 0
+  if t.ncheck = 0 then t.log_len <- 0;
+  notify (Released c) t
 
 let checkpoint_depth t = t.ncheck
 
@@ -359,3 +382,42 @@ let check_invariants t =
   done;
   if !edges <> t.nedges then
     fail "edge count drift: counted %d, cached %d" !edges t.nedges
+
+(* One-vertex slice of [check_invariants]: O(degree^2), no allocation,
+   does not claim the scratch buffers (it may run from a monitor while a
+   client kernel owns them). *)
+let check_vertex t v =
+  let fail fmt = Printf.ksprintf failwith fmt in
+  if v < 0 || v >= t.cap then
+    invalid_arg (Printf.sprintf "Flat.check_vertex: index %d out of range" v);
+  if not (is_live t v) then begin
+    if t.len.(v) <> 0 then fail "dead vertex %d has degree %d" v t.len.(v)
+  end
+  else begin
+    let n = t.len.(v) in
+    if n < 0 || n > Array.length t.adj.(v) then
+      fail "degree %d of %d outside its adjacency row" n v;
+    for i = 0 to n - 1 do
+      let u = t.adj.(v).(i) in
+      if not (is_live t u) then fail "edge (%d, %d) to dead vertex" v u;
+      if not (get_bit t v u) then fail "adjacency (%d, %d) missing bit" v u;
+      if not (get_bit t u v) then fail "asymmetric bit (%d, %d)" v u;
+      for j = i + 1 to n - 1 do
+        if t.adj.(v).(j) = u then fail "duplicate neighbor %d of %d" u v
+      done
+    done
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Fault injection (tests)                                             *)
+(* ------------------------------------------------------------------ *)
+
+module Fault = struct
+  let drop_bit t u v = clear_bit1 t u v
+  let drop_adjacency t u v = drop_neighbor t u v
+  let skew_edge_count t d = t.nedges <- t.nedges + d
+
+  let truncate_log t n =
+    if n < 0 then invalid_arg "Flat.Fault.truncate_log: negative count";
+    t.log_len <- max 0 (t.log_len - n)
+end

@@ -138,8 +138,64 @@ val checkpoint_depth : t -> int
 val scratch1 : t -> int array
 val scratch2 : t -> int array
 
+(** {1 Instrumentation}
+
+    Hooks for the kernel sanitizer ({!Rc_check.Sanitize}): a global
+    monitor observing every speculation event, plus accessors exposing
+    undo-log positions so the monitor can assert log balance.  With no
+    monitor installed (the release default) the only cost is one
+    mutable load and branch per {!checkpoint}/{!rollback}/{!release} —
+    never per edge operation. *)
+
+type event =
+  | Checkpointed of checkpoint  (** after the scope opened *)
+  | Rolled_back of checkpoint  (** after the log was replayed *)
+  | Released of checkpoint  (** after the scope closed, mutations kept *)
+
+val set_monitor : (event -> t -> unit) option -> unit
+(** Installs (or removes, with [None]) the global speculation monitor.
+    It fires after the event completes, for every [Flat.t] in the
+    program.  The monitor must not mutate the graph. *)
+
+val log_length : t -> int
+(** Current undo-log length (0 whenever no checkpoint is open). *)
+
+val log_position : checkpoint -> int
+(** The log length at which the checkpoint was opened.  After a
+    {!rollback} of [c], [log_length t = log_position c] — the balance
+    invariant the sanitizer asserts. *)
+
+val check_vertex : t -> int -> unit
+(** One-vertex slice of {!check_invariants}: the index is either dead
+    with degree 0, or all of its adjacency row entries are live,
+    duplicate-free and bit-symmetric.  O(degree^2), allocation-free,
+    does not claim the scratch buffers.  Raises [Failure] on
+    corruption, [Invalid_argument] if the index is out of range. *)
+
 (** {1 Debug} *)
 
 val check_invariants : t -> unit
 (** Verifies bitmatrix/adjacency/degree consistency; raises [Failure]
     with a description on corruption.  O(capacity^2); tests only. *)
+
+(** Deliberate corruption, for mutation tests of the checking layer —
+    each primitive violates exactly one representation invariant so
+    tests can assert the sanitizer catches that class.  Never use
+    outside tests. *)
+module Fault : sig
+  val drop_bit : t -> int -> int -> unit
+  (** Clears the directed bit (u, v) only: breaks bitmatrix symmetry
+      and orphans the adjacency entries. *)
+
+  val drop_adjacency : t -> int -> int -> unit
+  (** Removes [v] from [u]'s adjacency row only: degree and row lose
+      sync with the bitmatrix. *)
+
+  val skew_edge_count : t -> int -> unit
+  (** Adds a delta to the cached edge count. *)
+
+  val truncate_log : t -> int -> unit
+  (** Drops the newest [n] undo-log records, simulating lost undo
+      information: the next {!rollback} under-replays and leaves the
+      log shorter than the checkpoint's position. *)
+end

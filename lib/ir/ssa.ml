@@ -169,47 +169,115 @@ let def_count (f : Ir.func) =
 
 let is_ssa f = IMap.for_all (fun _ c -> c <= 1) (def_count f)
 
-let is_strict (f : Ir.func) =
+type strictness_violation =
+  | Multiple_defs of { var : Ir.var; count : int }
+  | Undefined_use of { block : Ir.label; index : int; var : Ir.var }
+  | Use_before_def of { block : Ir.label; index : int; var : Ir.var }
+  | Undominated_use of {
+      block : Ir.label;
+      index : int;
+      var : Ir.var;
+      def_block : Ir.label;
+    }
+  | Undominated_phi_arg of { block : Ir.label; pred : Ir.label; var : Ir.var }
+
+let pp_strictness_violation ppf = function
+  | Multiple_defs { var; count } ->
+      Format.fprintf ppf "variable v%d has %d definition sites" var count
+  | Undefined_use { block; index; var } ->
+      Format.fprintf ppf
+        "block L%d, instruction %d: use of v%d, which has no definition" block
+        index var
+  | Use_before_def { block; index; var } ->
+      Format.fprintf ppf
+        "block L%d, instruction %d: v%d used before its definition later in \
+         the block"
+        block index var
+  | Undominated_use { block; index; var; def_block } ->
+      Format.fprintf ppf
+        "block L%d, instruction %d: use of v%d not dominated by its \
+         definition in block L%d"
+        block index var def_block
+  | Undominated_phi_arg { block; pred; var } ->
+      Format.fprintf ppf
+        "block L%d: phi argument v%d from predecessor L%d not dominated by \
+         its definition"
+        block var pred
+
+let strictness_violation_to_string v =
+  Format.asprintf "%a" pp_strictness_violation v
+
+let strictness_violations (f : Ir.func) =
   let dom = Dominance.compute f in
+  let reach = Cfg.reachable f in
   let def_block =
     List.fold_left
       (fun m (v, l) -> IMap.add v l m)
       IMap.empty (Ir.def_sites f)
   in
   let param_set = ISet.of_list f.params in
-  let defined_before_in_block l target_use_index v =
-    (* v defined by a phi or an earlier body instruction of block l. *)
+  let viols = ref [] in
+  let add v = viols := v :: !viols in
+  IMap.iter
+    (fun var count ->
+      if count > 1 then add (Multiple_defs { var; count }))
+    (def_count f);
+  (* v defined by a phi or a body instruction of block l strictly before
+     position [target]. *)
+  let defined_before l target v =
     let b = Ir.block f l in
     List.exists (fun (p : Ir.phi) -> p.dst = v) b.phis
-    || List.exists2
-         (fun idx i -> idx < target_use_index && List.mem v (Ir.defs_of_instr i))
-         (List.mapi (fun i _ -> i) b.body)
-         b.body
-  in
-  let dominated_use l idx v =
-    ISet.mem v param_set
     ||
-    match IMap.find_opt v def_block with
-    | None -> false
-    | Some dl ->
-        if dl = l then defined_before_in_block l idx v
-        else Dominance.dominates dom dl l
+    let rec scan idx = function
+      | [] -> false
+      | i :: rest ->
+          (idx < target && List.mem v (Ir.defs_of_instr i))
+          || scan (idx + 1) rest
+    in
+    scan 0 b.body
   in
-  let check_block l (b : Ir.block) =
-    List.for_all
-      (fun (idx, i) -> List.for_all (dominated_use l idx) (Ir.uses_of_instr i))
-      (List.mapi (fun i x -> (i, x)) b.body)
-    && List.for_all
-         (fun (p : Ir.phi) ->
-           List.for_all
-             (fun (pl, v) ->
-               ISet.mem v param_set
-               ||
-               match IMap.find_opt v def_block with
-               | None -> false
-               | Some dl -> Dominance.dominates dom dl pl)
-             p.args)
-         b.phis
+  (* A definition in an unreachable block dominates nothing reachable:
+     [Dominance] only speaks reachable labels, so guard every query. *)
+  let check_use l idx v =
+    if not (ISet.mem v param_set) then
+      match IMap.find_opt v def_block with
+      | None -> add (Undefined_use { block = l; index = idx; var = v })
+      | Some dl ->
+          if dl = l then begin
+            if not (defined_before l idx v) then
+              add (Use_before_def { block = l; index = idx; var = v })
+          end
+          else if
+            (not (ISet.mem dl reach)) || not (Dominance.dominates dom dl l)
+          then
+            add
+              (Undominated_use { block = l; index = idx; var = v; def_block = dl })
   in
-  is_ssa f
-  && List.for_all (fun l -> check_block l (Ir.block f l)) (Ir.labels f)
+  List.iter
+    (fun l ->
+      if ISet.mem l reach then begin
+        let b = Ir.block f l in
+        List.iteri
+          (fun idx i -> List.iter (check_use l idx) (Ir.uses_of_instr i))
+          b.body;
+        List.iter
+          (fun (p : Ir.phi) ->
+            List.iter
+              (fun (pl, v) ->
+                if not (ISet.mem v param_set) then
+                  let dominated =
+                    match IMap.find_opt v def_block with
+                    | None -> false
+                    | Some dl ->
+                        ISet.mem pl reach && ISet.mem dl reach
+                        && Dominance.dominates dom dl pl
+                  in
+                  if not dominated then
+                    add (Undominated_phi_arg { block = l; pred = pl; var = v }))
+              p.args)
+          b.phis
+      end)
+    (Ir.labels f);
+  List.rev !viols
+
+let is_strict (f : Ir.func) = strictness_violations f = []

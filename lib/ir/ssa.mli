@@ -17,4 +17,32 @@ val is_ssa : Ir.func -> bool
 val is_strict : Ir.func -> bool
 (** Every use is dominated by its (unique, for SSA) definition; for phi
     arguments [(l, v)], the definition of [v] must dominate the end of
-    block [l]. *)
+    block [l].  [is_strict f = (strictness_violations f = [])]. *)
+
+(** One failure of the strict-SSA discipline, naming the offending
+    block and instruction position (0-based within the block body). *)
+type strictness_violation =
+  | Multiple_defs of { var : Ir.var; count : int }
+      (** not SSA: several definition sites *)
+  | Undefined_use of { block : Ir.label; index : int; var : Ir.var }
+      (** no definition anywhere (and not a parameter) *)
+  | Use_before_def of { block : Ir.label; index : int; var : Ir.var }
+      (** defined in the same block, but only later *)
+  | Undominated_use of {
+      block : Ir.label;
+      index : int;
+      var : Ir.var;
+      def_block : Ir.label;
+    }  (** the defining block does not dominate the use *)
+  | Undominated_phi_arg of { block : Ir.label; pred : Ir.label; var : Ir.var }
+      (** the definition does not dominate the end of the predecessor *)
+
+val strictness_violations : Ir.func -> strictness_violation list
+(** All strictness failures, in block/instruction order.  Uses in
+    unreachable blocks are not checked (dominance is undefined there —
+    the IR lint reports unreachable blocks separately); a definition
+    sitting in an unreachable block dominates nothing, so reachable
+    uses of it are violations. *)
+
+val pp_strictness_violation : Format.formatter -> strictness_violation -> unit
+val strictness_violation_to_string : strictness_violation -> string

@@ -1,0 +1,593 @@
+(* The checking stack (PR 3): IR/SSA lint, kernel sanitizer, and
+   coalescing-result certifier.
+
+   Three layers, three test families:
+   - the lint accepts every Randprog output (structure, strict SSA,
+     Theorem 1) and names the offending block/instruction on hand-built
+     broken programs;
+   - the certifier passes over the same 200-seed differential instances
+     the search-equivalence suite uses, and mutation tests corrupt a
+     valid answer one invariant at a time, asserting each corruption
+     class is rejected;
+   - the sanitizer audits full search workloads without a single
+     violation, and deterministically catches every Flat.Fault
+     injection class (asymmetric bits, orphaned adjacency, skewed edge
+     counts, truncated undo logs, mirror divergence). *)
+
+module G = Rc_graph.Graph
+module IMap = G.IMap
+module Flat = Rc_graph.Flat
+module Greedy_k = Rc_graph.Greedy_k
+module Generators = Rc_graph.Generators
+module Ir = Rc_ir.Ir
+module Ssa = Rc_ir.Ssa
+module Randprog = Rc_ir.Randprog
+module Problem = Rc_core.Problem
+module Coalescing = Rc_core.Coalescing
+module Speculation = Coalescing.Speculation
+module Aggressive = Rc_core.Aggressive
+module Conservative = Rc_core.Conservative
+module Optimistic = Rc_core.Optimistic
+module Exact = Rc_core.Exact
+module Set_coalescing = Rc_core.Set_coalescing
+module Lint = Rc_check.Lint
+module Sanitize = Rc_check.Sanitize
+module Certify = Rc_check.Certify
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* Same generator as test_search_equiv.ml: seeded problems over a
+   greedy-k-colorable base, k = coloring number. *)
+let random_problem ~n ~n_affinities seed =
+  let rng = Random.State.make [| seed; 9091 |] in
+  let g =
+    if seed mod 2 = 0 then Generators.random_chordal rng ~n ~extra:(n / 2)
+    else Generators.gnp rng ~n ~p:0.25
+  in
+  let k = max 2 (Greedy_k.coloring_number g) in
+  let vs = Array.of_list (G.vertices g) in
+  let nv = Array.length vs in
+  let affinities = ref [] in
+  let attempts = ref 0 in
+  while List.length !affinities < n_affinities && !attempts < 60 * n_affinities do
+    incr attempts;
+    let u = vs.(Random.State.int rng nv) and v = vs.(Random.State.int rng nv) in
+    if u <> v && not (G.mem_edge g u v) then
+      affinities := ((u, v), 1 + Random.State.int rng 9) :: !affinities
+  done;
+  Problem.make ~graph:g ~affinities:!affinities ~k
+
+(* ------------------------------------------------------------------ *)
+(* Layer 1: IR/SSA lint                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_lint_randprog () =
+  let rng = Random.State.make [| 41 |] in
+  for i = 1 to 40 do
+    let prog = Randprog.generate rng Randprog.default_config in
+    check
+      (Printf.sprintf "raw program %d structurally clean" i)
+      true
+      (Lint.check_structure prog = []);
+    let ssa = Ssa.construct prog in
+    check
+      (Printf.sprintf "SSA program %d passes Theorem-1 lint" i)
+      true
+      (Lint.check_theorem1 ssa = [])
+  done
+
+let block ?(phis = []) ?(succs = []) body : Ir.block = { phis; body; succs }
+
+let test_lint_structure_violations () =
+  (* Unknown successor. *)
+  let f : Ir.func =
+    {
+      entry = 0;
+      blocks = IMap.add 0 (block ~succs:[ 7 ] []) IMap.empty;
+      params = [];
+      next_var = 0;
+      next_label = 1;
+    }
+  in
+  check "unknown successor caught" true
+    (List.exists
+       (function
+         | Lint.Unknown_successor { block = 0; succ = 7 } -> true | _ -> false)
+       (Lint.check_structure f));
+  (* Missing entry. *)
+  let f = { f with entry = 9 } in
+  check "missing entry caught" true
+    (List.mem (Lint.Missing_entry 9) (Lint.check_structure f));
+  (* Duplicate successor. *)
+  let f : Ir.func =
+    {
+      entry = 0;
+      blocks =
+        IMap.add 0
+          (block ~succs:[ 1; 1 ] [])
+          (IMap.add 1 (block []) IMap.empty);
+      params = [];
+      next_var = 0;
+      next_label = 2;
+    }
+  in
+  check "duplicate successor caught" true
+    (List.exists
+       (function
+         | Lint.Duplicate_successor { block = 0; succ = 1 } -> true
+         | _ -> false)
+       (Lint.check_structure f));
+  (* Phi argument labels must be the predecessors. *)
+  let f : Ir.func =
+    {
+      entry = 0;
+      blocks =
+        IMap.add 0
+          (block ~succs:[ 1 ] [ Ir.Op { def = Some 0; uses = [] } ])
+          (IMap.add 1
+             (block ~phis:[ { Ir.dst = 1; args = [ (5, 0) ] } ] [])
+             IMap.empty);
+      params = [];
+      next_var = 2;
+      next_label = 2;
+    }
+  in
+  check "phi/pred mismatch caught" true
+    (List.exists
+       (function
+         | Lint.Phi_pred_mismatch { block = 1; var = 1 } -> true | _ -> false)
+       (Lint.check_structure f));
+  (* Unreachable block. *)
+  let f : Ir.func =
+    {
+      entry = 0;
+      blocks = IMap.add 0 (block []) (IMap.add 3 (block []) IMap.empty);
+      params = [];
+      next_var = 0;
+      next_label = 4;
+    }
+  in
+  check "unreachable block caught" true
+    (List.mem (Lint.Unreachable_block 3) (Lint.check_strict_ssa f))
+
+let test_lint_strictness_names_offender () =
+  (* v5 used at body position 0, defined at position 1 of the same
+     block: the violation must name block 0, instruction 0, variable 5. *)
+  let f : Ir.func =
+    {
+      entry = 0;
+      blocks =
+        IMap.add 0
+          (block
+             [
+               Ir.Op { def = None; uses = [ 5 ] };
+               Ir.Op { def = Some 5; uses = [] };
+             ])
+          IMap.empty;
+      params = [];
+      next_var = 6;
+      next_label = 1;
+    }
+  in
+  check "use-before-def names block and instruction" true
+    (List.mem
+       (Lint.Strictness (Ssa.Use_before_def { block = 0; index = 0; var = 5 }))
+       (Lint.check_strict_ssa f));
+  check "is_strict agrees" false (Ssa.is_strict f);
+  (* Definition in one branch of a diamond does not dominate the join. *)
+  let f : Ir.func =
+    {
+      entry = 0;
+      blocks =
+        IMap.add 0
+          (block ~succs:[ 1; 2 ] [])
+          (IMap.add 1
+             (block ~succs:[ 3 ] [ Ir.Op { def = Some 9; uses = [] } ])
+             (IMap.add 2
+                (block ~succs:[ 3 ] [])
+                (IMap.add 3 (block [ Ir.Op { def = None; uses = [ 9 ] } ])
+                   IMap.empty)));
+      params = [];
+      next_var = 10;
+      next_label = 4;
+    }
+  in
+  check "undominated use names def block" true
+    (List.mem
+       (Lint.Strictness
+          (Ssa.Undominated_use { block = 3; index = 0; var = 9; def_block = 1 }))
+       (Lint.check_strict_ssa f));
+  (* Use of a variable that is defined nowhere. *)
+  let f : Ir.func =
+    {
+      entry = 0;
+      blocks = IMap.add 0 (block [ Ir.Op { def = None; uses = [ 2 ] } ]) IMap.empty;
+      params = [];
+      next_var = 3;
+      next_label = 1;
+    }
+  in
+  check "undefined use caught" true
+    (List.mem
+       (Lint.Strictness (Ssa.Undefined_use { block = 0; index = 0; var = 2 }))
+       (Lint.check_strict_ssa f));
+  (* Double definition breaks SSA. *)
+  let f : Ir.func =
+    {
+      entry = 0;
+      blocks =
+        IMap.add 0
+          (block
+             [
+               Ir.Op { def = Some 1; uses = [] };
+               Ir.Op { def = Some 1; uses = [] };
+             ])
+          IMap.empty;
+      params = [];
+      next_var = 2;
+      next_label = 1;
+    }
+  in
+  check "multiple defs caught" true
+    (List.mem
+       (Lint.Strictness (Ssa.Multiple_defs { var = 1; count = 2 }))
+       (Lint.check_strict_ssa f));
+  check "is_ssa agrees" false (Ssa.is_ssa f)
+
+(* ------------------------------------------------------------------ *)
+(* Problem.validate typed errors                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_problem_validate_typed () =
+  let g = G.of_edges [ (0, 1); (1, 2) ] in
+  let mk affinities k : Problem.t = { graph = g; affinities; k } in
+  let errs p = match Problem.validate p with Ok () -> [] | Error es -> es in
+  check "valid instance has no errors" true
+    (errs (mk [ { u = 0; v = 2; weight = 3 } ] 2) = []);
+  check "nonpositive k" true
+    (List.mem (Problem.Nonpositive_k 0) (errs (mk [] 0)));
+  check "self affinity" true
+    (List.mem
+       (Problem.Self_affinity { v = 1; weight = 2 })
+       (errs (mk [ { u = 1; v = 1; weight = 2 } ] 2)));
+  check "unordered affinity" true
+    (List.mem
+       (Problem.Unordered_affinity { u = 2; v = 0 })
+       (errs (mk [ { u = 2; v = 0; weight = 1 } ] 2)));
+  check "nonpositive weight" true
+    (List.mem
+       (Problem.Nonpositive_weight { u = 0; v = 2; weight = 0 })
+       (errs (mk [ { u = 0; v = 2; weight = 0 } ] 2)));
+  check "missing endpoint" true
+    (List.mem
+       (Problem.Missing_endpoint { u = 0; v = 9; missing = 9 })
+       (errs (mk [ { u = 0; v = 9; weight = 1 } ] 2)));
+  check "duplicate affinity" true
+    (List.mem
+       (Problem.Duplicate_affinity { u = 0; v = 2 })
+       (errs
+          (mk
+             [ { u = 0; v = 2; weight = 1 }; { u = 0; v = 2; weight = 4 } ]
+             2)));
+  (* Constrained affinities are legal by default, rejected on demand. *)
+  let constrained = mk [ { u = 0; v = 1; weight = 5 } ] 2 in
+  check "constrained affinity legal by default" true
+    (Problem.validate constrained = Ok ());
+  check "constrained affinity rejected in strict mode" true
+    (match Problem.validate ~forbid_constrained:true constrained with
+    | Error [ Problem.Constrained_affinity { u = 0; v = 1; weight = 5 } ] ->
+        true
+    | _ -> false);
+  (* All errors are collected, not only the first: self + nonpositive
+     weight on the first affinity, one missing endpoint each for 9 and
+     10 on the second. *)
+  check_int "errors accumulate" 4
+    (List.length
+       (errs (mk [ { u = 1; v = 1; weight = 0 }; { u = 9; v = 10; weight = 1 } ] 2)))
+
+(* ------------------------------------------------------------------ *)
+(* Layer 3: certifier over the differential instances                  *)
+(* ------------------------------------------------------------------ *)
+
+let assert_certified name ?(claims = [ Certify.Conservative ]) p sol =
+  let report = Certify.certify_solution ~claims p sol in
+  if not (Certify.ok report) then
+    Alcotest.failf "%s: %s" name (Format.asprintf "%a" Certify.pp_report report)
+
+let test_certifier_differential () =
+  for seed = 1 to 200 do
+    let p = random_problem ~n:12 ~n_affinities:6 seed in
+    assert_certified
+      (Printf.sprintf "optimistic (seed %d)" seed)
+      p (Optimistic.coalesce p);
+    assert_certified
+      (Printf.sprintf "set-2 (seed %d)" seed)
+      p
+      (Set_coalescing.coalesce ~max_set:2 p);
+    assert_certified
+      (Printf.sprintf "conservative brute-force (seed %d)" seed)
+      p
+      (Conservative.coalesce Conservative.Brute_force p);
+    assert_certified ~claims:[]
+      (Printf.sprintf "aggressive (seed %d)" seed)
+      p (Aggressive.coalesce p)
+  done;
+  for seed = 1 to 60 do
+    let p = random_problem ~n:10 ~n_affinities:5 seed in
+    assert_certified
+      (Printf.sprintf "exact (seed %d)" seed)
+      p (Exact.conservative p)
+  done
+
+let test_certifier_merge_log () =
+  for seed = 1 to 50 do
+    let p = random_problem ~n:12 ~n_affinities:6 seed in
+    let s = Speculation.of_state (Coalescing.initial p.graph) in
+    List.iter
+      (fun (a : Problem.affinity) -> ignore (Speculation.merge s a.u a.v))
+      p.affinities;
+    let st = Speculation.commit s in
+    let answer = Certify.answer_of_solution (Coalescing.solution_of_state p st) in
+    check
+      (Printf.sprintf "merge log certifies (seed %d)" seed)
+      true
+      (Certify.check_merge_log p (Speculation.merge_log s) answer = []);
+    (* A forged log (one merge dropped) must be flagged. *)
+    match Speculation.merge_log s with
+    | [] -> ()
+    | _ :: rest ->
+        check
+          (Printf.sprintf "forged merge log rejected (seed %d)" seed)
+          true
+          (Certify.check_merge_log p rest answer <> [])
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Mutation tests: each corruption class is rejected                   *)
+(* ------------------------------------------------------------------ *)
+
+let violations_of ?(claims = []) p a = (Certify.certify ~claims p a).violations
+
+let test_mutation_classes () =
+  (* A seed whose answer has at least one coalesced and one given-up
+     affinity, so every mutation below is expressible. *)
+  let p, a =
+    let rec pick seed =
+      let p = random_problem ~n:12 ~n_affinities:6 seed in
+      let sol = Conservative.coalesce Conservative.Brute_force p in
+      let a = Certify.answer_of_solution sol in
+      if a.coalesced <> [] && a.gave_up <> [] && G.num_edges a.merged_graph > 0
+      then (p, a)
+      else pick (seed + 1)
+    in
+    pick 1
+  in
+  check "baseline answer certifies" true
+    (violations_of ~claims:[ Certify.Conservative ] p a = []);
+  let same_pair x y u v = (x = u && y = v) || (x = v && y = u) in
+  (* 1. Drop a projected interference from the merged graph. *)
+  let u, v = List.hd (G.edges a.merged_graph) in
+  check "dropped merged edge caught" true
+    (List.exists
+       (function
+         | Certify.Missing_projected_edge { u = x; v = y } -> same_pair x y u v
+         | _ -> false)
+       (violations_of p
+          { a with merged_graph = G.remove_edge a.merged_graph u v }));
+  (* 2. Add a spurious edge between two non-adjacent representatives. *)
+  (let reps = List.map fst a.classes in
+   let rec pick_pair = function
+     | r :: rest -> (
+         match
+           List.find_opt
+             (fun r' ->
+               G.mem_vertex a.merged_graph r'
+               && G.mem_vertex a.merged_graph r
+               && not (G.mem_edge a.merged_graph r r'))
+             rest
+         with
+         | Some r' -> Some (r, r')
+         | None -> pick_pair rest)
+     | [] -> None
+   in
+   match pick_pair reps with
+   | None -> Alcotest.fail "no non-adjacent representative pair"
+   | Some (r, r') ->
+       check "spurious merged edge caught" true
+         (List.exists
+            (function
+              | Certify.Spurious_merged_edge { u = x; v = y } ->
+                  same_pair x y r r'
+              | _ -> false)
+            (violations_of p
+               { a with merged_graph = G.add_edge a.merged_graph r r' })));
+  (* 3. Inflate the claimed removed-move weight. *)
+  check "inflated weight caught" true
+    (List.mem
+       (Certify.Weight_mismatch
+          { claimed = a.claimed_weight + 7; actual = a.claimed_weight })
+       (violations_of p { a with claimed_weight = a.claimed_weight + 7 }));
+  (* 4. Misclassify an affinity: claim a given-up one as coalesced. *)
+  (let m = List.hd a.gave_up in
+   let mutated =
+     {
+       a with
+       coalesced = m :: a.coalesced;
+       gave_up = List.filter (fun x -> x <> m) a.gave_up;
+     }
+   in
+   check "misclassified affinity caught" true
+     (List.mem
+        (Certify.Misclassified_affinity
+           { u = m.u; v = m.v; claimed_coalesced = true })
+        (violations_of p mutated)));
+  (* 5. Interference inside a class: fuse two adjacent classes. *)
+  (let u, v = List.hd (G.edges a.merged_graph) in
+   let cu = List.assoc u a.classes and cv = List.assoc v a.classes in
+   let fused =
+     (u, cu @ cv)
+     :: List.filter (fun (r, _) -> r <> u && r <> v) a.classes
+   in
+   check "interference inside a class caught" true
+     (List.exists
+        (function
+          | Certify.Interference_inside_class { rep; _ } -> rep = u
+          | _ -> false)
+        (violations_of p { a with classes = fused })));
+  (* 6. Coverage gap: drop a singleton class. *)
+  (match
+     List.find_opt (fun (_, ms) -> List.length ms = 1) a.classes
+   with
+  | None -> Alcotest.fail "no singleton class"
+  | Some (r, _) ->
+      check "uncovered vertex caught" true
+        (List.mem (Certify.Vertex_not_covered r)
+           (violations_of p
+              { a with classes = List.filter (fun (r', _) -> r' <> r) a.classes })));
+  (* 7. A false Conservative claim on an answer that is not. *)
+  (let rec find_overly_aggressive seed =
+     if seed > 400 then Alcotest.fail "no over-aggressive seed found"
+     else
+       let p = random_problem ~n:12 ~n_affinities:8 seed in
+       let sol = Aggressive.coalesce p in
+       if Coalescing.is_conservative p sol then
+         find_overly_aggressive (seed + 1)
+       else (p, sol)
+   in
+   let p, sol = find_overly_aggressive 1 in
+   check "baseline aggressive sound" true
+     (Certify.ok (Certify.certify_solution ~claims:[] p sol));
+   check "false conservative claim caught" true
+     (List.mem
+        (Certify.Not_conservative { k = p.k })
+        (Certify.certify_solution ~claims:[ Certify.Conservative ] p sol)
+          .violations));
+  (* 8. Chordality lost: merging the ends of a path closes a chordless
+     cycle. *)
+  let path = G.path 5 in
+  let p = Problem.make ~graph:path ~affinities:[ ((0, 4), 1) ] ~k:2 in
+  let st =
+    match Coalescing.merge (Coalescing.initial path) 0 4 with
+    | Some st -> st
+    | None -> Alcotest.fail "path-end merge refused"
+  in
+  let sol = Coalescing.solution_of_state p st in
+  check "chordality loss caught" true
+    (List.mem Certify.Chordality_lost
+       (Certify.certify_solution ~claims:[ Certify.Chordality_preserved ] p sol)
+         .violations)
+
+(* ------------------------------------------------------------------ *)
+(* Layer 2: sanitizer                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let with_sanitizer f =
+  Sanitize.install ();
+  Fun.protect ~finally:Sanitize.uninstall f
+
+let test_sanitizer_clean_runs () =
+  with_sanitizer (fun () ->
+      let before = Sanitize.events_seen () in
+      for seed = 1 to 25 do
+        let p = random_problem ~n:10 ~n_affinities:5 seed in
+        ignore (Optimistic.coalesce p);
+        ignore (Set_coalescing.coalesce ~max_set:2 p);
+        ignore (Exact.conservative p)
+      done;
+      check "sanitizer audited events" true
+        (Sanitize.events_seen () > before))
+
+let test_sanitizer_catches_faults () =
+  let expect_failure name f =
+    match f () with
+    | exception Failure _ -> ()
+    | _ -> Alcotest.failf "%s: corruption not caught" name
+  in
+  (* Asymmetric bitmatrix. *)
+  let f = Flat.of_graph (G.clique 5) in
+  Flat.Fault.drop_bit f 0 1;
+  expect_failure "drop_bit" (fun () -> Flat.check_vertex f 0);
+  (* Orphaned adjacency entry (row out of sync with bits). *)
+  let f = Flat.of_graph (G.clique 5) in
+  Flat.Fault.drop_adjacency f 0 1;
+  expect_failure "drop_adjacency" (fun () -> Flat.check_invariants f);
+  (* Cached edge count drift. *)
+  let f = Flat.of_graph (G.clique 5) in
+  Flat.Fault.skew_edge_count f 2;
+  expect_failure "skew_edge_count" (fun () -> Flat.check_invariants f);
+  (* Truncated undo log: drop records below an inner checkpoint's
+     opening position, so its rollback under-replays and leaves the log
+     shorter than the position — the balance check must fire. *)
+  with_sanitizer (fun () ->
+      let f = Flat.of_graph (G.path 6) in
+      let _c1 = Flat.checkpoint f in
+      Flat.add_edge f 0 2;
+      let c2 = Flat.checkpoint f in
+      Flat.add_edge f 0 3;
+      Flat.Fault.truncate_log f 2;
+      expect_failure "truncate_log" (fun () -> Flat.rollback f c2));
+  (* Mirror divergence: mutating the flat graph behind the speculation
+     context's back is caught at commit. *)
+  with_sanitizer (fun () ->
+      let g = G.path 6 in
+      let p = Problem.make ~graph:g ~affinities:[ ((0, 2), 1) ] ~k:3 in
+      let s = Speculation.of_state (Coalescing.initial p.graph) in
+      check "speculative merge accepted" true (Speculation.merge s 0 2);
+      let fl = Speculation.flat s in
+      Flat.add_edge fl (Flat.index fl 1) (Flat.index fl 4);
+      expect_failure "mirror divergence" (fun () ->
+          ignore (Speculation.commit s)))
+
+let test_sanitizer_balanced_speculation () =
+  (* The monitors themselves must accept a well-behaved nested
+     checkpoint discipline. *)
+  with_sanitizer (fun () ->
+      let f = Flat.of_graph (G.cycle 8) in
+      let c1 = Flat.checkpoint f in
+      Flat.add_edge f 0 4;
+      let c2 = Flat.checkpoint f in
+      Flat.merge f 1 5;
+      Flat.rollback f c2;
+      Flat.add_edge f 2 6;
+      Flat.release f c1;
+      check_int "depth balanced" 0 (Flat.checkpoint_depth f);
+      check_int "log cleared at outermost release" 0 (Flat.log_length f);
+      Flat.check_invariants f)
+
+let () =
+  Alcotest.run "rc_check"
+    [
+      ( "lint",
+        [
+          Alcotest.test_case "randprog outputs pass all layers (40 seeds)"
+            `Quick test_lint_randprog;
+          Alcotest.test_case "structure violations are named" `Quick
+            test_lint_structure_violations;
+          Alcotest.test_case "strictness violations name the offender" `Quick
+            test_lint_strictness_names_offender;
+        ] );
+      ( "problem",
+        [
+          Alcotest.test_case "validate returns typed errors" `Quick
+            test_problem_validate_typed;
+        ] );
+      ( "certify",
+        [
+          Alcotest.test_case "differential instances certify (200 seeds)"
+            `Quick test_certifier_differential;
+          Alcotest.test_case "merge logs certify and forgeries fail" `Quick
+            test_certifier_merge_log;
+          Alcotest.test_case "mutation classes are rejected" `Quick
+            test_mutation_classes;
+        ] );
+      ( "sanitize",
+        [
+          Alcotest.test_case "clean search workloads (25 seeds)" `Quick
+            test_sanitizer_clean_runs;
+          Alcotest.test_case "fault injections are caught" `Quick
+            test_sanitizer_catches_faults;
+          Alcotest.test_case "balanced speculation accepted" `Quick
+            test_sanitizer_balanced_speculation;
+        ] );
+    ]

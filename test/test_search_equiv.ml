@@ -22,6 +22,13 @@ module Set_coalescing = Rc_core.Set_coalescing
 let check = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
 
+(* Under --profile dev-checked (or RC_CHECKED=1) the whole differential
+   suite runs with the kernel sanitizer auditing every speculation
+   event; any invariant violation fails the run with [Failure]. *)
+let () =
+  if Rc_check.Sanitize.install_if_enabled () then
+    print_endline "test_search_equiv: kernel sanitizer enabled"
+
 (* Seeded random problems over a greedy-k-colorable base.  Chordal and
    gnp bases alternate so both dense-clique and sparse-random shapes are
    exercised; [k] is the base graph's coloring number, the tightest
@@ -47,14 +54,24 @@ let random_problem ~n ~n_affinities seed =
 
 let weight = Coalescing.coalesced_weight
 
-(* Common postcondition of the flat path: sound classification and a
-   greedy-k merged graph. *)
+(* Common postcondition of the flat path: sound classification, a
+   greedy-k merged graph, and a full independent certification of the
+   answer (PR 3's Rc_check.Certify re-derives the quotient, the
+   affinity split and the conservative claim from scratch). *)
 let assert_valid name p sol =
   check (name ^ ": flat solution sound") true (Coalescing.check p sol = Ok ());
   check
     (name ^ ": flat merged graph greedy-k")
     true
-    (Coalescing.is_conservative p sol)
+    (Coalescing.is_conservative p sol);
+  let report =
+    Rc_check.Certify.certify_solution
+      ~claims:[ Rc_check.Certify.Conservative ]
+      p sol
+  in
+  if not (Rc_check.Certify.ok report) then
+    Alcotest.failf "%s: %s" name
+      (Format.asprintf "%a" Rc_check.Certify.pp_report report)
 
 (* ------------------------------------------------------------------ *)
 (* Optimistic                                                          *)
