@@ -292,6 +292,129 @@ let k2_certification () =
   | _ -> Format.printf "  certification overhead (no estimate)@.")
 
 (* ------------------------------------------------------------------ *)
+(* K3: bitset rows vs int rows, density sweep at challenge scale       *)
+(* ------------------------------------------------------------------ *)
+
+(* PR 4 made Flat's row representation adaptive.  This section holds
+   the same seeded Batagelj–Brandes G(n, p) edge stream in one kernel
+   per row policy — int rows, the PR 1 global bitmatrix, the adaptive
+   default, and forced bitsets — and times the three workload shapes
+   the kernels serve, across a density sweep at n = 10^4:
+
+   - greedy-k elimination at k = maxdeg + 1 (full elimination; pure
+     neighbor iteration and degree updates);
+   - conservative-rule batch: Briggs + George over a fixed sample of
+     non-adjacent pairs (membership probes and N(u)/N(v) set ops);
+   - merge + rollback: a burst of 40 speculative contractions undone
+     through the log (the searches' inner loop).
+
+   The derived rows quantify where the word-parallel representation
+   pays: the dense half of the sweep must show bitset rows beating int
+   rows on the set-op and merge workloads. *)
+
+let k3_row_modes =
+  [
+    ("sparse-rows", Rc_graph.Flat.Sparse_rows);
+    ("matrix", Rc_graph.Flat.Matrix);
+    ("auto", Rc_graph.Flat.Auto);
+    ("bitset-rows", Rc_graph.Flat.Bitset_rows);
+  ]
+
+(* Same seed for every mode: each kernel receives the identical stream,
+   so the timed workloads run on the same graph. *)
+let k3_build rows ~n ~p =
+  let rng = Random.State.make [| 2026; int_of_float (p *. 1_000_000.) |] in
+  let f = Rc_graph.Flat.create ~rows n in
+  Rc_graph.Generators.gnp_stream rng ~n ~p (fun u v ->
+      Rc_graph.Flat.add_new_edge f u v);
+  f
+
+let k3_pair_sample f ~count =
+  let rng = Random.State.make [| 4242 |] in
+  let cap = Rc_graph.Flat.capacity f in
+  let pairs = ref [] in
+  let tries = ref 0 in
+  while List.length !pairs < count && !tries < 50 * count do
+    incr tries;
+    let u = Random.State.int rng cap and v = Random.State.int rng cap in
+    if u <> v && not (Rc_graph.Flat.mem_edge f u v) then
+      pairs := (u, v) :: !pairs
+  done;
+  Array.of_list !pairs
+
+let k3_bitset_density () =
+  section "K3 | bitset rows vs int rows (density sweep, n = 10^4)";
+  let n = 10_000 in
+  let densities =
+    if quick then [ 0.002; 0.03 ] else [ 0.001; 0.004; 0.016; 0.05 ]
+  in
+  List.iter
+    (fun p ->
+      let kernels =
+        List.map (fun (name, rows) -> (name, k3_build rows ~n ~p)) k3_row_modes
+      in
+      let f0 = snd (List.hd kernels) in
+      let maxdeg = ref 0 in
+      Rc_graph.Flat.iter_live f0 (fun v ->
+          if Rc_graph.Flat.degree f0 v > !maxdeg then
+            maxdeg := Rc_graph.Flat.degree f0 v);
+      let k = !maxdeg + 1 in
+      let pairs = k3_pair_sample f0 ~count:64 in
+      Format.printf
+        "p=%.4f: %d edges, max degree %d, %d/%d rows dense under auto@." p
+        (Rc_graph.Flat.num_edges f0)
+        !maxdeg
+        (Rc_graph.Flat.dense_rows (List.assoc "auto" kernels))
+        n;
+      let tests =
+        List.concat_map
+          (fun (name, f) ->
+            [
+              Test.make
+                ~name:(Printf.sprintf "greedy-k/p=%.4f/%s" p name)
+                (Staged.stage (fun () ->
+                     Rc_graph.Greedy_k.flat_is_greedy_k_colorable f k));
+              Test.make
+                ~name:(Printf.sprintf "rules/p=%.4f/%s" p name)
+                (Staged.stage (fun () ->
+                     Array.iter
+                       (fun (u, v) ->
+                         ignore (Rc_core.Rules.briggs_flat f ~k:8 u v);
+                         ignore (Rc_core.Rules.george_flat f ~k:8 u v))
+                       pairs));
+              Test.make
+                ~name:(Printf.sprintf "merge+rollback/p=%.4f/%s" p name)
+                (Staged.stage (fun () ->
+                     let c = Rc_graph.Flat.checkpoint f in
+                     let merged = ref 0 in
+                     Array.iter
+                       (fun (u, v) ->
+                         if
+                           !merged < 40
+                           && Rc_graph.Flat.is_live f u
+                           && Rc_graph.Flat.is_live f v
+                           && not (Rc_graph.Flat.mem_edge f u v)
+                         then begin
+                           Rc_graph.Flat.merge f u v;
+                           incr merged
+                         end)
+                       pairs;
+                     Rc_graph.Flat.rollback f c));
+            ])
+          kernels
+      in
+      let rows = run_bench ~name:(Printf.sprintf "K3 p=%.4f" p) tests in
+      Format.printf "@.";
+      List.iter
+        (fun what ->
+          report_speedup rows
+            ~what:(Printf.sprintf "K3 %s bitset vs int rows (p=%.4f)" what p)
+            ~old_label:(Printf.sprintf "%s/p=%.4f/sparse-rows" what p)
+            ~new_label:(Printf.sprintf "%s/p=%.4f/bitset-rows" what p))
+        [ "greedy-k"; "rules"; "merge+rollback" ])
+    densities
+
+(* ------------------------------------------------------------------ *)
 (* E1: Theorem 1 pipeline — SSA interference graphs are chordal        *)
 (* ------------------------------------------------------------------ *)
 
@@ -853,6 +976,7 @@ let () =
   k0_flat_kernels ();
   k1_search_drivers ();
   k2_certification ();
+  k3_bitset_density ();
   e1_theorem1 ();
   e4_thm2 ();
   e5_thm3 ();

@@ -64,11 +64,123 @@ let generate ~seed ?(config = Rc_ir.Randprog.default_config)
 let generate_batch ~seed ?config ?move_aware ~k ~count () =
   List.init count (fun i -> generate ~seed:(seed + i) ?config ?move_aware ~k ())
 
+(* Named program shapes for the pipeline generator, from the smallest
+   smoke-test programs to wide high-pressure ones.  Every preset keeps
+   the Theorem 1 invariants (chordal interference, omega <= Maxlive)
+   when generated with [move_aware:false] — test_challenge locks that
+   down per preset via Rc_check.Lint. *)
+let presets : (string * Rc_ir.Randprog.config) list =
+  [
+    ( "tiny",
+      {
+        params = 2;
+        depth = 1;
+        regions = 1;
+        instrs_per_block = 3;
+        move_fraction = 0.2;
+        redefine_fraction = 0.2;
+      } );
+    ("default", Rc_ir.Randprog.default_config);
+    ( "branchy",
+      {
+        params = 3;
+        depth = 5;
+        regions = 2;
+        instrs_per_block = 3;
+        move_fraction = 0.25;
+        redefine_fraction = 0.4;
+      } );
+    ( "loopy",
+      {
+        params = 2;
+        depth = 4;
+        regions = 2;
+        instrs_per_block = 4;
+        move_fraction = 0.3;
+        redefine_fraction = 0.5;
+      } );
+    ( "wide",
+      {
+        params = 6;
+        depth = 2;
+        regions = 5;
+        instrs_per_block = 8;
+        move_fraction = 0.35;
+        redefine_fraction = 0.3;
+      } );
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Challenge-scale synthetic instances                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* The SSA pipeline above tops out around 10^3 vertices (SSA
+   construction and liveness are the bottleneck).  The synthetic
+   generator below models just the live-range structure the pipeline
+   would produce: a left-to-right sweep where virtual register [v] is
+   born at step [v] into a pool of at most [maxlive] live ranges,
+   evicting a random one when full.  Each range is live over one
+   contiguous interval of steps, so the graph is an interval graph —
+   chordal, with omega equal to the largest pool ever reached — exactly
+   the Theorem 1 regime, delivered in O(n * maxlive) streamed edges
+   with no quadratic intermediate. *)
+
+let synthetic_stream ~seed ~n ~maxlive ?(affinity_fraction = 0.3) ~edge
+    ~affinity () =
+  if n < 0 then invalid_arg "Challenge.synthetic_stream: negative size";
+  if maxlive < 1 then invalid_arg "Challenge.synthetic_stream: maxlive < 1";
+  let rng = Random.State.make [| seed; 0xC0A1 |] in
+  let pool = Array.make (max 1 (min n maxlive)) 0 in
+  let psize = ref 0 in
+  for v = 0 to n - 1 do
+    if !psize = maxlive then begin
+      let i = Random.State.int rng !psize in
+      let dying = pool.(i) in
+      pool.(i) <- pool.(!psize - 1);
+      decr psize;
+      (* A range dying exactly where [v] starts is the shape of a move
+         boundary: the two never interfere, so the affinity is always
+         realizable in principle. *)
+      if Random.State.float rng 1.0 < affinity_fraction then
+        affinity dying v (1 + Random.State.int rng 9)
+    end;
+    for i = 0 to !psize - 1 do
+      edge pool.(i) v
+    done;
+    pool.(!psize) <- v;
+    incr psize
+  done
+
+type synthetic_instance = { problem : Rc_core.Problem.t; maxlive : int }
+
+let synthetic ~seed ~n ~maxlive ?affinity_fraction ?k () =
+  let g = ref Rc_graph.Graph.empty in
+  for v = 0 to n - 1 do
+    g := Rc_graph.Graph.add_vertex !g v
+  done;
+  let affs = ref [] in
+  synthetic_stream ~seed ~n ~maxlive ?affinity_fraction
+    ~edge:(fun u v -> g := Rc_graph.Graph.add_edge !g u v)
+    ~affinity:(fun u v w -> affs := ((u, v), w) :: !affs)
+    ();
+  let maxlive = min n maxlive in
+  let k = match k with Some k -> k | None -> max 1 maxlive in
+  { problem = Rc_core.Problem.make ~graph:!g ~affinities:!affs ~k; maxlive }
+
+let synthetic_flat ?rows ~seed ~n ~maxlive ?affinity_fraction () =
+  let f = Rc_graph.Flat.create ?rows n in
+  synthetic_stream ~seed ~n ~maxlive ?affinity_fraction
+    ~edge:(fun u v -> Rc_graph.Flat.add_new_edge f u v)
+    ~affinity:(fun _ _ _ -> ())
+    ();
+  f
+
 let leaderboard strategies instances =
   let score strategy =
     let reports =
       List.map
-        (fun inst -> Rc_core.Strategies.evaluate strategy inst.problem)
+        (fun (inst : instance) ->
+          Rc_core.Strategies.evaluate strategy inst.problem)
         instances
     in
     let fractions =

@@ -40,6 +40,66 @@ val generate_batch :
   instance list
 (** [count] instances with seeds [seed, seed+1, ...]. *)
 
+val presets : (string * Rc_ir.Randprog.config) list
+(** Named program shapes for {!generate}: ["tiny"], ["default"],
+    ["branchy"], ["loopy"], ["wide"].  With [move_aware:false] every
+    preset's instances satisfy the Theorem 1 invariants (strict SSA,
+    chordal interference, omega = Maxlive) — asserted per preset by the
+    challenge test suite via [Rc_check.Lint]. *)
+
+(** {1 Challenge-scale synthetic instances}
+
+    The SSA pipeline tops out around 10^3 vertices; the synthetic
+    family below models only its live-range structure — a sweep where
+    each virtual register is live over one contiguous interval and at
+    most [maxlive] ranges overlap — and scales to 10^5 vertices.  The
+    result is an interval graph: chordal with omega = [maxlive] (for
+    [n >= maxlive]), i.e. exactly the regime of the paper's Theorem 1,
+    with edge count bounded by [n * maxlive]. *)
+
+val synthetic_stream :
+  seed:int ->
+  n:int ->
+  maxlive:int ->
+  ?affinity_fraction:float ->
+  edge:(int -> int -> unit) ->
+  affinity:(int -> int -> int -> unit) ->
+  unit ->
+  unit
+(** Streams the instance instead of materializing it: [edge u v] fires
+    once per interference (u < v, grouped by the larger endpoint) and
+    [affinity u v w] once per move-boundary affinity with weight [w]
+    (endpoints never interfere).  Deterministic in [seed]; O(n *
+    maxlive) time, O(maxlive) state.  [affinity_fraction] (default
+    0.3) is the probability that a range eviction at a birth point
+    carries an affinity. *)
+
+type synthetic_instance = { problem : Rc_core.Problem.t; maxlive : int }
+
+val synthetic :
+  seed:int ->
+  n:int ->
+  maxlive:int ->
+  ?affinity_fraction:float ->
+  ?k:int ->
+  unit ->
+  synthetic_instance
+(** Materialized form of {!synthetic_stream} as a coalescing problem
+    over the persistent graph ([k] defaults to [maxlive], the chromatic
+    number for [n >= maxlive]). *)
+
+val synthetic_flat :
+  ?rows:Rc_graph.Flat.rows ->
+  seed:int ->
+  n:int ->
+  maxlive:int ->
+  ?affinity_fraction:float ->
+  unit ->
+  Rc_graph.Flat.t
+(** Streams the same instance straight into a flat kernel via
+    {!Rc_graph.Flat.add_new_edge} (each edge arrives exactly once), the
+    bulk-load path used by bench section K3 and the scale tests. *)
+
 val leaderboard :
   Rc_core.Strategies.t list -> instance list -> (string * float * float * bool) list
 (** For each strategy: (name, average fraction of move weight coalesced,

@@ -15,6 +15,15 @@ let enabled () =
 let events = ref 0
 let events_seen () = !events
 
+(* Per-representation audit tally: [check_vertex] audits whichever
+   physical row the sampled index currently has, so these counters let
+   tests prove the bitset path (word/list agreement, popcount-vs-degree)
+   was actually exercised, not just the sparse one. *)
+let dense_audits = ref 0
+let sparse_audits = ref 0
+let dense_rows_audited () = !dense_audits
+let sparse_rows_audited () = !sparse_audits
+
 let fail fmt =
   Printf.ksprintf (fun m -> failwith ("Rc_check.Sanitize: " ^ m)) fmt
 
@@ -29,7 +38,9 @@ let sample_vertices f =
   let cap = Flat.capacity f in
   if cap > 0 then
     for _ = 1 to vertices_per_event do
-      Flat.check_vertex f (!cursor mod cap);
+      let v = !cursor mod cap in
+      if Flat.row_is_dense f v then incr dense_audits else incr sparse_audits;
+      Flat.check_vertex f v;
       incr cursor
     done
 

@@ -51,3 +51,14 @@ val installed : unit -> bool
 val events_seen : unit -> int
 (** Number of speculation events audited since the library was loaded —
     tests assert this is non-zero to prove the sanitizer actually ran. *)
+
+val dense_rows_audited : unit -> int
+(** Number of sampled-vertex audits that fell on a bitset row — i.e.
+    how often the word/list-agreement and popcount-vs-degree checks of
+    {!Rc_graph.Flat.check_vertex} actually ran against the dense
+    representation.  Tests over bitset-rowed kernels assert this grows,
+    proving the dense audit path is exercised and not just the sparse
+    one. *)
+
+val sparse_rows_audited : unit -> int
+(** Same tally for sparse int rows. *)

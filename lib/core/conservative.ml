@@ -85,8 +85,8 @@ let coalesce_spec rule ~k spec affinities =
   in
   pass by_weight
 
-let coalesce_state rule ~k st affinities =
-  let spec = Spec.of_state st in
+let coalesce_state ?rows rule ~k st affinities =
+  let spec = Spec.of_state ?rows st in
   coalesce_spec rule ~k spec affinities;
   Spec.commit spec
 

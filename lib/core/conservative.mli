@@ -25,9 +25,16 @@ val coalesce : rule -> Problem.t -> Coalescing.solution
     enable previously rejected tests). *)
 
 val coalesce_state :
-  rule -> k:int -> Coalescing.state -> Problem.affinity list -> Coalescing.state
+  ?rows:Rc_graph.Flat.rows ->
+  rule ->
+  k:int ->
+  Coalescing.state ->
+  Problem.affinity list ->
+  Coalescing.state
 (** The same worklist loop starting from an existing merge state —
-    building block for {!Optimistic} re-coalescing passes. *)
+    building block for {!Optimistic} re-coalescing passes.  [?rows]
+    picks the speculation mirror's row representation (bench and
+    differential tests); the result is representation-independent. *)
 
 val coalesce_spec :
   rule ->

@@ -67,8 +67,14 @@ let briggs_or_george g ~k u v =
   briggs g ~k u v || george g ~k u v || george g ~k v u
 
 (* ------------------------------------------------------------------ *)
-(* The same tests on the flat kernel (dense indices).  Adjacency probes
-   are O(1) bitmatrix reads, so Briggs is O(deg u + deg v) and George
+(* The same tests on the flat kernel (dense indices).  The partition of
+   the union neighborhood that every rule reasons over — N(u) \ N(v),
+   N(v) \ N(u) and N(u) ∩ N(v) — maps directly onto the kernel's
+   word-parallel set views: on bitset rows [Flat.iter_diff] and
+   [Flat.iter_common] consume 32 candidates per AND-NOT / AND, and the
+   merged vertex's degree is a straight popcount via
+   [Flat.count_common].  On sparse rows the same calls degrade to
+   iterate-and-probe, so Briggs stays O(deg u + deg v) and George
    O(deg u) with zero allocation — these are the inner loops of the
    conservative worklist (Conservative.coalesce_state) and of IRC.     *)
 (* ------------------------------------------------------------------ *)
@@ -90,33 +96,30 @@ let merged_degree_flat f u v w =
 
 let briggs_flat f ~k u v =
   check_preconditions_flat "briggs_flat" f u v;
-  (* Union neighborhood without materializing it: neighbors of u, plus
-     neighbors of v not already adjacent to u (an O(1) probe). *)
+  (* Union neighborhood without materializing it, split by the set
+     views: exclusive neighbors keep their degree, common neighbors
+     lose one in the merged graph.  Non-adjacency of u and v (enforced
+     above) guarantees neither appears in the other's difference, so no
+     membership probes are left in the loop bodies. *)
   let high = ref 0 in
-  Flat.iter_neighbors f u (fun w ->
-      if w <> v && merged_degree_flat f u v w >= k then incr high);
-  Flat.iter_neighbors f v (fun w ->
-      if w <> u && (not (Flat.mem_edge f u w)) && Flat.degree f w >= k then
-        incr high);
+  Flat.iter_diff f u v (fun w -> if Flat.degree f w >= k then incr high);
+  Flat.iter_diff f v u (fun w -> if Flat.degree f w >= k then incr high);
+  Flat.iter_common f u v (fun w -> if Flat.degree f w - 1 >= k then incr high);
   !high < k
 
 let george_flat f ~k u v =
   check_preconditions_flat "george_flat" f u v;
+  (* Every neighbor of u that v lacks must be low-degree. *)
   let ok = ref true in
-  Flat.iter_neighbors f u (fun w ->
-      if w <> v && Flat.degree f w >= k && not (Flat.mem_edge f w v) then
-        ok := false);
+  Flat.iter_diff f u v (fun w -> if Flat.degree f w >= k then ok := false);
   !ok
 
 let george_extended_flat f ~k u v =
   check_preconditions_flat "george_extended_flat" f u v;
+  (* |N(u) ∪ N(v)| with u, v themselves excluded by non-adjacency:
+     one popcount pass on bitset rows. *)
   let merged_vertex_degree =
-    Flat.fold_neighbors f u
-      (fun acc w -> if w <> v then acc + 1 else acc)
-      (Flat.fold_neighbors f v
-         (fun acc w ->
-           if w <> u && not (Flat.mem_edge f u w) then acc + 1 else acc)
-         0)
+    Flat.degree f u + Flat.degree f v - Flat.count_common f u v
   in
   let briggs_simplifiable w =
     let high =
@@ -128,14 +131,12 @@ let george_extended_flat f ~k u v =
     in
     high <= k - 1
   in
+  (* Only w ∈ N(u) \ N(v) can violate George's requirement, and there
+     merged degree = degree (w is not a common neighbor). *)
   let ok = ref true in
-  Flat.iter_neighbors f u (fun w ->
-      if
-        !ok && w <> v
-        && merged_degree_flat f u v w >= k
-        && (not (Flat.mem_edge f w v))
-        && not (briggs_simplifiable w)
-      then ok := false);
+  Flat.iter_diff f u v (fun w ->
+      if !ok && Flat.degree f w >= k && not (briggs_simplifiable w) then
+        ok := false);
   !ok
 
 let briggs_or_george_flat f ~k u v =

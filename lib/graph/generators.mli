@@ -8,6 +8,13 @@ val gnp : Random.State.t -> n:int -> p:float -> Graph.t
 (** Erdős–Rényi G(n, p) on vertices [0 .. n-1].  Isolated vertices are
     kept. *)
 
+val gnp_stream : Random.State.t -> n:int -> p:float -> (int -> int -> unit) -> unit
+(** Streaming G(n, p): calls the callback once per edge (u, v), u < v,
+    in lexicographic order, materializing nothing.  Geometric skipping
+    (Batagelj–Brandes) makes it O(n + E) — the construction path for
+    challenge-scale flat instances.  The draw sequence differs from
+    {!gnp}'s, so the two are {e not} seed-compatible. *)
+
 val random_chordal : Random.State.t -> n:int -> extra:int -> Graph.t
 (** Random chordal graph built as the intersection graph of [n] random
     subtrees of a random tree with [n + extra] nodes.  Larger [extra]

@@ -15,6 +15,11 @@ module IMap = Graph.IMap
 
 let state_removed = 1
 
+(* The neighbor walks below duplicate [Flat.iter_neighbors]'s dispatch
+   instead of calling it: a bitset row is consumed one 32-bit word per
+   memory read with the degree updates applied straight off the bit
+   chain — no per-neighbor closure call survives in either loop. *)
+
 let flat_eliminate f k ~order =
   let deg = Flat.scratch1 f in
   let state = Flat.scratch2 f in
@@ -32,15 +37,41 @@ let flat_eliminate f k ~order =
     incr cursor;
     if state.(v) <> state_removed then begin
       state.(v) <- state_removed;
-      Flat.iter_neighbors f v (fun u ->
-          if state.(u) <> state_removed then begin
-            let d = deg.(u) - 1 in
-            deg.(u) <- d;
+      let dw = Flat.row_words f v in
+      let nw = Array.length dw in
+      if nw <> 0 then
+        for i = 0 to nw - 1 do
+          let w = ref (Array.unsafe_get dw i) in
+          if !w <> 0 then begin
+            let base = i * Flat.Bits.word_bits in
+            while !w <> 0 do
+              let u = base + Flat.Bits.lsb !w in
+              w := !w land (!w - 1);
+              if Array.unsafe_get state u <> state_removed then begin
+                let d = Array.unsafe_get deg u - 1 in
+                Array.unsafe_set deg u d;
+                if d = k - 1 then begin
+                  order.(!n_removed) <- u;
+                  incr n_removed
+                end
+              end
+            done
+          end
+        done
+      else begin
+        let a = Flat.row_entries f v and n = Flat.degree f v in
+        for i = 0 to n - 1 do
+          let u = Array.unsafe_get a i in
+          if Array.unsafe_get state u <> state_removed then begin
+            let d = Array.unsafe_get deg u - 1 in
+            Array.unsafe_set deg u d;
             if d = k - 1 then begin
               order.(!n_removed) <- u;
               incr n_removed
             end
-          end)
+          end
+        done
+      end
     end
   done;
   !n_removed
@@ -131,12 +162,35 @@ let flat_smallest_last f ~order =
       state.(v) <- state_removed;
       order.(i) <- v;
       if deg.(v) > !degeneracy then degeneracy := deg.(v);
-      Flat.iter_neighbors f v (fun u ->
-          if state.(u) <> state_removed then begin
-            let d = deg.(u) - 1 in
-            deg.(u) <- d;
+      let dw = Flat.row_words f v in
+      let nw = Array.length dw in
+      if nw <> 0 then
+        for i = 0 to nw - 1 do
+          let w = ref (Array.unsafe_get dw i) in
+          if !w <> 0 then begin
+            let base = i * Flat.Bits.word_bits in
+            while !w <> 0 do
+              let u = base + Flat.Bits.lsb !w in
+              w := !w land (!w - 1);
+              if Array.unsafe_get state u <> state_removed then begin
+                let d = Array.unsafe_get deg u - 1 in
+                Array.unsafe_set deg u d;
+                buckets.(d) <- u :: buckets.(d)
+              end
+            done
+          end
+        done
+      else begin
+        let a = Flat.row_entries f v and n = Flat.degree f v in
+        for i = 0 to n - 1 do
+          let u = Array.unsafe_get a i in
+          if Array.unsafe_get state u <> state_removed then begin
+            let d = Array.unsafe_get deg u - 1 in
+            Array.unsafe_set deg u d;
             buckets.(d) <- u :: buckets.(d)
-          end)
+          end
+        done
+      end
     done;
     !degeneracy
   end

@@ -1,0 +1,123 @@
+(* Shared seeded random-instance layer for the property suites.
+
+   Every randomized suite in this directory (test_search_equiv,
+   test_check, test_flat_bitset) draws its instances from here instead
+   of keeping a private copy of the recipe, so:
+   - instances are identical across suites for the same seed (a failure
+     reported as "seed 137" reproduces under any of them, see README);
+   - the declared seed budget of a property is auditable: [run_seeds]
+     prints one machine-readable "[seeds] <name> <ran> <declared>" line
+     per property, and CI fails the job when any property ran fewer
+     seeds than it declares. *)
+
+module G = Rc_graph.Graph
+module Greedy_k = Rc_graph.Greedy_k
+module Generators = Rc_graph.Generators
+module Problem = Rc_core.Problem
+
+(* ------------------------------------------------------------------ *)
+(* Graph classes                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type cls = Chordal | Gnp | Interval | K_colorable
+
+let cls_name = function
+  | Chordal -> "chordal"
+  | Gnp -> "gnp"
+  | Interval -> "interval"
+  | K_colorable -> "k-colorable"
+
+let graph_of_cls rng cls ~n ~density =
+  match cls with
+  | Chordal -> Generators.random_chordal rng ~n ~extra:(n / 2)
+  | Gnp -> Generators.gnp rng ~n ~p:density
+  | Interval ->
+      (* Span scales inversely with density: a tight span packs more
+         overlapping intervals. *)
+      let span = max 1 (int_of_float (float_of_int (2 * n) *. (1.1 -. density)))
+      in
+      Generators.random_interval rng ~n ~span
+  | K_colorable -> Generators.random_k_colorable rng ~n ~k:(max 2 (n / 3)) ~p:density
+
+(* Rejection-sample [target] affinities between distinct non-adjacent
+   vertices, weights 1..9 — shared tail of every problem recipe. *)
+let sample_affinities rng g vs target =
+  let nv = Array.length vs in
+  let affinities = ref [] in
+  let attempts = ref 0 in
+  while List.length !affinities < target && !attempts < 60 * target do
+    incr attempts;
+    let u = vs.(Random.State.int rng nv) and v = vs.(Random.State.int rng nv) in
+    if u <> v && not (G.mem_edge g u v) then
+      affinities := ((u, v), 1 + Random.State.int rng 9) :: !affinities
+  done;
+  !affinities
+
+(* ------------------------------------------------------------------ *)
+(* The historical differential recipe                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Byte-identical to the private copies that used to live in
+   test_search_equiv.ml and test_check.ml: same rng seeding, same
+   chordal/gnp alternation, same rejection sampling.  Instances are
+   reproduced exactly for every seed, so seed-indexed findings (e.g.
+   the aggressive-beats-conservative seed search in test_check) keep
+   their meaning across the deduplication. *)
+let problem ~n ~n_affinities seed =
+  let rng = Random.State.make [| seed; 9091 |] in
+  let g =
+    if seed mod 2 = 0 then Generators.random_chordal rng ~n ~extra:(n / 2)
+    else Generators.gnp rng ~n ~p:0.25
+  in
+  let k = max 2 (Greedy_k.coloring_number g) in
+  let vs = Array.of_list (G.vertices g) in
+  let affinities = sample_affinities rng g vs n_affinities in
+  Problem.make ~graph:g ~affinities ~k
+
+(* ------------------------------------------------------------------ *)
+(* The parameterized family                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Problem generator over the four knobs of the shared layer:
+   (vertices, density, affinity fraction, graph class).  [k] is the
+   base graph's coloring number, the tightest value for which every
+   driver's precondition holds; [affinity_fraction] is relative to the
+   vertex count. *)
+let problem_in ?(cls = Gnp) ~n ~density ~affinity_fraction seed =
+  let rng = Random.State.make [| seed; 0x51ab; Hashtbl.hash (cls_name cls) |] in
+  let g = graph_of_cls rng cls ~n ~density in
+  let k = max 2 (Greedy_k.coloring_number g) in
+  let vs = Array.of_list (G.vertices g) in
+  let target = max 1 (int_of_float (affinity_fraction *. float_of_int n)) in
+  let affinities = sample_affinities rng g vs target in
+  Problem.make ~graph:g ~affinities ~k
+
+(* ------------------------------------------------------------------ *)
+(* Seed accounting                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Runs [f] on seeds 1..count and prints the audit line CI greps for.
+   The line is printed even when a seed fails (with the lower ran
+   count, before re-raising), so a crashed property can never
+   masquerade as a completed one. *)
+let run_seeds ~name ~count f =
+  let ran = ref 0 in
+  let report () = Printf.printf "[seeds] %s %d %d\n%!" name !ran count in
+  (try
+     for seed = 1 to count do
+       f seed;
+       incr ran
+     done
+   with e ->
+     report ();
+     raise e);
+  report ()
+
+(* ------------------------------------------------------------------ *)
+(* QCheck bridge                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Arbitrary over the seed, not the instance: a shrunk counterexample
+   then prints as the integer seed to feed back into [problem] /
+   [problem_in] (README "reproducing a failing seed"). *)
+let seed_arb = QCheck.make ~print:string_of_int QCheck.Gen.(int_range 1 1_000_000)

@@ -37,26 +37,13 @@ module Certify = Rc_check.Certify
 let check = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
 
-(* Same generator as test_search_equiv.ml: seeded problems over a
-   greedy-k-colorable base, k = coloring number. *)
-let random_problem ~n ~n_affinities seed =
-  let rng = Random.State.make [| seed; 9091 |] in
-  let g =
-    if seed mod 2 = 0 then Generators.random_chordal rng ~n ~extra:(n / 2)
-    else Generators.gnp rng ~n ~p:0.25
-  in
-  let k = max 2 (Greedy_k.coloring_number g) in
-  let vs = Array.of_list (G.vertices g) in
-  let nv = Array.length vs in
-  let affinities = ref [] in
-  let attempts = ref 0 in
-  while List.length !affinities < n_affinities && !attempts < 60 * n_affinities do
-    incr attempts;
-    let u = vs.(Random.State.int rng nv) and v = vs.(Random.State.int rng nv) in
-    if u <> v && not (G.mem_edge g u v) then
-      affinities := ((u, v), 1 + Random.State.int rng 9) :: !affinities
-  done;
-  Problem.make ~graph:g ~affinities:!affinities ~k
+(* Same generator as test_search_equiv.ml, via the shared layer
+   (test/qcheck_gen.ml): seeded problems over a greedy-k-colorable
+   base, k = coloring number.  The recipe is byte-identical to the
+   private copy this file used to carry, so seed-indexed instances are
+   unchanged. *)
+let random_problem = Qcheck_gen.problem
+let run_seeds = Qcheck_gen.run_seeds
 
 (* ------------------------------------------------------------------ *)
 (* Layer 1: IR/SSA lint                                                *)
@@ -296,7 +283,7 @@ let assert_certified name ?(claims = [ Certify.Conservative ]) p sol =
     Alcotest.failf "%s: %s" name (Format.asprintf "%a" Certify.pp_report report)
 
 let test_certifier_differential () =
-  for seed = 1 to 200 do
+  run_seeds ~name:"certifier_differential" ~count:200 (fun seed ->
     let p = random_problem ~n:12 ~n_affinities:6 seed in
     assert_certified
       (Printf.sprintf "optimistic (seed %d)" seed)
@@ -311,17 +298,15 @@ let test_certifier_differential () =
       (Conservative.coalesce Conservative.Brute_force p);
     assert_certified ~claims:[]
       (Printf.sprintf "aggressive (seed %d)" seed)
-      p (Aggressive.coalesce p)
-  done;
-  for seed = 1 to 60 do
+      p (Aggressive.coalesce p));
+  run_seeds ~name:"certifier_exact" ~count:60 (fun seed ->
     let p = random_problem ~n:10 ~n_affinities:5 seed in
     assert_certified
       (Printf.sprintf "exact (seed %d)" seed)
-      p (Exact.conservative p)
-  done
+      p (Exact.conservative p))
 
 let test_certifier_merge_log () =
-  for seed = 1 to 50 do
+  run_seeds ~name:"certifier_merge_log" ~count:50 (fun seed ->
     let p = random_problem ~n:12 ~n_affinities:6 seed in
     let s = Speculation.of_state (Coalescing.initial p.graph) in
     List.iter
@@ -340,8 +325,7 @@ let test_certifier_merge_log () =
         check
           (Printf.sprintf "forged merge log rejected (seed %d)" seed)
           true
-          (Certify.check_merge_log p rest answer <> [])
-  done
+          (Certify.check_merge_log p rest answer <> []))
 
 (* ------------------------------------------------------------------ *)
 (* Mutation tests: each corruption class is rejected                   *)
@@ -489,12 +473,11 @@ let with_sanitizer f =
 let test_sanitizer_clean_runs () =
   with_sanitizer (fun () ->
       let before = Sanitize.events_seen () in
-      for seed = 1 to 25 do
-        let p = random_problem ~n:10 ~n_affinities:5 seed in
-        ignore (Optimistic.coalesce p);
-        ignore (Set_coalescing.coalesce ~max_set:2 p);
-        ignore (Exact.conservative p)
-      done;
+      run_seeds ~name:"sanitizer_clean_runs" ~count:25 (fun seed ->
+          let p = random_problem ~n:10 ~n_affinities:5 seed in
+          ignore (Optimistic.coalesce p);
+          ignore (Set_coalescing.coalesce ~max_set:2 p);
+          ignore (Exact.conservative p));
       check "sanitizer audited events" true
         (Sanitize.events_seen () > before))
 
