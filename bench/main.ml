@@ -415,6 +415,60 @@ let k3_bitset_density () =
     densities
 
 (* ------------------------------------------------------------------ *)
+(* K4: the domain-pool sweep engine, sequential vs parallel            *)
+(* ------------------------------------------------------------------ *)
+
+(* A sweep is a seconds-long batch, so it is timed directly (monotonic
+   clock, one run per configuration) rather than through bechamel's
+   per-run estimator.  The section both measures the pool's wall-time
+   effect and asserts the engine's determinism contract: the canonical
+   report must be byte-identical at 1 and N domains.  On a single-core
+   host the speedup is ~1x (or slightly below: the pool adds one
+   condition-variable round-trip per chunk); the row records whatever
+   this box actually does. *)
+
+let k4_parallel_sweep () =
+  section "K4 | domain-pool sweep engine: sequential vs parallel wall time";
+  let preset =
+    match Rc_engine.Sweep.preset_of_string "smoke" with
+    | Ok p -> p
+    | Error m -> failwith m
+  in
+  let domains = max 2 (Rc_engine.Pool.recommended_domains ()) in
+  let seq = Rc_engine.Sweep.run ~domains:1 ~seed:2026 preset in
+  let par = Rc_engine.Sweep.run ~domains ~seed:2026 preset in
+  if Rc_engine.Sweep.canonical seq <> Rc_engine.Sweep.canonical par then
+    failwith "K4: canonical sweep reports differ across domain counts";
+  Format.printf
+    "preset %s (%s) x %d instances: canonical reports identical at 1 and %d \
+     domains@."
+    preset.Rc_engine.Sweep.sname
+    (match preset.Rc_engine.Sweep.source with
+    | Rc_engine.Sweep.Synthetic { n; _ } -> Printf.sprintf "synthetic n=%d" n
+    | Rc_engine.Sweep.Ssa { k } -> Printf.sprintf "ssa k=%d" k)
+    preset.Rc_engine.Sweep.instances domains;
+  Format.printf "  sweep wall, 1 domain   %10.3f s@."
+    seq.Rc_engine.Sweep.wall_s;
+  Format.printf "  sweep wall, %d domains %10.3f s@." domains
+    par.Rc_engine.Sweep.wall_s;
+  all_rows :=
+    !all_rows
+    @ [
+        ("k4/sweep-wall/1-domain", seq.Rc_engine.Sweep.wall_s *. 1e9);
+        ( Printf.sprintf "k4/sweep-wall/%d-domains" domains,
+          par.Rc_engine.Sweep.wall_s *. 1e9 );
+      ];
+  if par.Rc_engine.Sweep.wall_s > 0. then begin
+    let ratio = seq.Rc_engine.Sweep.wall_s /. par.Rc_engine.Sweep.wall_s in
+    Format.printf "  speedup %-39s %11.2fx@."
+      (Printf.sprintf "parallel sweep (%d domains)" domains)
+      ratio;
+    derived :=
+      !derived
+      @ [ (Printf.sprintf "speedup:parallel sweep (%d domains)" domains, ratio) ]
+  end
+
+(* ------------------------------------------------------------------ *)
 (* E1: Theorem 1 pipeline — SSA interference graphs are chordal        *)
 (* ------------------------------------------------------------------ *)
 
@@ -977,6 +1031,7 @@ let () =
   k1_search_drivers ();
   k2_certification ();
   k3_bitset_density ();
+  k4_parallel_sweep ();
   e1_theorem1 ();
   e4_thm2 ();
   e5_thm3 ();

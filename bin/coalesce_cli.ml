@@ -1,45 +1,163 @@
 (* Command-line front end.
 
    coalesce generate  --seed 7 --k 6 [--dot out.dot] [--chordal]
-   coalesce solve     --seed 7 --k 6 --strategy briggs|...|exact
+   coalesce solve     --seed 7 --k 6 --strategy briggs|...|exact [--rows bitset]
+   coalesce check     --seed 7 --k 6 [--strategy NAME] [--lint]
+   coalesce sweep     --preset smoke|ssa|10k|100k --domains 4 [--json FILE]
+   coalesce bench     --preset smoke --domains 4 [--json FILE]
    coalesce reduction --theorem 2|3|4|6 --seed 5 [--size 6]
    coalesce thm5      --seed 3 --n 200
+   coalesce allocate  --seed 7 --k 6 [--biased]
 
-   All instances are deterministic in --seed. *)
+   All instances are deterministic in --seed; sweep reports are
+   additionally byte-identical at any --domains value. *)
 
 open Cmdliner
 module G = Rc_graph.Graph
+module Strategies = Rc_core.Strategies
 
-let strategy_conv =
-  let parse = function
-    | "aggressive" -> Ok Rc_core.Strategies.Aggressive
-    | "briggs" -> Ok (Rc_core.Strategies.Conservative Rc_core.Conservative.Briggs)
-    | "george" -> Ok (Rc_core.Strategies.Conservative Rc_core.Conservative.George)
-    | "briggs-george" ->
-        Ok (Rc_core.Strategies.Conservative Rc_core.Conservative.Briggs_george)
-    | "briggs-george-ext" ->
-        Ok
-          (Rc_core.Strategies.Conservative
-             Rc_core.Conservative.Briggs_george_extended)
-    | "brute-force" ->
-        Ok (Rc_core.Strategies.Conservative Rc_core.Conservative.Brute_force)
-    | "irc" -> Ok (Rc_core.Strategies.Irc Rc_core.Irc.Briggs_and_george)
-    | "irc-briggs" -> Ok (Rc_core.Strategies.Irc Rc_core.Irc.Briggs_only)
-    | "optimistic" -> Ok Rc_core.Strategies.Optimistic
-    | "chordal" -> Ok Rc_core.Strategies.Chordal_incremental
-    | "set2" -> Ok (Rc_core.Strategies.Set_conservative 2)
-    | "set3" -> Ok (Rc_core.Strategies.Set_conservative 3)
-    | "exact" -> Ok Rc_core.Strategies.Exact_conservative
-    | s -> Error (`Msg (Printf.sprintf "unknown strategy %S" s))
-  in
-  let print ppf s = Format.fprintf ppf "%s" (Rc_core.Strategies.name s) in
-  Arg.conv (parse, print)
+(* Shared flag vocabulary ---------------------------------------------- *)
+(* Every subcommand draws its flags from here, so --seed, --k, --rows,
+   --domains, --json and --strategy spell and behave the same way
+   everywhere. *)
+module Common = struct
+  let strategy_conv =
+    let parse s =
+      match Strategies.of_string s with
+      | Ok s -> Ok s
+      | Error m -> Error (`Msg m)
+    in
+    let print ppf s = Format.fprintf ppf "%s" (Strategies.name s) in
+    Arg.conv (parse, print)
 
-let seed_arg =
-  Arg.(value & opt int 2026 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+  let rows_conv =
+    let parse s =
+      match s with
+      | "auto" -> Ok Rc_graph.Flat.Auto
+      | "matrix" -> Ok Rc_graph.Flat.Matrix
+      | "sparse" -> Ok Rc_graph.Flat.Sparse_rows
+      | "bitset" -> Ok Rc_graph.Flat.Bitset_rows
+      | s -> (
+          match String.index_opt s ':' with
+          | Some i
+            when String.sub s 0 i = "threshold" -> (
+              match
+                int_of_string_opt
+                  (String.sub s (i + 1) (String.length s - i - 1))
+              with
+              | Some n when n >= 0 -> Ok (Rc_graph.Flat.Threshold n)
+              | _ -> Error (`Msg "threshold:N needs a non-negative integer"))
+          | _ ->
+              Error
+                (`Msg
+                   (Printf.sprintf
+                      "unknown rows policy %S (auto, matrix, sparse, bitset, \
+                       threshold:N)"
+                      s)))
+    in
+    let print ppf = function
+      | Rc_graph.Flat.Auto -> Format.fprintf ppf "auto"
+      | Rc_graph.Flat.Matrix -> Format.fprintf ppf "matrix"
+      | Rc_graph.Flat.Sparse_rows -> Format.fprintf ppf "sparse"
+      | Rc_graph.Flat.Bitset_rows -> Format.fprintf ppf "bitset"
+      | Rc_graph.Flat.Threshold n -> Format.fprintf ppf "threshold:%d" n
+    in
+    Arg.conv (parse, print)
 
-let k_arg =
-  Arg.(value & opt int 6 & info [ "k"; "registers" ] ~docv:"K" ~doc:"Number of registers.")
+  let check_conv =
+    let parse = function
+      | "none" -> Ok Strategies.No_check
+      | "input" -> Ok Strategies.Validate_input
+      | "conservative" -> Ok Strategies.Assert_conservative
+      | s ->
+          Error
+            (`Msg
+               (Printf.sprintf
+                  "unknown check level %S (none, input, conservative)" s))
+    in
+    let print ppf = function
+      | Strategies.No_check -> Format.fprintf ppf "none"
+      | Strategies.Validate_input -> Format.fprintf ppf "input"
+      | Strategies.Assert_conservative -> Format.fprintf ppf "conservative"
+    in
+    Arg.conv (parse, print)
+
+  let seed =
+    Arg.(
+      value & opt int 2026 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+  let k =
+    Arg.(
+      value & opt int 6
+      & info [ "k"; "registers" ] ~docv:"K" ~doc:"Number of registers.")
+
+  let rows =
+    Arg.(
+      value
+      & opt (some rows_conv) None
+      & info [ "rows" ] ~docv:"POLICY"
+          ~doc:
+            "Kernel adjacency-row policy: auto, matrix, sparse, bitset or \
+             threshold:N (defaults to the kernel's auto heuristic).")
+
+  let domains =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "domains" ] ~docv:"N"
+          ~doc:
+            "Domains to run on, including the caller's (defaults to the \
+             runtime's recommended count).")
+
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE" ~doc:"Also write a JSON report to $(docv).")
+
+  let strategy ~doc =
+    Arg.(value & opt (some strategy_conv) None & info [ "strategy" ] ~docv:"NAME" ~doc)
+
+  let strategy_names =
+    "aggressive, briggs, george, briggs-george, briggs-george-ext, \
+     brute-force, irc, irc-briggs, optimistic, chordal, set2, set3, exact"
+
+  let chordal =
+    Arg.(value & flag & info [ "chordal" ] ~doc:"Chordal instance flavor.")
+
+  let file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "file" ] ~docv:"FILE"
+          ~doc:
+            "Load the instance from $(docv) (see Instance_io for the format) \
+             instead of generating one.")
+
+  let check =
+    Arg.(
+      value
+      & opt check_conv Strategies.No_check
+      & info [ "check" ] ~docv:"LEVEL"
+          ~doc:
+            "Per-cell checking: none, input (validate the problem), or \
+             conservative (assert the k-colorability claim).")
+
+  let load_problem ~seed ~k ~chordal = function
+    | Some path -> (
+        match Rc_challenge.Instance_io.read_file path with
+        | Ok p -> p
+        | Error m -> failwith (Printf.sprintf "%s: %s" path m))
+    | None ->
+        (Rc_challenge.Challenge.generate ~seed ~move_aware:(not chordal) ~k ())
+          .problem
+
+  let write_json file contents =
+    let oc = open_out file in
+    output_string oc contents;
+    close_out oc;
+    Format.printf "wrote %s@." file
+end
 
 let instance ~seed ~k ~chordal =
   Rc_challenge.Challenge.generate ~seed ~move_aware:(not chordal) ~k ()
@@ -83,79 +201,44 @@ let generate_cmd =
   in
   Cmd.v
     (Cmd.info "generate" ~doc:"Generate a synthetic coalescing instance.")
-    Term.(const run $ seed_arg $ k_arg $ dot_arg $ chordal_arg)
+    Term.(const run $ Common.seed $ Common.k $ dot_arg $ chordal_arg)
 
 (* solve -------------------------------------------------------------- *)
 
 let solve_cmd =
   let strategy_arg =
-    Arg.(
-      value
-      & opt (some strategy_conv) None
-      & info [ "strategy" ] ~docv:"NAME"
-          ~doc:
-            "Strategy: aggressive, briggs, george, briggs-george, \
-             briggs-george-ext, brute-force, irc, irc-briggs, optimistic, \
-             chordal, set2, set3, exact.  Omit to run all heuristics.")
+    Common.strategy
+      ~doc:
+        (Printf.sprintf "Strategy: %s.  Omit to run all heuristics."
+           Common.strategy_names)
   in
-  let chordal_arg =
-    Arg.(value & flag & info [ "chordal" ] ~doc:"Chordal instance flavor.")
-  in
-  let file_arg =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "file" ] ~docv:"FILE"
-          ~doc:
-            "Load the instance from $(docv) (see Instance_io for the format) \
-             instead of generating one.")
-  in
-  let run seed k strategy chordal file =
-    let problem =
-      match file with
-      | Some path -> (
-          match Rc_challenge.Instance_io.read_file path with
-          | Ok p -> p
-          | Error m -> failwith (Printf.sprintf "%s: %s" path m))
-      | None -> (instance ~seed ~k ~chordal).problem
-    in
+  let run seed k strategy chordal file rows check =
+    let problem = Common.load_problem ~seed ~k ~chordal file in
     Format.printf "%s@." (Rc_core.Problem.stats problem);
     let strategies =
-      match strategy with
-      | Some s -> [ s ]
-      | None -> Rc_core.Strategies.all_heuristics
+      match strategy with Some s -> [ s ] | None -> Strategies.all_heuristics
     in
+    let cfg = { Strategies.default_config with rows; check; seed } in
     List.iter
       (fun s ->
-        let r = Rc_core.Strategies.evaluate s problem in
-        Format.printf "%a@." Rc_core.Strategies.pp_report r)
+        let r = Strategies.evaluate_cfg cfg s problem in
+        Format.printf "%a@." Strategies.pp_report r)
       strategies
   in
   Cmd.v
     (Cmd.info "solve" ~doc:"Run coalescing strategies on an instance.")
-    Term.(const run $ seed_arg $ k_arg $ strategy_arg $ chordal_arg $ file_arg)
+    Term.(
+      const run $ Common.seed $ Common.k $ strategy_arg $ Common.chordal
+      $ Common.file $ Common.rows $ Common.check)
 
 (* check -------------------------------------------------------------- *)
 
 let check_cmd =
   let strategy_arg =
-    Arg.(
-      value
-      & opt (some strategy_conv) None
-      & info [ "strategy" ] ~docv:"NAME"
-          ~doc:
-            "Strategy to certify (same names as solve).  Omit to certify \
-             every heuristic.")
-  in
-  let chordal_arg =
-    Arg.(value & flag & info [ "chordal" ] ~doc:"Chordal instance flavor.")
-  in
-  let file_arg =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "file" ] ~docv:"FILE"
-          ~doc:"Load the instance from $(docv) instead of generating one.")
+    Common.strategy
+      ~doc:
+        "Strategy to certify (same names as solve).  Omit to certify every \
+         heuristic."
   in
   let lint_arg =
     Arg.(
@@ -165,16 +248,15 @@ let check_cmd =
             "Also run the IR/SSA lint and Theorem-1 check on the generated \
              program (generated instances only).")
   in
-  let claims_for (s : Rc_core.Strategies.t) =
+  let claims_for (s : Strategies.t) =
     match s with
-    | Rc_core.Strategies.Aggressive -> []
-    | Rc_core.Strategies.Conservative _ | Rc_core.Strategies.Irc _
-    | Rc_core.Strategies.Optimistic | Rc_core.Strategies.Chordal_incremental
-    | Rc_core.Strategies.Set_conservative _
-    | Rc_core.Strategies.Exact_conservative ->
+    | Strategies.Aggressive -> []
+    | Strategies.Conservative _ | Strategies.Irc _ | Strategies.Optimistic
+    | Strategies.Chordal_incremental | Strategies.Set_conservative _
+    | Strategies.Exact_conservative ->
         [ Rc_check.Certify.Conservative ]
   in
-  let run seed k strategy chordal file lint =
+  let run seed k strategy chordal file rows lint =
     if Rc_check.Sanitize.install_if_enabled () then
       Format.printf "sanitizer: enabled (profile %s)@."
         Rc_check.Sanitize.profile;
@@ -194,40 +276,31 @@ let check_cmd =
        | vs ->
            incr failures;
            List.iter
-             (fun v ->
-               Format.printf "lint: %s@." (Rc_check.Lint.to_string v))
+             (fun v -> Format.printf "lint: %s@." (Rc_check.Lint.to_string v))
              vs
      end);
-    let problem =
-      match file with
-      | Some path -> (
-          match Rc_challenge.Instance_io.read_file path with
-          | Ok p -> p
-          | Error m -> failwith (Printf.sprintf "%s: %s" path m))
-      | None -> (instance ~seed ~k ~chordal).problem
-    in
+    let problem = Common.load_problem ~seed ~k ~chordal file in
     Format.printf "%s@." (Rc_core.Problem.stats problem);
     let strategies =
-      match strategy with
-      | Some s -> [ s ]
-      | None -> Rc_core.Strategies.all_heuristics
+      match strategy with Some s -> [ s ] | None -> Strategies.all_heuristics
     in
+    let cfg = { Strategies.default_config with rows; seed } in
     let solve s =
       (* IRC may spill, leaving a solution over a reduced instance the
          original problem cannot certify — detect and skip. *)
       match s with
-      | Rc_core.Strategies.Irc r ->
+      | Strategies.Irc r ->
           let res = Rc_core.Irc.allocate ~rule:r problem in
           if res.spilled = [] then Ok res.solution
           else
             Error
               (Printf.sprintf "spilled %d vertices; reduced instance"
                  (List.length res.spilled))
-      | s -> Ok (Rc_core.Strategies.run s problem)
+      | s -> Ok (Strategies.run_cfg cfg s problem)
     in
     List.iter
       (fun s ->
-        let name = Rc_core.Strategies.name s in
+        let name = Strategies.name s in
         match solve s with
         | exception Invalid_argument m ->
             Format.printf "%-28s skipped (%s)@." name m
@@ -248,8 +321,120 @@ let check_cmd =
          "Run strategies and independently certify their answers \
           (Rc_check.Certify); non-zero exit on any violation.")
     Term.(
-      const run $ seed_arg $ k_arg $ strategy_arg $ chordal_arg $ file_arg
-      $ lint_arg)
+      const run $ Common.seed $ Common.k $ strategy_arg $ Common.chordal
+      $ Common.file $ Common.rows $ lint_arg)
+
+(* sweep -------------------------------------------------------------- *)
+
+let preset_arg =
+  let preset_conv =
+    let parse s =
+      match Rc_engine.Sweep.preset_of_string s with
+      | Ok p -> Ok p
+      | Error m -> Error (`Msg m)
+    in
+    let print ppf (p : Rc_engine.Sweep.preset) =
+      Format.fprintf ppf "%s" p.sname
+    in
+    Arg.conv (parse, print)
+  in
+  let default =
+    match Rc_engine.Sweep.preset_of_string "smoke" with
+    | Ok p -> p
+    | Error _ -> assert false
+  in
+  Arg.(
+    value & opt preset_conv default
+    & info [ "preset" ] ~docv:"NAME"
+        ~doc:
+          "Instance preset: smoke (2k vertices), ssa, 10k or 100k (the \
+           $(b,10^5)-vertex synthetic family).")
+
+let sweep_cmd =
+  let strategy_arg =
+    Common.strategy
+      ~doc:"Restrict the sweep to one strategy (same names as solve)."
+  in
+  let timing_arg =
+    Arg.(
+      value & flag
+      & info [ "timing" ]
+          ~doc:
+            "Also print per-strategy wall times (excluded from the canonical \
+             report, which is domain-count independent).")
+  in
+  let run seed preset domains rows check strategy timing json =
+    if Rc_check.Sanitize.install_if_enabled () then
+      Format.printf "sanitizer: enabled (profile %s)@."
+        Rc_check.Sanitize.profile;
+    let strategies =
+      match strategy with Some s -> [ s ] | None -> Strategies.all_heuristics
+    in
+    let t = Rc_engine.Sweep.run ?domains ?rows ~check ~strategies ~seed preset in
+    Format.printf "%a" Rc_engine.Sweep.pp t;
+    if timing then Format.printf "%a" Rc_engine.Sweep.pp_timing t;
+    Option.iter
+      (fun f -> Common.write_json f (Rc_engine.Sweep.to_json t))
+      json
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:
+         "Fan a strategy x instance leaderboard out over a domain pool.  The \
+          report (without --timing) is byte-identical at any --domains value.")
+    Term.(
+      const run $ Common.seed $ preset_arg $ Common.domains $ Common.rows
+      $ Common.check $ strategy_arg $ timing_arg $ Common.json)
+
+(* bench -------------------------------------------------------------- *)
+
+let bench_cmd =
+  let run seed preset domains rows json =
+    let domains =
+      match domains with
+      | Some d -> max 1 d
+      | None -> Rc_engine.Pool.recommended_domains ()
+    in
+    let seq = Rc_engine.Sweep.run ~domains:1 ?rows ~seed preset in
+    let par = Rc_engine.Sweep.run ~domains ?rows ~seed preset in
+    if Rc_engine.Sweep.canonical seq <> Rc_engine.Sweep.canonical par then begin
+      Format.eprintf
+        "determinism violation: 1-domain and %d-domain reports differ@."
+        domains;
+      exit 1
+    end;
+    Format.printf "sweep %s, seed %d: reports identical at 1 and %d domains@."
+      preset.Rc_engine.Sweep.sname seed domains;
+    Format.printf "sequential (1 domain):  %8.3fs@." seq.Rc_engine.Sweep.wall_s;
+    Format.printf "parallel   (%d domains): %8.3fs@." domains
+      par.Rc_engine.Sweep.wall_s;
+    Format.printf "speedup: %.2fx@."
+      (seq.Rc_engine.Sweep.wall_s /. par.Rc_engine.Sweep.wall_s);
+    Option.iter
+      (fun f ->
+        Common.write_json f
+          (Printf.sprintf
+             "{\n\
+             \  \"preset\": \"%s\",\n\
+             \  \"seed\": %d,\n\
+             \  \"domains\": %d,\n\
+             \  \"sequential_wall_s\": %.6f,\n\
+             \  \"parallel_wall_s\": %.6f,\n\
+             \  \"speedup\": %.6f\n\
+              }\n"
+             preset.Rc_engine.Sweep.sname seed domains
+             seq.Rc_engine.Sweep.wall_s par.Rc_engine.Sweep.wall_s
+             (seq.Rc_engine.Sweep.wall_s /. par.Rc_engine.Sweep.wall_s)))
+      json
+  in
+  Cmd.v
+    (Cmd.info "bench"
+       ~doc:
+         "Time the same sweep sequentially and on the domain pool, assert the \
+          reports are identical, and print the speedup.")
+    Term.(
+      const run $ Common.seed $ preset_arg $ Common.domains $ Common.rows
+      $ Common.json)
 
 (* reduction ---------------------------------------------------------- *)
 
@@ -317,7 +502,7 @@ let reduction_cmd =
   in
   Cmd.v
     (Cmd.info "reduction" ~doc:"Verify one of the NP-completeness reductions.")
-    Term.(const run $ seed_arg $ theorem_arg $ size_arg)
+    Term.(const run $ Common.seed $ theorem_arg $ size_arg)
 
 (* thm5 ---------------------------------------------------------------- *)
 
@@ -325,7 +510,8 @@ let thm5_cmd =
   let n_arg =
     Arg.(
       value & opt int 200
-      & info [ "n"; "vertices" ] ~docv:"N" ~doc:"Number of vertices of the chordal graph.")
+      & info [ "n"; "vertices" ] ~docv:"N"
+          ~doc:"Number of vertices of the chordal graph.")
   in
   let run seed n =
     let rng = Random.State.make [| seed |] in
@@ -352,7 +538,7 @@ let thm5_cmd =
   Cmd.v
     (Cmd.info "thm5"
        ~doc:"Run the polynomial chordal incremental-coalescing test.")
-    Term.(const run $ seed_arg $ n_arg)
+    Term.(const run $ Common.seed $ n_arg)
 
 (* allocate -------------------------------------------------------------- *)
 
@@ -378,7 +564,7 @@ let allocate_cmd =
        ~doc:
          "Run the end-to-end register allocator on a random program and \
           validate it with the symbolic interpreter.")
-    Term.(const run $ seed_arg $ k_arg $ biased_arg)
+    Term.(const run $ Common.seed $ Common.k $ biased_arg)
 
 let () =
   let info =
@@ -392,6 +578,8 @@ let () =
             generate_cmd;
             solve_cmd;
             check_cmd;
+            sweep_cmd;
+            bench_cmd;
             reduction_cmd;
             thm5_cmd;
             allocate_cmd;

@@ -12,17 +12,38 @@ let enabled () =
   | None | Some "" | Some "0" -> false
   | Some _ -> true
 
-let events = ref 0
-let events_seen () = !events
+(* All sanitizer state is domain-local, mirroring the monitor hooks it
+   drives (Flat and Speculation fire the monitor of the installing
+   domain only).  Each sweep-engine worker domain therefore audits its
+   own kernels with its own counters — no cross-domain races, and
+   [events_seen] read from a domain reports that domain's audits. *)
+type state = {
+  mutable events : int;
+  mutable dense_audits : int;
+  mutable sparse_audits : int;
+  mutable cursor : int;
+  mutable is_installed : bool;
+}
+
+let dls : state Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      {
+        events = 0;
+        dense_audits = 0;
+        sparse_audits = 0;
+        cursor = 0;
+        is_installed = false;
+      })
+
+let state () = Domain.DLS.get dls
+let events_seen () = (state ()).events
 
 (* Per-representation audit tally: [check_vertex] audits whichever
    physical row the sampled index currently has, so these counters let
    tests prove the bitset path (word/list agreement, popcount-vs-degree)
    was actually exercised, not just the sparse one. *)
-let dense_audits = ref 0
-let sparse_audits = ref 0
-let dense_rows_audited () = !dense_audits
-let sparse_rows_audited () = !sparse_audits
+let dense_rows_audited () = (state ()).dense_audits
+let sparse_rows_audited () = (state ()).sparse_audits
 
 let fail fmt =
   Printf.ksprintf (fun m -> failwith ("Rc_check.Sanitize: " ^ m)) fmt
@@ -31,21 +52,23 @@ let fail fmt =
    number of vertices, so a whole pass over the graph completes every
    O(capacity) events — O(1) amortized per event, and every vertex is
    eventually re-verified. *)
-let cursor = ref 0
 let vertices_per_event = 4
 
 let sample_vertices f =
+  let st = state () in
   let cap = Flat.capacity f in
   if cap > 0 then
     for _ = 1 to vertices_per_event do
-      let v = !cursor mod cap in
-      if Flat.row_is_dense f v then incr dense_audits else incr sparse_audits;
+      let v = st.cursor mod cap in
+      if Flat.row_is_dense f v then st.dense_audits <- st.dense_audits + 1
+      else st.sparse_audits <- st.sparse_audits + 1;
       Flat.check_vertex f v;
-      incr cursor
+      st.cursor <- st.cursor + 1
     done
 
 let on_flat_event ev (f : Flat.t) =
-  incr events;
+  let st = state () in
+  st.events <- st.events + 1;
   if Flat.checkpoint_depth f < 0 then
     fail "negative checkpoint depth %d" (Flat.checkpoint_depth f);
   if Flat.num_edges f < 0 then fail "negative edge count %d" (Flat.num_edges f);
@@ -81,7 +104,8 @@ let on_flat_event ev (f : Flat.t) =
 let spec_period = 16
 
 let on_spec_event ev (s : Speculation.spec) =
-  incr events;
+  let st = state () in
+  st.events <- st.events + 1;
   match ev with
   | Speculation.Committed st ->
       Speculation.self_check s;
@@ -96,22 +120,20 @@ let on_spec_event ev (s : Speculation.spec) =
           (Graph.num_edges mirror)
           (Graph.num_edges (Coalescing.graph st))
   | Speculation.Merged | Speculation.Rolled_back | Speculation.Released ->
-      if !events mod spec_period = 0 then Speculation.self_check s
-
-let is_installed = ref false
+      if st.events mod spec_period = 0 then Speculation.self_check s
 
 let install () =
   Flat.set_monitor (Some on_flat_event);
   Speculation.set_monitor (Some on_spec_event);
-  is_installed := true
+  (state ()).is_installed <- true
 
 let uninstall () =
   Flat.set_monitor None;
   Speculation.set_monitor None;
-  is_installed := false
+  (state ()).is_installed <- false
 
-let installed () = !is_installed
+let installed () = (state ()).is_installed
 
 let install_if_enabled () =
   if enabled () then install ();
-  !is_installed
+  installed ()

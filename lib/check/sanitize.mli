@@ -28,7 +28,15 @@
     checkpoint/rollback/release/merge/commit).  {!install_if_enabled}
     turns the sanitizer on when the dune profile is [dev-checked] or
     the [RC_CHECKED] environment variable is set to anything but [0] or
-    the empty string. *)
+    the empty string.
+
+    Domain safety: installation and every audit counter are
+    domain-local ({!Rc_graph.Flat.set_monitor} and
+    {!Rc_core.Coalescing.Speculation.set_monitor} are domain-local
+    hooks).  {!install} arms the calling domain only; the sweep
+    engine's worker domains each call {!install_if_enabled} on startup,
+    so a dev-checked parallel sweep is fully sanitized with per-domain
+    counters and no shared mutable audit state. *)
 
 val profile : string
 (** The dune profile this library was built under. *)

@@ -74,16 +74,20 @@ module Speculation = struct
   type mark = { fcp : Flat.checkpoint; mmark : int }
 
   (* Speculation events for the kernel sanitizer (Rc_check.Sanitize).
-     Same contract as Flat.set_monitor: a global hook, [None] in release
-     builds, fired after the event completes, once per merge/rollback/
-     release/commit — never inside an edge loop. *)
+     Same contract as Flat.set_monitor: a domain-local hook, [None] in
+     release builds, fired after the event completes, once per merge/
+     rollback/release/commit — never inside an edge loop.  Domain-local
+     (not a global ref) so sweep-engine worker domains can each run a
+     sanitizer without racing on shared audit state. *)
   type event = Merged | Rolled_back | Released | Committed of state
 
-  let monitor : (event -> spec -> unit) option ref = ref None
-  let set_monitor m = monitor := m
+  let monitor : (event -> spec -> unit) option Domain.DLS.key =
+    Domain.DLS.new_key (fun () -> None)
+
+  let set_monitor m = Domain.DLS.set monitor m
 
   let notify ev s =
-    match !monitor with None -> () | Some f -> f ev s
+    match Domain.DLS.get monitor with None -> () | Some f -> f ev s
 
   let of_state ?rows st =
     let f = Flat.of_graph ?rows st.graph in

@@ -105,11 +105,14 @@ module Speculation : sig
 
   (** {2 Instrumentation}
 
-      Same contract as {!Rc_graph.Flat.set_monitor}: a global hook for
-      the kernel sanitizer, [None] in release builds (one mutable load
-      and branch per speculation event), fired after the event
-      completes.  [Committed] carries the persistent state just
-      produced so the monitor can compare it against the flat mirror. *)
+      Same contract as {!Rc_graph.Flat.set_monitor}: a domain-local
+      hook for the kernel sanitizer, [None] in release builds (one
+      domain-local load and branch per speculation event), fired after
+      the event completes.  Each domain installs and observes its own
+      hook, so sweep-engine workers can sanitize concurrently without
+      sharing audit state.  [Committed] carries the persistent state
+      just produced so the monitor can compare it against the flat
+      mirror. *)
 
   type event = Merged | Rolled_back | Released | Committed of state
 

@@ -90,6 +90,8 @@ let coalesce_state ?rows rule ~k st affinities =
   coalesce_spec rule ~k spec affinities;
   Spec.commit spec
 
-let coalesce rule (p : Problem.t) =
-  let st = coalesce_state rule ~k:p.k (Coalescing.initial p.graph) p.affinities in
+let coalesce ?rows rule (p : Problem.t) =
+  let st =
+    coalesce_state ?rows rule ~k:p.k (Coalescing.initial p.graph) p.affinities
+  in
   Coalescing.solution_of_state p st

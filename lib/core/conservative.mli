@@ -17,12 +17,18 @@ type rule =
 
 val rule_name : rule -> string
 
-val coalesce : rule -> Problem.t -> Coalescing.solution
+val coalesce :
+  ?rows:Rc_graph.Flat.rows -> rule -> Problem.t -> Coalescing.solution
 (** Worklist conservative coalescing: affinities are processed by
     decreasing weight; an affinity is coalesced when the rule accepts it
     on the current graph; rejected affinities are retried after every
     successful merge until a fixpoint (merging lowers degrees and can
-    enable previously rejected tests). *)
+    enable previously rejected tests).
+
+    Prefer {!Strategies.run_cfg} for new call sites: the [?rows]
+    optional argument here (and on {!coalesce_state}) is the [rows]
+    field of {!Strategies.config} there; these entry points stay as the
+    primitives the dispatcher calls. *)
 
 val coalesce_state :
   ?rows:Rc_graph.Flat.rows ->

@@ -1,0 +1,7 @@
+external now_ns : unit -> (int64[@unboxed])
+  = "rc_mclock_now_ns_byte" "rc_mclock_now_ns"
+[@@noalloc]
+
+let now_s () = Int64.to_float (now_ns ()) *. 1e-9
+
+let elapsed_s t0 = Int64.to_float (Int64.sub (now_ns ()) t0) *. 1e-9

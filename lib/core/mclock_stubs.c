@@ -1,0 +1,20 @@
+/* CLOCK_MONOTONIC reading for Rc_core.Mclock.  The native variant is
+   [@noalloc] with an unboxed int64 return, so a clock read costs one C
+   call and no OCaml allocation. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+
+int64_t rc_mclock_now_ns(value unit)
+{
+  struct timespec ts;
+  (void)unit;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return (int64_t)ts.tv_sec * 1000000000 + (int64_t)ts.tv_nsec;
+}
+
+value rc_mclock_now_ns_byte(value unit)
+{
+  return caml_copy_int64(rc_mclock_now_ns(unit));
+}

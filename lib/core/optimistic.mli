@@ -21,12 +21,21 @@ type scoring =
   | Weight_only  (** split the cheapest class first *)
   | Degree_only  (** split the class with the highest residue degree *)
 
-val coalesce : ?scoring:scoring -> Problem.t -> Coalescing.solution
+val coalesce :
+  ?rows:Rc_graph.Flat.rows -> ?scoring:scoring -> Problem.t ->
+  Coalescing.solution
 (** Requires the input graph to be greedy-k-colorable; raises
     [Invalid_argument] otherwise (the de-coalescing loop could not
-    terminate on an uncolorable base graph). *)
+    terminate on an uncolorable base graph).
+
+    Prefer {!Strategies.run_cfg} for new call sites: the scattered
+    optional arguments of the individual searches ([?scoring] here,
+    [?rows], [?max_set]) are folded into one {!Strategies.config}
+    record there; this entry point stays as the primitive the
+    dispatcher calls. *)
 
 val decoalesce_greedy :
+  ?rows:Rc_graph.Flat.rows ->
   ?scoring:scoring -> Problem.t -> Coalescing.state -> Coalescing.state
 (** Phase 2 alone, exposed for tests, the Theorem 6 experiment and the
     de-coalescing ablation: splits classes of the given all-merged

@@ -56,9 +56,9 @@ let try_set ~k spec set =
     false
   end
 
-let coalesce ?(max_set = 2) (p : Problem.t) =
+let coalesce ?rows ?(max_set = 2) (p : Problem.t) =
   if max_set < 1 then invalid_arg "Set_coalescing.coalesce: max_set < 1";
-  let spec = Spec.of_state (Coalescing.initial p.graph) in
+  let spec = Spec.of_state ?rows (Coalescing.initial p.graph) in
   let open_affinities () =
     List.filter
       (fun (a : Problem.affinity) -> not (Spec.same_class spec a.u a.v))

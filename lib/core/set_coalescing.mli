@@ -12,13 +12,20 @@
     greedy-k-colorability of the whole graph in linear time, as the
     paper suggests). *)
 
-val coalesce : ?max_set:int -> Problem.t -> Coalescing.solution
+val coalesce :
+  ?rows:Rc_graph.Flat.rows -> ?max_set:int -> Problem.t ->
+  Coalescing.solution
 (** Runs the brute-force singleton pass to a fixpoint, then tries sets
     of 2, 3, ... up to [max_set] (default 2) open affinities by
     decreasing combined weight, restarting from singletons after each
     successful set merge.  The result is always conservative.
     Exponential in [max_set] only (the set enumeration is
-    O(m^max_set)). *)
+    O(m^max_set)).
+
+    Prefer {!Strategies.run_cfg} for new call sites: [?max_set] and
+    [?rows] are the [max_set]/[rows] fields of {!Strategies.config}
+    there; this entry point stays as the primitive the dispatcher
+    calls. *)
 
 val subsets_by_weight :
   int -> Problem.affinity list -> Problem.affinity list list

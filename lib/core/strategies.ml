@@ -18,6 +18,39 @@ let name = function
   | Set_conservative n -> Printf.sprintf "set-conservative/%d" n
   | Exact_conservative -> "exact"
 
+(* One token per strategy, shared by every front end (the CLI's
+   --strategy flag, sweep filters, test drivers) so the spelling lives
+   in exactly one place.  Accepts both the short CLI tokens and the
+   canonical [name] forms. *)
+let of_string s =
+  match s with
+  | "aggressive" -> Ok Aggressive
+  | "briggs" | "conservative/briggs" -> Ok (Conservative Conservative.Briggs)
+  | "george" | "conservative/george" -> Ok (Conservative Conservative.George)
+  | "briggs-george" | "conservative/briggs+george" ->
+      Ok (Conservative Conservative.Briggs_george)
+  | "briggs-george-ext" | "conservative/briggs+george-ext" ->
+      Ok (Conservative Conservative.Briggs_george_extended)
+  | "brute-force" | "conservative/brute-force" ->
+      Ok (Conservative Conservative.Brute_force)
+  | "irc" | "irc/briggs+george" -> Ok (Irc Irc.Briggs_and_george)
+  | "irc-briggs" | "irc/briggs" -> Ok (Irc Irc.Briggs_only)
+  | "irc-george" | "irc/george" -> Ok (Irc Irc.George_only)
+  | "optimistic" -> Ok Optimistic
+  | "chordal" | "chordal-incremental" -> Ok Chordal_incremental
+  | "exact" -> Ok Exact_conservative
+  | s -> (
+      (* "setN" / "set-conservative/N" *)
+      let set_of prefix =
+        let pl = String.length prefix and sl = String.length s in
+        if sl > pl && String.sub s 0 pl = prefix then
+          int_of_string_opt (String.sub s pl (sl - pl))
+        else None
+      in
+      match (set_of "set", set_of "set-conservative/") with
+      | Some n, _ | None, Some n when n >= 1 -> Ok (Set_conservative n)
+      | _ -> Error (Printf.sprintf "unknown strategy %S" s))
+
 let all_heuristics =
   [
     Aggressive;
@@ -33,9 +66,32 @@ let all_heuristics =
     Set_conservative 2;
   ]
 
-let run_chordal_incremental (p : Problem.t) =
+(* ------------------------------------------------------------------ *)
+(* Unified run configuration                                           *)
+(* ------------------------------------------------------------------ *)
+
+type check_level = No_check | Validate_input | Assert_conservative
+
+type config = {
+  rows : Rc_graph.Flat.rows option;
+  scoring : Optimistic.scoring;
+  max_set : int;
+  check : check_level;
+  seed : int;
+}
+
+let default_config =
+  {
+    rows = None;
+    scoring = Optimistic.Degree_per_weight;
+    max_set = 2;
+    check = No_check;
+    seed = 0;
+  }
+
+let run_chordal_incremental ?rows (p : Problem.t) =
   if not (Rc_graph.Chordal.is_chordal p.graph) then
-    Conservative.coalesce Conservative.Brute_force p
+    Conservative.coalesce ?rows Conservative.Brute_force p
   else begin
     let by_weight =
       List.sort
@@ -57,15 +113,47 @@ let run_chordal_incremental (p : Problem.t) =
     Coalescing.solution_of_state p st
   end
 
-let run strategy p =
-  match strategy with
-  | Aggressive -> Aggressive.coalesce p
-  | Conservative r -> Conservative.coalesce r p
-  | Irc r -> (Irc.allocate ~rule:r p).solution
-  | Optimistic -> Optimistic.coalesce p
-  | Chordal_incremental -> run_chordal_incremental p
-  | Set_conservative n -> Set_coalescing.coalesce ~max_set:n p
-  | Exact_conservative -> Exact.conservative p
+let validate_input p =
+  match Problem.validate p with
+  | Ok () -> ()
+  | Error errs ->
+      invalid_arg
+        (Printf.sprintf "Strategies.run_cfg: invalid problem: %s"
+           (String.concat "; " (List.map Problem.error_to_string errs)))
+
+(* Which strategies promise a conservative (greedy-k-colorable) result.
+   Aggressive explicitly does not; everything else does. *)
+let claims_conservative = function Aggressive -> false | _ -> true
+
+let run_cfg cfg strategy (p : Problem.t) =
+  (match cfg.check with
+  | No_check -> ()
+  | Validate_input | Assert_conservative -> validate_input p);
+  let rows = cfg.rows in
+  let sol =
+    match strategy with
+    | Aggressive -> Aggressive.coalesce p
+    | Conservative r -> Conservative.coalesce ?rows r p
+    | Irc r -> (Irc.allocate ~rule:r p).solution
+    | Optimistic -> Optimistic.coalesce ?rows ~scoring:cfg.scoring p
+    | Chordal_incremental -> run_chordal_incremental ?rows p
+    | Set_conservative n ->
+        let max_set = if n >= 1 then n else cfg.max_set in
+        Set_coalescing.coalesce ?rows ~max_set p
+    | Exact_conservative -> Exact.conservative p
+  in
+  (match cfg.check with
+  | Assert_conservative
+    when claims_conservative strategy && not (Coalescing.is_conservative p sol)
+    ->
+      failwith
+        (Printf.sprintf
+           "Strategies.run_cfg: %s returned a non-conservative solution"
+           (name strategy))
+  | _ -> ());
+  sol
+
+let run strategy p = run_cfg default_config strategy p
 
 type report = {
   strategy : string;
@@ -77,10 +165,10 @@ type report = {
   time_s : float;
 }
 
-let evaluate strategy p =
-  let t0 = Unix.gettimeofday () in
-  let sol = run strategy p in
-  let time_s = Unix.gettimeofday () -. t0 in
+let evaluate_cfg cfg strategy p =
+  let t0 = Mclock.now_ns () in
+  let sol = run_cfg cfg strategy p in
+  let time_s = Mclock.elapsed_s t0 in
   {
     strategy = name strategy;
     coalesced_weight = Coalescing.coalesced_weight sol;
@@ -90,6 +178,8 @@ let evaluate strategy p =
     conservative = Coalescing.is_conservative p sol;
     time_s;
   }
+
+let evaluate strategy p = evaluate_cfg default_config strategy p
 
 let pp_report ppf r =
   Format.fprintf ppf "%-28s %6d/%-6d weight  %4d/%-4d moves  %s  %8.4fs"

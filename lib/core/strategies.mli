@@ -1,6 +1,15 @@
 (** Named coalescing strategies — the contenders of the synthetic
-    coalescing challenge (experiment E11) and the quality-gap study
-    (E12). *)
+    coalescing challenge (experiment E11), the quality-gap study (E12)
+    and the domain-parallel sweep engine ({!Rc_engine.Sweep}).
+
+    {!run_cfg} is the single solver entry point: one {!config} record
+    folds the row policy, optimistic scoring, set-coalescing bound,
+    checking level and seed that used to be scattered across the
+    individual searches' optional arguments.  The per-search entry
+    points ([Conservative.coalesce ?rows],
+    [Optimistic.coalesce ?rows ?scoring],
+    [Set_coalescing.coalesce ?rows ?max_set]) remain as the primitives
+    this dispatcher calls — prefer {!run_cfg} in new code. *)
 
 type t =
   | Aggressive  (** greedy aggressive (colorability ignored) *)
@@ -15,15 +24,65 @@ type t =
   | Set_conservative of int
       (** brute-force conservative extended with simultaneous coalescing
           of affinity sets up to the given size — the "affinities by
-          transitivity" remedy of Section 4 (see {!Set_coalescing}) *)
+          transitivity" remedy of Section 4 (see {!Set_coalescing}).  A
+          size [<= 0] defers to {!config.max_set}. *)
   | Exact_conservative  (** branch-and-bound optimum (small instances) *)
 
 val name : t -> string
 
+val of_string : string -> (t, string) result
+(** Inverse of {!name}, also accepting the short CLI tokens
+    ([briggs], [briggs-george-ext], [irc], [set2], [set3], [chordal],
+    ...).  The one strategy-spelling table every front end (CLI
+    subcommands, sweep filters, tests) shares. *)
+
 val all_heuristics : t list
 (** Every strategy except the exact one. *)
 
+(** {1 Unified run configuration} *)
+
+type check_level =
+  | No_check  (** trust the input and the search (release default) *)
+  | Validate_input
+      (** {!Problem.validate} before solving; [Invalid_argument] with
+          the offending errors otherwise *)
+  | Assert_conservative
+      (** [Validate_input] plus, for every strategy that promises a
+          conservative result (all but {!Aggressive}), assert
+          {!Coalescing.is_conservative} on the answer — [Failure]
+          otherwise.  For the full independent re-derivation, see
+          [Rc_check.Certify] (a layer above this library). *)
+
+type config = {
+  rows : Rc_graph.Flat.rows option;
+      (** row representation for every flat kernel the run builds
+          ([None] = the kernel's adaptive default) *)
+  scoring : Optimistic.scoring;  (** optimistic de-coalescing scoring *)
+  max_set : int;
+      (** set-coalescing bound used when the strategy is
+          [Set_conservative n] with [n <= 0] *)
+  check : check_level;
+  seed : int;
+      (** provenance: the seed stream that produced this task's
+          instance.  No current strategy draws randomness, so the field
+          only documents the run (sweep reports record it); a future
+          randomized strategy must draw from it and nothing else, or
+          domain-parallel runs stop being reproducible. *)
+}
+
+val default_config : config
+(** [{ rows = None; scoring = Degree_per_weight; max_set = 2;
+      check = No_check; seed = 0 }] *)
+
+val run_cfg : config -> t -> Problem.t -> Coalescing.solution
+(** The unified solve path: dispatches to the strategy's primitive with
+    the configuration's knobs.  Deterministic for a fixed [(config, t,
+    problem)] triple — the sweep engine relies on this to produce
+    byte-identical reports at any domain count. *)
+
 val run : t -> Problem.t -> Coalescing.solution
+(** [run_cfg default_config].  Kept for the pre-config call sites;
+    prefer {!run_cfg}. *)
 
 type report = {
   strategy : string;
@@ -33,8 +92,15 @@ type report = {
   affinity_count : int;
   conservative : bool;  (** final graph greedy-k-colorable *)
   time_s : float;
+      (** solve time on the monotonic clock ({!Mclock}), not wall
+          time — parallel sweeps would otherwise charge tasks for
+          scheduler gaps and NTP steps *)
 }
 
+val evaluate_cfg : config -> t -> Problem.t -> report
+
 val evaluate : t -> Problem.t -> report
+(** [evaluate_cfg default_config].  Kept for the pre-config call sites;
+    prefer {!evaluate_cfg}. *)
 
 val pp_report : Format.formatter -> report -> unit

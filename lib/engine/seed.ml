@@ -1,0 +1,30 @@
+type t = int64
+
+(* splitmix64 finalizer (Steele–Lea–Flood): bijective on 64-bit words,
+   so distinct inputs give distinct outputs. *)
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+            0xbf58476d1ce4e5b9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+            0x94d049bb133111ebL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let golden = 0x9e3779b97f4a7c15L
+
+let of_int n = mix64 (Int64.of_int n)
+
+let split s i =
+  if i < 0 then invalid_arg "Seed.split: negative child index";
+  mix64 (Int64.add s (Int64.mul golden (Int64.of_int (i + 1))))
+
+let to_int s = Int64.to_int (Int64.shift_right_logical s 2)
+
+let to_state s =
+  Random.State.make
+    [|
+      Int64.to_int (Int64.logand s 0x3FFFFFFFL);
+      Int64.to_int (Int64.logand (Int64.shift_right_logical s 30) 0x3FFFFFFFL);
+      Int64.to_int (Int64.shift_right_logical s 60);
+    |]
+
+let pp ppf s = Format.fprintf ppf "%016Lx" s

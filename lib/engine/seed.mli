@@ -1,0 +1,33 @@
+(** Splittable deterministic seed streams for the sweep engine.
+
+    The engine's determinism contract — byte-identical reports at any
+    [--domains] value — requires every task's randomness to depend only
+    on the task's identity, never on which domain ran it or in what
+    order.  A [Seed.t] is a 64-bit splitmix state: {!split} derives the
+    [i]-th child stream purely from [(parent, i)], so the seed tree is
+    fixed by the root seed and the task indexing alone.
+
+    Collision behaviour: children are produced by the splitmix64
+    finalizer over distinct 64-bit inputs, a bijection — two children
+    of one parent never collide, and cross-parent collisions are the
+    generic birthday bound of a 64-bit space. *)
+
+type t
+
+val of_int : int -> t
+(** Root of a seed tree, mixed so that small consecutive user seeds
+    (1, 2, 3...) land far apart. *)
+
+val split : t -> int -> t
+(** [split s i] is the [i]-th child stream of [s] ([i >= 0]); pure. *)
+
+val to_int : t -> int
+(** A non-negative 62-bit integer view, for APIs that take [seed:int]
+    (the challenge generators).  Deterministic in [t]. *)
+
+val to_state : t -> Random.State.t
+(** A PRNG initialized from this stream, for APIs that consume
+    [Random.State.t].  Deterministic in [t]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Hex rendering, for reports and failure reproduction. *)

@@ -1,0 +1,328 @@
+module Strategies = Rc_core.Strategies
+module Problem = Rc_core.Problem
+module Graph = Rc_graph.Graph
+
+type source =
+  | Synthetic of { n : int; maxlive : int; affinity_fraction : float }
+  | Ssa of { k : int }
+
+type preset = { sname : string; source : source; instances : int }
+
+let presets =
+  [
+    {
+      sname = "smoke";
+      source = Synthetic { n = 2_000; maxlive = 8; affinity_fraction = 0.3 };
+      instances = 2;
+    };
+    { sname = "ssa"; source = Ssa { k = 6 }; instances = 4 };
+    {
+      sname = "10k";
+      source = Synthetic { n = 10_000; maxlive = 12; affinity_fraction = 0.3 };
+      instances = 2;
+    };
+    {
+      sname = "100k";
+      source = Synthetic { n = 100_000; maxlive = 12; affinity_fraction = 0.3 };
+      instances = 2;
+    };
+  ]
+
+let preset_of_string s =
+  match List.find_opt (fun p -> p.sname = s) presets with
+  | Some p -> Ok p
+  | None ->
+      Error
+        (Printf.sprintf "unknown preset %S (have: %s)" s
+           (String.concat ", " (List.map (fun p -> p.sname) presets)))
+
+(* Vertex ceilings per strategy, from measured single-core costs on
+   the synthetic interval family (k=12, aff=0.3; see DESIGN.md, engine
+   section).  At n=10^5: briggs 4.8s, george / briggs+george / ext
+   ~43s, irc/briggs 24s — all swept in full.  At n=2*10^4 the
+   strategies that re-check the whole graph per probe or replay a
+   global merge commit (aggressive, brute force, optimistic, set
+   probes, coupled IRC) already cost 7-23s per cell, so they are
+   capped at 30k where a cell stays in seconds.  The per-affinity
+   clique-tree strategy costs 28s at n=10^3 and the branch-and-bound
+   is exponential — cliffs of their own. *)
+let scale_ceiling = function
+  | Strategies.Aggressive -> 30_000
+  | Strategies.Conservative Rc_core.Conservative.Brute_force -> 30_000
+  | Strategies.Conservative _ -> 1_000_000
+  | Strategies.Irc Rc_core.Irc.Briggs_and_george -> 30_000
+  | Strategies.Irc _ -> 1_000_000
+  | Strategies.Optimistic -> 30_000
+  | Strategies.Chordal_incremental -> 1_200
+  | Strategies.Set_conservative _ -> 30_000
+  | Strategies.Exact_conservative -> 40
+
+type outcome =
+  | Report of Strategies.report
+  | Capped of { ceiling : int }
+  | Failed of string
+
+type cell = {
+  strategy : string;
+  instance : int;
+  seed : int;
+  outcome : outcome;
+}
+
+type row = {
+  rstrategy : string;
+  score : float;
+  weight : int;
+  total_weight : int;
+  all_conservative : bool;
+  time_s : float;
+  evaluated : int;
+  capped : int;
+}
+
+type t = {
+  preset : preset;
+  root_seed : int;
+  domains : int;
+  cells : cell array;
+  leaderboard : row list;
+  wall_s : float;
+}
+
+let build_problem source seed =
+  match source with
+  | Synthetic { n; maxlive; affinity_fraction } ->
+      (Rc_challenge.Challenge.synthetic ~seed:(Seed.to_int seed) ~n ~maxlive
+         ~affinity_fraction ())
+        .problem
+  | Ssa { k } ->
+      (Rc_challenge.Challenge.generate ~seed:(Seed.to_int seed) ~k ()).problem
+
+let leaderboard_of_cells strategies (cells : cell array) =
+  let rows =
+    List.map
+      (fun s ->
+        let name = Strategies.name s in
+        let mine =
+          Array.to_list cells |> List.filter (fun c -> c.strategy = name)
+        in
+        let reports =
+          List.filter_map
+            (fun c -> match c.outcome with Report r -> Some r | _ -> None)
+            mine
+        in
+        let capped =
+          List.length
+            (List.filter
+               (fun c ->
+                 match c.outcome with Capped _ -> true | _ -> false)
+               mine)
+        in
+        let fraction (r : Strategies.report) =
+          if r.total_weight = 0 then 1.0
+          else float_of_int r.coalesced_weight /. float_of_int r.total_weight
+        in
+        {
+          rstrategy = name;
+          score =
+            List.fold_left (fun acc r -> acc +. fraction r) 0.0 reports
+            /. float_of_int (max 1 (List.length reports));
+          weight =
+            List.fold_left (fun acc (r : Strategies.report) ->
+                acc + r.coalesced_weight)
+              0 reports;
+          total_weight =
+            List.fold_left (fun acc (r : Strategies.report) ->
+                acc + r.total_weight)
+              0 reports;
+          all_conservative =
+            List.for_all (fun (r : Strategies.report) -> r.conservative) reports;
+          time_s =
+            List.fold_left (fun acc (r : Strategies.report) -> acc +. r.time_s)
+              0.0 reports;
+          evaluated = List.length reports;
+          capped;
+        })
+      strategies
+  in
+  (* Decreasing score, ties by name: a deterministic leaderboard order
+     is part of the canonical-report contract. *)
+  List.sort
+    (fun a b -> compare (-.a.score, a.rstrategy) (-.b.score, b.rstrategy))
+    rows
+
+let run ?pool ?domains ?(strategies = Strategies.all_heuristics) ?rows
+    ?(check = Strategies.No_check) ~seed preset =
+  let t0 = Rc_core.Mclock.now_ns () in
+  let root = Seed.of_int seed in
+  (* Instances are built once, sequentially, and shared read-only by
+     every cell (persistent graphs are immutable); each cell still gets
+     its own flat kernel inside the solver. *)
+  let instance_seeds =
+    Array.init preset.instances (fun i -> Seed.split root i)
+  in
+  let problems =
+    Array.map (fun s -> build_problem preset.source s) instance_seeds
+  in
+  let strategies_a = Array.of_list strategies in
+  let n_strat = Array.length strategies_a in
+  let tasks = n_strat * preset.instances in
+  let cell i =
+    let si = i / preset.instances and ii = i mod preset.instances in
+    let strategy = strategies_a.(si) in
+    let p = problems.(ii) in
+    let seed_i = Seed.to_int instance_seeds.(ii) in
+    let n = Graph.num_vertices p.Problem.graph in
+    let ceiling = scale_ceiling strategy in
+    let outcome =
+      if n > ceiling then Capped { ceiling }
+      else
+        let cfg =
+          {
+            Strategies.default_config with
+            rows;
+            check;
+            seed = seed_i;
+          }
+        in
+        match Strategies.evaluate_cfg cfg strategy p with
+        | r -> Report r
+        | exception Invalid_argument m -> Failed m
+    in
+    { strategy = Strategies.name strategy; instance = ii; seed = seed_i; outcome }
+  in
+  let run_cells pool = Pool.run pool ~tasks cell in
+  let domains_used, cells =
+    match pool with
+    | Some pool -> (Pool.domains pool, run_cells pool)
+    | None ->
+        let domains =
+          match domains with
+          | Some d -> max 1 d
+          | None -> Pool.recommended_domains ()
+        in
+        (domains, Pool.with_pool ~domains run_cells)
+  in
+  {
+    preset;
+    root_seed = seed;
+    domains = domains_used;
+    cells;
+    leaderboard = leaderboard_of_cells strategies cells;
+    wall_s = Rc_core.Mclock.elapsed_s t0;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let source_to_string = function
+  | Synthetic { n; maxlive; affinity_fraction } ->
+      Printf.sprintf "synthetic n=%d maxlive=%d aff=%.2f" n maxlive
+        affinity_fraction
+  | Ssa { k } -> Printf.sprintf "ssa k=%d" k
+
+(* The canonical report: everything deterministic, nothing timed.  The
+   engine test suite and the CLI's --domains comparison hash this
+   byte-for-byte, so keep timings and domain counts out. *)
+let canonical t =
+  let buf = Buffer.create 1024 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pf "sweep %s (%s) x %d instances, seed %d\n" t.preset.sname
+    (source_to_string t.preset.source)
+    t.preset.instances t.root_seed;
+  pf "-- cells --\n";
+  Array.iter
+    (fun c ->
+      match c.outcome with
+      | Report r ->
+          pf "%-28s #%d %6d/%-6d weight  %4d/%-4d moves  %s\n" c.strategy
+            c.instance r.coalesced_weight r.total_weight r.coalesced_count
+            r.affinity_count
+            (if r.conservative then "conservative" else "NOT-k-colorable")
+      | Capped { ceiling } ->
+          pf "%-28s #%d capped (> %d vertices)\n" c.strategy c.instance ceiling
+      | Failed m -> pf "%-28s #%d failed: %s\n" c.strategy c.instance m)
+    t.cells;
+  pf "-- leaderboard --\n";
+  List.iter
+    (fun r ->
+      pf "%-28s %6.1f%% %8d/%-8d %s%s\n" r.rstrategy (100. *. r.score)
+        r.weight r.total_weight
+        (if r.all_conservative then "safe" else "UNSAFE")
+        (if r.capped > 0 then
+           Printf.sprintf "  [%d/%d capped]" r.capped (r.evaluated + r.capped)
+         else ""))
+    t.leaderboard;
+  Buffer.contents buf
+
+let pp ppf t = Format.fprintf ppf "%s" (canonical t)
+
+let pp_timing ppf t =
+  Format.fprintf ppf "-- timing (%d domains) --@." t.domains;
+  List.iter
+    (fun r ->
+      if r.evaluated > 0 then
+        Format.fprintf ppf "%-28s %9.3fs over %d cells@." r.rstrategy r.time_s
+          r.evaluated)
+    t.leaderboard;
+  Format.fprintf ppf "sweep wall time %9.3fs@." t.wall_s
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json t =
+  let buf = Buffer.create 4096 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pf "{\n";
+  pf "  \"preset\": \"%s\",\n" (json_escape t.preset.sname);
+  pf "  \"source\": \"%s\",\n" (json_escape (source_to_string t.preset.source));
+  pf "  \"instances\": %d,\n" t.preset.instances;
+  pf "  \"seed\": %d,\n" t.root_seed;
+  pf "  \"domains\": %d,\n" t.domains;
+  pf "  \"wall_s\": %.6f,\n" t.wall_s;
+  pf "  \"cells\": [\n";
+  Array.iteri
+    (fun i c ->
+      pf "    {\"strategy\": \"%s\", \"instance\": %d, \"seed\": %d, "
+        (json_escape c.strategy) c.instance c.seed;
+      (match c.outcome with
+      | Report r ->
+          pf
+            "\"outcome\": \"report\", \"coalesced_weight\": %d, \
+             \"total_weight\": %d, \"coalesced_count\": %d, \
+             \"affinity_count\": %d, \"conservative\": %b, \"time_s\": %.6f}"
+            r.coalesced_weight r.total_weight r.coalesced_count
+            r.affinity_count r.conservative r.time_s
+      | Capped { ceiling } ->
+          pf "\"outcome\": \"capped\", \"ceiling\": %d}" ceiling
+      | Failed m -> pf "\"outcome\": \"failed\", \"error\": \"%s\"}"
+                      (json_escape m));
+      if i < Array.length t.cells - 1 then pf ",";
+      pf "\n")
+    t.cells;
+  pf "  ],\n";
+  pf "  \"leaderboard\": [\n";
+  List.iteri
+    (fun i r ->
+      pf
+        "    {\"strategy\": \"%s\", \"score\": %.6f, \"weight\": %d, \
+         \"total_weight\": %d, \"conservative\": %b, \"time_s\": %.6f, \
+         \"evaluated\": %d, \"capped\": %d}%s\n"
+        (json_escape r.rstrategy) r.score r.weight r.total_weight
+        r.all_conservative r.time_s r.evaluated r.capped
+        (if i < List.length t.leaderboard - 1 then "," else ""))
+    t.leaderboard;
+  pf "  ]\n}\n";
+  Buffer.contents buf

@@ -347,21 +347,30 @@ let log_op t op =
     t.log_len <- t.log_len + 1
   end
 
-(* Speculation events, surfaced to an optional global monitor so a
-   sanitizer (Rc_check.Sanitize) can assert undo-log balance and sample
+(* Speculation events, surfaced to an optional monitor so a sanitizer
+   (Rc_check.Sanitize) can assert undo-log balance and sample
    structural invariants.  Release builds leave the hook at [None]: the
-   cost is one mutable load and branch per speculation event — which are
-   per-probe, never per-edge. *)
+   cost is one domain-local load and branch per speculation event —
+   which are per-probe, never per-edge.
+
+   The hook lives in domain-local storage, not a global ref: the sweep
+   engine (Rc_engine.Pool) runs one solver task per domain, and a
+   monitor mutating shared audit counters from several domains would
+   race.  Each domain installs (and observes) its own monitor; a kernel
+   is only ever touched by the domain that created it (one [Flat.t] per
+   task is the engine contract). *)
 type event =
   | Checkpointed of checkpoint
   | Rolled_back of checkpoint
   | Released of checkpoint
 
-let monitor : (event -> t -> unit) option ref = ref None
-let set_monitor m = monitor := m
+let monitor : (event -> t -> unit) option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let set_monitor m = Domain.DLS.set monitor m
 
 let notify ev t =
-  match !monitor with None -> () | Some f -> f ev t
+  match Domain.DLS.get monitor with None -> () | Some f -> f ev t
 
 let log_length t = t.log_len
 let log_position (c : checkpoint) = c

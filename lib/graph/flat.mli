@@ -249,9 +249,13 @@ type event =
   | Released of checkpoint  (** after the scope closed, mutations kept *)
 
 val set_monitor : (event -> t -> unit) option -> unit
-(** Installs (or removes, with [None]) the global speculation monitor.
-    It fires after the event completes, for every [Flat.t] in the
-    program.  The monitor must not mutate the graph. *)
+(** Installs (or removes, with [None]) the calling domain's speculation
+    monitor.  It fires after the event completes, for every [Flat.t]
+    the installing domain touches.  The hook is domain-local storage:
+    sweep-engine worker domains each install (and observe) their own
+    monitor, so audit state never races across domains — a kernel is
+    only ever driven by the domain that created it.  The monitor must
+    not mutate the graph. *)
 
 val log_length : t -> int
 (** Current undo-log length (0 whenever no checkpoint is open). *)
