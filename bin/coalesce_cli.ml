@@ -363,14 +363,28 @@ let sweep_cmd =
             "Also print per-strategy wall times (excluded from the canonical \
              report, which is domain-count independent).")
   in
-  let run seed preset domains rows check strategy timing json =
+  let no_cache_arg =
+    Arg.(
+      value & flag
+      & info [ "no-cache" ]
+          ~doc:
+            "Solve through the rescan specification loops instead of the \
+             incremental worklist engine with its invalidate-on-merge rule \
+             cache.  Identical reports (the differential suites lock the two \
+             paths together), much slower at scale — the uncached axis of \
+             the cached-vs-uncached benchmark.")
+  in
+  let run seed preset domains rows check strategy timing no_cache json =
     if Rc_check.Sanitize.install_if_enabled () then
       Format.printf "sanitizer: enabled (profile %s)@."
         Rc_check.Sanitize.profile;
     let strategies =
       match strategy with Some s -> [ s ] | None -> Strategies.all_heuristics
     in
-    let t = Rc_engine.Sweep.run ?domains ?rows ~check ~strategies ~seed preset in
+    let t =
+      Rc_engine.Sweep.run ?domains ?rows ~incremental:(not no_cache) ~check
+        ~strategies ~seed preset
+    in
     Format.printf "%a" Rc_engine.Sweep.pp t;
     if timing then Format.printf "%a" Rc_engine.Sweep.pp_timing t;
     Option.iter
@@ -381,10 +395,11 @@ let sweep_cmd =
     (Cmd.info "sweep"
        ~doc:
          "Fan a strategy x instance leaderboard out over a domain pool.  The \
-          report (without --timing) is byte-identical at any --domains value.")
+          report (without --timing) is byte-identical at any --domains value \
+          and with or without --no-cache.")
     Term.(
       const run $ Common.seed $ preset_arg $ Common.domains $ Common.rows
-      $ Common.check $ strategy_arg $ timing_arg $ Common.json)
+      $ Common.check $ strategy_arg $ timing_arg $ no_cache_arg $ Common.json)
 
 (* bench -------------------------------------------------------------- *)
 
@@ -397,17 +412,28 @@ let bench_cmd =
     in
     let seq = Rc_engine.Sweep.run ~domains:1 ?rows ~seed preset in
     let par = Rc_engine.Sweep.run ~domains ?rows ~seed preset in
+    let unc =
+      Rc_engine.Sweep.run ~domains:1 ?rows ~incremental:false ~seed preset
+    in
     if Rc_engine.Sweep.canonical seq <> Rc_engine.Sweep.canonical par then begin
       Format.eprintf
         "determinism violation: 1-domain and %d-domain reports differ@."
         domains;
       exit 1
     end;
-    Format.printf "sweep %s, seed %d: reports identical at 1 and %d domains@."
+    if Rc_engine.Sweep.canonical seq <> Rc_engine.Sweep.canonical unc then begin
+      Format.eprintf
+        "equivalence violation: cached and uncached reports differ@.";
+      exit 1
+    end;
+    Format.printf
+      "sweep %s, seed %d: reports identical at 1 and %d domains, cached and \
+       uncached@."
       preset.Rc_engine.Sweep.sname seed domains;
     Format.printf "sequential (1 domain):  %8.3fs@." seq.Rc_engine.Sweep.wall_s;
     Format.printf "parallel   (%d domains): %8.3fs@." domains
       par.Rc_engine.Sweep.wall_s;
+    Format.printf "uncached   (1 domain):  %8.3fs@." unc.Rc_engine.Sweep.wall_s;
     Format.printf "speedup: %.2fx@."
       (seq.Rc_engine.Sweep.wall_s /. par.Rc_engine.Sweep.wall_s);
     Option.iter
@@ -420,18 +446,21 @@ let bench_cmd =
              \  \"domains\": %d,\n\
              \  \"sequential_wall_s\": %.6f,\n\
              \  \"parallel_wall_s\": %.6f,\n\
+             \  \"uncached_wall_s\": %.6f,\n\
              \  \"speedup\": %.6f\n\
               }\n"
              preset.Rc_engine.Sweep.sname seed domains
              seq.Rc_engine.Sweep.wall_s par.Rc_engine.Sweep.wall_s
+             unc.Rc_engine.Sweep.wall_s
              (seq.Rc_engine.Sweep.wall_s /. par.Rc_engine.Sweep.wall_s)))
       json
   in
   Cmd.v
     (Cmd.info "bench"
        ~doc:
-         "Time the same sweep sequentially and on the domain pool, assert the \
-          reports are identical, and print the speedup.")
+         "Time the same sweep sequentially, on the domain pool, and through \
+          the uncached rescan path; assert all three reports are identical; \
+          print the speedup.")
     Term.(
       const run $ Common.seed $ preset_arg $ Common.domains $ Common.rows
       $ Common.json)

@@ -36,14 +36,40 @@ let dls : state Domain.DLS.key =
       })
 
 let state () = Domain.DLS.get dls
-let events_seen () = (state ()).events
+
+(* Cross-domain aggregation.  Audits bump the domain-local record only
+   (no contended atomics on the per-event path); {!flush} folds a
+   domain's tally into these totals.  The sweep engine's pool flushes
+   every participating domain at the end of each run, so reading the
+   counters from the caller after a parallel sweep sees the whole
+   fleet's audits, not just the calling domain's share. *)
+let total_events = Atomic.make 0
+let total_dense = Atomic.make 0
+let total_sparse = Atomic.make 0
+
+let flush () =
+  let st = state () in
+  if st.events > 0 then begin
+    ignore (Atomic.fetch_and_add total_events st.events);
+    st.events <- 0
+  end;
+  if st.dense_audits > 0 then begin
+    ignore (Atomic.fetch_and_add total_dense st.dense_audits);
+    st.dense_audits <- 0
+  end;
+  if st.sparse_audits > 0 then begin
+    ignore (Atomic.fetch_and_add total_sparse st.sparse_audits);
+    st.sparse_audits <- 0
+  end
+
+let events_seen () = Atomic.get total_events + (state ()).events
 
 (* Per-representation audit tally: [check_vertex] audits whichever
    physical row the sampled index currently has, so these counters let
    tests prove the bitset path (word/list agreement, popcount-vs-degree)
    was actually exercised, not just the sparse one. *)
-let dense_rows_audited () = (state ()).dense_audits
-let sparse_rows_audited () = (state ()).sparse_audits
+let dense_rows_audited () = Atomic.get total_dense + (state ()).dense_audits
+let sparse_rows_audited () = Atomic.get total_sparse + (state ()).sparse_audits
 
 let fail fmt =
   Printf.ksprintf (fun m -> failwith ("Rc_check.Sanitize: " ^ m)) fmt
@@ -110,15 +136,27 @@ let on_spec_event ev (s : Speculation.spec) =
   | Speculation.Committed st ->
       Speculation.self_check s;
       Flat.check_invariants (Speculation.flat s);
-      let mirror = Flat.to_graph (Speculation.flat s) in
-      if not (Graph.equal mirror (Coalescing.graph st)) then
+      (* The fast commit derives the committed graph FROM the flat
+         mirror, so comparing the two would be circular.  Re-derive the
+         result independently instead: replay the merge log onto the
+         base state through the persistent [Graph.merge] path and
+         compare graphs and classes.  This is the O(merges * n) cost
+         the fast commit avoids — paid only under the sanitizer, once
+         per search. *)
+      let replayed =
+        Speculation.replay (Speculation.base s) (Speculation.merge_log s)
+      in
+      if not (Graph.equal (Coalescing.graph replayed) (Coalescing.graph st))
+      then
         fail
-          "flat mirror and committed persistent graph disagree (%d/%d \
+          "committed graph disagrees with the merge-log replay (%d/%d \
            vertices, %d/%d edges)"
-          (Graph.num_vertices mirror)
           (Graph.num_vertices (Coalescing.graph st))
-          (Graph.num_edges mirror)
+          (Graph.num_vertices (Coalescing.graph replayed))
           (Graph.num_edges (Coalescing.graph st))
+          (Graph.num_edges (Coalescing.graph replayed));
+      if Coalescing.classes replayed <> Coalescing.classes st then
+        fail "committed classes disagree with the merge-log replay"
   | Speculation.Merged | Speculation.Rolled_back | Speculation.Released ->
       if st.events mod spec_period = 0 then Speculation.self_check s
 

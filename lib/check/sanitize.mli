@@ -30,13 +30,17 @@
     the [RC_CHECKED] environment variable is set to anything but [0] or
     the empty string.
 
-    Domain safety: installation and every audit counter are
+    Domain safety: installation and the hot-path audit counters are
     domain-local ({!Rc_graph.Flat.set_monitor} and
     {!Rc_core.Coalescing.Speculation.set_monitor} are domain-local
     hooks).  {!install} arms the calling domain only; the sweep
     engine's worker domains each call {!install_if_enabled} on startup,
-    so a dev-checked parallel sweep is fully sanitized with per-domain
-    counters and no shared mutable audit state. *)
+    so a dev-checked parallel sweep is fully sanitized with no shared
+    mutable state on the per-event path.  Each domain's tallies are
+    folded into process-wide atomic totals by {!flush} — the pool
+    flushes every participating domain at the end of each run — so the
+    counter accessors report the whole fleet's audits, not the one
+    domain-local copy that happens to be the caller's. *)
 
 val profile : string
 (** The dune profile this library was built under. *)
@@ -56,9 +60,18 @@ val uninstall : unit -> unit
 
 val installed : unit -> bool
 
+val flush : unit -> unit
+(** Fold the calling domain's audit tallies into the process-wide
+    totals (and zero the local copies).  Called by the sweep engine's
+    pool for every participating domain at the end of each run; safe to
+    call any time, from any domain, installed or not. *)
+
 val events_seen : unit -> int
 (** Number of speculation events audited since the library was loaded —
-    tests assert this is non-zero to prove the sanitizer actually ran. *)
+    the flushed process-wide total plus the calling domain's unflushed
+    tally.  Tests assert this is non-zero to prove the sanitizer
+    actually ran; after a parallel sweep it covers every worker
+    domain's audits, not just the caller's. *)
 
 val dense_rows_audited : unit -> int
 (** Number of sampled-vertex audits that fell on a bitset row — i.e.

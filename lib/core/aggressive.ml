@@ -1,24 +1,40 @@
-let coalesce_state st affinities =
-  let by_weight =
-    List.sort
-      (fun (a : Problem.affinity) b ->
-        compare (b.weight, a.u, a.v) (a.weight, b.u, b.v))
-      affinities
-  in
-  let rec pass st pending =
-    let st, kept, progress =
+module Flat = Rc_graph.Flat
+module Spec = Coalescing.Speculation
+
+let by_weight affinities =
+  List.sort
+    (fun (a : Problem.affinity) b ->
+      compare (b.weight, a.u, a.v) (a.weight, b.u, b.v))
+    affinities
+
+(* The greedy pass loop on a speculation context: same order, same
+   winner convention (the first endpoint's representative survives) as
+   the historical persistent loop, so committed classes are identical —
+   but each merge is O(row ops) on the flat mirror instead of a
+   persistent graph surgery plus an O(n) representative-map rewrite. *)
+let coalesce_spec spec affinities =
+  let f = Spec.flat spec in
+  let rec pass pending =
+    let kept, progress =
       List.fold_left
-        (fun (st, kept, progress) (a : Problem.affinity) ->
-          if Coalescing.same_class st a.u a.v then (st, kept, progress)
-          else
-            match Coalescing.merge st a.u a.v with
-            | Some st' -> (st', kept, true)
-            | None -> (st, a :: kept, progress))
-        (st, [], false) pending
+        (fun (kept, progress) (a : Problem.affinity) ->
+          let iu = Spec.repr spec a.u and iv = Spec.repr spec a.v in
+          if iu = iv then (kept, progress)
+          else if Flat.mem_edge f iu iv then (a :: kept, progress)
+          else begin
+            Spec.merge_roots spec iu iv;
+            (kept, true)
+          end)
+        ([], false) pending
     in
-    if progress then pass st (List.rev kept) else st
+    if progress then pass (List.rev kept)
   in
-  pass st by_weight
+  pass (by_weight affinities)
+
+let coalesce_state st affinities =
+  let spec = Spec.of_state st in
+  coalesce_spec spec affinities;
+  Spec.commit spec
 
 let coalesce (p : Problem.t) =
   let st = coalesce_state (Coalescing.initial p.graph) p.affinities in

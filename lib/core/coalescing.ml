@@ -47,6 +47,31 @@ let class_of st v =
     st.repr []
   |> List.rev
 
+(* Build a state directly from explicit interference-free classes:
+   merge each class into its representative on a flat mirror (linear in
+   edges), instead of a chain of persistent [Graph.merge]s (each one an
+   O(n) representative-map rewrite — quadratic over a search's worth).
+   Vertices not named by any class stay singletons.  The optimistic
+   scheme uses this to realize the classes surviving de-coalescing. *)
+let of_classes g cls =
+  let f = Rc_graph.Flat.of_graph g in
+  List.iter
+    (fun (rep, members) ->
+      let irep = Rc_graph.Flat.index f rep in
+      List.iter
+        (fun v ->
+          if v <> rep then Rc_graph.Flat.merge f irep (Rc_graph.Flat.index f v))
+        members)
+    cls;
+  let repr =
+    List.fold_left
+      (fun m (rep, members) ->
+        List.fold_left (fun m v -> IMap.add v rep m) m members)
+      (List.fold_left (fun m v -> IMap.add v v m) IMap.empty (Graph.vertices g))
+      cls
+  in
+  { graph = Rc_graph.Flat.to_graph f; repr }
+
 (* ------------------------------------------------------------------ *)
 (* Speculation: the shared flat merge-search context                    *)
 (* ------------------------------------------------------------------ *)
@@ -69,9 +94,18 @@ module Speculation = struct
            re-root the [iv] of each undone merge, newest first. *)
     mutable merges : (int * int) array; (* (iu, iv) pairs, oldest first *)
     mutable mlen : int;
+    mutable cache : Rule_cache.t option;
+        (* Attached rule cache, if any: merges feed it their
+           invalidation sets (before the rows change) and marks carry a
+           cache mark, so its counters roll back in lockstep with the
+           flat graph. *)
   }
 
-  type mark = { fcp : Flat.checkpoint; mmark : int }
+  type mark = {
+    fcp : Flat.checkpoint;
+    mmark : int;
+    cmark : Rule_cache.mark option;
+  }
 
   (* Speculation events for the kernel sanitizer (Rc_check.Sanitize).
      Same contract as Flat.set_monitor: a domain-local hook, [None] in
@@ -97,13 +131,24 @@ module Speculation = struct
       parent = Array.init (Flat.capacity f) Fun.id;
       merges = [||];
       mlen = 0;
+      cache = None;
     }
 
   let flat s = s.f
+  let base s = s.base
+
+  let attach_cache s c =
+    if s.cache <> None then invalid_arg "Speculation.attach_cache: already attached";
+    if Flat.checkpoint_depth s.f <> 0 then
+      invalid_arg "Speculation.attach_cache: checkpoints open";
+    s.cache <- Some c
+
+  let cache s = s.cache
 
   let rec root s i = if s.parent.(i) = i then i else root s s.parent.(i)
 
   let repr s v = root s (Flat.index s.f (state_find s.base v))
+  let root_index s i = root s i
   let label s i = Flat.label s.f i
   let same_class s u v = repr s u = repr s v
 
@@ -117,6 +162,8 @@ module Speculation = struct
     s.mlen <- s.mlen + 1
 
   let merge_roots s iu iv =
+    (* The cache reads the rows of both roots, so it goes first. *)
+    (match s.cache with Some c -> Rule_cache.pre_merge c iu iv | None -> ());
     Flat.merge s.f iu iv;
     s.parent.(iv) <- iu;
     push_merge s iu iv;
@@ -130,9 +177,17 @@ module Speculation = struct
       true
     end
 
-  let mark s = { fcp = Flat.checkpoint s.f; mmark = s.mlen }
+  let mark s =
+    {
+      fcp = Flat.checkpoint s.f;
+      mmark = s.mlen;
+      cmark = (match s.cache with Some c -> Some (Rule_cache.mark c) | None -> None);
+    }
 
   let rollback s m =
+    (match (s.cache, m.cmark) with
+    | Some c, Some cm -> Rule_cache.rollback c cm
+    | _ -> ());
     Flat.rollback s.f m.fcp;
     while s.mlen > m.mmark do
       s.mlen <- s.mlen - 1;
@@ -142,6 +197,9 @@ module Speculation = struct
     notify Rolled_back s
 
   let release s m =
+    (match (s.cache, m.cmark) with
+    | Some c, Some cm -> Rule_cache.release c cm
+    | _ -> ());
     Flat.release s.f m.fcp;
     notify Released s
 
@@ -161,8 +219,19 @@ module Speculation = struct
         | None -> assert false)
       st log
 
+  (* Commit without replay: the flat mirror already IS the merged
+     graph, and the union-find composed with the base representative
+     map IS the new representative map.  Replaying [merge_log] instead
+     costs one persistent [Graph.merge] plus an O(n) [IMap.map] per
+     accepted merge — quadratic over a 10^5-vertex fixpoint.  The
+     sanitizer's [Committed] audit still replays the log independently
+     and compares, so the equivalence stays machine-checked. *)
   let commit s =
-    let st = replay s.base (merge_log s) in
+    let graph = Flat.to_graph s.f in
+    let repr =
+      IMap.map (fun r -> Flat.label s.f (root s (Flat.index s.f r))) s.base.repr
+    in
+    let st = { graph; repr } in
     notify (Committed st) s;
     st
 

@@ -32,6 +32,15 @@ val classes : state -> (Graph.vertex * Graph.vertex list) list
 val class_of : state -> Graph.vertex -> Graph.vertex list
 (** Original vertices merged into the class of the given vertex. *)
 
+val of_classes : Graph.t -> (Graph.vertex * Graph.vertex list) list -> state
+(** [of_classes g cls] builds the state realizing explicit classes over
+    the vertices of [g]: each [(rep, members)] class is merged into
+    [rep]; vertices named by no class stay singletons.  Classes must be
+    disjoint and interference-free.  Linear in the size of [g] (one
+    flat mirror, one merge per non-representative member) — the
+    optimistic scheme uses this to realize the classes surviving
+    de-coalescing without a quadratic chain of persistent merges. *)
+
 (** {1 Speculation}
 
     The shared kernel of every merge-heavy search driver (conservative
@@ -67,10 +76,32 @@ module Speculation : sig
       all mutation goes through {!merge}/{!merge_roots} so the
       union-find stays in sync. *)
 
+  val base : spec -> state
+  (** The persistent state this speculation started from (the commit
+      base).  Never mutated; the sanitizer replays {!merge_log} onto it
+      to cross-check {!commit}. *)
+
+  val attach_cache : spec -> Rule_cache.t -> unit
+  (** Attach a rule cache: every subsequent merge feeds it its
+      invalidation set (via {!Rule_cache.pre_merge}, before the rows
+      change), and every {!mark}/{!rollback}/{!release} carries a cache
+      mark so cached verdict stamps travel with the graph state.
+      [Invalid_argument] if a cache is already attached or a checkpoint
+      is open. *)
+
+  val cache : spec -> Rule_cache.t option
+
   val repr : spec -> Graph.vertex -> int
   (** Flat index currently representing an original vertex's class
       (composition of the base state's representative map and the
       speculative union-find). *)
+
+  val root_index : spec -> int -> int
+  (** Current root of a flat index under the speculative union-find.
+      [root_index s (repr s v) = repr s v] now and stays the class root
+      across later merges — engines cache a class root once and re-root
+      it in O(chain) instead of paying the representative-map lookup of
+      {!repr} on every visit. *)
 
   val label : spec -> int -> Graph.vertex
   val same_class : spec -> Graph.vertex -> Graph.vertex -> bool

@@ -18,12 +18,23 @@ type rule =
 val rule_name : rule -> string
 
 val coalesce :
-  ?rows:Rc_graph.Flat.rows -> rule -> Problem.t -> Coalescing.solution
+  ?rows:Rc_graph.Flat.rows ->
+  ?incremental:bool ->
+  rule ->
+  Problem.t ->
+  Coalescing.solution
 (** Worklist conservative coalescing: affinities are processed by
     decreasing weight; an affinity is coalesced when the rule accepts it
     on the current graph; rejected affinities are retried after every
     successful merge until a fixpoint (merging lowers degrees and can
     enable previously rejected tests).
+
+    [?incremental] (default true) runs the fixpoint on the
+    {!Engine} — per-pass work proportional to the affinities whose
+    verdict could have changed, instead of a full rescan — producing
+    the identical merge sequence (the differential tests lock this).
+    [false] keeps the original rescan loop as the executable
+    specification.
 
     Prefer {!Strategies.run_cfg} for new call sites: the [?rows]
     optional argument here (and on {!coalesce_state}) is the [rows]
@@ -32,6 +43,7 @@ val coalesce :
 
 val coalesce_state :
   ?rows:Rc_graph.Flat.rows ->
+  ?incremental:bool ->
   rule ->
   k:int ->
   Coalescing.state ->
@@ -48,7 +60,43 @@ val coalesce_spec :
   Coalescing.Speculation.spec ->
   Problem.affinity list ->
   unit
-(** The worklist loop on an existing speculation context, mutating it in
-    place (no commit) — building block for searches that interleave
-    singleton fixpoints with their own speculative probes on one shared
-    flat mirror ({!Set_coalescing}). *)
+(** The rescan worklist loop on an existing speculation context,
+    mutating it in place (no commit) — the executable specification the
+    differential tests hold {!Engine} to, and the [incremental:false]
+    code path. *)
+
+(** {1 The incremental engine}
+
+    The same fixpoint as {!coalesce_spec} — identical merge sequence,
+    pass for pass — computed without the rescans: a {!Rule_cache}
+    tracks exactly which affinities could have changed verdict since
+    their last rejection (generation stamps for the local rules,
+    residue witnesses for brute force), and each pass visits only
+    those.  Searches that own a long-lived speculation context
+    ({!Set_coalescing}) keep the engine across their own probes: its
+    cache rides the context's marks, so rollbacks restore verdict
+    validity automatically. *)
+
+module Engine : sig
+  type t
+
+  val create :
+    rule -> k:int -> Coalescing.Speculation.spec -> Problem.affinity list -> t
+  (** Sorts the affinities into fixpoint rank order, registers them
+      with a fresh {!Rule_cache} and attaches it to the context
+      ([Invalid_argument] if one is already attached).  Affinities all
+      start dirty. *)
+
+  val run : t -> unit
+  (** Run passes to quiescence (a pass with no merge).  Re-entrant:
+      after external merges on the same context dirty some affinities,
+      [run] continues from the cached state. *)
+
+  val cache : t -> Rule_cache.t
+  val stats : t -> Rule_cache.stats
+
+  val iter_open : t -> (int -> Problem.affinity -> unit) -> unit
+  (** Iterate the affinities not yet coalesced (rank order), with their
+      engine ids — {!Set_coalescing} enumerates candidate sets from
+      these and prunes through {!Rule_cache.witness}. *)
+end

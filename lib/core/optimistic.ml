@@ -131,10 +131,13 @@ let decoalesce_greedy ?rows ?(scoring = Degree_per_weight) (p : Problem.t) st =
   in
   (* No class was split: the input state is the answer, exactly as the
      persistent path returns it (skipping the rebuild also keeps the
-     original representatives). *)
-  if !splits = 0 then st else state_of_classes p.graph (List.map snd classes)
+     original representatives).  Otherwise realize the surviving
+     classes in one pass ([Coalescing.of_classes] — the carried
+     representatives are the smallest members, the same ones the
+     persistent rebuild would pick). *)
+  if !splits = 0 then st else Coalescing.of_classes p.graph classes
 
-let coalesce ?rows ?scoring (p : Problem.t) =
+let coalesce ?rows ?scoring ?incremental (p : Problem.t) =
   if not (Greedy_k.is_greedy_k_colorable p.graph p.k) then
     invalid_arg "Optimistic.coalesce: input graph is not greedy-k-colorable";
   (* Phase 1: aggressive. *)
@@ -148,8 +151,8 @@ let coalesce ?rows ?scoring (p : Problem.t) =
       p.affinities
   in
   let st =
-    Conservative.coalesce_state ?rows Conservative.Brute_force ~k:p.k st
-      open_affinities
+    Conservative.coalesce_state ?rows ?incremental Conservative.Brute_force
+      ~k:p.k st open_affinities
   in
   Coalescing.solution_of_state p st
 

@@ -22,11 +22,16 @@ type scoring =
   | Degree_only  (** split the class with the highest residue degree *)
 
 val coalesce :
-  ?rows:Rc_graph.Flat.rows -> ?scoring:scoring -> Problem.t ->
+  ?rows:Rc_graph.Flat.rows ->
+  ?scoring:scoring ->
+  ?incremental:bool ->
+  Problem.t ->
   Coalescing.solution
 (** Requires the input graph to be greedy-k-colorable; raises
     [Invalid_argument] otherwise (the de-coalescing loop could not
-    terminate on an uncolorable base graph).
+    terminate on an uncolorable base graph).  [?incremental] (default
+    true) selects the {!Conservative.Engine} for the phase-3
+    re-coalescing fixpoint.
 
     Prefer {!Strategies.run_cfg} for new call sites: the scattered
     optional arguments of the individual searches ([?scoring] here,

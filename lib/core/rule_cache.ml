@@ -1,0 +1,491 @@
+(* Per-affinity rule cache with invalidate-on-merge, the memory behind
+   the incremental conservative engine (Conservative).
+
+   Soundness contract.  A local coalescing test (Briggs / George /
+   their extensions) on class roots (iu, iv) is a function of N(iu),
+   N(iv) and the degrees of their members only.  We give every vertex a
+   generation counter [ver] and maintain:
+
+     ver.(x) changes whenever N(x) changes as a set, or the degree of
+     some member of N(x) changes.
+
+   A merge of root [iv] into root [iu] therefore bumps the pre-merge
+   set {iu, iv} ∪ N(iu) ∪ N(iv) ∪ ⋃ { N(c) | c ∈ N(iu) ∩ N(iv) } —
+   the last term because common neighbors lose one edge, so their
+   degree (read by tests anchored anywhere in their neighborhoods)
+   drops.  A cached verdict stamped (ver iu, ver iv) is then valid
+   exactly while both stamps match: matching stamps imply the verdict's
+   entire input is bit-identical, so only reject verdicts need storing
+   (accepted affinities merge immediately).
+
+   Counter values are allocated from one monotone stamp source and
+   never reused; rollback restores each counter's previous value from a
+   journal (the entries recorded since the mark, newest first) instead
+   of replaying.  Restoring is sound because (vertex, stamp-value)
+   pairs identify graph snapshots uniquely: a value is only ever
+   current while the vertex's verdict-relevant state is the one it was
+   allocated for, and the flat kernel's own rollback restores that
+   state in the same breath.  Entries written inside an abandoned
+   speculation die by stamp mismatch; entries from before the mark
+   come back to life with the counters.  (A naive [old + 1] re-bump on
+   rollback would break this: two divergent speculation branches could
+   assign the same value to different graphs.)
+
+   Dirtiness.  Affinities are tracked in a three-bucket {!Worklist}:
+   [dirty] (must be re-examined), [clean] (its last verdict provably
+   still holds), [done] (same class — permanent).  Every live flat
+   vertex is a class root; [ml_*] keeps per-root intrusive lists of the
+   affinities currently rooted there (each affinity occupies two slots,
+   one per endpoint).  Bumping a root dirties its list; a merge splices
+   the dying root's list into the winner's in O(1), with an undo record
+   so rollback restores the root keying exactly.  Bucket moves
+   themselves are not journaled: rollback may leave affinities
+   spuriously dirty, which costs a redundant re-test and can never mask
+   a needed one.
+
+   Witnesses.  Brute-force rejections carry a residue witness R — a
+   subgraph of the merged graph with all degrees >= k.  Merges of other
+   classes only add edges between live vertices and kill the merged
+   root, so the in-R subgraph only gains edges while every member is
+   live: the rejection provably stands under (same roots && members all
+   live), checked lazily in O(|R|).  Witnesses are only recorded while
+   no mark is open: a rollback removes edges, which would break the
+   monotonicity argument for witnesses born inside the speculation. *)
+
+module Flat = Rc_graph.Flat
+
+let dirty = 0
+let clean = 1
+let resolved = 2
+
+type t = {
+  f : Flat.t;
+  n : int;
+  ver : int array;
+  mutable stamp : int; (* next fresh counter value; never reused *)
+  touched : int array; (* per-vertex op id: dedupes bumps within one merge *)
+  mutable op_id : int;
+  (* journal of counter bumps: interleaved (vertex, previous value) *)
+  mutable vlog : int array;
+  mutable vlog_len : int;
+  mutable depth : int; (* open marks *)
+  (* per-root affinity lists; entry encoding: 2 * aid + slot *)
+  ml_head : int array;
+  ml_tail : int array;
+  ml_next : int array;
+  (* splice journal: one record per merge with a non-empty dying list *)
+  mutable sl : int array; (* interleaved (iu, iv, old_head_iv, old_tail_iv, old_tail_iu) *)
+  mutable sl_len : int;
+  (* resolve journal: affinities retired inside an open mark.  A
+     rollback un-merges their endpoints, so they must come back — to
+     [dirty], conservatively.  Dirty/clean moves need no journal
+     (spurious dirtiness is sound); a sticky [resolved] is not. *)
+  mutable rlog : int array;
+  mutable rlog_len : int;
+  wl : Worklist.t;
+  (* reject entries: roots and stamps at verdict time; r_iu = -1 when absent *)
+  r_iu : int array;
+  r_iv : int array;
+  r_su : int array;
+  r_sv : int array;
+  (* witness entries: members [||] when absent *)
+  w_iu : int array;
+  w_iv : int array;
+  w_members : int array array;
+  reprobe : (int -> iu:int -> iv:int -> bool) option;
+  mutable audit_cursor : int;
+  (* counters, surfaced in bench K5 *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable invalidations : int;
+  mutable witness_hits : int;
+  mutable witness_drops : int;
+  mutable audits : int;
+}
+
+type mark = { vpos : int; spos : int; rpos : int }
+
+let create ?reprobe f ~n =
+  let cap = Flat.capacity f in
+  {
+    f;
+    n;
+    ver = Array.make (max 1 cap) 0;
+    stamp = 1;
+    touched = Array.make (max 1 cap) (-1);
+    op_id = 0;
+    vlog = [||];
+    vlog_len = 0;
+    depth = 0;
+    ml_head = Array.make (max 1 cap) (-1);
+    ml_tail = Array.make (max 1 cap) (-1);
+    ml_next = Array.make (max 1 (2 * n)) (-1);
+    sl = [||];
+    sl_len = 0;
+    rlog = [||];
+    rlog_len = 0;
+    wl = Worklist.create ~buckets:3 ~cap:n;
+    r_iu = Array.make (max 1 n) (-1);
+    r_iv = Array.make (max 1 n) (-1);
+    r_su = Array.make (max 1 n) 0;
+    r_sv = Array.make (max 1 n) 0;
+    w_iu = Array.make (max 1 n) (-1);
+    w_iv = Array.make (max 1 n) (-1);
+    w_members = Array.make (max 1 n) [||];
+    reprobe;
+    audit_cursor = 0;
+    hits = 0;
+    misses = 0;
+    invalidations = 0;
+    witness_hits = 0;
+    witness_drops = 0;
+    audits = 0;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Buckets                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let register t aid ~iu ~iv =
+  (* movelist slot 0 under the root of u, slot 1 under the root of v *)
+  let push root entry =
+    (match t.ml_tail.(root) with
+    | -1 -> t.ml_head.(root) <- entry
+    | tl -> t.ml_next.(tl) <- entry);
+    t.ml_tail.(root) <- entry;
+    t.ml_next.(entry) <- -1
+  in
+  push iu (2 * aid);
+  push iv ((2 * aid) + 1);
+  Worklist.add t.wl aid dirty
+
+let bucket t aid = Worklist.bucket t.wl aid
+let is_dirty t aid = Worklist.bucket t.wl aid = dirty
+let is_resolved t aid = Worklist.bucket t.wl aid = resolved
+let set_clean t aid = Worklist.move t.wl aid clean
+
+let set_resolved t aid =
+  if Worklist.bucket t.wl aid <> resolved then begin
+    if t.depth > 0 then begin
+      if t.rlog_len >= Array.length t.rlog then begin
+        let b = Array.make (max 32 (2 * Array.length t.rlog)) 0 in
+        Array.blit t.rlog 0 b 0 t.rlog_len;
+        t.rlog <- b
+      end;
+      t.rlog.(t.rlog_len) <- aid;
+      t.rlog_len <- t.rlog_len + 1
+    end;
+    Worklist.move t.wl aid resolved
+  end
+
+let set_dirty t aid = Worklist.move t.wl aid dirty
+let dirty_count t = Worklist.size t.wl dirty
+
+(* Affinities currently rooted at a vertex (either endpoint).  An
+   affinity whose endpoints share the root appears twice; callers
+   filter by bucket anyway. *)
+let iter_movelist t root fn =
+  let cur = ref t.ml_head.(root) in
+  while !cur >= 0 do
+    fn (!cur lsr 1);
+    cur := t.ml_next.(!cur)
+  done
+
+let dirty_movelist t root =
+  let cur = ref t.ml_head.(root) in
+  while !cur >= 0 do
+    let aid = !cur lsr 1 in
+    if Worklist.bucket t.wl aid = clean then Worklist.move t.wl aid dirty;
+    cur := t.ml_next.(!cur)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Generation counters                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let log_bump t x old =
+  if t.depth > 0 then begin
+    if t.vlog_len + 2 > Array.length t.vlog then begin
+      let b = Array.make (max 64 (2 * Array.length t.vlog)) 0 in
+      Array.blit t.vlog 0 b 0 t.vlog_len;
+      t.vlog <- b
+    end;
+    t.vlog.(t.vlog_len) <- x;
+    t.vlog.(t.vlog_len + 1) <- old;
+    t.vlog_len <- t.vlog_len + 2
+  end
+
+let bump t x =
+  if t.touched.(x) <> t.op_id then begin
+    t.touched.(x) <- t.op_id;
+    log_bump t x t.ver.(x);
+    t.ver.(x) <- t.stamp;
+    t.stamp <- t.stamp + 1;
+    t.invalidations <- t.invalidations + 1;
+    dirty_movelist t x
+  end
+
+(* ------------------------------------------------------------------ *)
+(* The merge hook                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let log_splice t iu iv oh ot otu =
+  if t.sl_len + 5 > Array.length t.sl then begin
+    let b = Array.make (max 80 (2 * Array.length t.sl)) 0 in
+    Array.blit t.sl 0 b 0 t.sl_len;
+    t.sl <- b
+  end;
+  t.sl.(t.sl_len) <- iu;
+  t.sl.(t.sl_len + 1) <- iv;
+  t.sl.(t.sl_len + 2) <- oh;
+  t.sl.(t.sl_len + 3) <- ot;
+  t.sl.(t.sl_len + 4) <- otu;
+  t.sl_len <- t.sl_len + 5
+
+(* Called with the rows still intact, immediately before
+   [Flat.merge f iu iv]. *)
+let pre_merge t iu iv =
+  t.op_id <- t.op_id + 1;
+  bump t iu;
+  bump t iv;
+  Flat.iter_neighbors t.f iu (fun x -> bump t x);
+  Flat.iter_neighbors t.f iv (fun x -> bump t x);
+  (* Common neighbors lose an edge: their degree change reaches every
+     test anchored in their neighborhoods. *)
+  Flat.iter_common t.f iu iv (fun c ->
+      Flat.iter_neighbors t.f c (fun x -> bump t x));
+  (* Re-key the dying root's affinities onto the winner (O(1) splice,
+     journaled so rollback restores the keying exactly). *)
+  if t.ml_head.(iv) >= 0 then begin
+    (* members were just dirtied via [bump iv] *)
+    if t.depth > 0 then
+      log_splice t iu iv t.ml_head.(iv) t.ml_tail.(iv) t.ml_tail.(iu);
+    (match t.ml_tail.(iu) with
+    | -1 -> t.ml_head.(iu) <- t.ml_head.(iv)
+    | tl -> t.ml_next.(tl) <- t.ml_head.(iv));
+    t.ml_tail.(iu) <- t.ml_tail.(iv);
+    t.ml_head.(iv) <- -1;
+    t.ml_tail.(iv) <- -1
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Marks                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let mark t =
+  t.depth <- t.depth + 1;
+  { vpos = t.vlog_len; spos = t.sl_len; rpos = t.rlog_len }
+
+let rollback t m =
+  if t.depth <= 0 then invalid_arg "Rule_cache.rollback: no open mark";
+  while t.vlog_len > m.vpos do
+    t.vlog_len <- t.vlog_len - 2;
+    t.ver.(t.vlog.(t.vlog_len)) <- t.vlog.(t.vlog_len + 1)
+  done;
+  while t.sl_len > m.spos do
+    t.sl_len <- t.sl_len - 5;
+    let iu = t.sl.(t.sl_len)
+    and iv = t.sl.(t.sl_len + 1)
+    and oh = t.sl.(t.sl_len + 2)
+    and ot = t.sl.(t.sl_len + 3)
+    and otu = t.sl.(t.sl_len + 4) in
+    (* Cut the spliced suffix back out of the winner's list. *)
+    (match otu with
+    | -1 -> t.ml_head.(iu) <- -1
+    | tl -> t.ml_next.(tl) <- -1);
+    t.ml_tail.(iu) <- otu;
+    t.ml_head.(iv) <- oh;
+    t.ml_tail.(iv) <- ot
+  done;
+  while t.rlog_len > m.rpos do
+    t.rlog_len <- t.rlog_len - 1;
+    Worklist.move t.wl t.rlog.(t.rlog_len) dirty
+  done;
+  t.depth <- t.depth - 1
+
+let release t m =
+  ignore (m : mark);
+  if t.depth <= 0 then invalid_arg "Rule_cache.release: no open mark";
+  t.depth <- t.depth - 1;
+  if t.depth = 0 then begin
+    t.vlog_len <- 0;
+    t.sl_len <- 0;
+    t.rlog_len <- 0
+  end
+
+let depth t = t.depth
+
+(* ------------------------------------------------------------------ *)
+(* Reject entries                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let reject_cached t aid ~iu ~iv =
+  if
+    t.r_iu.(aid) = iu
+    && t.r_iv.(aid) = iv
+    && t.r_su.(aid) = t.ver.(iu)
+    && t.r_sv.(aid) = t.ver.(iv)
+  then begin
+    t.hits <- t.hits + 1;
+    true
+  end
+  else begin
+    t.misses <- t.misses + 1;
+    false
+  end
+
+let note_reject t aid ~iu ~iv =
+  t.r_iu.(aid) <- iu;
+  t.r_iv.(aid) <- iv;
+  t.r_su.(aid) <- t.ver.(iu);
+  t.r_sv.(aid) <- t.ver.(iv)
+
+(* ------------------------------------------------------------------ *)
+(* Witness entries                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let note_witness t aid ~iu ~iv members =
+  if t.depth = 0 then begin
+    t.w_iu.(aid) <- iu;
+    t.w_iv.(aid) <- iv;
+    t.w_members.(aid) <- members
+  end
+
+let drop_witness t aid =
+  if Array.length t.w_members.(aid) <> 0 then begin
+    t.w_members.(aid) <- [||];
+    t.w_iu.(aid) <- -1;
+    t.w_iv.(aid) <- -1;
+    t.witness_drops <- t.witness_drops + 1
+  end
+
+let witness_reject t aid ~iu ~iv =
+  let m = t.w_members.(aid) in
+  if Array.length m = 0 then false
+  else if t.w_iu.(aid) <> iu || t.w_iv.(aid) <> iv then begin
+    drop_witness t aid;
+    false
+  end
+  else begin
+    let live = ref true in
+    let i = ref 0 in
+    let len = Array.length m in
+    while !live && !i < len do
+      if not (Flat.is_live t.f m.(!i)) then live := false;
+      incr i
+    done;
+    if !live then begin
+      t.witness_hits <- t.witness_hits + 1;
+      true
+    end
+    else begin
+      drop_witness t aid;
+      false
+    end
+  end
+
+let witness t aid =
+  let m = t.w_members.(aid) in
+  if Array.length m = 0 then None else Some (t.w_iu.(aid), t.w_iv.(aid), m)
+
+(* ------------------------------------------------------------------ *)
+(* Statistics                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type stats = {
+  hits : int;
+  misses : int;
+  invalidations : int;
+  witness_hits : int;
+  witness_drops : int;
+  audits : int;
+}
+
+let stats (t : t) =
+  {
+    hits = t.hits;
+    misses = t.misses;
+    invalidations = t.invalidations;
+    witness_hits = t.witness_hits;
+    witness_drops = t.witness_drops;
+    audits = t.audits;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Coherence audits (sanitizer hooks)                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* One step of the rotating audit: find the next stamp-valid reject
+   entry at or after the cursor and re-run the verdict through the
+   engine-provided [reprobe]; a cached reject whose stamps still match
+   must re-reject.  O(scan + one rule test) per call. *)
+let audit_one t =
+  match t.reprobe with
+  | None -> ()
+  | Some reprobe ->
+      let tried = ref 0 in
+      let found = ref false in
+      while (not !found) && !tried < t.n do
+        let aid = t.audit_cursor mod t.n in
+        t.audit_cursor <- (t.audit_cursor + 1) mod max 1 t.n;
+        incr tried;
+        let iu = t.r_iu.(aid) and iv = t.r_iv.(aid) in
+        if
+          iu >= 0
+          && Flat.is_live t.f iu && Flat.is_live t.f iv
+          && t.r_su.(aid) = t.ver.(iu)
+          && t.r_sv.(aid) = t.ver.(iv)
+          && not (Flat.mem_edge t.f iu iv)
+        then begin
+          found := true;
+          t.audits <- t.audits + 1;
+          if reprobe aid ~iu ~iv then
+            failwith
+              (Printf.sprintf
+                 "Rule_cache.audit: stale cached reject for affinity %d \
+                  (roots %d, %d): the rule now accepts"
+                 aid iu iv)
+        end
+      done
+
+(* Structural audit: journal balance, worklist links, movelist shape
+   (every registered affinity's two slots linked exactly once, only
+   under live roots or roots with pending rollback state). *)
+let self_check t =
+  let fail fmt =
+    Printf.ksprintf (fun m -> failwith ("Rule_cache.self_check: " ^ m)) fmt
+  in
+  if t.depth < 0 then fail "negative mark depth";
+  if t.depth = 0 && t.vlog_len <> 0 then
+    fail "counter journal non-empty with no open mark";
+  if t.depth = 0 && t.sl_len <> 0 then
+    fail "splice journal non-empty with no open mark";
+  if t.depth = 0 && t.rlog_len <> 0 then
+    fail "resolve journal non-empty with no open mark";
+  Worklist.self_check t.wl;
+  let slot_seen = Array.make (max 1 (2 * t.n)) false in
+  Array.iteri
+    (fun root head ->
+      let cur = ref head in
+      let last = ref (-1) in
+      while !cur >= 0 do
+        if !cur >= 2 * t.n then fail "movelist entry %d out of range" !cur;
+        if slot_seen.(!cur) then fail "movelist slot %d linked twice" !cur;
+        slot_seen.(!cur) <- true;
+        last := !cur;
+        cur := t.ml_next.(!cur)
+      done;
+      if !last >= 0 && t.ml_tail.(root) <> !last then
+        fail "movelist tail of root %d is %d, expected %d" root
+          t.ml_tail.(root) !last;
+      if head = -1 && t.ml_tail.(root) <> -1 then
+        fail "movelist of root %d has a tail but no head" root)
+    t.ml_head;
+  for aid = 0 to t.n - 1 do
+    if Worklist.mem t.wl aid then begin
+      if not slot_seen.(2 * aid) then
+        fail "affinity %d: endpoint slot 0 unlinked" aid;
+      if not slot_seen.((2 * aid) + 1) then
+        fail "affinity %d: endpoint slot 1 unlinked" aid
+    end
+  done

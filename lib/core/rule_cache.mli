@@ -1,0 +1,150 @@
+(** Per-affinity rule cache with invalidate-on-merge.
+
+    Memoizes conservative-coalescing verdicts across the fixpoint passes
+    of {!Conservative}'s incremental engine.  Three cooperating pieces:
+
+    {ul
+    {- {b Generation counters.}  Every flat vertex carries a counter
+       bumped whenever its verdict-relevant state changes (its row as a
+       set, or a neighbor's degree).  Values come from one monotone
+       stamp source and are never reused; inside a {!mark} scope each
+       bump is journaled and {!rollback} restores the previous values —
+       never replays — so a (vertex, value) pair identifies a graph
+       snapshot uniquely across divergent speculation branches.  A
+       reject verdict stored under stamps (ver iu, ver iv) is valid
+       exactly while both still match.}
+    {- {b Movelists + dirtiness.}  Affinities live in a three-bucket
+       worklist ([dirty]/[clean]/[resolved]) keyed through per-root
+       intrusive lists of the affinities rooted at each class root.
+       {!pre_merge} bumps the invalidation set of a merge, splices the
+       dying root's list into the winner's in O(1) (journaled for
+       rollback), and dirties every affinity whose verdict could have
+       changed.  Bucket moves are deliberately not journaled: rollback
+       may leave spurious dirtiness, which is sound (a redundant
+       re-test), never the reverse.}
+    {- {b Witnesses.}  A brute-force rejection's residue (the k-core of
+       the probed merge) re-justifies the rejection in O(|R|) while the
+       roots are unchanged and every member is alive, because later
+       merges only add edges between live vertices.  Witnesses are
+       accepted only while no mark is open.}}
+
+    The cache holds no verdict logic itself; engines consult it and feed
+    verdicts back.  See DESIGN.md for the full soundness argument. *)
+
+type t
+type mark
+
+val dirty : int
+(** Bucket: the affinity must be (re-)examined. *)
+
+val clean : int
+(** Bucket: the last verdict provably still holds. *)
+
+val resolved : int
+(** Bucket: both endpoints share a class — permanent. *)
+
+val create :
+  ?reprobe:(int -> iu:int -> iv:int -> bool) -> Rc_graph.Flat.t -> n:int -> t
+(** [create f ~n] tracks affinities [0 .. n-1] over the flat graph [f].
+    [reprobe aid ~iu ~iv], when given, re-runs the engine's rule from
+    scratch (true = would coalesce) and powers {!audit_one}. *)
+
+val register : t -> int -> iu:int -> iv:int -> unit
+(** Enroll an affinity under the current roots of its endpoints; it
+    starts [dirty].  Call once per affinity, before any merges. *)
+
+(** {1 Buckets} *)
+
+val bucket : t -> int -> int
+val is_dirty : t -> int -> bool
+val is_resolved : t -> int -> bool
+val set_clean : t -> int -> unit
+
+val set_resolved : t -> int -> unit
+(** Retire an affinity (endpoints now share a class).  Journaled when a
+    mark is open: rollback un-merges classes, so rolled-back retirements
+    return to [dirty]. *)
+
+val set_dirty : t -> int -> unit
+
+val dirty_count : t -> int
+(** Population of the dirty bucket — the engine's pass terminates when
+    a full scan over it produces no merge. *)
+
+(** {1 Merge and speculation hooks} *)
+
+val pre_merge : t -> int -> int -> unit
+(** [pre_merge t iu iv] — call with the rows still intact, immediately
+    before [Flat.merge f iu iv] (and before the union-find update), with
+    [iu] the winner.  Bumps the invalidation set
+    {m \{iu, iv\} ∪ N(iu) ∪ N(iv) ∪ ⋃_(c ∈ N(iu) ∩ N(iv)) N(c)},
+    dirties the affected affinities and re-keys [iv]'s movelist onto
+    [iu]. *)
+
+val mark : t -> mark
+(** Open a journal scope; nests. *)
+
+val rollback : t -> mark -> unit
+(** Restore all counters and movelist keying to their values at [mark]
+    by undoing the journal newest-first.  Cached entries written inside
+    the abandoned scope die by stamp mismatch; entries from before it
+    become valid again. *)
+
+val release : t -> mark -> unit
+(** Commit the scope: keep current values, discard undo records when
+    the outermost scope closes. *)
+
+val depth : t -> int
+
+(** {1 Reject entries (local rules)} *)
+
+val reject_cached : t -> int -> iu:int -> iv:int -> bool
+(** True iff a reject verdict for this affinity is on file under the
+    exact current roots and stamps.  Counts a hit or a miss. *)
+
+val note_reject : t -> int -> iu:int -> iv:int -> unit
+(** Record a freshly computed rejection under the current stamps. *)
+
+(** {1 Witness entries (brute force)} *)
+
+val note_witness : t -> int -> iu:int -> iv:int -> int array -> unit
+(** Record a residue witness for a brute-force rejection.  Ignored when
+    a mark is open (edge removals under rollback would void the
+    monotonicity argument). *)
+
+val witness_reject : t -> int -> iu:int -> iv:int -> bool
+(** True iff a stored witness still applies: same roots and every
+    member alive.  Drops the entry (and counts a drop) otherwise. *)
+
+val witness : t -> int -> (int * int * int array) option
+(** The stored witness [(iu, iv, members)], unvalidated — set
+    coalescing reads these to prune provably failing pairs. *)
+
+val iter_movelist : t -> int -> (int -> unit) -> unit
+(** Affinity ids currently rooted at a vertex (either endpoint); an
+    affinity with both endpoints in the class appears twice.  Set
+    coalescing enumerates candidate partners from the movelists of a
+    witness's members. *)
+
+(** {1 Statistics and audits} *)
+
+type stats = {
+  hits : int;
+  misses : int;
+  invalidations : int;  (** counter bumps *)
+  witness_hits : int;
+  witness_drops : int;
+  audits : int;
+}
+
+val stats : t -> stats
+
+val audit_one : t -> unit
+(** Rotating coherence audit: re-derive one currently-valid cached
+    reject through [reprobe] and fail loudly if the rule now accepts.
+    No-op without [reprobe].  Wired into the sanitizer under dev-checked
+    builds. *)
+
+val self_check : t -> unit
+(** Structural audit (journal balance, worklist links, movelist shape);
+    raises [Failure] on corruption.  Tests only. *)

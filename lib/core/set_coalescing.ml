@@ -1,4 +1,5 @@
 module Graph = Rc_graph.Graph
+module Flat = Rc_graph.Flat
 module Greedy_k = Rc_graph.Greedy_k
 module Spec = Coalescing.Speculation
 
@@ -56,8 +57,10 @@ let try_set ~k spec set =
     false
   end
 
-let coalesce ?rows ?(max_set = 2) (p : Problem.t) =
-  if max_set < 1 then invalid_arg "Set_coalescing.coalesce: max_set < 1";
+(* The rescan search: singleton fixpoints via the rescan loop, pair
+   candidates by full enumeration.  Kept as the executable
+   specification for the incremental path below. *)
+let coalesce_rescan ?rows ~max_set (p : Problem.t) =
   let spec = Spec.of_state ?rows (Coalescing.initial p.graph) in
   let open_affinities () =
     List.filter
@@ -87,6 +90,182 @@ let coalesce ?rows ?(max_set = 2) (p : Problem.t) =
   singles ();
   grow 2;
   Coalescing.solution_of_state p (Spec.commit spec)
+
+(* ------------------------------------------------------------------ *)
+(* The incremental search                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Same search, two structural savings:
+
+   1. The singleton fixpoint is one persistent {!Conservative.Engine}
+      over the search's speculation context instead of a fresh rescan
+      per restart: set-probe merges flow through the attached cache, so
+      each [singles] only re-examines what the last set merge touched.
+
+   2. The size-2 enumeration is pruned by two sound impossibility
+      arguments before any probe runs:
+
+      - an affinity whose class roots interfere can never merge
+        (interference between classes is permanent under merges), so
+        any set containing one fails its probe;
+      - if singleton [x] was brute-force rejected with residue witness
+        R_x (a subgraph of G + merge(x) with all degrees >= k, still
+        valid: same roots, members alive), then the pair {x, y} probes
+        the graph G + x + y, where the y-contraction can only destroy
+        the R_x k-core by killing or collapsing a member — impossible
+        when both current roots of [y] lie outside
+        R_x ∪ {roots of x} (the roots-of-x guard also covers the
+        y-merge re-rooting x into a different contraction than the one
+        witnessed).  Such pairs fail their probe; skipping them is
+        exact.
+
+      Surviving pairs are probed in the exact order of the full
+      enumeration (combined weight descending, members ascending), so
+      the first success — and hence the whole search trajectory — is
+      identical.  Candidate partners for a witnessed [x] come from the
+      cache movelists of R_x ∪ {roots of x}: work proportional to the
+      affinities actually rooted near the witness, not to all open
+      pairs.  Sizes >= 3 keep the generic enumeration. *)
+let coalesce_incremental ?rows ~max_set (p : Problem.t) =
+  let spec = Spec.of_state ?rows (Coalescing.initial p.graph) in
+  let engine =
+    Conservative.Engine.create Conservative.Brute_force ~k:p.k spec
+      p.affinities
+  in
+  let cache = Conservative.Engine.cache engine in
+  let f = Spec.flat spec in
+  let singles () = Conservative.Engine.run engine in
+  let open_affinities () =
+    List.filter
+      (fun (a : Problem.affinity) -> not (Spec.same_class spec a.u a.v))
+      p.affinities
+  in
+  (* Engine ids keyed by (u, v) — Problem.make deduplicates, so the
+     pair is a key. *)
+  let aid_of = Hashtbl.create 64 in
+  Conservative.Engine.iter_open engine (fun aid (a : Problem.affinity) ->
+      Hashtbl.replace aid_of (a.u, a.v) aid);
+  let scope = Array.make (max 1 (Flat.capacity f)) false in
+  let pair_candidates xs =
+    let xs = Array.of_list xs in
+    let m = Array.length xs in
+    let roots =
+      Array.map
+        (fun (a : Problem.affinity) -> (Spec.repr spec a.u, Spec.repr spec a.v))
+        xs
+    in
+    let interferes i =
+      let iu, iv = roots.(i) in
+      Flat.mem_edge f iu iv
+    in
+    (* Rejected-open = non-interfering; witnessed = rejected with a
+       still-valid residue witness. *)
+    let valid_witness i =
+      let iu, iv = roots.(i) in
+      match Hashtbl.find_opt aid_of (xs.(i).Problem.u, xs.(i).Problem.v) with
+      | None -> None
+      | Some aid -> (
+          match Rule_cache.witness cache aid with
+          | Some (wu, wv, members)
+            when wu = iu && wv = iv
+                 && Array.for_all (fun v -> Flat.is_live f v) members ->
+              Some members
+          | Some _ | None -> None)
+    in
+    let wit = Array.init m valid_witness in
+    let in_scope_of i y =
+      (* [None] witness constrains nothing. *)
+      match wit.(i) with
+      | None -> true
+      | Some members ->
+          let iu, iv = roots.(i) and yu, yv = roots.(y) in
+          let hits r =
+            r = iu || r = iv || Array.exists (fun v -> v = r) members
+          in
+          hits yu || hits yv
+    in
+    let pairs = Hashtbl.create 64 in
+    let add i j =
+      if i <> j then begin
+        let i, j = if i < j then (i, j) else (j, i) in
+        if
+          (not (Hashtbl.mem pairs (i, j)))
+          && (not (interferes i))
+          && (not (interferes j))
+          && in_scope_of i j && in_scope_of j i
+        then Hashtbl.replace pairs (i, j) ()
+      end
+    in
+    let pos_of_aid = Hashtbl.create 64 in
+    Array.iteri
+      (fun i (a : Problem.affinity) ->
+        match Hashtbl.find_opt aid_of (a.u, a.v) with
+        | Some aid -> Hashtbl.replace pos_of_aid aid i
+        | None -> ())
+      xs;
+    let free = ref [] in
+    for i = 0 to m - 1 do
+      if not (interferes i) then
+        match wit.(i) with
+        | None -> free := i :: !free
+        | Some members ->
+            let iu, iv = roots.(i) in
+            let consider r =
+              if not scope.(r) then begin
+                scope.(r) <- true;
+                Rule_cache.iter_movelist cache r (fun aid ->
+                    match Hashtbl.find_opt pos_of_aid aid with
+                    | Some j -> add i j
+                    | None -> ())
+              end
+            in
+            consider iu;
+            consider iv;
+            Array.iter (fun v -> if Flat.is_live f v then consider v) members;
+            scope.(iu) <- false;
+            scope.(iv) <- false;
+            Array.iter (fun v -> scope.(v) <- false) members
+    done;
+    (* Witness-less rejected affinities constrain nothing: they pair
+       with every other rejected affinity. *)
+    List.iter
+      (fun i ->
+        for j = 0 to m - 1 do
+          if j <> i && not (interferes j) then add i j
+        done)
+      !free;
+    Hashtbl.fold (fun (i, j) () acc -> [ xs.(i); xs.(j) ] :: acc) pairs []
+    |> List.map (fun s ->
+           ( List.fold_left (fun w (a : Problem.affinity) -> w + a.weight) 0 s,
+             s ))
+    |> List.sort (fun (w1, s1) (w2, s2) -> compare (w2, s1) (w1, s2))
+    |> List.map snd
+  in
+  let rec grow size =
+    if size <= max_set then
+      let xs = open_affinities () in
+      let candidates =
+        if size = 2 then pair_candidates xs else subsets_by_weight size xs
+      in
+      let rec try_all = function
+        | [] -> grow (size + 1)
+        | set :: rest ->
+            if try_set ~k:p.k spec set then begin
+              singles ();
+              grow 2
+            end
+            else try_all rest
+      in
+      try_all candidates
+  in
+  singles ();
+  grow 2;
+  Coalescing.solution_of_state p (Spec.commit spec)
+
+let coalesce ?rows ?(max_set = 2) ?(incremental = true) (p : Problem.t) =
+  if max_set < 1 then invalid_arg "Set_coalescing.coalesce: max_set < 1";
+  if incremental then coalesce_incremental ?rows ~max_set p
+  else coalesce_rescan ?rows ~max_set p
 
 let transitive_closure_affinities (p : Problem.t) =
   let by_vertex = Hashtbl.create 16 in

@@ -13,14 +13,20 @@
     paper suggests). *)
 
 val coalesce :
-  ?rows:Rc_graph.Flat.rows -> ?max_set:int -> Problem.t ->
-  Coalescing.solution
+  ?rows:Rc_graph.Flat.rows -> ?max_set:int -> ?incremental:bool ->
+  Problem.t -> Coalescing.solution
 (** Runs the brute-force singleton pass to a fixpoint, then tries sets
     of 2, 3, ... up to [max_set] (default 2) open affinities by
     decreasing combined weight, restarting from singletons after each
     successful set merge.  The result is always conservative.
     Exponential in [max_set] only (the set enumeration is
     O(m^max_set)).
+
+    [?incremental] (default true) runs the singleton fixpoints through
+    one persistent {!Conservative.Engine} and prunes the size-2
+    enumeration with cached interference/witness facts; the search
+    trajectory — and hence the result — is identical to the rescan
+    specification path ([incremental:false]).
 
     Prefer {!Strategies.run_cfg} for new call sites: [?max_set] and
     [?rows] are the [max_set]/[rows] fields of {!Strategies.config}

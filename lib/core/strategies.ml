@@ -76,6 +76,7 @@ type config = {
   rows : Rc_graph.Flat.rows option;
   scoring : Optimistic.scoring;
   max_set : int;
+  incremental : bool;
   check : check_level;
   seed : int;
 }
@@ -85,6 +86,7 @@ let default_config =
     rows = None;
     scoring = Optimistic.Degree_per_weight;
     max_set = 2;
+    incremental = true;
     check = No_check;
     seed = 0;
   }
@@ -130,16 +132,18 @@ let run_cfg cfg strategy (p : Problem.t) =
   | No_check -> ()
   | Validate_input | Assert_conservative -> validate_input p);
   let rows = cfg.rows in
+  let incremental = cfg.incremental in
   let sol =
     match strategy with
     | Aggressive -> Aggressive.coalesce p
-    | Conservative r -> Conservative.coalesce ?rows r p
+    | Conservative r -> Conservative.coalesce ?rows ~incremental r p
     | Irc r -> (Irc.allocate ~rule:r p).solution
-    | Optimistic -> Optimistic.coalesce ?rows ~scoring:cfg.scoring p
+    | Optimistic ->
+        Optimistic.coalesce ?rows ~scoring:cfg.scoring ~incremental p
     | Chordal_incremental -> run_chordal_incremental ?rows p
     | Set_conservative n ->
         let max_set = if n >= 1 then n else cfg.max_set in
-        Set_coalescing.coalesce ?rows ~max_set p
+        Set_coalescing.coalesce ?rows ~max_set ~incremental p
     | Exact_conservative -> Exact.conservative p
   in
   (match cfg.check with

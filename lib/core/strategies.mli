@@ -61,6 +61,14 @@ type config = {
   max_set : int;
       (** set-coalescing bound used when the strategy is
           [Set_conservative n] with [n <= 0] *)
+  incremental : bool;
+      (** solve the conservative fixpoints through the worklist
+          {!Conservative.Engine} with its invalidate-on-merge rule
+          cache ([true], the default) or through the rescan
+          specification loops ([false]).  The two paths produce
+          identical solutions (locked by the differential suite); the
+          flag exists for the cached-vs-uncached benchmark axis and as
+          an escape hatch. *)
   check : check_level;
   seed : int;
       (** provenance: the seed stream that produced this task's
@@ -72,7 +80,7 @@ type config = {
 
 val default_config : config
 (** [{ rows = None; scoring = Degree_per_weight; max_set = 2;
-      check = No_check; seed = 0 }] *)
+      incremental = true; check = No_check; seed = 0 }] *)
 
 val run_cfg : config -> t -> Problem.t -> Coalescing.solution
 (** The unified solve path: dispatches to the strategy's primitive with

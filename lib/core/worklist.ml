@@ -1,0 +1,149 @@
+(* Bucketed intrusive worklists over dense integer ids.
+
+   The classic IRC discipline: every tracked id sits in exactly one
+   bucket (or none), membership is intrusive (three parallel arrays:
+   doubly-linked list per bucket plus the id's current bucket tag), so
+   add / remove / move / pop are all O(1) with zero allocation after
+   construction.  Clients key buckets however they like — the
+   incremental rule engine uses state buckets (dirty / clean / done)
+   for affinities, degree-keyed clients clamp with {!degree_bucket}.
+
+   Ids are [0 .. cap-1]; buckets are [0 .. buckets-1].  The structure
+   never allocates after [create]. *)
+
+type t = {
+  nbuckets : int;
+  head : int array; (* bucket -> first id, -1 when empty *)
+  next : int array; (* id -> successor in its bucket, -1 at the tail *)
+  prev : int array; (* id -> predecessor, -1 at the head *)
+  tag : int array; (* id -> current bucket, -1 when absent *)
+  size : int array; (* bucket -> population *)
+  mutable total : int;
+}
+
+let create ~buckets ~cap =
+  if buckets <= 0 then invalid_arg "Worklist.create: no buckets";
+  if cap < 0 then invalid_arg "Worklist.create: negative capacity";
+  {
+    nbuckets = buckets;
+    head = Array.make buckets (-1);
+    next = Array.make (max 1 cap) (-1);
+    prev = Array.make (max 1 cap) (-1);
+    tag = Array.make (max 1 cap) (-1);
+    size = Array.make buckets 0;
+    total = 0;
+  }
+
+let capacity t = Array.length t.tag
+let buckets t = t.nbuckets
+let cardinal t = t.total
+let size t b = t.size.(b)
+let bucket t id = t.tag.(id)
+let mem t id = t.tag.(id) >= 0
+
+let check_id t name id =
+  if id < 0 || id >= Array.length t.tag then
+    invalid_arg (Printf.sprintf "Worklist.%s: id %d out of range" name id)
+
+let check_bucket t name b =
+  if b < 0 || b >= t.nbuckets then
+    invalid_arg (Printf.sprintf "Worklist.%s: bucket %d out of range" name b)
+
+let add t id b =
+  check_id t "add" id;
+  check_bucket t "add" b;
+  if t.tag.(id) >= 0 then
+    invalid_arg (Printf.sprintf "Worklist.add: id %d already present" id);
+  let h = t.head.(b) in
+  t.next.(id) <- h;
+  t.prev.(id) <- -1;
+  if h >= 0 then t.prev.(h) <- id;
+  t.head.(b) <- id;
+  t.tag.(id) <- b;
+  t.size.(b) <- t.size.(b) + 1;
+  t.total <- t.total + 1
+
+let remove t id =
+  check_id t "remove" id;
+  let b = t.tag.(id) in
+  if b < 0 then
+    invalid_arg (Printf.sprintf "Worklist.remove: id %d not present" id);
+  let p = t.prev.(id) and n = t.next.(id) in
+  if p >= 0 then t.next.(p) <- n else t.head.(b) <- n;
+  if n >= 0 then t.prev.(n) <- p;
+  t.tag.(id) <- -1;
+  t.size.(b) <- t.size.(b) - 1;
+  t.total <- t.total - 1
+
+(* O(1) re-bucketing; no-op when already there. *)
+let move t id b =
+  check_id t "move" id;
+  check_bucket t "move" b;
+  if t.tag.(id) <> b then begin
+    if t.tag.(id) >= 0 then remove t id;
+    add t id b
+  end
+
+let pop t b =
+  check_bucket t "pop" b;
+  match t.head.(b) with
+  | -1 -> None
+  | id ->
+      remove t id;
+      Some id
+
+let iter_bucket t b f =
+  check_bucket t "iter_bucket" b;
+  (* Tolerates removal of the id under iteration (the common client
+     move: process then re-bucket) by reading the successor first. *)
+  let cur = ref t.head.(b) in
+  while !cur >= 0 do
+    let id = !cur in
+    cur := t.next.(id);
+    f id
+  done
+
+let clear t =
+  Array.fill t.head 0 t.nbuckets (-1);
+  Array.fill t.size 0 t.nbuckets 0;
+  Array.fill t.tag 0 (Array.length t.tag) (-1);
+  t.total <- 0
+
+(* Degree-keyed helper: the canonical clamp for degree buckets — all
+   degrees at or above [k] land in the terminal bucket ([k]), since a
+   degree-[>= k] node behaves identically for every simplify-style
+   client.  A worklist keyed this way needs [k + 1] buckets. *)
+let degree_bucket ~k d = if d >= k then k else d
+
+(* Structural audit for the tests: every link consistent with the tags
+   and sizes. *)
+let self_check t =
+  let fail fmt =
+    Printf.ksprintf (fun m -> failwith ("Worklist.self_check: " ^ m)) fmt
+  in
+  let seen = Array.make (max 1 (Array.length t.tag)) false in
+  let total = ref 0 in
+  for b = 0 to t.nbuckets - 1 do
+    let n = ref 0 in
+    let cur = ref t.head.(b) in
+    let prev = ref (-1) in
+    while !cur >= 0 do
+      let id = !cur in
+      if id >= Array.length t.tag then fail "link %d out of range" id;
+      if seen.(id) then fail "id %d linked twice" id;
+      seen.(id) <- true;
+      if t.tag.(id) <> b then
+        fail "id %d linked in bucket %d but tagged %d" id b t.tag.(id);
+      if t.prev.(id) <> !prev then fail "broken prev link at id %d" id;
+      incr n;
+      prev := id;
+      cur := t.next.(id)
+    done;
+    if !n <> t.size.(b) then
+      fail "bucket %d size %d, counted %d" b t.size.(b) !n;
+    total := !total + !n
+  done;
+  if !total <> t.total then fail "total %d, counted %d" t.total !total;
+  Array.iteri
+    (fun id b -> if b >= 0 && not seen.(id) then fail "id %d tagged %d but unlinked" id b)
+    t.tag

@@ -1,0 +1,64 @@
+(** Bucketed intrusive worklists over dense integer ids.
+
+    The IRC worklist discipline as a reusable structure: each tracked id
+    sits in at most one bucket; membership is intrusive (parallel link
+    arrays), so {!add}, {!remove}, {!move} and {!pop} are O(1) and the
+    structure never allocates after {!create}.  The incremental rule
+    engine buckets affinities by state (dirty / clean / retired);
+    degree-keyed clients clamp degrees with {!degree_bucket}.
+
+    Within one bucket, ids come off {!pop}/{!iter_bucket} in LIFO
+    insertion order — clients that need a semantic order (the
+    conservative fixpoint's weight rank) scan their own rank array and
+    consult {!bucket} as an O(1) tag instead. *)
+
+type t
+
+val create : buckets:int -> cap:int -> t
+(** [create ~buckets ~cap] tracks ids [0 .. cap-1] over buckets
+    [0 .. buckets-1]; all ids start absent. *)
+
+val capacity : t -> int
+val buckets : t -> int
+
+val cardinal : t -> int
+(** Total tracked ids across all buckets. *)
+
+val size : t -> int -> int
+(** Population of one bucket. *)
+
+val bucket : t -> int -> int
+(** Current bucket of an id, or -1 when absent.  O(1). *)
+
+val mem : t -> int -> bool
+
+val add : t -> int -> int -> unit
+(** [add t id b] inserts an absent id into bucket [b].
+    [Invalid_argument] if already present. *)
+
+val remove : t -> int -> unit
+(** [Invalid_argument] if absent. *)
+
+val move : t -> int -> int -> unit
+(** [move t id b] re-buckets [id] in O(1); inserts it if absent; no-op
+    if already in [b]. *)
+
+val pop : t -> int -> int option
+(** Removes and returns some id of the bucket (LIFO), or [None]. *)
+
+val iter_bucket : t -> int -> (int -> unit) -> unit
+(** Iterates a bucket.  The callback may {!remove} or {!move} the id it
+    is given (the successor is read first), but must not touch other
+    ids of the same bucket. *)
+
+val clear : t -> unit
+
+val degree_bucket : k:int -> int -> int
+(** Canonical clamp for degree-keyed buckets: degrees [>= k] collapse
+    into the terminal bucket [k] (a worklist keyed this way needs
+    [k + 1] buckets), since high-degree nodes are indistinguishable to
+    simplify-style clients. *)
+
+val self_check : t -> unit
+(** Structural audit (links, tags, sizes); raises [Failure] on
+    corruption.  Tests only. *)

@@ -37,6 +37,10 @@ let worker_loop t =
       t.running <- t.running + 1;
       Mutex.unlock t.mutex;
       body ();
+      (* Publish this domain's audit tallies before the join below is
+         observable: once [run] sees [running = 0], every worker's
+         counters are in the process-wide totals. *)
+      Rc_check.Sanitize.flush ();
       Mutex.lock t.mutex;
       t.running <- t.running - 1;
       if t.running = 0 then Condition.broadcast t.work_done;
@@ -115,6 +119,7 @@ let run ?chunk t ~tasks f =
     Mutex.unlock t.mutex;
     (* The caller's domain is one of the pool's [n_domains]. *)
     body ();
+    Rc_check.Sanitize.flush ();
     Mutex.lock t.mutex;
     while t.running > 0 do
       Condition.wait t.work_done t.mutex

@@ -38,23 +38,22 @@ let preset_of_string s =
 
 (* Vertex ceilings per strategy, from measured single-core costs on
    the synthetic interval family (k=12, aff=0.3; see DESIGN.md, engine
-   section).  At n=10^5: briggs 4.8s, george / briggs+george / ext
-   ~43s, irc/briggs 24s — all swept in full.  At n=2*10^4 the
-   strategies that re-check the whole graph per probe or replay a
-   global merge commit (aggressive, brute force, optimistic, set
-   probes, coupled IRC) already cost 7-23s per cell, so they are
-   capped at 30k where a cell stays in seconds.  The per-affinity
-   clique-tree strategy costs 28s at n=10^3 and the branch-and-bound
-   is exponential — cliffs of their own. *)
+   section).  The worklist engine (Conservative.Engine + Rule_cache)
+   and the speculative aggressive/commit paths removed the
+   rescan-per-pass and replay-per-commit costs that used to cap
+   aggressive, brute force, optimistic and the set search at 3*10^4:
+   all four now sweep the 10^5 preset in full.  The per-affinity
+   clique-tree strategy costs 28s at n=10^3, the coupled IRC loop
+   still rebuilds per round, and the branch-and-bound is exponential —
+   cliffs of their own. *)
 let scale_ceiling = function
-  | Strategies.Aggressive -> 30_000
-  | Strategies.Conservative Rc_core.Conservative.Brute_force -> 30_000
+  | Strategies.Aggressive -> 1_000_000
   | Strategies.Conservative _ -> 1_000_000
   | Strategies.Irc Rc_core.Irc.Briggs_and_george -> 30_000
   | Strategies.Irc _ -> 1_000_000
-  | Strategies.Optimistic -> 30_000
+  | Strategies.Optimistic -> 1_000_000
   | Strategies.Chordal_incremental -> 1_200
-  | Strategies.Set_conservative _ -> 30_000
+  | Strategies.Set_conservative _ -> 1_000_000
   | Strategies.Exact_conservative -> 40
 
 type outcome =
@@ -152,7 +151,7 @@ let leaderboard_of_cells strategies (cells : cell array) =
     rows
 
 let run ?pool ?domains ?(strategies = Strategies.all_heuristics) ?rows
-    ?(check = Strategies.No_check) ~seed preset =
+    ?(incremental = true) ?(check = Strategies.No_check) ~seed preset =
   let t0 = Rc_core.Mclock.now_ns () in
   let root = Seed.of_int seed in
   (* Instances are built once, sequentially, and shared read-only by
@@ -181,6 +180,7 @@ let run ?pool ?domains ?(strategies = Strategies.all_heuristics) ?rows
           {
             Strategies.default_config with
             rows;
+            incremental;
             check;
             seed = seed_i;
           }

@@ -1,0 +1,289 @@
+(* Incremental greedy-k elimination-order witness.
+
+   A graph is greedy-k-colorable iff some order v_1 ... v_n gives every
+   vertex fewer than k neighbors later in the order (equivalently: the
+   k-core is empty).  [Greedy_k.flat_eliminate] derives such an order
+   from scratch in O(V + E); probe-heavy searches (the brute-force
+   conservative rule) used to pay that full cost per probe.  This
+   module keeps the order *alive* across merges and repairs it locally:
+
+   - [pos.(v)] is v's position in the current order, [ldeg.(v)] its
+     later-degree (neighbors with larger [pos]).  Invariant: live
+     vertices have [ldeg < k].  Positions come from one monotone
+     counter; only their relative order matters.
+
+   - A merge [u <- v] changes later-degrees only at [u] (new edges) and
+     inside N(v) (edges rewired from v to u, common edges dropped).
+     Vertices pushed to [ldeg >= k] are moved to a tail set T; moving
+     t in T behind a later neighbor w bumps w's effective later-degree,
+     which can cascade w into T.  When the cascade closes, the prefix
+     (live \ T) is a valid order prefix, and the merge keeps the graph
+     greedy-k-colorable iff G[T] itself peels empty — in which case the
+     peel order *is* the tail.  If G[T] instead sticks at a nonempty
+     k-core C, C has >= k neighbors inside C in the merged graph, so C
+     certifies non-colorability directly (and doubles as the residue
+     witness the rule caches).  Both directions are exact: the repair
+     accepts precisely when a full re-elimination would.
+
+   - The repair stages everything generation-stamped ([eff]/[tmp]); a
+     rejected probe commits nothing, so after the caller rolls the
+     merge back the stored order still describes the graph
+     ([refresh_epoch] re-arms the staleness check).
+
+   Staleness: the structure is bound to one {!Flat.t} and trusts its
+   mutation [Flat.epoch].  Any mutation it did not perform itself
+   (external merges, speculative rollbacks) invalidates the order;
+   [in_sync] detects that and [sync] rebuilds from scratch with one
+   full elimination. *)
+
+type t = {
+  f : Flat.t;
+  k : int;
+  pos : int array;
+  ldeg : int array;
+  (* generation-stamped staging: [eff.(v)] is v's pending later-degree
+     when [tmp.(v) = gen], else [ldeg.(v)] is current *)
+  eff : int array;
+  tmp : int array;
+  mutable gen : int;
+  (* pre-merge capture of N(v): members and whether each was common *)
+  nbuf : int array;
+  cbuf : bool array;
+  mutable nlen : int;
+  mutable miu : int; (* the iu of the pending pre/decide pair *)
+  (* tail set of the pending repair *)
+  in_t : bool array;
+  tbuf : int array;
+  mutable tlen : int;
+  slot : int array; (* vertex -> index in tbuf, valid when tmp2 = gen *)
+  tmp2 : int array;
+  degt : int array; (* in-T degree, by slot *)
+  peeled : bool array; (* by slot *)
+  out : int array; (* peel order, as slots *)
+  mutable stuck : int; (* tlen - peeled count after a rejecting decide *)
+  order : int array; (* full-elimination buffer for sync *)
+  mutable next_pos : int;
+  mutable synced_epoch : int; (* Flat.epoch at last agreement; -1 never *)
+  mutable colorable : bool;
+}
+
+let create f ~k =
+  let cap = max 1 (Flat.capacity f) in
+  {
+    f;
+    k;
+    pos = Array.make cap 0;
+    ldeg = Array.make cap 0;
+    eff = Array.make cap 0;
+    tmp = Array.make cap (-1);
+    gen = 0;
+    nbuf = Array.make cap 0;
+    cbuf = Array.make cap false;
+    nlen = 0;
+    miu = -1;
+    in_t = Array.make cap false;
+    tbuf = Array.make cap 0;
+    tlen = 0;
+    slot = Array.make cap 0;
+    tmp2 = Array.make cap (-1);
+    degt = Array.make cap 0;
+    peeled = Array.make cap false;
+    out = Array.make cap 0;
+    stuck = 0;
+    order = Array.make cap 0;
+    next_pos = 0;
+    synced_epoch = -1;
+    colorable = false;
+  }
+
+let in_sync t = t.synced_epoch = Flat.epoch t.f
+let colorable t = t.colorable
+
+let sync t =
+  let removed = Greedy_k.flat_eliminate t.f t.k ~order:t.order in
+  t.colorable <- removed = Flat.num_live t.f;
+  if t.colorable then begin
+    for i = 0 to removed - 1 do
+      t.pos.(t.order.(i)) <- i
+    done;
+    t.next_pos <- removed;
+    Flat.iter_live t.f (fun v ->
+        let d = ref 0 in
+        Flat.iter_neighbors t.f v (fun w ->
+            if t.pos.(w) > t.pos.(v) then incr d);
+        t.ldeg.(v) <- !d)
+  end;
+  t.synced_epoch <- Flat.epoch t.f;
+  t.colorable
+
+let refresh_epoch t = t.synced_epoch <- Flat.epoch t.f
+
+(* Capture N(iv) before the caller applies [Flat.merge f iu iv]: the
+   rewiring targets are exactly these vertices, and whether each edge
+   was common decides its later-degree delta. *)
+let pre t ~iu ~iv =
+  let n = ref 0 in
+  Flat.iter_neighbors t.f iv (fun w ->
+      t.nbuf.(!n) <- w;
+      t.cbuf.(!n) <- Flat.mem_edge t.f iu w;
+      incr n);
+  t.nlen <- !n;
+  t.miu <- iu
+
+let eff_of t v = if t.tmp.(v) = t.gen then t.eff.(v) else t.ldeg.(v)
+
+let bump t v d =
+  if t.tmp.(v) <> t.gen then begin
+    t.tmp.(v) <- t.gen;
+    t.eff.(v) <- t.ldeg.(v)
+  end;
+  t.eff.(v) <- t.eff.(v) + d
+
+let decide t ~iu ~iv =
+  if t.miu <> iu then invalid_arg "Elim_order.decide: no matching pre";
+  t.miu <- -1;
+  t.gen <- t.gen + 1;
+  (* Later-degree deltas of the rewiring.  An exclusive neighbor w of
+     iv loses the edge to iv and gains one to iu; a common neighbor
+     only loses the iv edge.  iu's own row changed wholesale —
+     recompute it. *)
+  for i = 0 to t.nlen - 1 do
+    let w = t.nbuf.(i) in
+    if w <> iu then begin
+      if t.pos.(iv) > t.pos.(w) then bump t w (-1);
+      if (not t.cbuf.(i)) && t.pos.(iu) > t.pos.(w) then bump t w 1
+    end
+  done;
+  (let d = ref 0 in
+   Flat.iter_neighbors t.f iu (fun w -> if t.pos.(w) > t.pos.(iu) then incr d);
+   t.tmp.(iu) <- t.gen;
+   t.eff.(iu) <- !d);
+  (* Cascade: overfull vertices move to the tail; each move puts the
+     mover behind its later neighbors, which can overfill them too. *)
+  t.tlen <- 0;
+  let add v =
+    if not t.in_t.(v) then begin
+      t.in_t.(v) <- true;
+      t.tbuf.(t.tlen) <- v;
+      t.tlen <- t.tlen + 1
+    end
+  in
+  if eff_of t iu >= t.k then add iu;
+  for i = 0 to t.nlen - 1 do
+    let w = t.nbuf.(i) in
+    if w <> iu && Flat.is_live t.f w && eff_of t w >= t.k then add w
+  done;
+  let head = ref 0 in
+  while !head < t.tlen do
+    let v = t.tbuf.(!head) in
+    incr head;
+    Flat.iter_neighbors t.f v (fun w ->
+        if (not t.in_t.(w)) && t.pos.(w) > t.pos.(v) then begin
+          bump t w 1;
+          if t.eff.(w) >= t.k then add w
+        end)
+  done;
+  (* Peel G[T].  The prefix is already valid, so the merged graph is
+     greedy-k-colorable iff the tail peels empty. *)
+  for i = 0 to t.tlen - 1 do
+    let v = t.tbuf.(i) in
+    t.slot.(v) <- i;
+    t.tmp2.(v) <- t.gen;
+    t.peeled.(i) <- false
+  done;
+  for i = 0 to t.tlen - 1 do
+    let d = ref 0 in
+    Flat.iter_neighbors t.f t.tbuf.(i) (fun w ->
+        if t.tmp2.(w) = t.gen && t.in_t.(w) then incr d);
+    t.degt.(i) <- !d
+  done;
+  let q = Queue.create () in
+  for i = 0 to t.tlen - 1 do
+    if t.degt.(i) < t.k then Queue.add i q
+  done;
+  let np = ref 0 in
+  while not (Queue.is_empty q) do
+    let i = Queue.pop q in
+    if not t.peeled.(i) then begin
+      t.peeled.(i) <- true;
+      t.out.(!np) <- i;
+      incr np;
+      Flat.iter_neighbors t.f t.tbuf.(i) (fun w ->
+          if t.tmp2.(w) = t.gen && t.in_t.(w) then begin
+            let j = t.slot.(w) in
+            t.degt.(j) <- t.degt.(j) - 1;
+            if (not t.peeled.(j)) && t.degt.(j) = t.k - 1 then Queue.add j q
+          end)
+    end
+  done;
+  if !np = t.tlen then begin
+    (* Accept: tail positions in peel order, then recompute tail
+       later-degrees and commit every staged prefix value (cascade
+       targets are neighbors of T; the rewiring touched N(iv) and
+       iu). *)
+    for i = 0 to !np - 1 do
+      let v = t.tbuf.(t.out.(i)) in
+      t.pos.(v) <- t.next_pos;
+      t.next_pos <- t.next_pos + 1
+    done;
+    for i = 0 to !np - 1 do
+      let v = t.tbuf.(t.out.(i)) in
+      let d = ref 0 in
+      Flat.iter_neighbors t.f v (fun w -> if t.pos.(w) > t.pos.(v) then incr d);
+      t.ldeg.(v) <- !d
+    done;
+    let commit w =
+      if (not t.in_t.(w)) && t.tmp.(w) = t.gen && Flat.is_live t.f w then begin
+        t.ldeg.(w) <- t.eff.(w);
+        t.tmp.(w) <- -1
+      end
+    in
+    commit iu;
+    for i = 0 to t.nlen - 1 do
+      commit t.nbuf.(i)
+    done;
+    for i = 0 to t.tlen - 1 do
+      Flat.iter_neighbors t.f t.tbuf.(i) commit
+    done;
+    for i = 0 to t.tlen - 1 do
+      t.in_t.(t.tbuf.(i)) <- false
+    done;
+    t.stuck <- 0;
+    t.synced_epoch <- Flat.epoch t.f;
+    true
+  end
+  else begin
+    (* Reject: nothing was committed; the caller rolls the merge back
+       and calls [refresh_epoch].  The unpeeled slots are a k-core of
+       the merged graph — expose them as the residue witness. *)
+    t.stuck <- t.tlen - !np;
+    for i = 0 to t.tlen - 1 do
+      t.in_t.(t.tbuf.(i)) <- false
+    done;
+    false
+  end
+
+let stuck_count t = t.stuck
+
+let iter_stuck t fn =
+  if t.stuck > 0 then
+    for i = 0 to t.tlen - 1 do
+      if not t.peeled.(i) then fn t.tbuf.(i)
+    done
+
+(* Test-only invariant audit: recompute positions' later-degrees. *)
+let self_check t =
+  if t.colorable && in_sync t then
+    Flat.iter_live t.f (fun v ->
+        let d = ref 0 in
+        Flat.iter_neighbors t.f v (fun w ->
+            if t.pos.(w) > t.pos.(v) then incr d);
+        if !d <> t.ldeg.(v) then
+          failwith
+            (Printf.sprintf "Elim_order.self_check: ldeg %d: %d <> %d" v
+               t.ldeg.(v) !d);
+        if !d >= t.k then
+          failwith
+            (Printf.sprintf "Elim_order.self_check: vertex %d has %d later \
+                             neighbors (k = %d)"
+               v !d t.k))

@@ -1,0 +1,87 @@
+(** Incremental greedy-k elimination order over a {!Flat} kernel.
+
+    A graph is greedy-k-colorable iff it admits an elimination order in
+    which every vertex has fewer than [k] neighbors later than itself
+    (Definition 3 of the paper — equivalently, its k-core is empty).
+    {!Greedy_k.flat_eliminate} computes such an order from scratch in
+    O(V + E); a probe-heavy search (the brute-force conservative rule,
+    which asks "is the graph still colorable?" after every candidate
+    merge) used to pay that full pass per probe.  This structure keeps
+    the order alive across merges and repairs it locally instead: the
+    vertices whose later-degree a merge overfills are moved to the tail
+    together with everything their displacement overfills in turn
+    (typically a few dozen vertices), and the merge is acceptable iff
+    that tail set peels empty — an exact reproduction of the full
+    elimination's verdict at a small fraction of its cost.  On a
+    rejecting probe the stuck tail is a k-core of the merged graph,
+    which doubles as the residue witness {!Rc_core.Rule_cache} stores.
+
+    Protocol, for one probe of merging [iv] into [iu] (both live flat
+    indices, non-adjacent):
+
+    + if [not (in_sync t && colorable t)], call {!sync} first (and give
+      up on incremental probing while the graph is not colorable);
+    + {!pre}[ t ~iu ~iv] — before mutating the kernel;
+    + apply the merge ([Flat.merge] or [Spec.merge_roots]);
+    + {!decide}[ t ~iu ~iv] — [true] means the merged graph is still
+      greedy-k-colorable and the order has been repaired to prove it;
+      [false] means it is not: read the witness via {!iter_stuck}, roll
+      the merge back, and call {!refresh_epoch} to record that the
+      kernel is back in the state the stored order describes.
+
+    The structure trusts {!Flat.epoch} to detect foreign mutations
+    (speculative rollbacks, merges applied without the protocol): any
+    epoch mismatch makes {!in_sync} false and the next {!sync} rebuilds
+    from scratch.  Not thread-safe; bind one [t] per kernel per
+    domain. *)
+
+type t
+
+val create : Flat.t -> k:int -> t
+(** Allocates the order for [f]'s capacity.  The structure starts out
+    of sync; call {!sync} before the first probe. *)
+
+val sync : t -> bool
+(** Rebuild the order from scratch (one full elimination).  Returns
+    whether the graph is greedy-k-colorable; on [false] no order
+    exists and {!colorable} stays false until a later [sync]
+    succeeds. *)
+
+val in_sync : t -> bool
+(** Whether the stored order describes the kernel's current state
+    (i.e. no foreign mutation happened since the last {!sync},
+    accepted {!decide} or {!refresh_epoch}). *)
+
+val colorable : t -> bool
+(** Verdict of the last {!sync} / accepted {!decide}; meaningful only
+    while {!in_sync}. *)
+
+val pre : t -> iu:int -> iv:int -> unit
+(** Capture the neighborhood of [iv] (and which of its edges [iu]
+    shares) before the caller applies the merge. *)
+
+val decide : t -> iu:int -> iv:int -> bool
+(** Judge the applied merge; must follow a matching {!pre}
+    ([Invalid_argument] otherwise).  On [true] the order is repaired
+    and committed; on [false] nothing was committed — the stored order
+    still describes the pre-merge graph, so rolling the merge back and
+    calling {!refresh_epoch} restores agreement without a resync. *)
+
+val refresh_epoch : t -> unit
+(** Declare that the kernel is (again) in exactly the state the stored
+    order describes — called after rolling back a rejected probe.
+    Calling it in any other situation silently corrupts the order. *)
+
+val stuck_count : t -> int
+(** Size of the k-core certifying the last rejecting {!decide}; [0]
+    after an accepting one. *)
+
+val iter_stuck : t -> (int -> unit) -> unit
+(** The members of that k-core — a valid residue witness for the
+    rejected merge (minimum degree >= k inside the set, in the merged
+    graph). *)
+
+val self_check : t -> unit
+(** Recompute every live later-degree and compare to the stored values
+    ([Failure] on mismatch); no-op when out of sync or not colorable.
+    Test instrumentation. *)

@@ -12,6 +12,12 @@
      [threshold]; promotion preserves the edge set, so it is invisible
      to the undo log, and rows are never demoted.
    - [len.(u)] is the degree for both forms (popcount of a dense row).
+   - A dense row [u] carries a two-level summary [summary.(u)]: bit [i]
+     of the summary is set iff word [i] of [dense.(u)] is non-zero.
+     Every bit mutation funnels through [push_neighbor] /
+     [drop_neighbor] (merge grafts, vertex removal and rollback
+     included), which keep the summary exact; sparse rows have the
+     shared [[||]] summary.
    - In [Matrix] mode ([bits] non-empty) every row is sparse and [bits]
      additionally holds the symmetric cap x cap adjacency bitmatrix of
      PR 1: bit (u, v) at index u * cap + v, set iff (v, u) is set.
@@ -20,6 +26,29 @@
      newest-first.  Logging is active iff [ncheck > 0]. *)
 
 type rows = Auto | Matrix | Sparse_rows | Bitset_rows | Threshold of int
+
+(* Shared textual form of the rows policy, so every CLI surface (sweep,
+   bench harnesses) parses the same vocabulary. *)
+let rows_to_string = function
+  | Auto -> "auto"
+  | Matrix -> "matrix"
+  | Sparse_rows -> "sparse"
+  | Bitset_rows -> "bitset"
+  | Threshold n -> Printf.sprintf "threshold:%d" n
+
+let rows_of_string s =
+  match String.lowercase_ascii s with
+  | "auto" -> Some Auto
+  | "matrix" -> Some Matrix
+  | "sparse" -> Some Sparse_rows
+  | "bitset" -> Some Bitset_rows
+  | s -> (
+      match String.index_opt s ':' with
+      | Some i when String.sub s 0 i = "threshold" -> (
+          match int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) with
+          | Some n when n >= 0 -> Some (Threshold n)
+          | _ -> None)
+      | _ -> None)
 
 type op =
   | Op_add of int * int (* edge (u, v) was added *)
@@ -33,6 +62,7 @@ type t = {
   bits : Bytes.t; (* Matrix mode only; [Bytes.empty] otherwise *)
   adj : int array array; (* sparse rows; [[||]] for dense rows *)
   dense : int array array; (* dense rows; [[||]] for sparse rows *)
+  summary : int array array; (* word-occupancy bitmaps of dense rows *)
   len : int array;
   alive : Bytes.t; (* one byte per index: '\001' live, '\000' dead *)
   mutable nlive : int;
@@ -45,6 +75,11 @@ type t = {
   mutable sbuf1 : int array;
   mutable sbuf2 : int array;
   mutable wbuf : int array; (* private word scratch for dense merges *)
+  mutable epoch : int;
+      (* bumped on every structural mutation, including the replays a
+         rollback performs.  Derived structures ({!Elim_order}) record
+         the epoch they last agreed with and compare to detect
+         staleness; only equality matters, never the magnitude. *)
 }
 
 type checkpoint = int
@@ -133,7 +168,12 @@ let degree t v = t.len.(v)
 let row_is_dense t v = Array.length (Array.unsafe_get t.dense v) <> 0
 let row_words t v = t.dense.(v)
 let row_entries t v = t.adj.(v)
+let row_summary t v = t.summary.(v)
 let words_per_row t = t.words
+
+(* Summary words per dense row: one occupancy bit per 32-bit chunk. *)
+let summary_words_of words = (words + 31) lsr 5
+let summary_words t = summary_words_of t.words
 
 (* Membership of [v] in the physical row of [u] — the canonical
    representation check, used symmetrically by the auditors. *)
@@ -190,6 +230,58 @@ let iter_neighbors t v f =
     done
   end
 
+(* Degree-bucketed hybrid walk over one row.  A bitset row whose
+   population is far below its word count (the K3 regime where bitset
+   rows lose pure iteration to int rows: forced-bitset or huge-capacity
+   kernels with bounded degree) is consumed through the summary — only
+   non-empty words are touched, one summary read per 32 words skipped.
+   A well-populated row keeps the plain word scan: the summary
+   indirection would only add overhead when nearly every word is
+   occupied. *)
+let iter_row_hybrid t v f =
+  let d = Array.unsafe_get t.dense v in
+  let nw = Array.length d in
+  if nw = 0 then begin
+    let a = t.adj.(v) and n = t.len.(v) in
+    for i = 0 to n - 1 do
+      f (Array.unsafe_get a i)
+    done
+  end
+  else if t.len.(v) * 4 >= nw then
+    (* High bucket: population >= nw/4 — plain scan. *)
+    for i = 0 to nw - 1 do
+      let w = ref (Array.unsafe_get d i) in
+      if !w <> 0 then begin
+        let base = i lsl 5 in
+        while !w <> 0 do
+          let b = !w land - !w in
+          f (base + bit_index b);
+          w := !w lxor b
+        done
+      end
+    done
+  else begin
+    let s = Array.unsafe_get t.summary v in
+    for si = 0 to Array.length s - 1 do
+      let sw = ref (Array.unsafe_get s si) in
+      if !sw <> 0 then begin
+        let sbase = si lsl 5 in
+        while !sw <> 0 do
+          let sb = !sw land - !sw in
+          let i = sbase + bit_index sb in
+          sw := !sw lxor sb;
+          let w = ref (Array.unsafe_get d i) in
+          let base = i lsl 5 in
+          while !w <> 0 do
+            let b = !w land - !w in
+            f (base + bit_index b);
+            w := !w lxor b
+          done
+        done
+      end
+    done
+  end
+
 let fold_neighbors t v f init =
   let acc = ref init in
   iter_neighbors t v (fun u -> acc := f !acc u);
@@ -214,35 +306,88 @@ let dense_rows t =
 let iter_diff t u v f =
   let du = Array.unsafe_get t.dense u and dv = Array.unsafe_get t.dense v in
   if Array.length du <> 0 && Array.length dv <> 0 then
-    for i = 0 to t.words - 1 do
-      let w =
-        ref (Array.unsafe_get du i land lnot (Array.unsafe_get dv i))
-      in
-      if !w <> 0 then begin
-        let base = i lsl 5 in
-        while !w <> 0 do
-          let b = !w land - !w in
-          f (base + bit_index b);
-          w := !w lxor b
-        done
-      end
-    done
+    if t.len.(u) * 4 >= t.words then
+      for i = 0 to t.words - 1 do
+        let w =
+          ref (Array.unsafe_get du i land lnot (Array.unsafe_get dv i))
+        in
+        if !w <> 0 then begin
+          let base = i lsl 5 in
+          while !w <> 0 do
+            let b = !w land - !w in
+            f (base + bit_index b);
+            w := !w lxor b
+          done
+        end
+      done
+    else begin
+      (* Sparse-populated left row: the difference lives only in words
+         [u] occupies, so walk them through [u]'s summary. *)
+      let s = Array.unsafe_get t.summary u in
+      for si = 0 to Array.length s - 1 do
+        let sw = ref (Array.unsafe_get s si) in
+        if !sw <> 0 then begin
+          let sbase = si lsl 5 in
+          while !sw <> 0 do
+            let sb = !sw land - !sw in
+            let i = sbase + bit_index sb in
+            sw := !sw lxor sb;
+            let w =
+              ref (Array.unsafe_get du i land lnot (Array.unsafe_get dv i))
+            in
+            let base = i lsl 5 in
+            while !w <> 0 do
+              let b = !w land - !w in
+              f (base + bit_index b);
+              w := !w lxor b
+            done
+          done
+        end
+      done
+    end
   else iter_neighbors t u (fun w -> if not (mem_edge t v w) then f w)
 
 let iter_common t u v f =
   let du = Array.unsafe_get t.dense u and dv = Array.unsafe_get t.dense v in
   if Array.length du <> 0 && Array.length dv <> 0 then
-    for i = 0 to t.words - 1 do
-      let w = ref (Array.unsafe_get du i land Array.unsafe_get dv i) in
-      if !w <> 0 then begin
-        let base = i lsl 5 in
-        while !w <> 0 do
-          let b = !w land - !w in
-          f (base + bit_index b);
-          w := !w lxor b
-        done
-      end
-    done
+    if t.len.(u) * 4 >= t.words && t.len.(v) * 4 >= t.words then
+      for i = 0 to t.words - 1 do
+        let w = ref (Array.unsafe_get du i land Array.unsafe_get dv i) in
+        if !w <> 0 then begin
+          let base = i lsl 5 in
+          while !w <> 0 do
+            let b = !w land - !w in
+            f (base + bit_index b);
+            w := !w lxor b
+          done
+        end
+      done
+    else begin
+      (* The intersection lives in words both rows occupy: AND the
+         summaries to visit only those. *)
+      let su = Array.unsafe_get t.summary u
+      and sv = Array.unsafe_get t.summary v in
+      for si = 0 to Array.length su - 1 do
+        let sw =
+          ref (Array.unsafe_get su si land Array.unsafe_get sv si)
+        in
+        if !sw <> 0 then begin
+          let sbase = si lsl 5 in
+          while !sw <> 0 do
+            let sb = !sw land - !sw in
+            let i = sbase + bit_index sb in
+            sw := !sw lxor sb;
+            let w = ref (Array.unsafe_get du i land Array.unsafe_get dv i) in
+            let base = i lsl 5 in
+            while !w <> 0 do
+              let b = !w land - !w in
+              f (base + bit_index b);
+              w := !w lxor b
+            done
+          done
+        end
+      done
+    end
   else begin
     (* Iterate the smaller row, probe the other. *)
     let u, v = if t.len.(u) <= t.len.(v) then (u, v) else (v, u) in
@@ -253,9 +398,32 @@ let count_common t u v =
   let du = Array.unsafe_get t.dense u and dv = Array.unsafe_get t.dense v in
   if Array.length du <> 0 && Array.length dv <> 0 then begin
     let n = ref 0 in
-    for i = 0 to t.words - 1 do
-      n := !n + Bits.popcount (Array.unsafe_get du i land Array.unsafe_get dv i)
-    done;
+    if t.len.(u) * 4 >= t.words && t.len.(v) * 4 >= t.words then
+      for i = 0 to t.words - 1 do
+        n :=
+          !n + Bits.popcount (Array.unsafe_get du i land Array.unsafe_get dv i)
+      done
+    else begin
+      let su = Array.unsafe_get t.summary u
+      and sv = Array.unsafe_get t.summary v in
+      for si = 0 to Array.length su - 1 do
+        let sw =
+          ref (Array.unsafe_get su si land Array.unsafe_get sv si)
+        in
+        if !sw <> 0 then begin
+          let sbase = si lsl 5 in
+          while !sw <> 0 do
+            let sb = !sw land - !sw in
+            let i = sbase + bit_index sb in
+            sw := !sw lxor sb;
+            n :=
+              !n
+              + Bits.popcount
+                  (Array.unsafe_get du i land Array.unsafe_get dv i)
+          done
+        end
+      done
+    end;
     !n
   end
   else begin
@@ -276,13 +444,19 @@ let promote t u =
   for i = 0 to n - 1 do
     wset d (Array.unsafe_get a i)
   done;
+  let s = Array.make (summary_words_of t.words) 0 in
+  for i = 0 to t.words - 1 do
+    if Array.unsafe_get d i <> 0 then wset s i
+  done;
   t.dense.(u) <- d;
+  t.summary.(u) <- s;
   t.adj.(u) <- [||]
 
 let push_neighbor t u v =
   let d = Array.unsafe_get t.dense u in
   if Array.length d <> 0 then begin
     wset d v;
+    wset (Array.unsafe_get t.summary u) (v lsr 5);
     t.len.(u) <- t.len.(u) + 1
   end
   else begin
@@ -305,7 +479,11 @@ let push_neighbor t u v =
    of fresh additions. *)
 let drop_neighbor t u v =
   let d = Array.unsafe_get t.dense u in
-  if Array.length d <> 0 then wclear d v
+  if Array.length d <> 0 then begin
+    wclear d v;
+    if Array.unsafe_get d (v lsr 5) = 0 then
+      wclear (Array.unsafe_get t.summary u) (v lsr 5)
+  end
   else begin
     let a = t.adj.(u) in
     let rec find i = if Array.unsafe_get a i = v then i else find (i + 1) in
@@ -321,6 +499,7 @@ let raw_add_edge t u v =
   end;
   push_neighbor t u v;
   push_neighbor t v u;
+  t.epoch <- t.epoch + 1;
   t.nedges <- t.nedges + 1
 
 let raw_remove_edge t u v =
@@ -328,6 +507,7 @@ let raw_remove_edge t u v =
     clear_bit1 t u v;
     clear_bit1 t v u
   end;
+  t.epoch <- t.epoch + 1;
   drop_neighbor t u v;
   drop_neighbor t v u;
   t.nedges <- t.nedges - 1
@@ -373,6 +553,7 @@ let notify ev t =
   match Domain.DLS.get monitor with None -> () | Some f -> f ev t
 
 let log_length t = t.log_len
+let epoch t = t.epoch
 let log_position (c : checkpoint) = c
 
 let checkpoint t =
@@ -390,7 +571,8 @@ let rollback t c =
     | Op_remove (u, v) -> raw_add_edge t u v
     | Op_kill v ->
         Bytes.unsafe_set t.alive v '\001';
-        t.nlive <- t.nlive + 1
+        t.nlive <- t.nlive + 1;
+        t.epoch <- t.epoch + 1
   done;
   t.ncheck <- t.ncheck - 1;
   notify (Rolled_back c) t
@@ -455,6 +637,7 @@ let remove_vertex t v =
       done;
     Bytes.unsafe_set t.alive v '\000';
     t.nlive <- t.nlive - 1;
+    t.epoch <- t.epoch + 1;
     log_op t (Op_kill v)
   end
 
@@ -541,10 +724,13 @@ let make_raw ~rows ~cap ~labels ~row_caps =
     | Auto | Sparse_rows | Bitset_rows | Threshold _ -> Bytes.empty
   in
   let dense = Array.make cap [||] in
+  let summary = Array.make cap [||] in
+  let swords = summary_words_of words in
   let adj =
     Array.init cap (fun i ->
         if row_caps.(i) >= threshold then begin
           dense.(i) <- Array.make words 0;
+          summary.(i) <- Array.make swords 0;
           [||]
         end
         else Array.make (max 1 row_caps.(i)) 0)
@@ -557,6 +743,7 @@ let make_raw ~rows ~cap ~labels ~row_caps =
       bits;
       adj;
       dense;
+      summary;
       len = Array.make cap 0;
       alive = Bytes.make cap '\001';
       nlive = cap;
@@ -569,6 +756,7 @@ let make_raw ~rows ~cap ~labels ~row_caps =
       sbuf1 = [||];
       sbuf2 = [||];
       wbuf = [||];
+      epoch = 0;
     }
   in
   Array.iteri (fun i l -> Hashtbl.replace t.index_tbl l i) labels;
@@ -638,6 +826,10 @@ let copy t =
     adj = Array.map Array.copy t.adj;
     dense =
       Array.map (fun d -> if Array.length d = 0 then d else Array.copy d) t.dense;
+    summary =
+      Array.map
+        (fun s -> if Array.length s = 0 then s else Array.copy s)
+        t.summary;
     len = Array.copy t.len;
     alive = Bytes.copy t.alive;
     labels = Array.copy t.labels;
@@ -648,6 +840,7 @@ let copy t =
     sbuf1 = [||];
     sbuf2 = [||];
     wbuf = [||];
+    epoch = 0;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -690,6 +883,13 @@ let check_invariants t =
       done;
       if !pc <> t.len.(u) then
         fail "row %d popcount %d disagrees with degree %d" u !pc t.len.(u);
+      let s = t.summary.(u) in
+      if Array.length s <> summary_words_of t.words then
+        fail "row %d dense without a summary" u;
+      for i = 0 to Array.length d - 1 do
+        if wget s i <> (d.(i) <> 0) then
+          fail "row %d summary bit %d disagrees with its word" u i
+      done;
       for i = 0 to Array.length d - 1 do
         let w = ref d.(i) in
         let base = i lsl 5 in
@@ -767,7 +967,14 @@ let check_vertex t v =
       done
     done;
     if !n <> t.len.(v) then
-      fail "row %d popcount %d disagrees with degree %d" v !n t.len.(v)
+      fail "row %d popcount %d disagrees with degree %d" v !n t.len.(v);
+    let s = t.summary.(v) in
+    if Array.length s <> summary_words_of t.words then
+      fail "row %d dense without a summary" v;
+    for i = 0 to Array.length d - 1 do
+      if wget s i <> (d.(i) <> 0) then
+        fail "row %d summary bit %d disagrees with its word" v i
+    done
   end
   else begin
     let n = t.len.(v) in

@@ -54,6 +54,14 @@ type checkpoint
     fewer bits.  Rows are never demoted. *)
 type rows = Auto | Matrix | Sparse_rows | Bitset_rows | Threshold of int
 
+val rows_of_string : string -> rows option
+(** Shared textual form of the policy, used by every CLI surface:
+    ["auto" | "matrix" | "sparse" | "bitset" | "threshold:<n>"]
+    (case-insensitive).  [None] on anything else. *)
+
+val rows_to_string : rows -> string
+(** Inverse of {!rows_of_string}. *)
+
 (** {1 Construction and bridges} *)
 
 val create : ?rows:rows -> int -> t
@@ -103,6 +111,14 @@ val iter_neighbors : t -> int -> (int -> unit) -> unit
     (bitset rows iterate in increasing index order, sparse rows in
     insertion order).  The graph must not be mutated during
     iteration. *)
+
+val iter_row_hybrid : t -> int -> (int -> unit) -> unit
+(** Degree-bucketed variant of {!iter_neighbors}: a bitset row whose
+    population is below a quarter of its word count is walked through
+    its occupancy summary (only non-empty words are touched), closing
+    the gap where sparse-populated bitset rows lose pure iteration to
+    int rows; well-populated rows and sparse rows iterate exactly as
+    {!iter_neighbors}.  Same order and mutation caveats. *)
 
 val fold_neighbors : t -> int -> ('a -> int -> 'a) -> 'a -> 'a
 
@@ -183,6 +199,14 @@ val checkpoint_depth : t -> int
     on checkpoint/rollback use this to assert their scope discipline is
     balanced (tests). *)
 
+val epoch : t -> int
+(** Mutation counter: bumped on every structural change — edge
+    additions and removals, vertex kills, and the inverse replays a
+    {!rollback} performs.  Derived views of the graph
+    ({!Elim_order}) record the epoch they last agreed with and compare
+    it to detect that someone else mutated the kernel; only equality is
+    meaningful, the magnitude is not. *)
+
 (** {1 Row introspection}
 
     Read-only access to the physical row representation, for the
@@ -203,6 +227,15 @@ val row_entries : t -> int -> int array
 
 val words_per_row : t -> int
 (** Number of 32-bit chunks per dense row: [(capacity + 31) / 32]. *)
+
+val row_summary : t -> int -> int array
+(** Occupancy summary of a dense row: bit [i] is set iff word [i] of
+    {!row_words} is non-zero — one packed bit per chunk, kept exact by
+    every mutation.  [[||]] for a sparse row.  Never write to it. *)
+
+val summary_words : t -> int
+(** Number of 32-bit chunks per row summary:
+    [(words_per_row + 31) / 32]. *)
 
 val dense_rows : t -> int
 (** Number of live indices whose row is currently a bitset. *)

@@ -39,25 +39,56 @@ let flat_eliminate f k ~order =
       state.(v) <- state_removed;
       let dw = Flat.row_words f v in
       let nw = Array.length dw in
-      if nw <> 0 then
-        for i = 0 to nw - 1 do
-          let w = ref (Array.unsafe_get dw i) in
-          if !w <> 0 then begin
-            let base = i * Flat.Bits.word_bits in
-            while !w <> 0 do
-              let u = base + Flat.Bits.lsb !w in
-              w := !w land (!w - 1);
-              if Array.unsafe_get state u <> state_removed then begin
-                let d = Array.unsafe_get deg u - 1 in
-                Array.unsafe_set deg u d;
-                if d = k - 1 then begin
-                  order.(!n_removed) <- u;
-                  incr n_removed
+      if nw <> 0 then begin
+        if Flat.degree f v * 4 >= nw then
+          for i = 0 to nw - 1 do
+            let w = ref (Array.unsafe_get dw i) in
+            if !w <> 0 then begin
+              let base = i * Flat.Bits.word_bits in
+              while !w <> 0 do
+                let u = base + Flat.Bits.lsb !w in
+                w := !w land (!w - 1);
+                if Array.unsafe_get state u <> state_removed then begin
+                  let d = Array.unsafe_get deg u - 1 in
+                  Array.unsafe_set deg u d;
+                  if d = k - 1 then begin
+                    order.(!n_removed) <- u;
+                    incr n_removed
+                  end
                 end
-              end
-            done
-          end
-        done
+              done
+            end
+          done
+        else begin
+          (* Sparse-populated bitset row: hop across empty words
+             through the occupancy summary (the hybrid-walk bucket). *)
+          let sm = Flat.row_summary f v in
+          for si = 0 to Array.length sm - 1 do
+            let sw = ref (Array.unsafe_get sm si) in
+            if !sw <> 0 then begin
+              let sbase = si * Flat.Bits.word_bits in
+              while !sw <> 0 do
+                let i = sbase + Flat.Bits.lsb !sw in
+                sw := !sw land (!sw - 1);
+                let w = ref (Array.unsafe_get dw i) in
+                let base = i * Flat.Bits.word_bits in
+                while !w <> 0 do
+                  let u = base + Flat.Bits.lsb !w in
+                  w := !w land (!w - 1);
+                  if Array.unsafe_get state u <> state_removed then begin
+                    let d = Array.unsafe_get deg u - 1 in
+                    Array.unsafe_set deg u d;
+                    if d = k - 1 then begin
+                      order.(!n_removed) <- u;
+                      incr n_removed
+                    end
+                  end
+                done
+              done
+            end
+          done
+        end
+      end
       else begin
         let a = Flat.row_entries f v and n = Flat.degree f v in
         for i = 0 to n - 1 do
@@ -164,22 +195,48 @@ let flat_smallest_last f ~order =
       if deg.(v) > !degeneracy then degeneracy := deg.(v);
       let dw = Flat.row_words f v in
       let nw = Array.length dw in
-      if nw <> 0 then
-        for i = 0 to nw - 1 do
-          let w = ref (Array.unsafe_get dw i) in
-          if !w <> 0 then begin
-            let base = i * Flat.Bits.word_bits in
-            while !w <> 0 do
-              let u = base + Flat.Bits.lsb !w in
-              w := !w land (!w - 1);
-              if Array.unsafe_get state u <> state_removed then begin
-                let d = Array.unsafe_get deg u - 1 in
-                Array.unsafe_set deg u d;
-                buckets.(d) <- u :: buckets.(d)
-              end
-            done
-          end
-        done
+      if nw <> 0 then begin
+        if Flat.degree f v * 4 >= nw then
+          for i = 0 to nw - 1 do
+            let w = ref (Array.unsafe_get dw i) in
+            if !w <> 0 then begin
+              let base = i * Flat.Bits.word_bits in
+              while !w <> 0 do
+                let u = base + Flat.Bits.lsb !w in
+                w := !w land (!w - 1);
+                if Array.unsafe_get state u <> state_removed then begin
+                  let d = Array.unsafe_get deg u - 1 in
+                  Array.unsafe_set deg u d;
+                  buckets.(d) <- u :: buckets.(d)
+                end
+              done
+            end
+          done
+        else begin
+          let sm = Flat.row_summary f v in
+          for si = 0 to Array.length sm - 1 do
+            let sw = ref (Array.unsafe_get sm si) in
+            if !sw <> 0 then begin
+              let sbase = si * Flat.Bits.word_bits in
+              while !sw <> 0 do
+                let i = sbase + Flat.Bits.lsb !sw in
+                sw := !sw land (!sw - 1);
+                let w = ref (Array.unsafe_get dw i) in
+                let base = i * Flat.Bits.word_bits in
+                while !w <> 0 do
+                  let u = base + Flat.Bits.lsb !w in
+                  w := !w land (!w - 1);
+                  if Array.unsafe_get state u <> state_removed then begin
+                    let d = Array.unsafe_get deg u - 1 in
+                    Array.unsafe_set deg u d;
+                    buckets.(d) <- u :: buckets.(d)
+                  end
+                done
+              done
+            end
+          done
+        end
+      end
       else begin
         let a = Flat.row_entries f v and n = Flat.degree f v in
         for i = 0 to n - 1 do

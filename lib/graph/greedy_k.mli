@@ -48,6 +48,16 @@ val witness_subgraph : Graph.t -> int -> Graph.ISet.t option
 
 val flat_is_greedy_k_colorable : Flat.t -> int -> bool
 
+val flat_eliminate : Flat.t -> int -> order:int array -> int
+(** Low-level elimination pass behind every probe above: peels
+    degree-[< k] vertices into [order] (which must be at least
+    [capacity]-sized) and returns the number removed — the graph is
+    greedy-k-colorable iff that equals {!Flat.num_live}.  Afterwards
+    [Flat.scratch2] holds 1 exactly on the removed indices, so the
+    residue is the set of live indices still marked 0.  Probe-heavy
+    searches call this directly with a caller-owned [order] buffer to
+    avoid the per-call allocation of the convenience wrappers. *)
+
 val flat_elimination_order : Flat.t -> int -> int list option
 (** Elimination order over dense indices. *)
 

@@ -93,6 +93,33 @@ let test_pool_shutdown () =
     (Invalid_argument "Pool.run: pool is shut down") (fun () ->
       ignore (Pool.run pool ~tasks:3 (fun i -> i)))
 
+(* The sanitizer's audit counters are domain-local on the hot path and
+   flushed into process-wide totals at pool join: after a parallel
+   run, the audits that happened on worker domains must be visible
+   from the caller.  Without the flush, only the caller's own share
+   would show — an undercount proportional to the domain count. *)
+let test_pool_sanitizer_aggregation () =
+  Unix.putenv "RC_CHECKED" "1";
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.putenv "RC_CHECKED" "0";
+      Rc_check.Sanitize.uninstall ())
+    (fun () ->
+      let before = Rc_check.Sanitize.events_seen () in
+      Pool.with_pool ~domains:4 (fun pool ->
+          ignore
+            (Pool.run pool ~tasks:12 (fun i ->
+                 let p =
+                   Qcheck_gen.problem ~n:30 ~n_affinities:20 (1000 + i)
+                 in
+                 ignore
+                   (Rc_core.Conservative.coalesce
+                      Rc_core.Conservative.Brute_force p);
+                 i)));
+      Alcotest.(check bool)
+        "worker-domain audits visible after join" true
+        (Rc_check.Sanitize.events_seen () > before))
+
 (* ------------------------------------------------------------------ *)
 (* run_cfg vs the legacy entry points                                  *)
 (* ------------------------------------------------------------------ *)
@@ -246,6 +273,8 @@ let () =
           Alcotest.test_case "lowest-indexed failure" `Quick
             test_pool_lowest_failure;
           Alcotest.test_case "shutdown" `Quick test_pool_shutdown;
+          Alcotest.test_case "sanitizer counters aggregate at join" `Quick
+            test_pool_sanitizer_aggregation;
         ] );
       ( "config",
         [
