@@ -643,6 +643,166 @@ let k5_incremental_engine () =
     cells
 
 (* ------------------------------------------------------------------ *)
+(* K6: binary instance format + the coalescing server                  *)
+(* ------------------------------------------------------------------ *)
+
+(* PR 7 added the compact binary instance format (Instance_io "RCBI")
+   and the batched coalescing server.  This section measures both
+   halves of that stack:
+
+   - decode paths at challenge scale (10^5 vertices): the text-grammar
+     parser, the binary decoder into a persistent Problem, and the
+     zero-copy view -> flat-kernel stream that skips the persistent
+     graph entirely — the binary rows must beat the text parse;
+   - a live server over a Unix socket: instances/sec with a saturating
+     batch of distinct instances (the pool's solve fan-out), then the
+     same batch resubmitted — every answer a cache hit — for the
+     cached-answer latency.  Seconds-long wall measurements, timed
+     directly like K4/K5. *)
+
+let k6_time reps f =
+  (* Median-free min-of-reps: these are ms..s-scale one-shot costs.
+     The major slice before each rep keeps garbage left over from the
+     earlier sections (and prior reps) from being charged to whichever
+     decode path happens to allocate next. *)
+  let best = ref infinity in
+  for _ = 1 to reps do
+    Gc.major ();
+    let t0 = Rc_core.Mclock.now_ns () in
+    ignore (Sys.opaque_identity (f ()));
+    let dt = Rc_core.Mclock.elapsed_s t0 in
+    if dt < !best then best := dt
+  done;
+  !best
+
+let k6_serving () =
+  section "K6 | binary instance format + coalescing-as-a-service";
+  let module Io = Rc_challenge.Instance_io in
+  let module Server = Rc_engine.Server in
+  (* -- decode paths at 10^5 vertices -------------------------------- *)
+  let n = if quick then 20_000 else 100_000 in
+  let { Rc_challenge.Challenge.problem = big; _ } =
+    Rc_challenge.Challenge.synthetic ~seed:2026 ~n ~maxlive:12
+      ~affinity_fraction:0.3 ()
+  in
+  let text = Io.print big in
+  let bin = Io.to_binary big in
+  Format.printf "instance: %s@." (Rc_core.Problem.stats big);
+  Format.printf "encoded:  text %d bytes, binary %d bytes (%.2fx smaller)@."
+    (String.length text) (String.length bin)
+    (float_of_int (String.length text) /. float_of_int (String.length bin));
+  let reps = if quick then 3 else 5 in
+  let t_parse =
+    k6_time reps (fun () ->
+        match Io.parse text with Ok p -> p | Error m -> failwith m)
+  in
+  let t_binary =
+    k6_time reps (fun () ->
+        match Io.of_binary bin with
+        | Ok p -> p
+        | Error e -> failwith (Io.bin_error_to_string e))
+  in
+  let t_view_flat =
+    k6_time reps (fun () ->
+        match Io.view_of_binary bin with
+        | Ok v -> Io.view_flat v
+        | Error e -> failwith (Io.bin_error_to_string e))
+  in
+  Format.printf
+    "decode (n=%d): text parse %8.3f s, binary %8.3f s, view->flat %8.3f s@."
+    n t_parse t_binary t_view_flat;
+  all_rows :=
+    !all_rows
+    @ [
+        (Printf.sprintf "k6/decode-text/n=%d" n, t_parse *. 1e9);
+        (Printf.sprintf "k6/decode-binary/n=%d" n, t_binary *. 1e9);
+        (Printf.sprintf "k6/decode-view-flat/n=%d" n, t_view_flat *. 1e9);
+      ];
+  if t_binary > 0. then begin
+    let ratio = t_parse /. t_binary in
+    Format.printf "  speedup %-39s %11.1fx@." "binary decode vs text parse"
+      ratio;
+    derived := !derived @ [ ("speedup:k6 binary decode vs text parse", ratio) ]
+  end;
+  if t_view_flat > 0. then begin
+    let ratio = t_parse /. t_view_flat in
+    Format.printf "  speedup %-39s %11.1fx@."
+      "zero-copy view->flat vs text parse" ratio;
+    derived :=
+      !derived @ [ ("speedup:k6 view->flat vs text parse", ratio) ]
+  end;
+  (* -- a live server over a Unix socket ----------------------------- *)
+  let domains = max 2 (Rc_engine.Pool.recommended_domains ()) in
+  let batch = if quick then 16 else 48 in
+  let instances =
+    List.init batch (fun i ->
+        let inst = Rc_challenge.Challenge.generate ~seed:(3000 + i) ~k:6 () in
+        Io.to_binary inst.Rc_challenge.Challenge.problem)
+  in
+  let path = Filename.concat (Filename.get_temp_dir_name ()) "rc_bench_k6.sock" in
+  let config = { Server.default_config with domains } in
+  Server.with_server ~config (fun t ->
+      let server = Domain.spawn (fun () -> Server.serve_unix t ~path) in
+      let fd = Server.Client.connect path in
+      let send_batch () =
+        List.iter
+          (fun b -> Server.Client.send_solve fd ~encoding:`Binary b)
+          instances;
+        Server.Client.send_flush fd;
+        let hits = ref 0 in
+        for _ = 1 to batch do
+          match Server.Client.recv fd with
+          | Server.Client.Resp (Server.Client.Answer { cache_hit; _ }) ->
+              if cache_hit then incr hits
+          | Server.Client.Resp _ | Server.Client.Eof ->
+              failwith "K6: expected an ANSWER frame"
+        done;
+        !hits
+      in
+      let t0 = Rc_core.Mclock.now_ns () in
+      let hits_cold = send_batch () in
+      let t_cold = Rc_core.Mclock.elapsed_s t0 in
+      let t0 = Rc_core.Mclock.now_ns () in
+      let hits_warm = send_batch () in
+      let t_warm = Rc_core.Mclock.elapsed_s t0 in
+      Server.Client.send_shutdown fd;
+      (match Server.Client.recv fd with
+      | Server.Client.Resp Server.Client.Bye -> ()
+      | _ -> failwith "K6: expected BYE");
+      Server.Client.close fd;
+      Domain.join server;
+      if hits_cold <> 0 then failwith "K6: cold batch hit the cache";
+      if hits_warm <> batch then failwith "K6: warm batch missed the cache";
+      let cold_rate = float_of_int batch /. t_cold in
+      let warm_latency_us = t_warm /. float_of_int batch *. 1e6 in
+      Format.printf
+        "server (%d domains): %d distinct instances in %8.3f s  (%.1f \
+         instances/s at saturation)@."
+        domains batch t_cold cold_rate;
+      Format.printf
+        "  resubmitted batch: %8.3f s, all %d answers from the cache  (%.1f \
+         us/answer round trip)@."
+        t_warm batch warm_latency_us;
+      all_rows :=
+        !all_rows
+        @ [
+            (Printf.sprintf "k6/serve-cold-batch/%d" batch, t_cold *. 1e9);
+            (Printf.sprintf "k6/serve-warm-batch/%d" batch, t_warm *. 1e9);
+          ];
+      derived :=
+        !derived
+        @ [
+            ("k6:server instances/s at saturation", cold_rate);
+            ("k6:cache-hit round trip (us)", warm_latency_us);
+          ];
+      if t_warm > 0. then begin
+        let ratio = t_cold /. t_warm in
+        Format.printf "  speedup %-39s %11.1fx@." "answer cache (warm vs cold)"
+          ratio;
+        derived := !derived @ [ ("speedup:k6 answer cache", ratio) ]
+      end)
+
+(* ------------------------------------------------------------------ *)
 (* E1: Theorem 1 pipeline — SSA interference graphs are chordal        *)
 (* ------------------------------------------------------------------ *)
 
@@ -1207,6 +1367,7 @@ let () =
   k3_bitset_density ();
   k4_parallel_sweep ();
   k5_incremental_engine ();
+  k6_serving ();
   e1_theorem1 ();
   e4_thm2 ();
   e5_thm3 ();

@@ -8,9 +8,13 @@
    coalesce reduction --theorem 2|3|4|6 --seed 5 [--size 6]
    coalesce thm5      --seed 3 --n 200
    coalesce allocate  --seed 7 --k 6 [--biased]
+   coalesce serve     --socket PATH | --stdio [--domains 4] [--no-certify]
+   coalesce client    --socket PATH [--seed 7 | --file F] [--repeat 3]
+   coalesce convert   --file IN --out OUT [--to binary|text]
 
    All instances are deterministic in --seed; sweep reports are
-   additionally byte-identical at any --domains value. *)
+   additionally byte-identical at any --domains value, and a served
+   answer is byte-identical to the one-shot `solve` output. *)
 
 open Cmdliner
 module G = Rc_graph.Graph
@@ -143,11 +147,28 @@ module Common = struct
             "Per-cell checking: none, input (validate the problem), or \
              conservative (assert the k-colorability claim).")
 
+  let read_all path =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+
+  (* Instance files are sniffed: the binary format's magic decides
+     which decoder runs, so --file takes either encoding everywhere. *)
+  let load_instance path =
+    let data = try read_all path with Sys_error m -> failwith m in
+    let r =
+      if Rc_challenge.Instance_io.is_binary data then
+        Result.map_error Rc_challenge.Instance_io.bin_error_to_string
+          (Rc_challenge.Instance_io.of_binary data)
+      else Rc_challenge.Instance_io.parse data
+    in
+    match r with
+    | Ok p -> p
+    | Error m -> failwith (Printf.sprintf "%s: %s" path m)
+
   let load_problem ~seed ~k ~chordal = function
-    | Some path -> (
-        match Rc_challenge.Instance_io.read_file path with
-        | Ok p -> p
-        | Error m -> failwith (Printf.sprintf "%s: %s" path m))
+    | Some path -> load_instance path
     | None ->
         (Rc_challenge.Challenge.generate ~seed ~move_aware:(not chordal) ~k ())
           .problem
@@ -212,24 +233,38 @@ let solve_cmd =
         (Printf.sprintf "Strategy: %s.  Omit to run all heuristics."
            Common.strategy_names)
   in
-  let run seed k strategy chordal file rows check =
+  let timing_arg =
+    Arg.(
+      value & flag
+      & info [ "timing" ]
+          ~doc:
+            "Also time each strategy and print pp_report lines with wall \
+             times.  Without it, the output is the canonical answer text — \
+             byte-identical to what `coalesce serve` streams for the same \
+             instance and strategy.")
+  in
+  let run seed k strategy chordal file rows check timing =
     let problem = Common.load_problem ~seed ~k ~chordal file in
-    Format.printf "%s@." (Rc_core.Problem.stats problem);
     let strategies =
       match strategy with Some s -> [ s ] | None -> Strategies.all_heuristics
     in
     let cfg = { Strategies.default_config with rows; check; seed } in
-    List.iter
-      (fun s ->
-        let r = Strategies.evaluate_cfg cfg s problem in
-        Format.printf "%a@." Strategies.pp_report r)
-      strategies
+    if not timing then
+      print_string (Rc_engine.Server.one_shot ~config:cfg ~strategies problem)
+    else begin
+      Format.printf "%s@." (Rc_core.Problem.stats problem);
+      List.iter
+        (fun s ->
+          let r = Strategies.evaluate_cfg cfg s problem in
+          Format.printf "%a@." Strategies.pp_report r)
+        strategies
+    end
   in
   Cmd.v
     (Cmd.info "solve" ~doc:"Run coalescing strategies on an instance.")
     Term.(
       const run $ Common.seed $ Common.k $ strategy_arg $ Common.chordal
-      $ Common.file $ Common.rows $ Common.check)
+      $ Common.file $ Common.rows $ Common.check $ timing_arg)
 
 (* check -------------------------------------------------------------- *)
 
@@ -595,6 +630,204 @@ let allocate_cmd =
           validate it with the symbolic interpreter.")
     Term.(const run $ Common.seed $ Common.k $ biased_arg)
 
+(* serve / client / convert ------------------------------------------- *)
+
+module Server = Rc_engine.Server
+
+let socket_info =
+  Arg.info [ "socket" ] ~docv:"PATH"
+    ~doc:"Unix-domain socket path (keep it short: the OS caps it near 107 \
+          bytes)."
+
+let socket_opt = Arg.(value & opt (some string) None & socket_info)
+let socket_req = Arg.(required & opt (some string) None & socket_info)
+
+let serve_cmd =
+  let stdio_arg =
+    Arg.(
+      value & flag
+      & info [ "stdio" ]
+          ~doc:"Serve one framed session over stdin/stdout instead of a \
+                socket.")
+  in
+  let no_certify_arg =
+    Arg.(
+      value & flag
+      & info [ "no-certify" ]
+          ~doc:"Skip the independent certification pass on served answers.")
+  in
+  let cache_arg =
+    Arg.(
+      value & opt int Server.default_config.cache_capacity
+      & info [ "cache" ] ~docv:"N" ~doc:"Answer-cache entry capacity.")
+  in
+  let run socket stdio domains rows no_certify cache =
+    if Rc_check.Sanitize.install_if_enabled () then
+      Format.printf "sanitizer: enabled (profile %s)@."
+        Rc_check.Sanitize.profile;
+    let config =
+      {
+        Server.default_config with
+        domains = (match domains with Some d -> max 1 d | None -> 1);
+        rows;
+        certify = not no_certify;
+        cache_capacity = max 1 cache;
+      }
+    in
+    match (socket, stdio) with
+    | Some _, true -> failwith "serve: --socket and --stdio are exclusive"
+    | None, false -> failwith "serve: need --socket PATH or --stdio"
+    | Some path, false ->
+        Server.with_server ~config (fun t ->
+            Format.printf "serving on %s (domains=%d certify=%b)@." path
+              config.domains config.certify;
+            Server.serve_unix t ~path;
+            Format.printf "server: drained and shut down@.")
+    | None, true -> Server.with_server ~config Server.serve_stdio
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Coalescing as a service: accept length-prefixed batched SOLVE \
+          frames, schedule them on a domain pool, stream certified answers \
+          back in submission order (see DESIGN.md for the wire protocol).")
+    Term.(
+      const run $ socket_opt $ stdio_arg $ Common.domains
+      $ Common.rows $ no_certify_arg $ cache_arg)
+
+let client_cmd =
+  let text_arg =
+    Arg.(
+      value & flag
+      & info [ "text" ]
+          ~doc:"Ship the instance in the text format (default: binary).")
+  in
+  let repeat_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "repeat" ] ~docv:"N"
+          ~doc:"Submit the instance $(docv) times in one batch (repeats are \
+                answered from the cache).")
+  in
+  let ping_arg =
+    Arg.(value & flag & info [ "ping" ] ~doc:"Just ping the server.")
+  in
+  let stats_arg =
+    Arg.(value & flag & info [ "stats" ] ~doc:"Print the server's counters.")
+  in
+  let shutdown_arg =
+    Arg.(
+      value & flag
+      & info [ "shutdown" ] ~doc:"Ask the server to drain and shut down.")
+  in
+  let run socket seed k chordal file strategy text ping stats shutdown repeat =
+    let open Server.Client in
+    let fd = connect socket in
+    Fun.protect
+      ~finally:(fun () -> close fd)
+      (fun () ->
+        let fail_on = function
+          | Eof -> failwith "server closed the connection"
+          | Resp (Error { code; message }) ->
+              failwith (Printf.sprintf "server error %d: %s" code message)
+          | Resp r -> r
+        in
+        if ping then begin
+          send_ping fd;
+          match fail_on (recv fd) with
+          | Pong -> print_endline "pong"
+          | _ -> failwith "no pong"
+        end
+        else if stats then begin
+          send_stats fd;
+          match fail_on (recv fd) with
+          | Stats s -> print_string s
+          | _ -> failwith "no stats"
+        end
+        else if shutdown then begin
+          send_shutdown fd;
+          match fail_on (recv fd) with
+          | Bye -> print_endline "bye"
+          | _ -> failwith "no bye"
+        end
+        else begin
+          let problem = Common.load_problem ~seed ~k ~chordal file in
+          let encoding, instance =
+            if text then (`Text, Rc_challenge.Instance_io.print problem)
+            else (`Binary, Rc_challenge.Instance_io.to_binary problem)
+          in
+          let strategy = Option.map Strategies.name strategy in
+          let repeat = max 1 repeat in
+          for _ = 1 to repeat do
+            send_solve fd ?strategy ~encoding instance
+          done;
+          send_flush fd;
+          for _ = 1 to repeat do
+            match fail_on (recv fd) with
+            | Answer { cache_hit; certified; text } ->
+                (* Metadata on stderr so stdout diffs cleanly against the
+                   one-shot `solve` output. *)
+                Printf.eprintf "# cache_hit=%b certified=%b\n%!" cache_hit
+                  certified;
+                print_string text
+            | _ -> failwith "unexpected response type"
+          done
+        end)
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Submit an instance (or a control frame) to a running `coalesce \
+          serve` and print the streamed answer; stdout is byte-identical to \
+          the one-shot `solve` output for the same instance and strategy.")
+    Term.(
+      const run $ socket_req $ Common.seed $ Common.k
+      $ Common.chordal $ Common.file
+      $ Common.strategy
+          ~doc:"Strategy to request (same names as solve); omit for all \
+                heuristics."
+      $ text_arg $ ping_arg $ stats_arg $ shutdown_arg $ repeat_arg)
+
+let convert_cmd =
+  let out_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE" ~doc:"Output path.")
+  in
+  let to_arg =
+    let enc_conv =
+      Arg.conv
+        ( (function
+          | "binary" -> Ok `Binary
+          | "text" -> Ok `Text
+          | s -> Error (`Msg (Printf.sprintf "unknown encoding %S" s))),
+          fun ppf e ->
+            Format.pp_print_string ppf
+              (match e with `Binary -> "binary" | `Text -> "text") )
+    in
+    Arg.(
+      value & opt enc_conv `Binary
+      & info [ "to" ] ~docv:"ENC" ~doc:"Target encoding: binary or text.")
+  in
+  let run seed k chordal file out target =
+    let problem = Common.load_problem ~seed ~k ~chordal file in
+    (match target with
+    | `Binary -> Rc_challenge.Instance_io.write_binary_file out problem
+    | `Text -> Rc_challenge.Instance_io.write_file out problem);
+    Format.printf "wrote %s (hash %s)@." out
+      (Rc_challenge.Instance_io.canonical_hash problem)
+  in
+  Cmd.v
+    (Cmd.info "convert"
+       ~doc:
+         "Re-encode an instance between the text grammar and the binary \
+          format (both are sniffed on input; the two encodings are \
+          interconvertible without loss).")
+    Term.(
+      const run $ Common.seed $ Common.k $ Common.chordal $ Common.file
+      $ out_arg $ to_arg)
+
 let () =
   let info =
     Cmd.info "coalesce" ~version:"1.0"
@@ -612,4 +845,7 @@ let () =
             reduction_cmd;
             thm5_cmd;
             allocate_cmd;
+            serve_cmd;
+            client_cmd;
+            convert_cmd;
           ]))

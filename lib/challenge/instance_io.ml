@@ -123,3 +123,361 @@ let write_file path p =
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc (print p))
+
+(* ------------------------------------------------------------------ *)
+(* Binary format                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Layout (all fields little-endian int32; see DESIGN.md "wire
+   protocol" for the normative spec):
+
+     bytes  0..3   magic "RCBI"
+     bytes  4..7   version (currently 1)
+     bytes  8..11  k
+     bytes 12..15  nv  (vertex count)
+     bytes 16..19  ne  (edge count)
+     bytes 20..23  na  (affinity count)
+     bytes 24..27  flags (must be 0)
+     bytes 28..31  reserved (must be 0)
+     then          nv int32  vertex ids, strictly increasing
+     then          ne pairs  (i, j) of dense vertex-table indices,
+                             i < j, strictly increasing lexicographic
+     then          na triples (i, j, w), i < j, strictly increasing
+                             lexicographic, w >= 1
+
+   Edges and affinities are stored as *dense indices* into the vertex
+   table, not raw vertex ids: a loader can stream them straight into a
+   {!Rc_graph.Flat} kernel of capacity nv with no id translation, and
+   the sortedness rules make the encoding canonical — byte-equal
+   encodings iff equal problems — which is what lets the serve path
+   key its answer cache on a hash of these bytes. *)
+
+let binary_magic = "RCBI"
+let binary_version = 1
+let header_words = 8
+
+type bin_error =
+  | Bin_bad_magic
+  | Bin_unsupported_version of int
+  | Bin_bad_header of string
+  | Bin_truncated of { expected : int; got : int }
+  | Bin_malformed of string
+  | Bin_io of string
+
+let bin_error_to_string = function
+  | Bin_bad_magic -> Printf.sprintf "bad magic (want %S)" binary_magic
+  | Bin_unsupported_version v ->
+      Printf.sprintf "unsupported binary version %d (want %d)" v binary_version
+  | Bin_bad_header m -> Printf.sprintf "bad header: %s" m
+  | Bin_truncated { expected; got } ->
+      Printf.sprintf "truncated: expected %d bytes, got %d" expected got
+  | Bin_malformed m -> Printf.sprintf "malformed body: %s" m
+  | Bin_io m -> Printf.sprintf "i/o error: %s" m
+
+type bigview = (int32, Bigarray.int32_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+(* A decoded-and-validated instance whose edge/affinity sections still
+   live in the (possibly mmap-ed) backing store: iteration reads the
+   Bigarray directly, no per-element boxing or copying. *)
+type view = {
+  vk : int;
+  nv : int;
+  ne : int;
+  na : int;
+  data : bigview;  (** the whole encoding, header included *)
+}
+
+let view_k v = v.vk
+let view_counts v = (v.nv, v.ne, v.na)
+let vertex_base = header_words
+let edge_base v = header_words + v.nv
+let affinity_base v = header_words + v.nv + (2 * v.ne)
+
+let view_vertex v i = Int32.to_int (Bigarray.Array1.get v.data (vertex_base + i))
+
+let iter_view_edges v f =
+  let base = edge_base v in
+  for e = 0 to v.ne - 1 do
+    let i = Int32.to_int (Bigarray.Array1.get v.data (base + (2 * e)))
+    and j = Int32.to_int (Bigarray.Array1.get v.data (base + (2 * e) + 1)) in
+    f (view_vertex v i) (view_vertex v j)
+  done
+
+let iter_view_affinities v f =
+  let base = affinity_base v in
+  for a = 0 to v.na - 1 do
+    let i = Int32.to_int (Bigarray.Array1.get v.data (base + (3 * a)))
+    and j = Int32.to_int (Bigarray.Array1.get v.data (base + (3 * a) + 1))
+    and w = Int32.to_int (Bigarray.Array1.get v.data (base + (3 * a) + 2)) in
+    f (view_vertex v i) (view_vertex v j) w
+  done
+
+let view_flat ?rows v =
+  let f = Rc_graph.Flat.create ?rows v.nv in
+  let base = edge_base v in
+  for e = 0 to v.ne - 1 do
+    (* Strict lexicographic sortedness (validated on load) means every
+       edge arrives exactly once with i < j — the add_new_edge
+       contract, so the bulk load skips membership probes entirely. *)
+    Rc_graph.Flat.add_new_edge f
+      (Int32.to_int (Bigarray.Array1.get v.data (base + (2 * e))))
+      (Int32.to_int (Bigarray.Array1.get v.data (base + (2 * e) + 1)))
+  done;
+  let labels = Array.init v.nv (fun i -> view_vertex v i) in
+  (f, labels)
+
+let view_problem v =
+  (* Accumulate the symmetric adjacency over dense indices, then hand
+     the whole thing to the bulk constructor: one [ISet.of_list] per
+     vertex instead of two map updates per edge.  The dense-index pairs
+     are already validated, so the sorted-adjacency contract (strictly
+     increasing vertices, symmetry, no self-loops) holds by
+     construction. *)
+  let adj = Array.make (max v.nv 1) [] in
+  let base = edge_base v in
+  for e = 0 to v.ne - 1 do
+    let i = Int32.to_int (Bigarray.Array1.get v.data (base + (2 * e)))
+    and j = Int32.to_int (Bigarray.Array1.get v.data (base + (2 * e) + 1)) in
+    adj.(i) <- j :: adj.(i);
+    adj.(j) <- i :: adj.(j)
+  done;
+  let graph =
+    G.of_sorted_adjacency
+      (List.init v.nv (fun i ->
+           (view_vertex v i, List.rev_map (view_vertex v) adj.(i))))
+  in
+  let affinities = ref [] in
+  iter_view_affinities v (fun u w wt -> affinities := ((u, w), wt) :: !affinities);
+  Rc_core.Problem.make ~graph ~affinities:(List.rev !affinities) ~k:v.vk
+
+(* ---- encoding ---------------------------------------------------- *)
+
+let fits_int32 x = x >= Int32.to_int Int32.min_int && x <= Int32.to_int Int32.max_int
+
+let to_binary (p : Rc_core.Problem.t) =
+  let vs = Array.of_list (G.vertices p.graph) in
+  let nv = Array.length vs in
+  let index = Hashtbl.create (2 * nv) in
+  Array.iteri
+    (fun i v ->
+      if not (fits_int32 v) then
+        invalid_arg
+          (Printf.sprintf "Instance_io.to_binary: vertex %d exceeds int32" v);
+      Hashtbl.replace index v i)
+    vs;
+  if not (fits_int32 p.k) then
+    invalid_arg "Instance_io.to_binary: k exceeds int32";
+  let ne = G.num_edges p.graph in
+  let na = List.length p.affinities in
+  let words = header_words + nv + (2 * ne) + (3 * na) in
+  let buf = Bytes.create (4 * words) in
+  let put w x = Bytes.set_int32_le buf (4 * w) (Int32.of_int x) in
+  Bytes.blit_string binary_magic 0 buf 0 4;
+  put 1 binary_version;
+  put 2 p.k;
+  put 3 nv;
+  put 4 ne;
+  put 5 na;
+  put 6 0;
+  put 7 0;
+  Array.iteri (fun i v -> put (vertex_base + i) v) vs;
+  (* [G.edges] yields each edge once as (u, v) with u < v, in strictly
+     increasing lexicographic order (adjacency map in key order) — the
+     canonical order the format requires, so no sort is needed.  The
+     affinity list is normalized by [Problem.make] to the same order. *)
+  let w = ref (header_words + nv) in
+  G.iter_edges
+    (fun u v ->
+      put !w (Hashtbl.find index u);
+      put (!w + 1) (Hashtbl.find index v);
+      w := !w + 2)
+    p.graph;
+  List.iter
+    (fun (a : Rc_core.Problem.affinity) ->
+      if not (fits_int32 a.weight) then
+        invalid_arg "Instance_io.to_binary: affinity weight exceeds int32";
+      put !w (Hashtbl.find index a.u);
+      put (!w + 1) (Hashtbl.find index a.v);
+      put (!w + 2) a.weight;
+      w := !w + 3)
+    p.affinities;
+  Bytes.unsafe_to_string buf
+
+(* ---- validation -------------------------------------------------- *)
+
+let ( let* ) r f = match r with Ok x -> f x | Error _ as e -> e
+
+(* Structural validation shared by every decode path.  O(size) scans;
+   the strict-sortedness checks double as duplicate detection. *)
+let validate_view (v : view) =
+  let get i = Int32.to_int (Bigarray.Array1.get v.data i) in
+  let* () =
+    if v.vk <= 0 then Error (Bin_bad_header (Printf.sprintf "k = %d" v.vk))
+    else Ok ()
+  in
+  let* () =
+    let rec go i =
+      if i >= v.nv then Ok ()
+      else if i > 0 && get (vertex_base + i) <= get (vertex_base + i - 1) then
+        Error
+          (Bin_malformed
+             (Printf.sprintf "vertex table not strictly increasing at %d" i))
+      else go (i + 1)
+    in
+    go 0
+  in
+  let check_section ~what ~base ~count ~stride ~weighted =
+    let rec go e =
+      if e >= count then Ok ()
+      else
+        let i = get (base + (stride * e)) and j = get (base + (stride * e) + 1) in
+        if i < 0 || j < 0 || i >= v.nv || j >= v.nv then
+          Error
+            (Bin_malformed
+               (Printf.sprintf "%s %d: index (%d, %d) outside vertex table" what
+                  e i j))
+        else if i >= j then
+          Error
+            (Bin_malformed
+               (Printf.sprintf "%s %d: endpoints (%d, %d) not ordered" what e i
+                  j))
+        else if weighted && get (base + (stride * e) + 2) <= 0 then
+          Error
+            (Bin_malformed
+               (Printf.sprintf "%s %d: non-positive weight %d" what e
+                  (get (base + (stride * e) + 2))))
+        else if
+          e > 0
+          && (i, j)
+             <= (get (base + (stride * (e - 1))), get (base + (stride * (e - 1)) + 1))
+        then
+          Error
+            (Bin_malformed
+               (Printf.sprintf "%s section not strictly sorted at %d" what e))
+        else go (e + 1)
+    in
+    go 0
+  in
+  let* () =
+    check_section ~what:"edge" ~base:(edge_base v) ~count:v.ne ~stride:2
+      ~weighted:false
+  in
+  let* () =
+    check_section ~what:"affinity" ~base:(affinity_base v) ~count:v.na ~stride:3
+      ~weighted:true
+  in
+  Ok v
+
+let view_of_bigarray (data : bigview) =
+  let words = Bigarray.Array1.dim data in
+  let* () =
+    if words < header_words then
+      Error (Bin_truncated { expected = 4 * header_words; got = 4 * words })
+    else Ok ()
+  in
+  let magic = Bytes.create 4 in
+  Bytes.set_int32_le magic 0 (Bigarray.Array1.get data 0);
+  let* () =
+    if Bytes.to_string magic <> binary_magic then Error Bin_bad_magic else Ok ()
+  in
+  let get i = Int32.to_int (Bigarray.Array1.get data i) in
+  let* () =
+    if get 1 <> binary_version then Error (Bin_unsupported_version (get 1))
+    else Ok ()
+  in
+  let* () =
+    if get 6 <> 0 || get 7 <> 0 then
+      Error (Bin_bad_header (Printf.sprintf "non-zero flags %d/%d" (get 6) (get 7)))
+    else Ok ()
+  in
+  let vk = get 2 and nv = get 3 and ne = get 4 and na = get 5 in
+  let* () =
+    if nv < 0 || ne < 0 || na < 0 then
+      Error (Bin_bad_header (Printf.sprintf "negative counts %d/%d/%d" nv ne na))
+    else Ok ()
+  in
+  let expected = header_words + nv + (2 * ne) + (3 * na) in
+  let* () =
+    if words <> expected then
+      Error (Bin_truncated { expected = 4 * expected; got = 4 * words })
+    else Ok ()
+  in
+  validate_view { vk; nv; ne; na; data }
+
+let view_of_binary s =
+  let len = String.length s in
+  if len mod 4 <> 0 then
+    (* Report against the nearest well-formed size so truncation points
+       inside a word still read as truncation, not as a magic/header
+       problem. *)
+    Error (Bin_truncated { expected = 4 * ((len / 4) + 1); got = len })
+  else begin
+    let data =
+      Bigarray.Array1.create Bigarray.int32 Bigarray.c_layout (len / 4)
+    in
+    for i = 0 to (len / 4) - 1 do
+      Bigarray.Array1.set data i (String.get_int32_le s (4 * i))
+    done;
+    view_of_bigarray data
+  end
+
+let of_binary s =
+  let* v = view_of_binary s in
+  Ok (view_problem v)
+
+let is_binary s =
+  String.length s >= 4 && String.sub s 0 4 = binary_magic
+
+let write_binary_file path p =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_binary p))
+
+let map_binary_file path =
+  match
+    let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
+    Fun.protect
+      ~finally:(fun () -> Unix.close fd)
+      (fun () ->
+        let bytes = (Unix.fstat fd).Unix.st_size in
+        if bytes mod 4 <> 0 then
+          Error (Bin_truncated { expected = 4 * ((bytes / 4) + 1); got = bytes })
+        else
+          (* The kernel backs the pages straight from the file cache:
+             nothing is read or copied until the validation scans and
+             the Flat bulk load touch the words. *)
+          let arr =
+            Unix.map_file fd Bigarray.int32 Bigarray.c_layout false
+              [| bytes / 4 |]
+          in
+          view_of_bigarray (Bigarray.array1_of_genarray arr))
+  with
+  | r -> r
+  | exception Unix.Unix_error (e, _, _) -> Error (Bin_io (Unix.error_message e))
+  | exception Sys_error m -> Error (Bin_io m)
+
+let read_binary_file path =
+  let* v = map_binary_file path in
+  Ok (view_problem v)
+
+(* ---- canonical hash ---------------------------------------------- *)
+
+(* FNV-1a over the canonical binary encoding.  64-bit arithmetic in a
+   63-bit int loses the top bit of the state each step — harmless for a
+   cache key (it is not a cryptographic commitment; the serve-path
+   cache stores the full key alongside and certifies answers
+   independently). *)
+let fnv1a s =
+  (* The canonical 64-bit offset basis with its top bit dropped, so the
+     literal fits OCaml's 63-bit int. *)
+  let h = ref 0x4bf29ce484222325 in
+  String.iter
+    (fun c ->
+      h := !h lxor Char.code c;
+      h := !h * 0x100000001b3)
+    s;
+  !h land max_int
+
+let hash_binary s = Printf.sprintf "%015x" (fnv1a s)
+let canonical_hash p = hash_binary (to_binary p)

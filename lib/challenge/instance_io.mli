@@ -1,6 +1,11 @@
-(** Textual coalescing-instance format, loosely modeled on the files of
-    the Appel–George coalescing challenge so that externally produced
-    interference graphs can be fed to the solvers.
+(** Coalescing-instance I/O: the textual Appel–George-style format and
+    the compact binary format the serving stack feeds on.
+
+    {1 Text format}
+
+    Loosely modeled on the files of the Appel–George coalescing
+    challenge so that externally produced interference graphs can be
+    fed to the solvers.
 
     Grammar (one directive per line; [#] starts a comment):
 
@@ -16,12 +21,113 @@
     number. *)
 
 val parse : string -> (Rc_core.Problem.t, string) result
-(** Parses the contents of an instance file. *)
+(** Parses the contents of an instance file.  Affinities are
+    normalized exactly as {!Rc_core.Problem.make} does (endpoints
+    ordered, duplicates merged, canonical sort), so hand-written files
+    may list them in any order. *)
 
 val read_file : string -> (Rc_core.Problem.t, string) result
 
 val print : Rc_core.Problem.t -> string
-(** Renders an instance; [parse (print p)] reproduces [p] up to affinity
-    normalization. *)
+(** Renders an instance canonically: [parse (print p)] reproduces [p]
+    {e exactly} ([Graph.equal] graphs, structurally equal affinity
+    lists and [k]), and [print] is idempotent across a parse round
+    trip — locked by the round-trip regression suite in
+    [test_server.ml]. *)
 
 val write_file : string -> Rc_core.Problem.t -> unit
+
+(** {1 Binary format}
+
+    A versioned, canonical, little-endian encoding ("RCBI"): 32-byte
+    header (magic, version, k, counts, zero flags), a strictly
+    increasing vertex-id table, then edge and affinity sections stored
+    as {e dense vertex-table indices} in strictly increasing
+    lexicographic order.  Canonical means byte-equal encodings iff
+    equal problems — the serve path keys its answer cache on
+    {!hash_binary} of these bytes.  The sections are index-based so a
+    loader can stream them into a {!Rc_graph.Flat} kernel with no id
+    translation ({!view_flat}), and the file reader mmaps the encoding
+    into a [Bigarray] so nothing is copied or even read until the
+    validation scans and the bulk load touch the words
+    ({!map_binary_file}).  See DESIGN.md "Coalescing as a service" for
+    the normative byte layout. *)
+
+type bin_error =
+  | Bin_bad_magic
+  | Bin_unsupported_version of int
+  | Bin_bad_header of string  (** non-positive k, bad flags, negative counts *)
+  | Bin_truncated of { expected : int; got : int }  (** sizes in bytes *)
+  | Bin_malformed of string
+      (** body violations: unsorted/duplicate vertices, edges or
+          affinities, out-of-range indices, non-positive weights *)
+  | Bin_io of string  (** file-system errors on the mmap path *)
+
+val bin_error_to_string : bin_error -> string
+
+val to_binary : Rc_core.Problem.t -> string
+(** Canonical encoding.  Raises [Invalid_argument] if a vertex id, the
+    weight of an affinity or [k] does not fit in int32. *)
+
+val of_binary : string -> (Rc_core.Problem.t, bin_error) result
+(** [of_binary (to_binary p) = Ok p] exactly, for every valid problem
+    (the binary round-trip property suite locks this, up to [10^5]
+    vertices). *)
+
+val is_binary : string -> bool
+(** Magic sniff, so front ends can accept either format on one path. *)
+
+(** {2 Zero-copy views} *)
+
+type view
+(** A validated instance whose sections still live in their (possibly
+    mmap-ed) backing store; iteration reads the [Bigarray] directly. *)
+
+val view_of_binary : string -> (view, bin_error) result
+val view_of_bigarray :
+  (int32, Bigarray.int32_elt, Bigarray.c_layout) Bigarray.Array1.t ->
+  (view, bin_error) result
+
+val view_k : view -> int
+val view_counts : view -> int * int * int
+(** (vertices, edges, affinities). *)
+
+val view_vertex : view -> int -> int
+(** Vertex id at a dense index. *)
+
+val iter_view_edges : view -> (int -> int -> unit) -> unit
+(** Edges as original vertex ids, canonical order. *)
+
+val iter_view_affinities : view -> (int -> int -> int -> unit) -> unit
+(** [f u v weight], canonical order. *)
+
+val view_problem : view -> Rc_core.Problem.t
+(** Materialize as a persistent-graph problem. *)
+
+val view_flat :
+  ?rows:Rc_graph.Flat.rows -> view -> Rc_graph.Flat.t * int array
+(** Stream the edge section straight into a flat kernel of capacity
+    [nv] through {!Rc_graph.Flat.add_new_edge} (the validated
+    sortedness guarantees each edge arrives once with [i < j]).
+    Returns the kernel and the dense-index-to-vertex-id table. *)
+
+(** {2 Files} *)
+
+val write_binary_file : string -> Rc_core.Problem.t -> unit
+
+val map_binary_file : string -> (view, bin_error) result
+(** [Unix.map_file]-backed load: the returned view reads the page
+    cache directly. *)
+
+val read_binary_file : string -> (Rc_core.Problem.t, bin_error) result
+
+(** {2 Canonical hash} *)
+
+val hash_binary : string -> string
+(** FNV-1a of an encoding, as fixed-width hex.  Not cryptographic: the
+    serve path uses it as a cache key and certifies answers
+    independently. *)
+
+val canonical_hash : Rc_core.Problem.t -> string
+(** [hash_binary (to_binary p)] — equal problems hash equal, whatever
+    route (text, binary, generator) produced them. *)

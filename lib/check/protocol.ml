@@ -1,0 +1,65 @@
+type error =
+  | Bad_magic of { byte0 : int; byte1 : int }
+  | Bad_flags of int
+  | Unknown_frame_type of int
+  | Oversized_frame of { length : int; limit : int }
+  | Truncated_frame of { context : string; wanted : int; got : int }
+  | Bad_request of string
+  | Bad_instance of string
+  | Unknown_strategy of string
+  | Certification_failed of string
+  | Shutting_down
+
+(* Wire codes are part of the protocol: append-only, never renumber. *)
+let code = function
+  | Bad_magic _ -> 1
+  | Bad_flags _ -> 2
+  | Unknown_frame_type _ -> 3
+  | Oversized_frame _ -> 4
+  | Truncated_frame _ -> 5
+  | Bad_request _ -> 6
+  | Bad_instance _ -> 7
+  | Unknown_strategy _ -> 8
+  | Certification_failed _ -> 9
+  | Shutting_down -> 10
+
+let code_name = function
+  | 1 -> "bad-magic"
+  | 2 -> "bad-flags"
+  | 3 -> "unknown-frame-type"
+  | 4 -> "oversized-frame"
+  | 5 -> "truncated-frame"
+  | 6 -> "bad-request"
+  | 7 -> "bad-instance"
+  | 8 -> "unknown-strategy"
+  | 9 -> "certification-failed"
+  | 10 -> "shutting-down"
+  | _ -> "unknown"
+
+let closes_connection = function
+  | Bad_magic _ | Bad_flags _ | Unknown_frame_type _ | Oversized_frame _
+  | Truncated_frame _ ->
+      true
+  | Bad_request _ | Bad_instance _ | Unknown_strategy _
+  | Certification_failed _ | Shutting_down ->
+      false
+
+let to_string e =
+  match e with
+  | Bad_magic { byte0; byte1 } ->
+      Printf.sprintf "bad frame magic 0x%02x 0x%02x (want \"RC\")" byte0 byte1
+  | Bad_flags f -> Printf.sprintf "non-zero frame flags 0x%02x" f
+  | Unknown_frame_type t -> Printf.sprintf "unknown frame type 0x%02x" t
+  | Oversized_frame { length; limit } ->
+      Printf.sprintf "frame payload of %d bytes exceeds the %d-byte limit"
+        length limit
+  | Truncated_frame { context; wanted; got } ->
+      Printf.sprintf "stream ended inside %s: wanted %d bytes, got %d" context
+        wanted got
+  | Bad_request m -> Printf.sprintf "malformed request: %s" m
+  | Bad_instance m -> Printf.sprintf "instance does not decode: %s" m
+  | Unknown_strategy s -> Printf.sprintf "unknown strategy %S" s
+  | Certification_failed m -> Printf.sprintf "answer failed certification: %s" m
+  | Shutting_down -> "server is shutting down"
+
+let pp ppf e = Format.pp_print_string ppf (to_string e)

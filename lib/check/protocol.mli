@@ -1,0 +1,45 @@
+(** Typed protocol-error taxonomy for the coalescing server
+    ({!Rc_engine} [Server]) — the first component of the system whose
+    inputs are untrusted bytes.
+
+    Every way a frame or a request can be malformed is a constructor
+    here with a {e stable} wire code, so clients can dispatch on the
+    code and the fuzz suite can assert that each corruption class maps
+    to the error it should (DESIGN.md "Coalescing as a service" lists
+    the codes normatively).  Frame-layer errors ({!Bad_magic},
+    {!Bad_flags}, {!Unknown_frame_type}, {!Oversized_frame},
+    {!Truncated_frame}) poison the byte stream — after reporting one
+    the server closes the connection, since resynchronization inside
+    untrusted bytes is guesswork.  Request-layer errors
+    ({!Bad_request}, {!Bad_instance}, {!Unknown_strategy}) condemn one
+    request only; the connection stays usable. *)
+
+type error =
+  | Bad_magic of { byte0 : int; byte1 : int }  (** frame magic is not "RC" *)
+  | Bad_flags of int  (** reserved frame flag byte non-zero *)
+  | Unknown_frame_type of int
+  | Oversized_frame of { length : int; limit : int }
+  | Truncated_frame of { context : string; wanted : int; got : int }
+      (** stream ended (or peer disconnected) inside a frame *)
+  | Bad_request of string  (** SOLVE envelope malformed *)
+  | Bad_instance of string  (** instance bytes do not decode *)
+  | Unknown_strategy of string
+  | Certification_failed of string
+      (** the serve-path certifier rejected a computed answer; the
+          server refuses to stream an uncertified result *)
+  | Shutting_down  (** request arrived while draining *)
+
+val code : error -> int
+(** Stable wire code, 1..10 in constructor order. *)
+
+val code_name : int -> string
+(** Mnemonic for a wire code (["bad-magic"], ...); ["unknown"] for
+    codes outside the taxonomy. *)
+
+val closes_connection : error -> bool
+(** Frame-layer errors poison the stream: [true] exactly for
+    {!Bad_magic}, {!Bad_flags}, {!Unknown_frame_type},
+    {!Oversized_frame} and {!Truncated_frame}. *)
+
+val to_string : error -> string
+val pp : Format.formatter -> error -> unit

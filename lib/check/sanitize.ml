@@ -21,6 +21,17 @@ type state = {
   mutable events : int;
   mutable dense_audits : int;
   mutable sparse_audits : int;
+  (* Serve-path observability (PR 7): the server and its pool tasks
+     bump these on every decoded/rejected frame, cache decision and
+     certification verdict, so an RC_CHECKED=1 serving session is
+     auditable end to end through the same flush-at-join machinery as
+     the kernel counters. *)
+  mutable frames_decoded : int;
+  mutable frames_rejected : int;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable certified_ok : int;
+  mutable certified_failed : int;
   mutable cursor : int;
   mutable is_installed : bool;
 }
@@ -31,6 +42,12 @@ let dls : state Domain.DLS.key =
         events = 0;
         dense_audits = 0;
         sparse_audits = 0;
+        frames_decoded = 0;
+        frames_rejected = 0;
+        cache_hits = 0;
+        cache_misses = 0;
+        certified_ok = 0;
+        certified_failed = 0;
         cursor = 0;
         is_installed = false;
       })
@@ -46,21 +63,36 @@ let state () = Domain.DLS.get dls
 let total_events = Atomic.make 0
 let total_dense = Atomic.make 0
 let total_sparse = Atomic.make 0
+let total_frames_decoded = Atomic.make 0
+let total_frames_rejected = Atomic.make 0
+let total_cache_hits = Atomic.make 0
+let total_cache_misses = Atomic.make 0
+let total_certified_ok = Atomic.make 0
+let total_certified_failed = Atomic.make 0
 
 let flush () =
   let st = state () in
-  if st.events > 0 then begin
-    ignore (Atomic.fetch_and_add total_events st.events);
-    st.events <- 0
-  end;
-  if st.dense_audits > 0 then begin
-    ignore (Atomic.fetch_and_add total_dense st.dense_audits);
-    st.dense_audits <- 0
-  end;
-  if st.sparse_audits > 0 then begin
-    ignore (Atomic.fetch_and_add total_sparse st.sparse_audits);
-    st.sparse_audits <- 0
-  end
+  let fold total v =
+    if v > 0 then ignore (Atomic.fetch_and_add total v)
+  in
+  fold total_events st.events;
+  st.events <- 0;
+  fold total_dense st.dense_audits;
+  st.dense_audits <- 0;
+  fold total_sparse st.sparse_audits;
+  st.sparse_audits <- 0;
+  fold total_frames_decoded st.frames_decoded;
+  st.frames_decoded <- 0;
+  fold total_frames_rejected st.frames_rejected;
+  st.frames_rejected <- 0;
+  fold total_cache_hits st.cache_hits;
+  st.cache_hits <- 0;
+  fold total_cache_misses st.cache_misses;
+  st.cache_misses <- 0;
+  fold total_certified_ok st.certified_ok;
+  st.certified_ok <- 0;
+  fold total_certified_failed st.certified_failed;
+  st.certified_failed <- 0
 
 let events_seen () = Atomic.get total_events + (state ()).events
 
@@ -70,6 +102,47 @@ let events_seen () = Atomic.get total_events + (state ()).events
    was actually exercised, not just the sparse one. *)
 let dense_rows_audited () = Atomic.get total_dense + (state ()).dense_audits
 let sparse_rows_audited () = Atomic.get total_sparse + (state ()).sparse_audits
+
+(* Serve-path counters.  Always counted (one domain-local increment per
+   frame or verdict — noise next to a socket read), so the STATS frame
+   and the shutdown summary are meaningful in release serving too, not
+   only under RC_CHECKED. *)
+let note_frame_decoded () =
+  let st = state () in
+  st.frames_decoded <- st.frames_decoded + 1
+
+let note_frame_rejected () =
+  let st = state () in
+  st.frames_rejected <- st.frames_rejected + 1
+
+let note_cache_hit () =
+  let st = state () in
+  st.cache_hits <- st.cache_hits + 1
+
+let note_cache_miss () =
+  let st = state () in
+  st.cache_misses <- st.cache_misses + 1
+
+let note_certified ~ok =
+  let st = state () in
+  if ok then st.certified_ok <- st.certified_ok + 1
+  else st.certified_failed <- st.certified_failed + 1
+
+let frames_decoded () =
+  Atomic.get total_frames_decoded + (state ()).frames_decoded
+
+let frames_rejected () =
+  Atomic.get total_frames_rejected + (state ()).frames_rejected
+
+let serve_cache_hits () = Atomic.get total_cache_hits + (state ()).cache_hits
+
+let serve_cache_misses () =
+  Atomic.get total_cache_misses + (state ()).cache_misses
+
+let certified_ok () = Atomic.get total_certified_ok + (state ()).certified_ok
+
+let certified_failed () =
+  Atomic.get total_certified_failed + (state ()).certified_failed
 
 let fail fmt =
   Printf.ksprintf (fun m -> failwith ("Rc_check.Sanitize: " ^ m)) fmt

@@ -83,3 +83,37 @@ val dense_rows_audited : unit -> int
 
 val sparse_rows_audited : unit -> int
 (** Same tally for sparse int rows. *)
+
+(** {1 Serve-path observability}
+
+    The coalescing server ({!Rc_engine} [Server]) reports every frame
+    it decodes or rejects, every answer-cache decision and every
+    serve-path certification verdict through the hooks below.  The
+    counters ride the same domain-local-then-{!flush} machinery as the
+    kernel audit tallies (pool tasks certify in worker domains; the
+    pool flushes them at join), so after a serving session the
+    accessors cover the whole fleet — [RC_CHECKED=1] serving is
+    observable end to end.  Unlike the monitors these are always
+    counted: one domain-local increment per frame is noise next to a
+    socket read, and it keeps the server's STATS frame meaningful in
+    release builds. *)
+
+val note_frame_decoded : unit -> unit
+val note_frame_rejected : unit -> unit
+val note_cache_hit : unit -> unit
+val note_cache_miss : unit -> unit
+val note_certified : ok:bool -> unit
+
+val frames_decoded : unit -> int
+(** Well-formed frames accepted across every connection and domain. *)
+
+val frames_rejected : unit -> int
+(** Frames or requests answered with a typed {!Protocol.error}. *)
+
+val serve_cache_hits : unit -> int
+val serve_cache_misses : unit -> int
+
+val certified_ok : unit -> int
+(** Serve-path answers that passed independent certification. *)
+
+val certified_failed : unit -> int

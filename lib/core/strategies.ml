@@ -185,9 +185,21 @@ let evaluate_cfg cfg strategy p =
 
 let evaluate strategy p = evaluate_cfg default_config strategy p
 
-let pp_report ppf r =
-  Format.fprintf ppf "%-28s %6d/%-6d weight  %4d/%-4d moves  %s  %8.4fs"
-    r.strategy r.coalesced_weight r.total_weight r.coalesced_count
-    r.affinity_count
+let pp_report_canonical ppf r =
+  Format.fprintf ppf "%-28s %6d/%-6d weight  %4d/%-4d moves  %s" r.strategy
+    r.coalesced_weight r.total_weight r.coalesced_count r.affinity_count
     (if r.conservative then "conservative" else "NOT-k-colorable")
-    r.time_s
+
+let pp_report ppf r =
+  Format.fprintf ppf "%a  %8.4fs" pp_report_canonical r r.time_s
+
+let report_of_solution strategy p (sol : Coalescing.solution) =
+  {
+    strategy = name strategy;
+    coalesced_weight = Coalescing.coalesced_weight sol;
+    total_weight = Problem.total_weight p;
+    coalesced_count = List.length sol.coalesced;
+    affinity_count = List.length p.affinities;
+    conservative = Coalescing.is_conservative p sol;
+    time_s = 0.;
+  }

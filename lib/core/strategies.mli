@@ -112,3 +112,14 @@ val evaluate : t -> Problem.t -> report
     prefer {!evaluate_cfg}. *)
 
 val pp_report : Format.formatter -> report -> unit
+
+val pp_report_canonical : Format.formatter -> report -> unit
+(** {!pp_report} without the trailing wall time — every field is a
+    deterministic function of [(config, strategy, problem)], so this is
+    the rendering whose bytes the serving stack caches and the
+    differential suites compare ({!pp_report} is this plus [time_s]). *)
+
+val report_of_solution : t -> Problem.t -> Coalescing.solution -> report
+(** Report fields of an already-computed solution ([time_s] = 0) — for
+    callers that need both the solution (e.g. to certify it) and the
+    report without solving twice. *)

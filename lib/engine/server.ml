@@ -1,0 +1,607 @@
+module Strategies = Rc_core.Strategies
+module Problem = Rc_core.Problem
+module Instance_io = Rc_challenge.Instance_io
+module Protocol = Rc_check.Protocol
+module Sanitize = Rc_check.Sanitize
+module Certify = Rc_check.Certify
+
+(* ------------------------------------------------------------------ *)
+(* Wire format                                                         *)
+(* ------------------------------------------------------------------ *)
+
+module Wire = struct
+  let magic = "RC"
+  let header_bytes = 8
+  let req_solve = 0x01
+  let req_ping = 0x02
+  let req_stats = 0x03
+  let req_flush = 0x04
+  let req_shutdown = 0x05
+  let resp_answer = 0x81
+  let resp_error = 0x82
+  let resp_pong = 0x83
+  let resp_stats = 0x84
+  let resp_bye = 0x85
+  let max_payload_default = 64 * 1024 * 1024
+
+  let encode_frame ~typ payload =
+    let n = String.length payload in
+    let b = Bytes.create (header_bytes + n) in
+    Bytes.blit_string magic 0 b 0 2;
+    Bytes.set b 2 (Char.chr (typ land 0xff));
+    Bytes.set b 3 '\000';
+    Bytes.set_int32_le b 4 (Int32.of_int n);
+    Bytes.blit_string payload 0 b header_bytes n;
+    Bytes.unsafe_to_string b
+
+  let solve_payload ?(strategy = "") ~encoding instance =
+    let slen = String.length strategy in
+    if slen > 255 then invalid_arg "Server.Wire.solve_payload: strategy name too long";
+    let b = Buffer.create (2 + slen + String.length instance) in
+    Buffer.add_char b (match encoding with `Binary -> '\000' | `Text -> '\001');
+    Buffer.add_char b (Char.chr slen);
+    Buffer.add_string b strategy;
+    Buffer.add_string b instance;
+    Buffer.contents b
+end
+
+(* ------------------------------------------------------------------ *)
+(* Byte-stream helpers                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let rec write_all fd s ofs len =
+  if len > 0 then
+    match Unix.write_substring fd s ofs len with
+    | n -> write_all fd s (ofs + n) (len - n)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all fd s ofs len
+
+let write_frame fd ~typ payload =
+  let s = Wire.encode_frame ~typ payload in
+  write_all fd s 0 (String.length s)
+
+(* Reads exactly [len] bytes unless the stream ends first; returns how
+   many arrived. *)
+let read_upto fd buf len =
+  let got = ref 0 in
+  let eof = ref false in
+  while (not !eof) && !got < len do
+    match Unix.read fd buf !got (len - !got) with
+    | 0 -> eof := true
+    | n -> got := !got + n
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done;
+  !got
+
+type frame = Frame of int * string | Eof | Bad of Protocol.error
+
+let read_frame ~max_payload fd =
+  match
+    let hdr = Bytes.create Wire.header_bytes in
+    match read_upto fd hdr Wire.header_bytes with
+    | 0 -> Eof
+    | n when n < Wire.header_bytes ->
+        Bad
+          (Protocol.Truncated_frame
+             { context = "frame header"; wanted = Wire.header_bytes; got = n })
+    | _ ->
+        if Bytes.get hdr 0 <> 'R' || Bytes.get hdr 1 <> 'C' then
+          Bad
+            (Protocol.Bad_magic
+               {
+                 byte0 = Char.code (Bytes.get hdr 0);
+                 byte1 = Char.code (Bytes.get hdr 1);
+               })
+        else if Bytes.get hdr 3 <> '\000' then
+          Bad (Protocol.Bad_flags (Char.code (Bytes.get hdr 3)))
+        else begin
+          let typ = Char.code (Bytes.get hdr 2) in
+          let len =
+            match Int32.unsigned_to_int (Bytes.get_int32_le hdr 4) with
+            | Some n -> n
+            | None -> max_int (* 32-bit host; anything this big is oversized *)
+          in
+          if len > max_payload then
+            Bad (Protocol.Oversized_frame { length = len; limit = max_payload })
+          else begin
+            let payload = Bytes.create len in
+            let got = read_upto fd payload len in
+            if got < len then
+              Bad
+                (Protocol.Truncated_frame
+                   { context = "frame payload"; wanted = len; got })
+            else Frame (typ, Bytes.unsafe_to_string payload)
+          end
+        end
+  with
+  | r -> r
+  | exception Unix.Unix_error (e, _, _) ->
+      (* A reset mid-read is a disconnect, not a server problem. *)
+      Bad
+        (Protocol.Truncated_frame
+           { context = "read (" ^ Unix.error_message e ^ ")"; wanted = 0; got = 0 })
+
+let readable fd =
+  match Unix.select [ fd ] [] [] 0. with
+  | [ _ ], _, _ -> true
+  | _ -> false
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> false
+
+(* ------------------------------------------------------------------ *)
+(* The one-shot path                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* What each strategy's answer claims about itself on the certification
+   pass.  IRC claims nothing here: it may spill, leaving a solution
+   over a reduced instance the original problem cannot certify (the CLI
+   check subcommand skips those the same way). *)
+let claims_for (s : Strategies.t) =
+  match s with
+  | Strategies.Aggressive | Strategies.Irc _ -> []
+  | Strategies.Conservative _ | Strategies.Optimistic
+  | Strategies.Chordal_incremental | Strategies.Set_conservative _
+  | Strategies.Exact_conservative ->
+      [ Certify.Conservative ]
+
+let render config strategies p =
+  let sols = List.map (fun s -> (s, Strategies.run_cfg config s p)) strategies in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Problem.stats p);
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun (s, sol) ->
+      Buffer.add_string buf
+        (Format.asprintf "%a" Strategies.pp_report_canonical
+           (Strategies.report_of_solution s p sol));
+      Buffer.add_char buf '\n')
+    sols;
+  (Buffer.contents buf, sols)
+
+let one_shot ?(config = Strategies.default_config) ~strategies p =
+  fst (render config strategies p)
+
+(* ------------------------------------------------------------------ *)
+(* Server state                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type config = {
+  domains : int;
+  rows : Rc_graph.Flat.rows option;
+  certify : bool;
+  cache_capacity : int;
+  max_payload : int;
+}
+
+let default_config =
+  {
+    domains = 1;
+    rows = None;
+    certify = true;
+    cache_capacity = 4096;
+    max_payload = Wire.max_payload_default;
+  }
+
+type t = {
+  config : config;
+  pool : Pool.t;
+  cache : (string, string * int) Hashtbl.t;  (* key -> (answer, cert byte) *)
+  mutable stop : bool;
+  active : int Atomic.t;  (* read cross-domain by the leak detector *)
+  connections : int Atomic.t;
+  requests : int Atomic.t;
+}
+
+let create ?(config = default_config) () =
+  {
+    config;
+    pool = Pool.create ~domains:config.domains;
+    cache = Hashtbl.create 64;
+    stop = false;
+    active = Atomic.make 0;
+    connections = Atomic.make 0;
+    requests = Atomic.make 0;
+  }
+
+let destroy t = Pool.shutdown t.pool
+
+let with_server ?config f =
+  let t = create ?config () in
+  Fun.protect ~finally:(fun () -> destroy t) (fun () -> f t)
+
+let active_connections t = Atomic.get t.active
+let connections_served t = Atomic.get t.connections
+let requests_served t = Atomic.get t.requests
+let cache_entries t = Hashtbl.length t.cache
+
+let stats_text t =
+  Printf.sprintf
+    "frames_decoded %d\n\
+     frames_rejected %d\n\
+     cache_hits %d\n\
+     cache_misses %d\n\
+     certified_ok %d\n\
+     certified_failed %d\n\
+     connections_served %d\n\
+     requests_served %d\n\
+     cache_entries %d\n\
+     domains %d\n"
+    (Sanitize.frames_decoded ())
+    (Sanitize.frames_rejected ())
+    (Sanitize.serve_cache_hits ())
+    (Sanitize.serve_cache_misses ())
+    (Sanitize.certified_ok ())
+    (Sanitize.certified_failed ())
+    (connections_served t) (requests_served t) (cache_entries t)
+    (Pool.domains t.pool)
+
+(* ------------------------------------------------------------------ *)
+(* Request decoding and solving                                        *)
+(* ------------------------------------------------------------------ *)
+
+type decoded = {
+  problem : Problem.t;
+  strategies : Strategies.t list;
+  key : string;
+}
+
+let rows_token = function
+  | None -> "auto-default"
+  | Some r -> Rc_graph.Flat.rows_to_string r
+
+(* Runs inside a pool task: must not raise (a task exception would
+   abort the whole batch). *)
+let decode_solve t payload : (decoded, Protocol.error) result =
+  let ( let* ) r f = match r with Ok x -> f x | Error _ as e -> e in
+  try
+    let len = String.length payload in
+    let* () =
+      if len < 2 then
+        Error (Protocol.Bad_request "SOLVE payload shorter than its envelope")
+      else Ok ()
+    in
+    let enc = Char.code payload.[0] in
+    let slen = Char.code payload.[1] in
+    let* () =
+      if enc > 1 then
+        Error (Protocol.Bad_request (Printf.sprintf "unknown encoding %d" enc))
+      else if 2 + slen > len then
+        Error (Protocol.Bad_request "strategy token runs past the payload")
+      else Ok ()
+    in
+    let sname = String.sub payload 2 slen in
+    let instance = String.sub payload (2 + slen) (len - 2 - slen) in
+    let* strategies, stoken =
+      if sname = "" || sname = "all" then Ok (Strategies.all_heuristics, "all")
+      else
+        match Strategies.of_string sname with
+        | Ok s -> Ok ([ s ], Strategies.name s)
+        | Error _ -> Error (Protocol.Unknown_strategy sname)
+    in
+    let* problem =
+      match enc with
+      | 0 -> (
+          match Instance_io.of_binary instance with
+          | Ok p -> Ok p
+          | Error e ->
+              Error (Protocol.Bad_instance (Instance_io.bin_error_to_string e)))
+      | _ -> (
+          match Instance_io.parse instance with
+          | Ok p -> Ok p
+          | Error m -> Error (Protocol.Bad_instance m))
+    in
+    let key =
+      String.concat "|"
+        [ Instance_io.canonical_hash problem; stoken; rows_token t.config.rows ]
+    in
+    Ok { problem; strategies; key }
+  with e -> Error (Protocol.Bad_instance (Printexc.to_string e))
+
+(* Also a pool task: certification runs in whichever worker domain
+   picked the slot, and its Sanitize tallies ride the pool's
+   flush-at-join back to the process totals. *)
+let solve_and_render t (d : decoded) : (string * int, Protocol.error) result =
+  try
+    let config = { Strategies.default_config with rows = t.config.rows } in
+    let text, sols = render config d.strategies d.problem in
+    if not t.config.certify then Ok (text, 0)
+    else begin
+      let failure = ref None in
+      List.iter
+        (fun (s, sol) ->
+          match claims_for s with
+          | [] -> ()
+          | claims ->
+              if !failure = None then begin
+                let report = Certify.certify_solution ~claims d.problem sol in
+                let ok = Certify.ok report in
+                Sanitize.note_certified ~ok;
+                if not ok then
+                  failure :=
+                    Some
+                      (Format.asprintf "%s: %a" (Strategies.name s)
+                         Certify.pp_report report)
+              end)
+        sols;
+      match !failure with
+      | None -> Ok (text, 1)
+      | Some m -> Error (Protocol.Certification_failed m)
+    end
+  with e ->
+    Error (Protocol.Bad_instance ("solver failure: " ^ Printexc.to_string e))
+
+type reply =
+  | R_answer of { cache_hit : bool; cert : int; text : string }
+  | R_error of Protocol.error
+
+(* Execute one batch: decode fan-out, cache classification in
+   submission order, solve fan-out over the distinct misses, replies in
+   submission order.  Both fan-outs run on the pool, whose index-slot
+   result merge keeps everything deterministic at any domain count. *)
+let run_batch t (payloads : string array) : reply array =
+  let n = Array.length payloads in
+  Atomic.set t.requests (Atomic.get t.requests + n);
+  let decoded = Pool.run t.pool ~tasks:n (fun i -> decode_solve t payloads.(i)) in
+  let replies = Array.make n (R_error Protocol.Shutting_down) in
+  (* [plan.(i)]: which fresh slot answers request i, if any. *)
+  let plan = Array.make n (-1) in
+  let hit = Array.make n false in
+  let slot_of_key = Hashtbl.create 16 in
+  let fresh = ref [] in
+  let nfresh = ref 0 in
+  for i = 0 to n - 1 do
+    match decoded.(i) with
+    | Error e ->
+        Sanitize.note_frame_rejected ();
+        replies.(i) <- R_error e
+    | Ok d -> (
+        match Hashtbl.find_opt t.cache d.key with
+        | Some (text, cert) ->
+            Sanitize.note_cache_hit ();
+            replies.(i) <- R_answer { cache_hit = true; cert; text }
+        | None -> (
+            match Hashtbl.find_opt slot_of_key d.key with
+            | Some j ->
+                (* The repeated-graph fast path inside one batch: alias
+                   the first occurrence's slot; solved once. *)
+                Sanitize.note_cache_hit ();
+                plan.(i) <- j;
+                hit.(i) <- true
+            | None ->
+                Sanitize.note_cache_miss ();
+                let j = !nfresh in
+                incr nfresh;
+                Hashtbl.add slot_of_key d.key j;
+                fresh := d :: !fresh;
+                plan.(i) <- j))
+  done;
+  let fresh = Array.of_list (List.rev !fresh) in
+  let solved =
+    Pool.run t.pool ~tasks:(Array.length fresh) (fun j ->
+        solve_and_render t fresh.(j))
+  in
+  Array.iteri
+    (fun j r ->
+      match r with
+      | Ok (text, cert) ->
+          if
+            Hashtbl.length t.cache >= t.config.cache_capacity
+            && not (Hashtbl.mem t.cache fresh.(j).key)
+          then Hashtbl.reset t.cache;
+          Hashtbl.replace t.cache fresh.(j).key (text, cert)
+      | Error _ -> ())
+    solved;
+  for i = 0 to n - 1 do
+    if plan.(i) >= 0 then
+      replies.(i) <-
+        (match solved.(plan.(i)) with
+        | Ok (text, cert) -> R_answer { cache_hit = hit.(i); cert; text }
+        | Error e ->
+            Sanitize.note_frame_rejected ();
+            R_error e)
+  done;
+  replies
+
+(* ------------------------------------------------------------------ *)
+(* Connection loop                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let write_reply out_fd = function
+  | R_answer { cache_hit; cert; text } ->
+      let b = Buffer.create (2 + String.length text) in
+      Buffer.add_char b (if cache_hit then '\001' else '\000');
+      Buffer.add_char b (Char.chr cert);
+      Buffer.add_string b text;
+      write_frame out_fd ~typ:Wire.resp_answer (Buffer.contents b)
+  | R_error e ->
+      let m = Protocol.to_string e in
+      let b = Buffer.create (1 + String.length m) in
+      Buffer.add_char b (Char.chr (Protocol.code e));
+      Buffer.add_string b m;
+      write_frame out_fd ~typ:Wire.resp_error (Buffer.contents b)
+
+let serve_connection t ~in_fd ~out_fd =
+  Atomic.incr t.active;
+  Atomic.incr t.connections;
+  let result = ref `Closed in
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.decr t.active;
+      Sanitize.flush ())
+    (fun () ->
+      let pending = ref [] in
+      let flush_pending () =
+        match !pending with
+        | [] -> ()
+        | l ->
+            let payloads = Array.of_list (List.rev l) in
+            pending := [];
+            Array.iter (write_reply out_fd) (run_batch t payloads)
+      in
+      (try
+         let continue = ref true in
+         if t.stop then begin
+           (* A connection racing a drain gets a typed refusal. *)
+           write_reply out_fd (R_error Protocol.Shutting_down);
+           continue := false
+         end;
+         while !continue do
+           (* Batch boundary: nothing more to read right now, so
+              execute what queued (an interactive client gets its
+              answer immediately; a saturating one batches). *)
+           if !pending <> [] && not (readable in_fd) then flush_pending ();
+           match read_frame ~max_payload:t.config.max_payload in_fd with
+           | Eof ->
+               flush_pending ();
+               continue := false
+           | Bad e ->
+               Sanitize.note_frame_rejected ();
+               flush_pending ();
+               write_reply out_fd (R_error e);
+               continue := false
+           | Frame (typ, payload) ->
+               if typ = Wire.req_solve then begin
+                 Sanitize.note_frame_decoded ();
+                 pending := payload :: !pending
+               end
+               else if typ = Wire.req_flush then begin
+                 Sanitize.note_frame_decoded ();
+                 flush_pending ()
+               end
+               else if typ = Wire.req_ping then begin
+                 Sanitize.note_frame_decoded ();
+                 flush_pending ();
+                 write_frame out_fd ~typ:Wire.resp_pong ""
+               end
+               else if typ = Wire.req_stats then begin
+                 Sanitize.note_frame_decoded ();
+                 flush_pending ();
+                 Sanitize.flush ();
+                 write_frame out_fd ~typ:Wire.resp_stats (stats_text t)
+               end
+               else if typ = Wire.req_shutdown then begin
+                 Sanitize.note_frame_decoded ();
+                 (* Drain: pending answers first, then the goodbye. *)
+                 flush_pending ();
+                 t.stop <- true;
+                 write_frame out_fd ~typ:Wire.resp_bye "";
+                 result := `Shutdown;
+                 continue := false
+               end
+               else begin
+                 Sanitize.note_frame_rejected ();
+                 flush_pending ();
+                 write_reply out_fd (R_error (Protocol.Unknown_frame_type typ));
+                 continue := false
+               end
+         done
+       with Unix.Unix_error _ ->
+         (* The peer vanished mid-write; its answers die with it. *)
+         ());
+      !result)
+
+let ignoring_sigpipe f =
+  match Sys.signal Sys.sigpipe Sys.Signal_ignore with
+  | old -> Fun.protect ~finally:(fun () -> Sys.set_signal Sys.sigpipe old) f
+  | exception Invalid_argument _ -> f () (* no SIGPIPE on this platform *)
+
+let serve_unix t ~path =
+  ignoring_sigpipe (fun () ->
+      let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      (try Unix.unlink path with Unix.Unix_error _ -> ());
+      Unix.bind sock (Unix.ADDR_UNIX path);
+      Unix.listen sock 16;
+      t.stop <- false;
+      Fun.protect
+        ~finally:(fun () ->
+          (try Unix.close sock with Unix.Unix_error _ -> ());
+          try Unix.unlink path with Unix.Unix_error _ -> ())
+        (fun () ->
+          let rec loop () =
+            let client, _ = Unix.accept sock in
+            let res =
+              Fun.protect
+                ~finally:(fun () ->
+                  try Unix.close client with Unix.Unix_error _ -> ())
+                (fun () -> serve_connection t ~in_fd:client ~out_fd:client)
+            in
+            match res with `Shutdown -> () | `Closed -> loop ()
+          in
+          loop ()))
+
+let serve_stdio t =
+  ignoring_sigpipe (fun () ->
+      t.stop <- false;
+      ignore (serve_connection t ~in_fd:Unix.stdin ~out_fd:Unix.stdout))
+
+(* ------------------------------------------------------------------ *)
+(* Client                                                              *)
+(* ------------------------------------------------------------------ *)
+
+module Client = struct
+  type response =
+    | Answer of { cache_hit : bool; certified : bool; text : string }
+    | Error of { code : int; message : string }
+    | Pong
+    | Stats of string
+    | Bye
+
+  type recv_result = Resp of response | Eof
+
+  let connect ?(attempts = 50) path =
+    let rec go n =
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      match Unix.connect fd (Unix.ADDR_UNIX path) with
+      | () -> fd
+      | exception Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _)
+        when n > 1 ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          Unix.sleepf 0.02;
+          go (n - 1)
+      | exception e ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          raise e
+    in
+    go (max 1 attempts)
+
+  let send_solve fd ?strategy ~encoding instance =
+    write_frame fd ~typ:Wire.req_solve
+      (Wire.solve_payload ?strategy ~encoding instance)
+
+  let send_ping fd = write_frame fd ~typ:Wire.req_ping ""
+  let send_flush fd = write_frame fd ~typ:Wire.req_flush ""
+  let send_stats fd = write_frame fd ~typ:Wire.req_stats ""
+  let send_shutdown fd = write_frame fd ~typ:Wire.req_shutdown ""
+
+  let recv fd =
+    match read_frame ~max_payload:Wire.max_payload_default fd with
+    | Eof -> Eof
+    | Bad e -> failwith ("Server.Client.recv: " ^ Protocol.to_string e)
+    | Frame (typ, payload) ->
+        if typ = Wire.resp_answer then begin
+          if String.length payload < 2 then
+            failwith "Server.Client.recv: short ANSWER payload";
+          Resp
+            (Answer
+               {
+                 cache_hit = payload.[0] = '\001';
+                 certified = payload.[1] = '\001';
+                 text =
+                   String.sub payload 2 (String.length payload - 2);
+               })
+        end
+        else if typ = Wire.resp_error then begin
+          if String.length payload < 1 then
+            failwith "Server.Client.recv: short ERROR payload";
+          Resp
+            (Error
+               {
+                 code = Char.code payload.[0];
+                 message = String.sub payload 1 (String.length payload - 1);
+               })
+        end
+        else if typ = Wire.resp_pong then Resp Pong
+        else if typ = Wire.resp_stats then Resp (Stats payload)
+        else if typ = Wire.resp_bye then Resp Bye
+        else failwith (Printf.sprintf "Server.Client.recv: response type 0x%02x" typ)
+
+  let close fd = try Unix.close fd with Unix.Unix_error _ -> ()
+end

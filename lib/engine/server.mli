@@ -1,0 +1,210 @@
+(** Coalescing as a service: a persistent server that accepts
+    length-prefixed batched requests over a Unix-domain socket (or a
+    stdin/stdout framing fallback), schedules them on {!Pool}, and
+    streams certified answers back in submission order.
+
+    {1 Wire protocol}
+
+    Every message is one frame (DESIGN.md "Coalescing as a service" is
+    the normative spec):
+
+    {v
+    byte 0..1   magic "RC"
+    byte 2      frame type
+    byte 3      flags (must be 0)
+    byte 4..7   payload length, unsigned little-endian 32-bit
+    then        payload
+    v}
+
+    Request types: [0x01] SOLVE, [0x02] PING, [0x03] STATS, [0x04]
+    FLUSH, [0x05] SHUTDOWN.  Response types: [0x81] ANSWER, [0x82]
+    ERROR, [0x83] PONG, [0x84] STATS, [0x85] BYE.
+
+    A SOLVE payload is [enc:u8] (0 = binary {!Rc_challenge.Instance_io}
+    encoding, 1 = text format), [slen:u8], [slen] bytes of strategy
+    token (empty = every heuristic, the one-shot CLI default), then the
+    instance bytes.  An ANSWER payload is [cache:u8] (1 = served from
+    the answer cache), [cert:u8] (0 = certification off, 1 = every
+    claimed answer certified), then the answer text — byte-identical to
+    the one-shot CLI output for the same instance and strategy
+    ({!one_shot}), whatever the batch size, domain count or cache
+    state.  An ERROR payload is [code:u8] ({!Rc_check.Protocol.code})
+    then a diagnostic message.
+
+    {1 Batching and scheduling}
+
+    SOLVE requests queue per connection; the queue is executed — decode
+    fan-out, then solve fan-out, both on the {!Pool} — when a FLUSH (or
+    any non-SOLVE frame, or end of stream) arrives, or when the
+    connection has no more bytes ready, so an interactive client gets
+    its answer immediately while a saturating client gets whole-batch
+    parallelism.  Answers always stream back in submission order.
+
+    {1 Caching and certification}
+
+    Answers are cached under a canonical key — the
+    {!Rc_challenge.Instance_io.canonical_hash} of the instance (equal
+    problems hash equal whatever format or route produced them) plus
+    the strategy and row-policy tokens — so resubmitting a graph is
+    near-free: the reply is the stored bytes with the cache flag set.
+    Repeats {e within} one batch are detected too (the duplicate
+    aliases the first occurrence's slot and reports a cache hit).
+    When certification is on (the default), every answer whose
+    strategy claims conservativeness is independently re-derived
+    through {!Rc_check.Certify} before it is streamed; an answer that
+    fails becomes a typed [Certification_failed] ERROR — the server
+    never streams an uncertified claim.  Frames decoded, rejections,
+    cache traffic and certification verdicts are all reported to
+    {!Rc_check.Sanitize}, so an [RC_CHECKED=1] serving session is
+    observable end to end.
+
+    {1 Error handling}
+
+    Frame-layer errors (bad magic or flags, unknown type, oversized
+    length, truncation / mid-stream disconnect) poison the stream: the
+    server reports the typed error and closes that connection — and
+    only it.  Request-layer errors (malformed SOLVE envelope,
+    undecodable instance, unknown strategy) condemn one request; the
+    connection keeps serving.  The server itself survives arbitrary
+    garbage: the protocol fuzz suite drives hundreds of mutated frames
+    through a live server and asserts liveness and zero leaked
+    connections afterwards. *)
+
+module Wire : sig
+  (** Frame constants and codec, exposed so clients, the fuzz suite and
+      external tooling share one byte-layout definition. *)
+
+  val magic : string  (** ["RC"] *)
+
+  val header_bytes : int  (** 8 *)
+
+  val req_solve : int
+  val req_ping : int
+  val req_stats : int
+  val req_flush : int
+  val req_shutdown : int
+  val resp_answer : int
+  val resp_error : int
+  val resp_pong : int
+  val resp_stats : int
+  val resp_bye : int
+
+  val max_payload_default : int  (** 64 MiB *)
+
+  val encode_frame : typ:int -> string -> string
+  (** Header + payload, ready to write. *)
+
+  val solve_payload :
+    ?strategy:string -> encoding:[ `Binary | `Text ] -> string -> string
+  (** SOLVE envelope around instance bytes. *)
+end
+
+type t
+(** A server: a domain pool, an answer cache, and counters.  One [t]
+    can serve any number of consecutive connections and sessions. *)
+
+type config = {
+  domains : int;  (** pool size, caller's domain included *)
+  rows : Rc_graph.Flat.rows option;  (** kernel row policy for every solve *)
+  certify : bool;  (** certify claimed-conservative answers (default on) *)
+  cache_capacity : int;
+      (** answer-cache entry cap; reaching it flushes the cache
+          wholesale (simple, bounded — the common traffic pattern is
+          few distinct graphs, many repeats) *)
+  max_payload : int;  (** per-frame payload byte limit *)
+}
+
+val default_config : config
+(** 1 domain, adaptive rows, certification on, 4096 cache entries,
+    {!Wire.max_payload_default}. *)
+
+val create : ?config:config -> unit -> t
+(** Spawns the pool ([config.domains - 1] worker domains). *)
+
+val destroy : t -> unit
+(** Shuts the pool down.  Idempotent; the server is unusable after. *)
+
+val with_server : ?config:config -> (t -> 'a) -> 'a
+
+(** {1 Serving} *)
+
+val serve_connection : t -> in_fd:Unix.file_descr -> out_fd:Unix.file_descr ->
+  [ `Closed | `Shutdown ]
+(** Serve one established byte stream until end of stream, a
+    stream-poisoning protocol error, or a SHUTDOWN frame (answering
+    pending requests first — the drain contract).  Does not close the
+    descriptors.  [`Shutdown] means a SHUTDOWN frame was honored and
+    the server's stop flag is now set. *)
+
+val serve_unix : t -> path:string -> unit
+(** Bind a Unix-domain socket at [path] (replacing a stale file),
+    accept and serve connections sequentially, and return once a
+    SHUTDOWN frame has been honored.  The socket file is unlinked on
+    exit.  SIGPIPE is ignored for the duration: a client that
+    disconnects mid-answer costs its connection, nothing more. *)
+
+val serve_stdio : t -> unit
+(** The framing fallback: serve exactly one session over
+    stdin/stdout.  Returns on end of input or SHUTDOWN. *)
+
+val active_connections : t -> int
+(** Connections currently being served (0 or 1 under the sequential
+    accept loop) — the fuzz suite's leak detector. *)
+
+val connections_served : t -> int
+val requests_served : t -> int
+val cache_entries : t -> int
+val stats_text : t -> string
+(** The STATS response payload: one [key value] line per counter
+    (frames, rejections, cache traffic, certification verdicts,
+    connections, requests, cache size, domains). *)
+
+(** {1 The one-shot path} *)
+
+val one_shot :
+  ?config:Rc_core.Strategies.config ->
+  strategies:Rc_core.Strategies.t list ->
+  Rc_core.Problem.t ->
+  string
+(** The canonical answer text: the instance's stats line, then one
+    {!Rc_core.Strategies.pp_report_canonical} line per strategy.  The
+    CLI [solve] subcommand prints exactly this, and every served
+    ANSWER carries exactly this — the byte-equality the differential
+    suite asserts.  Deterministic in [(config, strategies, problem)]. *)
+
+(** {1 Client} *)
+
+module Client : sig
+  type response =
+    | Answer of { cache_hit : bool; certified : bool; text : string }
+    | Error of { code : int; message : string }
+    | Pong
+    | Stats of string
+    | Bye
+
+  type recv_result = Resp of response | Eof
+
+  val connect : ?attempts:int -> string -> Unix.file_descr
+  (** Connect to a server socket, retrying [attempts] times (default
+      50, 20ms apart) to absorb server-startup races.  Raises
+      [Unix.Unix_error] once out of patience. *)
+
+  val send_solve :
+    Unix.file_descr ->
+    ?strategy:string ->
+    encoding:[ `Binary | `Text ] ->
+    string ->
+    unit
+
+  val send_ping : Unix.file_descr -> unit
+  val send_flush : Unix.file_descr -> unit
+  val send_stats : Unix.file_descr -> unit
+  val send_shutdown : Unix.file_descr -> unit
+
+  val recv : Unix.file_descr -> recv_result
+  (** Next response frame.  Raises [Failure] on bytes that do not
+      parse as a response frame (a server speaking garbage is a
+      programming error on this side of the wire, not input). *)
+
+  val close : Unix.file_descr -> unit
+end

@@ -48,6 +48,33 @@ let of_edges ?(vertices = []) es =
   let g = List.fold_left add_vertex empty vertices in
   List.fold_left (fun g (u, v) -> add_edge g u v) g es
 
+let of_sorted_adjacency bindings =
+  let adj =
+    List.fold_left
+      (fun m (v, ns) ->
+        (match IMap.max_binding_opt m with
+        | Some (w, _) when w >= v ->
+            invalid_arg
+              "Graph.of_sorted_adjacency: vertices not strictly increasing"
+        | _ -> ());
+        let s = ISet.of_list ns in
+        if ISet.mem v s then
+          invalid_arg "Graph.of_sorted_adjacency: self-loop";
+        IMap.add v s m)
+      IMap.empty bindings
+  in
+  IMap.iter
+    (fun v s ->
+      ISet.iter
+        (fun u ->
+          match IMap.find_opt u adj with
+          | Some su when ISet.mem v su -> ()
+          | _ ->
+              invalid_arg "Graph.of_sorted_adjacency: asymmetric adjacency")
+        s)
+    adj;
+  { adj }
+
 let union g1 g2 =
   IMap.fold
     (fun v ns g ->

@@ -1,0 +1,723 @@
+(* Server suite: the protocol/differential lockdown for coalescing as
+   a service (PR 7).
+
+   - differential: 100+ seeded instances (every Challenge preset plus
+     the qcheck_gen random families) served over a live Unix socket at
+     1 and 4 pool domains; every ANSWER must be byte-identical to
+     Server.one_shot (which the CLI `solve` prints verbatim), the
+     second submission of each instance must be a cache hit with
+     identical bytes, and the text and binary encodings must land on
+     the same cache key;
+   - protocol fuzz: hundreds of mutated frames (truncation, bad magic,
+     bad flags, unknown types, oversized lengths, garbage instances,
+     unknown strategies, interleaved garbage, mid-stream disconnects)
+     against a live server — each corruption class must map to its
+     typed Protocol error code, the server must stay alive, and no
+     connection may leak;
+   - binary format: of_binary (to_binary p) = p exactly across the
+     random families and at 10^5 vertices, text->binary->text
+     agreement, the mmap file path, and typed errors (never an
+     exception) on malformed bytes;
+   - text format: parse (print p) = p exactly (the strengthened
+     Instance_io contract), plus a hand-written unnormalized file;
+   - drain: SHUTDOWN answers every pending request before BYE (over a
+     socketpair, which is also the serve_stdio machinery);
+   - observability: the Sanitize serve-path counters (frames, cache
+     traffic, certification verdicts) advance as served. *)
+
+module Io = Rc_challenge.Instance_io
+module Server = Rc_engine.Server
+module Client = Rc_engine.Server.Client
+module Wire = Rc_engine.Server.Wire
+module Protocol = Rc_check.Protocol
+module Sanitize = Rc_check.Sanitize
+module Strategies = Rc_core.Strategies
+module Problem = Rc_core.Problem
+module G = Rc_graph.Graph
+
+(* ------------------------------------------------------------------ *)
+(* Helpers                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let problem_equal (a : Problem.t) (b : Problem.t) =
+  a.k = b.k && G.equal a.graph b.graph
+  && List.length a.affinities = List.length b.affinities
+  && List.for_all2
+       (fun (x : Problem.affinity) (y : Problem.affinity) ->
+         x.u = y.u && x.v = y.v && x.weight = y.weight)
+       a.affinities b.affinities
+
+(* Unix-socket paths are capped near 107 bytes, so keep them short. *)
+let sock_counter = ref 0
+
+let fresh_sock () =
+  incr sock_counter;
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "rcs%d.%d.sock" (Unix.getpid ()) !sock_counter)
+
+(* A live server on its own domain; the accept loop exits on SHUTDOWN,
+   which the finalizer sends if the test body did not. *)
+let with_serving ?config f =
+  let path = fresh_sock () in
+  Server.with_server ?config (fun t ->
+      let d = Domain.spawn (fun () -> Server.serve_unix t ~path) in
+      Fun.protect
+        ~finally:(fun () ->
+          (try
+             let fd = Client.connect ~attempts:5 path in
+             Client.send_shutdown fd;
+             ignore (Client.recv fd);
+             Client.close fd
+           with _ -> ());
+          Domain.join d)
+        (fun () -> f t path))
+
+let connect_with_timeout path =
+  let fd = Client.connect path in
+  Unix.setsockopt_float fd Unix.SO_RCVTIMEO 20.;
+  fd
+
+let recv_answer ~what fd =
+  match Client.recv fd with
+  | Client.Resp (Client.Answer { cache_hit; certified; text }) ->
+      (cache_hit, certified, text)
+  | Client.Resp (Client.Error { code; message }) ->
+      Alcotest.failf "%s: server error %d: %s" what code message
+  | Client.Resp _ -> Alcotest.failf "%s: unexpected response type" what
+  | Client.Eof -> Alcotest.failf "%s: connection closed" what
+
+let recv_error ~what fd =
+  match Client.recv fd with
+  | Client.Resp (Client.Error { code; message }) -> (code, message)
+  | Client.Resp _ -> Alcotest.failf "%s: expected an ERROR frame" what
+  | Client.Eof -> Alcotest.failf "%s: connection closed before the error" what
+
+let rec write_all fd s ofs len =
+  if len > 0 then
+    match Unix.write_substring fd s ofs len with
+    | n -> write_all fd s (ofs + n) (len - n)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all fd s ofs len
+
+let send_raw fd s = write_all fd s 0 (String.length s)
+
+(* ------------------------------------------------------------------ *)
+(* Differential: served answers vs the one-shot path                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Every Challenge preset (4 seeds each) plus the qcheck_gen random
+   family: 100 instances.  Small enough that all heuristics stay
+   sub-millisecond, varied enough to cover chordal, gnp and interval
+   interference and every preset program shape. *)
+let corpus =
+  lazy
+    (let presets =
+       List.concat_map
+         (fun (pname, config) ->
+           List.init 4 (fun i ->
+               let inst =
+                 Rc_challenge.Challenge.generate ~seed:(100 + i) ~config
+                   ~k:(6 + i) ()
+               in
+               ( Printf.sprintf "%s/%d" pname i,
+                 inst.Rc_challenge.Challenge.problem )))
+         Rc_challenge.Challenge.presets
+     in
+     let random =
+       List.init 80 (fun i ->
+           ( Printf.sprintf "qcheck/%d" i,
+             Qcheck_gen.problem
+               ~n:(16 + (i mod 17))
+               ~n_affinities:(6 + (i mod 7))
+               (i + 1) ))
+     in
+     presets @ random)
+
+let run_differential ~domains () =
+  let corpus = Lazy.force corpus in
+  Alcotest.(check bool) "corpus size" true (List.length corpus >= 100);
+  let expected =
+    List.map
+      (fun (name, p) ->
+        (name, Server.one_shot ~strategies:Strategies.all_heuristics p))
+      corpus
+  in
+  let config = { Server.default_config with domains } in
+  with_serving ~config (fun t path ->
+      let fd = connect_with_timeout path in
+      Fun.protect
+        ~finally:(fun () -> Client.close fd)
+        (fun () ->
+          (* Round 0 ships binary, round 1 ships text: identical answer
+             bytes AND a round-1 cache hit prove both encodings land on
+             the same canonical cache key. *)
+          let submit round =
+            List.iter
+              (fun (_, p) ->
+                if round = 0 then
+                  Client.send_solve fd ~encoding:`Binary (Io.to_binary p)
+                else Client.send_solve fd ~encoding:`Text (Io.print p))
+              corpus;
+            Client.send_flush fd;
+            List.map
+              (fun (name, exp) ->
+                let hit, certified, text =
+                  recv_answer ~what:(Printf.sprintf "%s round %d" name round)
+                    fd
+                in
+                Alcotest.(check string)
+                  (Printf.sprintf "%s: bytes = one_shot (round %d)" name round)
+                  exp text;
+                Alcotest.(check bool)
+                  (Printf.sprintf "%s: certified" name)
+                  true certified;
+                hit)
+              expected
+          in
+          let round0 = submit 0 in
+          Alcotest.(check bool)
+            "first submission: all cache misses" true
+            (List.for_all not round0);
+          let round1 = submit 1 in
+          Alcotest.(check bool)
+            "second submission: all cache hits" true
+            (List.for_all Fun.id round1);
+          Alcotest.(check int)
+            "requests accounted" (2 * List.length corpus)
+            (Server.requests_served t);
+          Alcotest.(check int)
+            "one live connection" 1
+            (Server.active_connections t)))
+
+let test_differential_1_domain () = run_differential ~domains:1 ()
+let test_differential_4_domains () = run_differential ~domains:4 ()
+
+(* ------------------------------------------------------------------ *)
+(* Protocol fuzz                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* 25 seeds x 8 corruption classes = 200 mutated frames, each against
+   a live server.  Frame-layer corruption must be answered with its
+   typed error code and a closed connection; request-layer corruption
+   must leave the connection serving (proved by an in-band PING); and
+   after all of it the server must still answer a fresh connection
+   with zero connections leaked. *)
+let test_protocol_fuzz () =
+  let config = { Server.default_config with cache_capacity = 8 } in
+  with_serving ~config (fun t path ->
+      let base_problem = Qcheck_gen.problem ~n:12 ~n_affinities:4 7 in
+      let valid_frame =
+        Wire.encode_frame ~typ:Wire.req_solve
+          (Wire.solve_payload ~encoding:`Binary (Io.to_binary base_problem))
+      in
+      let classes = 8 in
+      Qcheck_gen.run_seeds ~name:"server.protocol-fuzz" ~count:200
+        (fun seed ->
+          let rng = Random.State.make [| seed; 0xf022 |] in
+          let fd = connect_with_timeout path in
+          Fun.protect
+            ~finally:(fun () -> Client.close fd)
+            (fun () ->
+              let half_close () = Unix.shutdown fd Unix.SHUTDOWN_SEND in
+              let expect_code what code =
+                let got, _ = recv_error ~what fd in
+                Alcotest.(check int) (what ^ ": error code") code got
+              in
+              let expect_eof what =
+                match Client.recv fd with
+                | Client.Eof -> ()
+                | Client.Resp _ ->
+                    Alcotest.failf "%s: expected the connection closed" what
+              in
+              match seed mod classes with
+              | 0 ->
+                  (* Truncated frame: a strict prefix, then half-close
+                     (read the typed error) or hard close (mid-stream
+                     disconnect: no response readable, server must just
+                     survive — the final liveness check proves it). *)
+                  let cut =
+                    1 + Random.State.int rng (String.length valid_frame - 1)
+                  in
+                  send_raw fd (String.sub valid_frame 0 cut);
+                  if seed land 1 = 0 then begin
+                    half_close ();
+                    expect_code "truncated"
+                      (Protocol.code
+                         (Protocol.Truncated_frame
+                            { context = ""; wanted = 0; got = 0 }));
+                    expect_eof "truncated"
+                  end
+              | 1 ->
+                  (* Header-only sends below: the server rejects at the
+                     header and closes, and a close with unread bytes
+                     queued surfaces as ECONNRESET (not EOF) on the
+                     client side of an AF_UNIX stream — so leave it
+                     nothing unread. *)
+                  let b = Bytes.sub (Bytes.of_string valid_frame) 0 8 in
+                  Bytes.set b (Random.State.int rng 2) 'X';
+                  send_raw fd (Bytes.to_string b);
+                  expect_code "bad magic"
+                    (Protocol.code (Protocol.Bad_magic { byte0 = 0; byte1 = 0 }));
+                  expect_eof "bad magic"
+              | 2 ->
+                  let b = Bytes.sub (Bytes.of_string valid_frame) 0 8 in
+                  Bytes.set b 3 (Char.chr (1 + Random.State.int rng 255));
+                  send_raw fd (Bytes.to_string b);
+                  expect_code "bad flags" (Protocol.code (Protocol.Bad_flags 1));
+                  expect_eof "bad flags"
+              | 3 ->
+                  send_raw fd
+                    (Wire.encode_frame ~typ:(0x40 + Random.State.int rng 0x40)
+                       "whatever");
+                  expect_code "unknown type"
+                    (Protocol.code (Protocol.Unknown_frame_type 0));
+                  expect_eof "unknown type"
+              | 4 ->
+                  (* A length field far past max_payload (including the
+                     0xFFFFFFFF wrap case on odd seeds). *)
+                  let b = Bytes.sub (Bytes.of_string valid_frame) 0 8 in
+                  Bytes.set_int32_le b 4
+                    (if seed land 1 = 0 then Int32.max_int else -1l);
+                  send_raw fd (Bytes.to_string b);
+                  expect_code "oversized"
+                    (Protocol.code
+                       (Protocol.Oversized_frame { length = 0; limit = 0 }));
+                  expect_eof "oversized"
+              | 5 ->
+                  (* Garbage instance bytes: a typed request-layer error,
+                     after which the same connection must still serve. *)
+                  let garbage =
+                    String.init
+                      (1 + Random.State.int rng 64)
+                      (fun _ -> Char.chr (Random.State.int rng 256))
+                  in
+                  Client.send_solve fd ~encoding:`Binary garbage;
+                  Client.send_flush fd;
+                  expect_code "garbage instance"
+                    (Protocol.code (Protocol.Bad_instance ""));
+                  Client.send_ping fd;
+                  (match Client.recv fd with
+                  | Client.Resp Client.Pong -> ()
+                  | _ ->
+                      Alcotest.fail
+                        "connection dead after a request-layer error")
+              | 6 ->
+                  Client.send_solve fd ~strategy:"no-such-strategy"
+                    ~encoding:`Binary (Io.to_binary base_problem);
+                  Client.send_flush fd;
+                  expect_code "unknown strategy"
+                    (Protocol.code (Protocol.Unknown_strategy ""));
+                  Client.send_ping fd;
+                  (match Client.recv fd with
+                  | Client.Resp Client.Pong -> ()
+                  | _ ->
+                      Alcotest.fail
+                        "connection dead after an unknown strategy")
+              | _ ->
+                  (* A valid SOLVE followed by interleaved garbage: the
+                     answer must stream before the stream poisons. *)
+                  send_raw fd valid_frame;
+                  (* Exactly one bad header's worth of garbage, so the
+                     server consumes it all before closing (see the
+                     ECONNRESET note above). *)
+                  let garbage =
+                    String.init 8 (fun i ->
+                        if i = 0 then 'X'
+                        else Char.chr (Random.State.int rng 256))
+                  in
+                  send_raw fd garbage;
+                  half_close ();
+                  let _, _, _ = recv_answer ~what:"pre-garbage answer" fd in
+                  let code, _ = recv_error ~what:"interleaved garbage" fd in
+                  Alcotest.(check bool)
+                    "garbage maps to a frame-layer code" true
+                    (code >= 1 && code <= 5);
+                  expect_eof "interleaved garbage"));
+      (* The server survived all of it: a fresh connection answers, and
+         nothing leaked.  (The accept loop is sequential, so reaching
+         PONG on a new connection also means every fuzz connection's
+         serve_connection completed.) *)
+      let fd = connect_with_timeout path in
+      Client.send_ping fd;
+      (match Client.recv fd with
+      | Client.Resp Client.Pong -> ()
+      | _ -> Alcotest.fail "server dead after fuzzing");
+      Client.close fd;
+      let deadline = Unix.gettimeofday () +. 5. in
+      let rec settle () =
+        if Server.active_connections t = 0 then ()
+        else if Unix.gettimeofday () > deadline then
+          Alcotest.failf "leaked connections: %d"
+            (Server.active_connections t)
+        else begin
+          Unix.sleepf 0.01;
+          settle ()
+        end
+      in
+      settle ())
+
+(* ------------------------------------------------------------------ *)
+(* Binary format properties                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_binary_roundtrip () =
+  Qcheck_gen.run_seeds ~name:"server.binary-roundtrip" ~count:40 (fun seed ->
+      List.iter
+        (fun cls ->
+          let p =
+            Qcheck_gen.problem_in ~cls
+              ~n:(10 + (seed mod 40))
+              ~density:0.15 ~affinity_fraction:0.4 seed
+          in
+          let b = Io.to_binary p in
+          (match Io.of_binary b with
+          | Ok q ->
+              Alcotest.(check bool)
+                "of_binary (to_binary p) = p" true (problem_equal p q);
+              (* Canonical: equal problems, byte-equal encodings. *)
+              Alcotest.(check string) "re-encode is byte-identical" b
+                (Io.to_binary q)
+          | Error e -> Alcotest.failf "of_binary: %s" (Io.bin_error_to_string e));
+          match Io.parse (Io.print p) with
+          | Error m -> Alcotest.failf "parse (print p): %s" m
+          | Ok q ->
+              Alcotest.(check bool)
+                "parse (print p) = p exactly" true (problem_equal p q);
+              Alcotest.(check string)
+                "text and binary routes agree" b (Io.to_binary q);
+              Alcotest.(check string)
+                "canonical hash agrees across routes" (Io.canonical_hash p)
+                (Io.canonical_hash q))
+        Qcheck_gen.[ Chordal; Gnp; Interval ])
+
+let test_binary_large () =
+  let n = 100_000 in
+  let { Rc_challenge.Challenge.problem = p; _ } =
+    Rc_challenge.Challenge.synthetic ~seed:2026 ~n ~maxlive:10
+      ~affinity_fraction:0.2 ()
+  in
+  let b = Io.to_binary p in
+  (match Io.of_binary b with
+  | Ok q ->
+      Alcotest.(check bool) "10^5 round trip exact" true (problem_equal p q)
+  | Error e -> Alcotest.failf "of_binary: %s" (Io.bin_error_to_string e));
+  let v =
+    match Io.view_of_binary b with
+    | Ok v -> v
+    | Error e -> Alcotest.failf "view_of_binary: %s" (Io.bin_error_to_string e)
+  in
+  let nv, ne, na = Io.view_counts v in
+  Alcotest.(check int) "view vertices" (G.num_vertices p.graph) nv;
+  Alcotest.(check int) "view edges" (G.num_edges p.graph) ne;
+  Alcotest.(check int) "view affinities" (List.length p.affinities) na;
+  Alcotest.(check int) "view k" p.k (Io.view_k v);
+  (* The zero-copy load: edge section streamed straight into a flat
+     kernel, no persistent graph in between. *)
+  let f, labels = Io.view_flat v in
+  Alcotest.(check int) "flat edges" ne (Rc_graph.Flat.num_edges f);
+  Alcotest.(check int) "label table" nv (Array.length labels);
+  let sorted = Array.copy labels in
+  Array.sort compare sorted;
+  Alcotest.(check bool) "labels strictly increasing" true (labels = sorted);
+  (* Files: write, mmap back, full read — all three agree. *)
+  let path = Filename.temp_file "rcbi" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Io.write_binary_file path p;
+      (match Io.map_binary_file path with
+      | Ok v ->
+          Alcotest.(check bool)
+            "mmap view materializes equal" true
+            (problem_equal p (Io.view_problem v))
+      | Error e ->
+          Alcotest.failf "map_binary_file: %s" (Io.bin_error_to_string e));
+      match Io.read_binary_file path with
+      | Ok q ->
+          Alcotest.(check bool) "read_binary_file" true (problem_equal p q)
+      | Error e ->
+          Alcotest.failf "read_binary_file: %s" (Io.bin_error_to_string e))
+
+let test_binary_malformed () =
+  let p = Qcheck_gen.problem ~n:30 ~n_affinities:10 5 in
+  let b = Io.to_binary p in
+  let expect what r pred =
+    match r with
+    | Ok _ -> Alcotest.failf "%s: decoded successfully" what
+    | Error e ->
+        if not (pred e) then
+          Alcotest.failf "%s: wrong error %s" what (Io.bin_error_to_string e)
+  in
+  let patched ~word v =
+    let c = Bytes.of_string b in
+    Bytes.set_int32_le c (4 * word) (Int32.of_int v);
+    Bytes.to_string c
+  in
+  expect "bad magic"
+    (Io.of_binary ("XCBI" ^ String.sub b 4 (String.length b - 4)))
+    (function Io.Bin_bad_magic -> true | _ -> false);
+  expect "future version"
+    (Io.of_binary (patched ~word:1 99))
+    (function Io.Bin_unsupported_version 99 -> true | _ -> false);
+  expect "non-zero reserved flags"
+    (Io.of_binary (patched ~word:6 1))
+    (function Io.Bin_bad_header _ -> true | _ -> false);
+  expect "non-positive k"
+    (Io.of_binary (patched ~word:2 0))
+    (function Io.Bin_bad_header _ -> true | _ -> false);
+  expect "count lies about size"
+    (Io.of_binary (patched ~word:4 (G.num_edges p.graph + 1)))
+    (function Io.Bin_truncated _ -> true | _ -> false);
+  expect "truncated mid-word"
+    (Io.of_binary (String.sub b 0 (String.length b - 2)))
+    (function Io.Bin_truncated _ -> true | _ -> false);
+  expect "truncated at a word boundary"
+    (Io.of_binary (String.sub b 0 (String.length b - 4)))
+    (function Io.Bin_truncated _ -> true | _ -> false);
+  expect "missing file"
+    (Io.map_binary_file "/nonexistent/rcbi.bin")
+    (function Io.Bin_io _ -> true | _ -> false);
+  (* Arbitrary corruption must yield Ok or a typed error — never an
+     exception.  (A single flipped byte can still decode: e.g. a weight
+     byte.  The guarantee under test is totality, not rejection.) *)
+  Qcheck_gen.run_seeds ~name:"server.binary-mutations" ~count:100 (fun seed ->
+      let rng = Random.State.make [| seed; 0xb1a5 |] in
+      let c = Bytes.of_string b in
+      for _ = 0 to Random.State.int rng 4 do
+        Bytes.set c
+          (Random.State.int rng (Bytes.length c))
+          (Char.chr (Random.State.int rng 256))
+      done;
+      let s =
+        if Random.State.bool rng then
+          Bytes.sub_string c 0 (Random.State.int rng (Bytes.length c))
+        else Bytes.to_string c
+      in
+      match Io.of_binary s with Ok _ | Error _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Text format exactness                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* The strengthened Instance_io.print contract: parse (print p) is p
+   exactly, and a hand-written file with unsorted directives, comments,
+   duplicate affinities and negative vertex ids normalizes once and is
+   then a fixed point of print/parse. *)
+let test_text_exact_regression () =
+  let src =
+    "# hand-written, deliberately unnormalized\n\
+     k 3\n\
+     v 9 -2 5\n\
+     e 9 -2\n\
+     e -2 5\t# tabs and trailing comments\n\
+     a 9 5 4\n\
+     a 5 9 2\n\
+     a -2 9\n\
+     v 11\n"
+  in
+  let p =
+    match Io.parse src with
+    | Ok p -> p
+    | Error m -> Alcotest.failf "parse: %s" m
+  in
+  (* (9, 5) duplicated with swapped endpoints: weights merge. *)
+  Alcotest.(check int) "affinities merged" 2 (List.length p.affinities);
+  Alcotest.(check bool)
+    "merged weight" true
+    (List.exists
+       (fun (a : Problem.affinity) -> a.u = 5 && a.v = 9 && a.weight = 6)
+       p.affinities);
+  Alcotest.(check int) "isolated vertex kept" 4 (G.num_vertices p.graph);
+  let q =
+    match Io.parse (Io.print p) with
+    | Ok q -> q
+    | Error m -> Alcotest.failf "reparse: %s" m
+  in
+  Alcotest.(check bool) "parse (print p) = p" true (problem_equal p q);
+  Alcotest.(check string) "print is a fixed point" (Io.print p) (Io.print q)
+
+(* ------------------------------------------------------------------ *)
+(* Drain semantics (also the serve_stdio machinery)                    *)
+(* ------------------------------------------------------------------ *)
+
+(* serve_connection over a socketpair is exactly what serve_stdio runs
+   on stdin/stdout; SHUTDOWN with three unflushed SOLVEs pending must
+   answer all three (duplicates as cache hits) before BYE. *)
+let test_shutdown_drain () =
+  Server.with_server (fun t ->
+      let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      let d =
+        Domain.spawn (fun () -> Server.serve_connection t ~in_fd:a ~out_fd:a)
+      in
+      Unix.setsockopt_float b Unix.SO_RCVTIMEO 20.;
+      let p = Qcheck_gen.problem ~n:14 ~n_affinities:5 3 in
+      let expected = Server.one_shot ~strategies:Strategies.all_heuristics p in
+      for _ = 1 to 3 do
+        Client.send_solve b ~encoding:`Binary (Io.to_binary p)
+      done;
+      Client.send_shutdown b;
+      for i = 1 to 3 do
+        let hit, _, text =
+          recv_answer ~what:(Printf.sprintf "drained answer %d" i) b
+        in
+        Alcotest.(check string) "drained bytes" expected text;
+        if i > 1 then
+          Alcotest.(check bool) "duplicate is a cache hit" true hit
+      done;
+      (match Client.recv b with
+      | Client.Resp Client.Bye -> ()
+      | _ -> Alcotest.fail "expected BYE after the drain");
+      (match Domain.join d with
+      | `Shutdown -> ()
+      | `Closed -> Alcotest.fail "SHUTDOWN not honored");
+      Unix.close a;
+      Unix.close b;
+      (* A connection arriving after the drain is refused with a typed
+         error, not served or hung. *)
+      let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      let d =
+        Domain.spawn (fun () -> Server.serve_connection t ~in_fd:a ~out_fd:a)
+      in
+      Unix.setsockopt_float b Unix.SO_RCVTIMEO 20.;
+      let code, _ = recv_error ~what:"post-drain connection" b in
+      Alcotest.(check int) "shutting-down code"
+        (Protocol.code Protocol.Shutting_down)
+        code;
+      ignore (Domain.join d);
+      Unix.close a;
+      Unix.close b)
+
+(* ------------------------------------------------------------------ *)
+(* Serve-path observability                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_sanitize_counters () =
+  let d0 = Sanitize.frames_decoded ()
+  and r0 = Sanitize.frames_rejected ()
+  and h0 = Sanitize.serve_cache_hits ()
+  and m0 = Sanitize.serve_cache_misses ()
+  and ok0 = Sanitize.certified_ok () in
+  with_serving (fun t path ->
+      let fd = connect_with_timeout path in
+      let p = Qcheck_gen.problem ~n:12 ~n_affinities:4 9 in
+      Client.send_solve fd ~encoding:`Binary (Io.to_binary p);
+      Client.send_solve fd ~encoding:`Binary (Io.to_binary p);
+      Client.send_flush fd;
+      let hit1, _, _ = recv_answer ~what:"counted solve 1" fd in
+      let hit2, _, _ = recv_answer ~what:"counted solve 2" fd in
+      Alcotest.(check bool) "first is a miss" false hit1;
+      Alcotest.(check bool) "second is a hit" true hit2;
+      Client.send_solve fd ~encoding:`Binary "not an instance";
+      Client.send_flush fd;
+      ignore (recv_error ~what:"counted rejection" fd);
+      Client.send_stats fd;
+      (match Client.recv fd with
+      | Client.Resp (Client.Stats s) ->
+          (* The STATS payload reports the same counters. *)
+          Alcotest.(check bool)
+            "stats mentions frames_decoded" true
+            (String.length s > 0
+            && String.sub s 0 14 = "frames_decoded");
+          Alcotest.(check string) "stats payload = stats_text" s
+            (Server.stats_text t)
+      | _ -> Alcotest.fail "expected STATS");
+      Client.close fd);
+  Alcotest.(check bool)
+    "frames_decoded advanced" true
+    (Sanitize.frames_decoded () >= d0 + 5);
+  Alcotest.(check bool)
+    "frames_rejected advanced" true
+    (Sanitize.frames_rejected () >= r0 + 1);
+  Alcotest.(check bool)
+    "cache hits advanced" true
+    (Sanitize.serve_cache_hits () >= h0 + 1);
+  Alcotest.(check bool)
+    "cache misses advanced" true
+    (Sanitize.serve_cache_misses () >= m0 + 1);
+  Alcotest.(check bool)
+    "certifications recorded" true
+    (Sanitize.certified_ok () >= ok0 + 8)
+
+(* ------------------------------------------------------------------ *)
+(* Wire-code stability                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* The codes are the wire contract (DESIGN.md): renumbering them is a
+   protocol break, so each is pinned. *)
+let test_protocol_codes () =
+  let open Protocol in
+  let cases =
+    [
+      (Bad_magic { byte0 = 0; byte1 = 0 }, 1, "bad-magic", true);
+      (Bad_flags 1, 2, "bad-flags", true);
+      (Unknown_frame_type 9, 3, "unknown-frame-type", true);
+      (Oversized_frame { length = 9; limit = 1 }, 4, "oversized-frame", true);
+      ( Truncated_frame { context = "x"; wanted = 8; got = 1 },
+        5,
+        "truncated-frame",
+        true );
+      (Bad_request "x", 6, "bad-request", false);
+      (Bad_instance "x", 7, "bad-instance", false);
+      (Unknown_strategy "x", 8, "unknown-strategy", false);
+      (Certification_failed "x", 9, "certification-failed", false);
+      (Shutting_down, 10, "shutting-down", false);
+    ]
+  in
+  List.iter
+    (fun (e, c, n, closes) ->
+      Alcotest.(check int) ("code " ^ n) c (code e);
+      Alcotest.(check string) ("name " ^ n) n (code_name c);
+      Alcotest.(check bool) ("closes " ^ n) closes (closes_connection e))
+    cases;
+  Alcotest.(check string) "out-of-taxonomy code" "unknown" (code_name 99);
+  (* Frame constants are wire contract too. *)
+  Alcotest.(check int) "SOLVE" 0x01 Wire.req_solve;
+  Alcotest.(check int) "PING" 0x02 Wire.req_ping;
+  Alcotest.(check int) "STATS" 0x03 Wire.req_stats;
+  Alcotest.(check int) "FLUSH" 0x04 Wire.req_flush;
+  Alcotest.(check int) "SHUTDOWN" 0x05 Wire.req_shutdown;
+  Alcotest.(check int) "ANSWER" 0x81 Wire.resp_answer;
+  Alcotest.(check int) "ERROR" 0x82 Wire.resp_error;
+  Alcotest.(check int) "PONG" 0x83 Wire.resp_pong;
+  Alcotest.(check int) "STATS'" 0x84 Wire.resp_stats;
+  Alcotest.(check int) "BYE" 0x85 Wire.resp_bye;
+  Alcotest.(check string) "magic" "RC" Wire.magic;
+  Alcotest.(check int) "header" 8 Wire.header_bytes
+
+let () =
+  Alcotest.run "server"
+    [
+      ( "differential",
+        [
+          Alcotest.test_case "100 instances, 1 domain" `Slow
+            test_differential_1_domain;
+          Alcotest.test_case "100 instances, 4 domains" `Slow
+            test_differential_4_domains;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "fuzz: 200 mutated frames" `Slow
+            test_protocol_fuzz;
+          Alcotest.test_case "wire codes pinned" `Quick test_protocol_codes;
+        ] );
+      ( "binary",
+        [
+          Alcotest.test_case "round trip, random families" `Quick
+            test_binary_roundtrip;
+          Alcotest.test_case "round trip at 10^5 + files" `Slow
+            test_binary_large;
+          Alcotest.test_case "malformed bytes: typed errors" `Quick
+            test_binary_malformed;
+        ] );
+      ( "text",
+        [
+          Alcotest.test_case "parse/print exactness" `Quick
+            test_text_exact_regression;
+        ] );
+      ( "serving",
+        [
+          Alcotest.test_case "shutdown drains pending answers" `Quick
+            test_shutdown_drain;
+          Alcotest.test_case "sanitize counters advance" `Quick
+            test_sanitize_counters;
+        ] );
+    ]
