@@ -2,6 +2,9 @@
 
    coalesce generate  --seed 7 --k 6 [--dot out.dot] [--chordal]
    coalesce solve     --seed 7 --k 6 --strategy briggs|...|exact [--rows bitset]
+                      [--dispatch direct|static]
+   coalesce analyze   --seed 7 --k 6 [--chordal | --file F | --preset NAME]
+                      [--level full|split] [--json FILE]
    coalesce check     --seed 7 --k 6 [--strategy NAME] [--lint]
    coalesce sweep     --preset smoke|ssa|10k|100k --domains 4 [--json FILE]
    coalesce bench     --preset smoke --domains 4 [--json FILE]
@@ -9,6 +12,7 @@
    coalesce thm5      --seed 3 --n 200
    coalesce allocate  --seed 7 --k 6 [--biased]
    coalesce serve     --socket PATH | --stdio [--domains 4] [--no-certify]
+                      [--cache-entries N]
    coalesce client    --socket PATH [--seed 7 | --file F] [--repeat 3]
    coalesce convert   --file IN --out OUT [--to binary|text]
 
@@ -243,12 +247,36 @@ let solve_cmd =
              byte-identical to what `coalesce serve` streams for the same \
              instance and strategy.")
   in
-  let run seed k strategy chordal file rows check timing =
+  let dispatch_arg =
+    let dispatch_conv =
+      let parse = function
+        | "direct" -> Ok Strategies.Direct
+        | "static" -> Ok Strategies.Static_profile
+        | s -> Error (`Msg (Printf.sprintf "unknown dispatch %S (direct, static)" s))
+      in
+      let print ppf = function
+        | Strategies.Direct -> Format.fprintf ppf "direct"
+        | Strategies.Static_profile -> Format.fprintf ppf "static"
+      in
+      Arg.conv (parse, print)
+    in
+    Arg.(
+      value
+      & opt dispatch_conv Strategies.Direct
+      & info [ "dispatch" ] ~docv:"MODE"
+          ~doc:
+            "Solve routing: direct (the named strategy's primitive) or static \
+             (profile the instance first and route interval instances to the \
+             endpoint walk, chordal ones to the Theorem-5 path, and exact \
+             requests through certified presolve).")
+  in
+  let run seed k strategy chordal file rows check timing dispatch =
     let problem = Common.load_problem ~seed ~k ~chordal file in
     let strategies =
       match strategy with Some s -> [ s ] | None -> Strategies.all_heuristics
     in
-    let cfg = { Strategies.default_config with rows; check; seed } in
+    if dispatch = Strategies.Static_profile then Rc_analysis.Dispatch.install ();
+    let cfg = { Strategies.default_config with rows; check; seed; dispatch } in
     if not timing then
       print_string (Rc_engine.Server.one_shot ~config:cfg ~strategies problem)
     else begin
@@ -264,7 +292,129 @@ let solve_cmd =
     (Cmd.info "solve" ~doc:"Run coalescing strategies on an instance.")
     Term.(
       const run $ Common.seed $ Common.k $ strategy_arg $ Common.chordal
-      $ Common.file $ Common.rows $ Common.check $ timing_arg)
+      $ Common.file $ Common.rows $ Common.check $ timing_arg $ dispatch_arg)
+
+(* analyze ------------------------------------------------------------- *)
+(* The static analyzer as a subcommand: the structural profile
+   (Rc_analysis.Profile) plus certified presolve statistics, over the
+   same instance sources as solve.  --json writes one object with a
+   "profile" field (Profile.to_json verbatim) and a "presolve" field. *)
+
+let analyze_cmd =
+  let level_arg =
+    let level_conv =
+      let parse = function
+        | "full" -> Ok Rc_analysis.Presolve.Full
+        | "split" -> Ok Rc_analysis.Presolve.Split_only
+        | s -> Error (`Msg (Printf.sprintf "unknown level %S (full, split)" s))
+      in
+      let print ppf = function
+        | Rc_analysis.Presolve.Full -> Format.fprintf ppf "full"
+        | Rc_analysis.Presolve.Split_only -> Format.fprintf ppf "split"
+      in
+      Arg.conv (parse, print)
+    in
+    Arg.(
+      value
+      & opt level_conv Rc_analysis.Presolve.Full
+      & info [ "level" ] ~docv:"LEVEL"
+          ~doc:
+            "Presolve level: full (peel + twin merge + splits, \
+             optimum-preserving) or split (component and articulation splits \
+             only, trajectory-preserving for every local-rule heuristic).")
+  in
+  let preset_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "preset" ] ~docv:"NAME"
+          ~doc:
+            "Profile every instance of a sweep preset (smoke, ssa, 10k, \
+             100k) — exactly the instances a sweep at this --seed \
+             evaluates — instead of a single generated instance.")
+  in
+  let run seed k chordal file level preset json =
+    let level_token =
+      match level with
+      | Rc_analysis.Presolve.Full -> "full"
+      | Rc_analysis.Presolve.Split_only -> "split"
+    in
+    (* profile + presolve of one instance: the JSON object, after
+       printing the text report through [pp_profile] *)
+    let report ~pp_profile problem =
+      let profile = Rc_analysis.Profile.analyze problem in
+      let plan = Rc_analysis.Presolve.run ~level problem in
+      let st = Rc_analysis.Presolve.stats plan in
+      let shrink = Rc_analysis.Presolve.shrink plan in
+      pp_profile profile;
+      Format.printf
+        "presolve level=%s vertices=%d/%d peeled=%d twins=%d parts=%d \
+         largest=%d shrink=%.3f@."
+        level_token st.residual_vertices st.original_vertices st.peeled
+        st.twins st.part_count st.largest_part shrink;
+      Printf.sprintf
+        "{\"profile\": %s, \"presolve\": {\"level\": \"%s\", \
+         \"original_vertices\": %d, \"residual_vertices\": %d, \"peeled\": \
+         %d, \"twins\": %d, \"part_count\": %d, \"largest_part\": %d, \
+         \"shrink\": %.6f}}"
+        (Rc_analysis.Profile.to_json profile)
+        level_token st.original_vertices st.residual_vertices st.peeled
+        st.twins st.part_count st.largest_part shrink
+    in
+    match preset with
+    | Some name ->
+        if file <> None then
+          failwith "analyze: --preset and --file are mutually exclusive";
+        let p =
+          match Rc_engine.Sweep.preset_of_string name with
+          | Ok p -> p
+          | Error m -> failwith m
+        in
+        let problems = Rc_engine.Sweep.instance_problems ~seed p in
+        let objs =
+          Array.to_list
+            (Array.mapi
+               (fun i problem ->
+                 let pp_profile profile =
+                   Format.printf "#%d %s@." i
+                     (Rc_analysis.Profile.summary profile)
+                 in
+                 Printf.sprintf "    {\"instance\": %d, %s}" i
+                   (let obj = report ~pp_profile problem in
+                    (* splice the two fields into the instance object *)
+                    String.sub obj 1 (String.length obj - 2)))
+               problems)
+        in
+        Option.iter
+          (fun f ->
+            Common.write_json f
+              (Printf.sprintf
+                 "{\n  \"preset\": \"%s\",\n  \"instances\": [\n%s\n  ]\n}\n"
+                 p.Rc_engine.Sweep.sname
+                 (String.concat ",\n" objs)))
+          json
+    | None ->
+        let problem = Common.load_problem ~seed ~k ~chordal file in
+        let obj =
+          report
+            ~pp_profile:(Format.printf "%a@." Rc_analysis.Profile.pp)
+            problem
+        in
+        Option.iter
+          (fun f ->
+            Common.write_json f
+              (Printf.sprintf "{\n  %s\n}\n"
+                 (String.sub obj 1 (String.length obj - 2))))
+          json
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Profile an instance (structure, chordality, interval recognition) \
+          and report certified presolve statistics.")
+    Term.(
+      const run $ Common.seed $ Common.k $ Common.chordal $ Common.file
+      $ level_arg $ preset_arg $ Common.json)
 
 (* check -------------------------------------------------------------- *)
 
@@ -659,7 +809,12 @@ let serve_cmd =
   let cache_arg =
     Arg.(
       value & opt int Server.default_config.cache_capacity
-      & info [ "cache" ] ~docv:"N" ~doc:"Answer-cache entry capacity.")
+      & info
+          [ "cache-entries"; "cache" ]
+          ~docv:"N"
+          ~doc:
+            "Answer-cache entry capacity (LRU: inserting past it evicts the \
+             least-recently-used entry).")
   in
   let run socket stdio domains rows no_certify cache =
     if Rc_check.Sanitize.install_if_enabled () then
@@ -839,6 +994,7 @@ let () =
           [
             generate_cmd;
             solve_cmd;
+            analyze_cmd;
             check_cmd;
             sweep_cmd;
             bench_cmd;

@@ -1,0 +1,60 @@
+module Problem = Rc_core.Problem
+module Coalescing = Rc_core.Coalescing
+module Strategies = Rc_core.Strategies
+module Conservative = Rc_core.Conservative
+module Exact = Rc_core.Exact
+
+let direct cfg strategy p =
+  Strategies.run_cfg { cfg with Strategies.dispatch = Strategies.Direct } strategy p
+
+(* The polynomial path the profile admits, or the named strategy. *)
+let structural cfg strategy profile p =
+  match Profile.interval_order profile with
+  | Some order -> Interval_walk.coalesce ~order p
+  | None ->
+      if profile.Profile.chordal then
+        direct cfg Strategies.Chordal_incremental p
+      else direct cfg strategy p
+
+(* A cheap conservative incumbent priming the exact search on one part. *)
+let incumbent cfg (part : Problem.t) =
+  let profile = Profile.analyze part in
+  let sol =
+    structural cfg
+      (Strategies.Conservative Conservative.Briggs_george_extended)
+      profile part
+  in
+  if Coalescing.is_conservative part sol then Some sol else None
+
+let exact_with_presolve cfg (p : Problem.t) =
+  let plan = Presolve.run ~level:Presolve.Full p in
+  let sols =
+    List.map
+      (fun part -> Exact.conservative ?prime:(incumbent cfg part) part)
+      plan.Presolve.parts
+  in
+  match Presolve.lift_certified ~conservative:true plan sols with
+  | Ok sol -> sol
+  | Error m ->
+      failwith ("Rc_analysis.Dispatch: presolve lift failed certification: " ^ m)
+
+let solve cfg strategy (p : Problem.t) =
+  match strategy with
+  | Strategies.Irc _ | Strategies.Aggressive -> direct cfg strategy p
+  | Strategies.Exact_conservative ->
+      let profile = Profile.analyze p in
+      (* k-core gate: degeneracy >= k means not greedy-k-colorable;
+         keep the direct path's typed Invalid_argument. *)
+      if profile.Profile.degeneracy >= p.Problem.k then direct cfg strategy p
+      else exact_with_presolve cfg p
+  | _ ->
+      let profile = Profile.analyze p in
+      structural cfg strategy profile p
+
+let installed = ref false
+
+let install () =
+  if not !installed then begin
+    installed := true;
+    Strategies.set_static_dispatcher (Some solve)
+  end

@@ -1,0 +1,35 @@
+(** The analysis-driven strategy router behind
+    [Strategies.config.dispatch = Static_profile].
+
+    Routing, per instance (after profiling with {!Profile.analyze}):
+
+    - certified interval ([Interval_model]) → the {!Interval_walk}
+      endpoint walk;
+    - chordal (including unresolved-interval) → the Theorem-5
+      polynomial path ([Chordal_incremental]);
+    - [Exact_conservative] → full certified presolve
+      ({!Presolve.run}), each part solved exactly with a heuristic
+      incumbent as pruning oracle ([Exact.conservative ?prime]) after
+      gating on the profile's degeneracy (the k-core bound: degeneracy
+      [>= k] means the instance is not greedy-k-colorable and the
+      direct path's typed error is preserved), then
+      {!Presolve.lift_certified} back onto the original problem;
+    - everything else (general graphs, and the [Irc] / [Aggressive]
+      strategies, whose contracts the reductions do not cover) → the
+      direct strategy.
+
+    Every routed answer still claims what the named strategy claims, so
+    [run_cfg]'s [Assert_conservative] post-check and the server's
+    certification pass apply unchanged. *)
+
+val install : unit -> unit
+(** Registers {!solve} via [Strategies.set_static_dispatcher].
+    Idempotent; call before spawning worker domains. *)
+
+val solve :
+  Rc_core.Strategies.config ->
+  Rc_core.Strategies.t ->
+  Rc_core.Problem.t ->
+  Rc_core.Coalescing.solution
+(** The router itself ([config.dispatch] is expected to be [Direct];
+    recursion-safe either way only through {!install}). *)

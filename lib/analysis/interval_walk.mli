@@ -1,0 +1,28 @@
+(** Endpoint-walk coalescing for certified interval instances.
+
+    Given an umbrella (left-endpoint) order — the certificate carried by
+    {!Profile.Interval_model} — the instance has an implicit interval
+    model: vertex at position [p] spans [p .. r(p)] where [r(p)] is the
+    position of its rightmost later neighbor.  Coalescing two classes
+    then reduces to a segment query: merge classes [A] (positions
+    [aLo .. aHi]) and [B] ([bLo .. bHi]) iff their position ranges are
+    disjoint and every position in the open gap between them has
+    coverage at most [k - 1]; the merge fills the gap (range-add [+1]),
+    keeping every class convex so the working model stays an interval
+    model of a supergraph of the true merged graph.  The fill is the
+    positional analogue of the clique-tree path insertion of
+    [Chordal_coalescing] — a conservative over-approximation, so every
+    accepted merge is conservative (the true merged graph is a subgraph
+    of a greedy-k-colorable interval graph).
+
+    Affinities are attempted in decreasing weight (ties: smaller
+    endpoints first), the same order as [Strategies.Chordal_incremental]
+    and [Exact], via a lazy segment tree: O((V + A) log V) after the
+    O(V + E) model extraction. *)
+
+val coalesce :
+  order:int array -> Rc_core.Problem.t -> Rc_core.Coalescing.solution
+(** [coalesce ~order p] runs the walk.  [order] must be an umbrella
+    order of [p]'s interference graph over original vertex ids (as
+    produced by {!Profile.analyze}); raises [Invalid_argument] if it
+    does not enumerate the graph's vertices exactly. *)

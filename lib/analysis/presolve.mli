@@ -1,0 +1,92 @@
+(** Certified presolve: reductions that provably preserve optimal
+    conservative coalescing, an instance splitter, and the lift that
+    maps reduced answers back onto the original problem.
+
+    Reduction catalogue (safety arguments in DESIGN.md):
+
+    - {b Peel} (Full level): repeatedly drop vertices that touch no
+      affinity and have residual degree [< k].  Such a vertex is
+      irrelevant to every coalescing decision: any conservative
+      solution of the residual extends to one of the original (the
+      peeled vertex eliminates first), and conversely restricting a
+      solution to the residual loses nothing — the optimum is
+      unchanged.
+    - {b Twin merge} (Full level): for an affinity [(u, v)] that is the
+      only affinity of both endpoints, with [u, v] non-adjacent,
+      [N(u) = N(v)] and that common neighborhood a clique, merging
+      [u, v] is always part of some optimal solution;
+      [opt(original) = opt(reduced) + weight].
+    - {b Component split} (both levels): solve components of the union
+      of the interference and affinity graphs independently.
+    - {b Articulation split} (both levels): split a part at an
+      articulation point [a] of its interference graph when [a] touches
+      no affinity, has degree [< k], and the affinity graph does not
+      reconnect the sides.  The degree bound is essential:
+      greedy-k-colorability is {e not} compositional over cut-vertex
+      gluing in general (two degeneracy-2 gadgets glued at a degree-4
+      vertex can have degeneracy 3), but with [deg a < k] every
+      subgraph containing [a] has [a] as its low-degree witness, so
+      each side is greedy-k iff the glued graph is.
+
+    Split-level presolve moves no affinity and changes no vertex
+    degree within a part, so every local-rule heuristic (Briggs,
+    George, …) makes identical decisions on the parts — lifted answers
+    are cost-identical to direct solves for {e all} strategies.  Full
+    presolve preserves the {e optimum} only, so cost-identity is
+    guaranteed for [Exact_conservative] (the 200-seed differential
+    suite pins both contracts). *)
+
+type step =
+  | Peeled of int  (** vertex id, in removal order *)
+  | Twin_merged of { kept : int; removed : int; weight : int }
+
+type level = Split_only | Full
+
+type plan = {
+  original : Rc_core.Problem.t;
+  level : level;
+  steps : step list;  (** application order *)
+  parts : Rc_core.Problem.t list;
+      (** independent subproblems over original vertex ids, sorted by
+          smallest vertex *)
+  shared : int list;
+      (** articulation vertices present in more than one part (always
+          affinity-free, so they stay singleton classes) *)
+}
+
+type stats = {
+  original_vertices : int;
+  residual_vertices : int;  (** distinct vertices across the parts *)
+  peeled : int;
+  twins : int;
+  part_count : int;
+  largest_part : int;
+}
+
+val run : ?level:level -> Rc_core.Problem.t -> plan
+(** Default level: [Full]. *)
+
+val stats : plan -> stats
+
+val shrink : plan -> float
+(** [1 - residual/original] in [0, 1] ([0.] on an empty instance). *)
+
+val lift :
+  plan -> Rc_core.Coalescing.solution list -> Rc_core.Coalescing.solution
+(** [lift plan sols] maps per-part solutions (one per [plan.parts], in
+    order) back to a solution of [plan.original]: part classes are
+    unioned (shared articulation singletons deduplicated), twin merges
+    are re-expanded, peeled vertices return as singletons, and the
+    result is re-materialized through [Coalescing.of_classes] /
+    [solution_of_state] on the {e original} problem.  Raises
+    [Invalid_argument] on a solution-count mismatch or if a shared
+    vertex was coalesced (impossible for affinity-driven solvers). *)
+
+val lift_certified :
+  conservative:bool ->
+  plan ->
+  Rc_core.Coalescing.solution list ->
+  (Rc_core.Coalescing.solution, string) result
+(** {!lift}, then re-validation of the lifted answer against the
+    original problem through [Rc_check.Certify] (with the
+    [Conservative] claim when [conservative]). *)

@@ -1,0 +1,77 @@
+(** The static instance profile: one cheap pass that classifies a
+    coalescing instance before any solver runs.
+
+    The paper's complexity map is a function of instance structure —
+    chordal and interval interference graphs admit polynomial optimal
+    coalescing (Theorem 5 territory) while general graphs are NP-hard —
+    so the profile records exactly the facts the dispatcher and the
+    presolve layer route on: degeneracy (greedy-k-colorability),
+    connectivity and articulation structure (decomposition
+    opportunities), chordality, interval recognition (with a
+    certificate order when found) and affinity-graph shape. *)
+
+type interval_status =
+  | Interval_model of int array
+      (** Certified interval: the array is an umbrella (left-endpoint)
+          order over original vertex ids — see
+          {!Structure.umbrella_ok}. *)
+  | Interval_at_free
+      (** Certified interval by Lekkerkerker–Boland (chordal and
+          AT-free, exact check ran) but no umbrella order was found, so
+          there is no model to drive the endpoint walk. *)
+  | Not_interval_chordless  (** Not even chordal. *)
+  | Not_interval_at of int * int * int
+      (** Chordal but not interval: an asteroidal triple witness
+          (original vertex ids). *)
+  | Interval_unknown
+      (** Chordal; the LexBFS sweeps produced no umbrella order and the
+          exact AT fallback was skipped (graph above [at_limit]). *)
+
+type t = {
+  vertices : int;
+  edges : int;
+  k : int;
+  affinities : int;
+  constrained : int;
+  total_weight : int;
+  max_degree : int;
+  degeneracy : int;  (** greedy-k-colorable iff [degeneracy < k] *)
+  components : int;
+  articulation_points : int;
+  biconnected_blocks : int;
+  chordal : bool;
+  interval : interval_status;
+  affinity_vertices : int;  (** vertices touched by at least one affinity *)
+  affinity_components : int;
+      (** connected components of the affinity graph (non-isolated) *)
+}
+
+val analyze : ?at_limit:int -> Rc_core.Problem.t -> t
+(** Profiles an instance.  O(V + E) up to the LexBFS sweeps; the exact
+    asteroidal-triple fallback (cubic) only runs on graphs of at most
+    [at_limit] vertices (default 256; pass 0 to disable). *)
+
+val interval_order : t -> int array option
+(** The certificate order of an [Interval_model], as vertex ids. *)
+
+val is_interval : t -> bool option
+(** [Some true] / [Some false] when the status is certified either way,
+    [None] for [Interval_unknown]. *)
+
+val classification : t -> string
+(** ["interval"], ["chordal"] or ["general"] — the coarse routing
+    class.  [Interval_at_free] and [Interval_unknown] count as
+    ["chordal"]: both are (at least) chordal, and without a model the
+    chordal path is the one the dispatcher can actually take. *)
+
+val summary : t -> string
+(** One-line token form, stable and whitespace-free per field
+    ([class=… degen=… comps=… arts=… affc=…]) — the shape the sweep
+    report columns and the server STATS profile lines embed. *)
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line human-readable rendering (the [analyze] subcommand's
+    text output). *)
+
+val to_json : t -> string
+(** A single JSON object, keys in fixed order. *)

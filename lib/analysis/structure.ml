@@ -1,0 +1,339 @@
+module Flat = Rc_graph.Flat
+
+(* ------------------------------------------------------------------ *)
+(* Connectivity                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let components f =
+  let cap = Flat.capacity f in
+  let comp = Array.make cap (-1) in
+  let queue = Array.make cap 0 in
+  let count = ref 0 in
+  Flat.iter_live f (fun root ->
+      if comp.(root) < 0 then begin
+        let id = !count in
+        incr count;
+        comp.(root) <- id;
+        queue.(0) <- root;
+        let head = ref 0 and tail = ref 1 in
+        while !head < !tail do
+          let v = queue.(!head) in
+          incr head;
+          Flat.iter_neighbors f v (fun w ->
+              if comp.(w) < 0 then begin
+                comp.(w) <- id;
+                queue.(!tail) <- w;
+                incr tail
+              end)
+        done
+      end);
+  (comp, !count)
+
+(* ------------------------------------------------------------------ *)
+(* Biconnectivity                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* CSR adjacency snapshot, so the iterative DFS below can hold a
+   resumable per-vertex neighbor cursor. *)
+let csr f =
+  let cap = Flat.capacity f in
+  let off = Array.make (cap + 1) 0 in
+  Flat.iter_live f (fun v -> off.(v + 1) <- Flat.degree f v);
+  for i = 0 to cap - 1 do
+    off.(i + 1) <- off.(i + 1) + off.(i)
+  done;
+  let adj = Array.make off.(cap) 0 in
+  let fill = Array.make cap 0 in
+  Flat.iter_live f (fun v ->
+      Flat.iter_neighbors f v (fun w ->
+          adj.(off.(v) + fill.(v)) <- w;
+          fill.(v) <- fill.(v) + 1));
+  (off, adj)
+
+let articulation f =
+  let cap = Flat.capacity f in
+  let off, adj = csr f in
+  let disc = Array.make cap (-1) in
+  let low = Array.make cap 0 in
+  let parent = Array.make cap (-1) in
+  let ptr = Array.make cap 0 in
+  let cut = Array.make cap false in
+  let stack = Array.make cap 0 in
+  let blocks = ref 0 in
+  let timer = ref 0 in
+  Flat.iter_live f (fun root ->
+      if disc.(root) < 0 then begin
+        let root_children = ref 0 in
+        disc.(root) <- !timer;
+        low.(root) <- !timer;
+        incr timer;
+        ptr.(root) <- off.(root);
+        stack.(0) <- root;
+        let top = ref 0 in
+        while !top >= 0 do
+          let v = stack.(!top) in
+          if ptr.(v) < off.(v + 1) then begin
+            let w = adj.(ptr.(v)) in
+            ptr.(v) <- ptr.(v) + 1;
+            if disc.(w) < 0 then begin
+              parent.(w) <- v;
+              if v = root then incr root_children;
+              disc.(w) <- !timer;
+              low.(w) <- !timer;
+              incr timer;
+              ptr.(w) <- off.(w);
+              incr top;
+              stack.(!top) <- w
+            end
+            else if w <> parent.(v) then
+              if disc.(w) < low.(v) then low.(v) <- disc.(w)
+          end
+          else begin
+            decr top;
+            let u = parent.(v) in
+            if u >= 0 then begin
+              if low.(v) < low.(u) then low.(u) <- low.(v);
+              if low.(v) >= disc.(u) then begin
+                (* The tree edge (u, v) closes an edge block. *)
+                incr blocks;
+                if u <> root then cut.(u) <- true
+              end
+            end
+          end
+        done;
+        if !root_children >= 2 then cut.(root) <- true
+      end);
+  (cut, !blocks)
+
+(* ------------------------------------------------------------------ *)
+(* Degeneracy                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let degeneracy f =
+  Rc_graph.Greedy_k.flat_smallest_last f
+    ~order:(Array.make (max 1 (Flat.capacity f)) 0)
+
+(* ------------------------------------------------------------------ *)
+(* Lexicographic BFS                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Partition refinement: the unvisited vertices live in an ordered
+   chain of slices; every slice keeps its members sorted by decreasing
+   [prior].  The pivot is the head of the head slice; its unvisited
+   neighbors, processed in decreasing [prior], are peeled into a fresh
+   twin slice inserted immediately before their source slice — a
+   stable split, so the invariant (and hence the + tie-break) survives
+   every refinement. *)
+let lexbfs ?prior f =
+  let cap = Flat.capacity f in
+  let n = Flat.num_live f in
+  let order = Array.make (max 1 n) 0 in
+  if n = 0 then [||]
+  else begin
+    let pri =
+      match prior with Some p -> fun i -> p.(i) | None -> fun i -> -i
+    in
+    let cmp i j =
+      let c = compare (pri j) (pri i) in
+      if c <> 0 then c else compare i j
+    in
+    (* Intrusive member lists. *)
+    let nxt = Array.make cap (-1) and prv = Array.make cap (-1) in
+    let slice_of = Array.make cap (-1) in
+    (* Slice records (free-listed; at most [2n + 2] alive at once). *)
+    let nslices = (2 * n) + 2 in
+    let shead = Array.make nslices (-1) in
+    let stail = Array.make nslices (-1) in
+    let snext = Array.make nslices (-1) in
+    let sprev = Array.make nslices (-1) in
+    let smark = Array.make nslices (-1) in
+    let stwin = Array.make nslices (-1) in
+    let free = Array.init nslices (fun i -> nslices - 1 - i) in
+    let nfree = ref nslices in
+    let alloc () =
+      decr nfree;
+      let s = free.(!nfree) in
+      shead.(s) <- -1;
+      stail.(s) <- -1;
+      snext.(s) <- -1;
+      sprev.(s) <- -1;
+      smark.(s) <- -1;
+      stwin.(s) <- -1;
+      s
+    in
+    let release s =
+      free.(!nfree) <- s;
+      incr nfree
+    in
+    let first_slice = ref (-1) in
+    let unlink_slice s =
+      let p = sprev.(s) and q = snext.(s) in
+      if p >= 0 then snext.(p) <- q else first_slice := q;
+      if q >= 0 then sprev.(q) <- p;
+      release s
+    in
+    let insert_before s anchor =
+      let p = sprev.(anchor) in
+      sprev.(s) <- p;
+      snext.(s) <- anchor;
+      sprev.(anchor) <- s;
+      if p >= 0 then snext.(p) <- s else first_slice := s
+    in
+    let append s v =
+      let t = stail.(s) in
+      prv.(v) <- t;
+      nxt.(v) <- -1;
+      if t >= 0 then nxt.(t) <- v else shead.(s) <- v;
+      stail.(s) <- v;
+      slice_of.(v) <- s
+    in
+    let remove s v =
+      let p = prv.(v) and q = nxt.(v) in
+      if p >= 0 then nxt.(p) <- q else shead.(s) <- q;
+      if q >= 0 then prv.(q) <- p else stail.(s) <- p;
+      slice_of.(v) <- -1
+    in
+    (* Seed: one slice holding every live index, sorted. *)
+    let live = Array.make n 0 in
+    let li = ref 0 in
+    Flat.iter_live f (fun v ->
+        live.(!li) <- v;
+        incr li);
+    Array.sort cmp live;
+    let s0 = alloc () in
+    first_slice := s0;
+    Array.iter (fun v -> append s0 v) live;
+    let visited = Array.make cap false in
+    let neigh = Array.make cap 0 in
+    for pos = 0 to n - 1 do
+      let s = !first_slice in
+      let p = shead.(s) in
+      remove s p;
+      if shead.(s) < 0 then unlink_slice s;
+      visited.(p) <- true;
+      order.(pos) <- p;
+      let nn = ref 0 in
+      Flat.iter_neighbors f p (fun w ->
+          if not visited.(w) then begin
+            neigh.(!nn) <- w;
+            incr nn
+          end);
+      let frontier = Array.sub neigh 0 !nn in
+      Array.sort cmp frontier;
+      Array.iter
+        (fun w ->
+          let src = slice_of.(w) in
+          if smark.(src) <> pos then begin
+            let tw = alloc () in
+            insert_before tw src;
+            smark.(src) <- pos;
+            stwin.(src) <- tw
+          end;
+          let tw = stwin.(src) in
+          remove src w;
+          append tw w;
+          if shead.(src) < 0 then unlink_slice src)
+        frontier
+    done;
+    order
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Umbrella (interval-order) verification                              *)
+(* ------------------------------------------------------------------ *)
+
+let umbrella_ok f order =
+  let cap = Flat.capacity f in
+  let m = Array.length order in
+  if m <> Flat.num_live f then false
+  else begin
+    let pos = Array.make cap (-1) in
+    let ok = ref true in
+    Array.iteri
+      (fun p v ->
+        if v < 0 || v >= cap || (not (Flat.is_live f v)) || pos.(v) >= 0 then
+          ok := false
+        else pos.(v) <- p)
+      order;
+    if !ok then
+      for p = 0 to m - 1 do
+        let maxp = ref p and later = ref 0 in
+        Flat.iter_neighbors f order.(p) (fun w ->
+            let q = pos.(w) in
+            if q > p then begin
+              incr later;
+              if q > !maxp then maxp := q
+            end);
+        (* Umbrella at p: the later neighbors are exactly the positions
+           (p, maxp]. *)
+        if !maxp - p <> !later then ok := false
+      done;
+    !ok
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Asteroidal triples                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let find_asteroidal_triple f =
+  let cap = Flat.capacity f in
+  let n = Flat.num_live f in
+  let live = Array.make (max 1 n) 0 in
+  let li = ref 0 in
+  Flat.iter_live f (fun v ->
+      live.(!li) <- v;
+      incr li);
+  (* comp.(v).(w): component id of w in G - N[v] (-1 inside N[v]). *)
+  let comp = Array.make cap [||] in
+  let queue = Array.make cap 0 in
+  Array.iter
+    (fun v ->
+      let c = Array.make cap (-2) in
+      Flat.iter_live f (fun w -> c.(w) <- -1);
+      c.(v) <- -2;
+      Flat.iter_neighbors f v (fun w -> c.(w) <- -2);
+      let id = ref 0 in
+      Array.iter
+        (fun root ->
+          if c.(root) = -1 then begin
+            c.(root) <- !id;
+            queue.(0) <- root;
+            let head = ref 0 and tail = ref 1 in
+            while !head < !tail do
+              let x = queue.(!head) in
+              incr head;
+              Flat.iter_neighbors f x (fun y ->
+                  if c.(y) = -1 then begin
+                    c.(y) <- !id;
+                    queue.(!tail) <- y;
+                    incr tail
+                  end)
+            done;
+            incr id
+          end)
+        live;
+      comp.(v) <- c)
+    live;
+  let result = ref None in
+  (try
+     for i = 0 to n - 1 do
+       let x = live.(i) in
+       for j = i + 1 to n - 1 do
+         let y = live.(j) in
+         if comp.(x).(y) >= 0 (* y outside N[x]: non-adjacent *) then
+           for l = j + 1 to n - 1 do
+             let z = live.(l) in
+             if
+               comp.(x).(z) >= 0 && comp.(y).(z) >= 0
+               && comp.(z).(x) = comp.(z).(y)
+               && comp.(x).(y) = comp.(x).(z)
+               && comp.(y).(x) = comp.(y).(z)
+             then begin
+               result := Some (x, y, z);
+               raise Exit
+             end
+           done
+       done
+     done
+   with Exit -> ());
+  !result

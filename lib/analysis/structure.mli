@@ -1,0 +1,58 @@
+(** Structural analyzers over the {!Rc_graph.Flat} kernel: connectivity,
+    biconnectivity, degeneracy and the vertex orders behind interval
+    recognition.  Everything here is read-only on the graph and works on
+    dense indices; callers translate back through [Flat.label].
+
+    The interval machinery is built on {e umbrella orders} (Olariu): a
+    graph is an interval graph iff its vertices admit a linear order
+    such that for all [u < v < w], [uw] an edge implies [uv] an edge —
+    the order of the intervals' left endpoints in any model.  Verifying
+    a candidate order is O(V + E) ({!umbrella_ok}), so interval
+    recognition reduces to producing good candidates (LexBFS sweeps,
+    {!lexbfs}) plus an exact asteroidal-triple fallback on small graphs
+    ({!find_asteroidal_triple}, Lekkerkerker–Boland: interval = chordal
+    + AT-free). *)
+
+module Flat = Rc_graph.Flat
+
+val components : Flat.t -> int array * int
+(** [components f] is [(comp, count)]: [comp.(i)] is the connected
+    component id of live index [i] (ids are [0 .. count - 1], assigned
+    in increasing order of each component's smallest index) and [-1]
+    for dead indices. *)
+
+val articulation : Flat.t -> bool array * int
+(** [articulation f] is [(cut, blocks)]: [cut.(i)] iff live index [i]
+    is an articulation point (removing it disconnects its component),
+    and [blocks] the number of biconnected components (edge blocks;
+    isolated vertices contribute none).  Iterative Hopcroft–Tarjan
+    lowpoint computation, O(V + E). *)
+
+val degeneracy : Flat.t -> int
+(** Degeneracy of the graph (smallest-last order), i.e. the largest [d]
+    such that some subgraph has minimum degree [d].  The instance is
+    greedy-k-colorable iff [degeneracy < k]. *)
+
+val lexbfs : ?prior:int array -> Flat.t -> int array
+(** A lexicographic BFS order of the live indices (position to dense
+    index).  Ties inside a lexicographic class are broken toward the
+    largest [prior.(i)] (then the smallest index); with [prior] the
+    positions of a previous sweep this is the LBFS+ refinement used by
+    multi-sweep interval recognition.  Default: smallest index first.
+    Partition refinement over intrusive slice lists, O(V + E log V). *)
+
+val umbrella_ok : Flat.t -> int array -> bool
+(** [umbrella_ok f order] checks the umbrella (interval-order) property
+    of a candidate order in O(V + E): for every position [p] with
+    rightmost later neighbor at position [q], all of
+    [order.(p+1) .. order.(q)] must be neighbors of [order.(p)].  The
+    order must enumerate every live index exactly once (re-validated).
+    A passing order certifies the graph interval — it is the
+    left-endpoint order of a model. *)
+
+val find_asteroidal_triple : Flat.t -> (int * int * int) option
+(** An asteroidal triple — three pairwise non-adjacent vertices such
+    that between any two there is a path avoiding the closed
+    neighborhood of the third — or [None] if the graph is AT-free.
+    O(V (V + E)) component labeling plus an O(V^3) triple scan with
+    O(V^2) memory: strictly a small-graph fallback, gate on [V]. *)

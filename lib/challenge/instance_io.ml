@@ -62,7 +62,7 @@ let parse text =
           | [ _; _; _; ws ] -> int_of lineno ws
           | _ -> Ok 1
         in
-        if w <= 0 then error lineno "affinity weight must be positive"
+        if w < 0 then error lineno "affinity weight must be non-negative"
         else if u = v then error lineno "self-affinity"
         else begin
           acc.graph <- G.add_vertex (G.add_vertex acc.graph u) v;
@@ -143,7 +143,7 @@ let write_file path p =
      then          ne pairs  (i, j) of dense vertex-table indices,
                              i < j, strictly increasing lexicographic
      then          na triples (i, j, w), i < j, strictly increasing
-                             lexicographic, w >= 1
+                             lexicographic, w >= 0
 
    Edges and affinities are stored as *dense indices* into the vertex
    table, not raw vertex ids: a loader can stream them straight into a
@@ -341,10 +341,10 @@ let validate_view (v : view) =
             (Bin_malformed
                (Printf.sprintf "%s %d: endpoints (%d, %d) not ordered" what e i
                   j))
-        else if weighted && get (base + (stride * e) + 2) <= 0 then
+        else if weighted && get (base + (stride * e) + 2) < 0 then
           Error
             (Bin_malformed
-               (Printf.sprintf "%s %d: non-positive weight %d" what e
+               (Printf.sprintf "%s %d: negative weight %d" what e
                   (get (base + (stride * e) + 2))))
         else if
           e > 0

@@ -17,8 +17,11 @@
     v}
 
     Unknown directives, malformed integers, self-loops and affinities
-    with non-positive weight are reported as [Error] with a line
-    number. *)
+    with negative weight are reported as [Error] with a line number.
+    Zero-weight affinities are legal; {!print} always writes the weight
+    explicitly (never relying on the parser's default of 1), so they
+    round-trip exactly and profiles computed from re-parsed text match
+    binary-loaded ones. *)
 
 val parse : string -> (Rc_core.Problem.t, string) result
 (** Parses the contents of an instance file.  Affinities are
@@ -60,7 +63,7 @@ type bin_error =
   | Bin_truncated of { expected : int; got : int }  (** sizes in bytes *)
   | Bin_malformed of string
       (** body violations: unsorted/duplicate vertices, edges or
-          affinities, out-of-range indices, non-positive weights *)
+          affinities, out-of-range indices, negative weights *)
   | Bin_io of string  (** file-system errors on the mmap path *)
 
 val bin_error_to_string : bin_error -> string

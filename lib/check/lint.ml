@@ -18,6 +18,8 @@ type violation =
   | Strictness of Ssa.strictness_violation
   | Not_chordal of { cycle_length : int }
   | Omega_mismatch of { omega : int; maxlive : int }
+  | Unused_def of { block : Ir.label; var : Ir.var }
+  | Coalescable_move of { block : Ir.label; dst : Ir.var; src : Ir.var }
 
 let pp ppf = function
   | Missing_entry l -> Format.fprintf ppf "entry block L%d does not exist" l
@@ -42,6 +44,13 @@ let pp ppf = function
   | Omega_mismatch { omega; maxlive } ->
       Format.fprintf ppf
         "Theorem 1 violated: omega = %d but Maxlive = %d" omega maxlive
+  | Unused_def { block; var } ->
+      Format.fprintf ppf "block L%d defines v%d, which is never used" block var
+  | Coalescable_move { block; dst; src } ->
+      Format.fprintf ppf
+        "block L%d: move v%d := v%d whose endpoints never co-live (freely \
+         coalescable)"
+        block dst src
 
 let to_string v = Format.asprintf "%a" pp v
 
@@ -95,6 +104,56 @@ let check_strict_ssa (f : Ir.func) =
         (fun l -> if ISet.mem l reach then None else Some (Unreachable_block l))
         (Ir.labels f)
       @ List.map (fun v -> Strictness v) (Ssa.strictness_violations f)
+
+let check_dead_code (f : Ir.func) =
+  match check_structure f with
+  | _ :: _ as vs -> vs
+  | [] ->
+      let reach = Cfg.reachable f in
+      let unreachable =
+        List.filter_map
+          (fun l ->
+            if ISet.mem l reach then None else Some (Unreachable_block l))
+          (Ir.labels f)
+      in
+      (* A definition is live if any phi argument or body instruction
+         anywhere reads it (liveness-free over-approximation: reads in
+         unreachable blocks count too, so this never flags a definition
+         that some syntactic occurrence still mentions). *)
+      let used = Hashtbl.create 64 in
+      let mark v = Hashtbl.replace used v () in
+      List.iter
+        (fun l ->
+          let b = Ir.block f l in
+          List.iter
+            (fun (p : Ir.phi) -> List.iter (fun (_, v) -> mark v) p.args)
+            b.phis;
+          List.iter (fun i -> List.iter mark (Ir.uses_of_instr i)) b.body)
+        (Ir.labels f);
+      let unused =
+        List.filter_map
+          (fun (v, l) ->
+            if Hashtbl.mem used v then None
+            else Some (Unused_def { block = l; var = v }))
+          (Ir.def_sites f)
+      in
+      unreachable @ unused
+
+let check_move_related (f : Ir.func) =
+  match check_strict_ssa f with
+  | _ :: _ as vs -> vs
+  | [] ->
+      (* Pure live-range intersection (not the move-aware refinement,
+         which would see through the very moves being audited): a move
+         whose source dies at the move never co-lives with its
+         destination, so coalescing it is constraint-free. *)
+      let g = Interference.build ~move_aware:false f in
+      List.filter_map
+        (fun (block, dst, src) ->
+          if dst <> src && not (Graph.mem_edge g dst src) then
+            Some (Coalescable_move { block; dst; src })
+          else None)
+        (Ir.moves f)
 
 (* Clique number of a chordal graph from a Reference-path PEO: along a
    perfect elimination order, every maximal clique appears as a vertex

@@ -1,6 +1,6 @@
 (** IR / SSA lint: layer 1 of the checking stack (DESIGN.md).
 
-    Three nested passes over an {!Rc_ir.Ir.func}, each returning a list
+    Nested passes over an {!Rc_ir.Ir.func}, each returning a list
     of typed violations (empty = clean):
 
     - {!check_structure}: CFG well-formedness — entry present,
@@ -15,6 +15,10 @@
       are recomputed on the persistent-path {!Rc_graph.Chordal.Reference}
       kernel, so this check is independent of the flat MCS
       implementation it effectively cross-validates.
+    - {!check_dead_code} and {!check_move_related}: advisory audits on
+      top of the structural passes — unreachable blocks and unused
+      definitions, and moves the pure interference graph proves freely
+      coalescable.
 
     Later passes return the earlier pass's violations unchanged when
     there are any: dominance or interference queries are meaningless on
@@ -35,10 +39,30 @@ type violation =
       (** Theorem 1 broken: a chordless cycle of this length exists *)
   | Omega_mismatch of { omega : int; maxlive : int }
       (** Theorem 1 broken: chordal, but omega <> Maxlive *)
+  | Unused_def of { block : Ir.label; var : Ir.var }
+      (** the definition (phi, body def, or param at the entry label) is
+          never read by any phi argument or instruction *)
+  | Coalescable_move of { block : Ir.label; dst : Ir.var; src : Ir.var }
+      (** the move's endpoints never co-live (no edge in the pure
+          live-range interference graph): coalescing it is
+          constraint-free, so the copy is pure overhead *)
 
 val check_structure : Ir.func -> violation list
 val check_strict_ssa : Ir.func -> violation list
 val check_theorem1 : Ir.func -> violation list
+
+val check_dead_code : Ir.func -> violation list
+(** {!check_structure}, then dead code: blocks unreachable from the
+    entry ([Unreachable_block]) and definitions no syntactic occurrence
+    ever reads ([Unused_def]).  Reads inside unreachable blocks still
+    count as uses — the pass over-approximates liveness and never flags
+    a mentioned definition. *)
+
+val check_move_related : Ir.func -> violation list
+(** {!check_strict_ssa}, then move audit: every [Move] whose destination
+    and source never co-live in the pure ([move_aware:false])
+    interference graph is reported as [Coalescable_move] — such copies
+    can be coalesced with no coloring constraint at all. *)
 
 val pp : Format.formatter -> violation -> unit
 val to_string : violation -> string

@@ -30,6 +30,7 @@ type state = {
   mutable frames_rejected : int;
   mutable cache_hits : int;
   mutable cache_misses : int;
+  mutable cache_evictions : int;
   mutable certified_ok : int;
   mutable certified_failed : int;
   mutable cursor : int;
@@ -46,6 +47,7 @@ let dls : state Domain.DLS.key =
         frames_rejected = 0;
         cache_hits = 0;
         cache_misses = 0;
+        cache_evictions = 0;
         certified_ok = 0;
         certified_failed = 0;
         cursor = 0;
@@ -67,6 +69,7 @@ let total_frames_decoded = Atomic.make 0
 let total_frames_rejected = Atomic.make 0
 let total_cache_hits = Atomic.make 0
 let total_cache_misses = Atomic.make 0
+let total_cache_evictions = Atomic.make 0
 let total_certified_ok = Atomic.make 0
 let total_certified_failed = Atomic.make 0
 
@@ -89,6 +92,8 @@ let flush () =
   st.cache_hits <- 0;
   fold total_cache_misses st.cache_misses;
   st.cache_misses <- 0;
+  fold total_cache_evictions st.cache_evictions;
+  st.cache_evictions <- 0;
   fold total_certified_ok st.certified_ok;
   st.certified_ok <- 0;
   fold total_certified_failed st.certified_failed;
@@ -123,6 +128,10 @@ let note_cache_miss () =
   let st = state () in
   st.cache_misses <- st.cache_misses + 1
 
+let note_cache_evicted () =
+  let st = state () in
+  st.cache_evictions <- st.cache_evictions + 1
+
 let note_certified ~ok =
   let st = state () in
   if ok then st.certified_ok <- st.certified_ok + 1
@@ -138,6 +147,9 @@ let serve_cache_hits () = Atomic.get total_cache_hits + (state ()).cache_hits
 
 let serve_cache_misses () =
   Atomic.get total_cache_misses + (state ()).cache_misses
+
+let serve_cache_evictions () =
+  Atomic.get total_cache_evictions + (state ()).cache_evictions
 
 let certified_ok () = Atomic.get total_certified_ok + (state ()).certified_ok
 

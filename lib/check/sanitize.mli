@@ -102,6 +102,10 @@ val note_frame_decoded : unit -> unit
 val note_frame_rejected : unit -> unit
 val note_cache_hit : unit -> unit
 val note_cache_miss : unit -> unit
+
+(** [note_cache_evicted ()]: an answer-cache entry was evicted to make
+    room (LRU overflow), as opposed to an explicit flush. *)
+val note_cache_evicted : unit -> unit
 val note_certified : ok:bool -> unit
 
 val frames_decoded : unit -> int
@@ -112,6 +116,7 @@ val frames_rejected : unit -> int
 
 val serve_cache_hits : unit -> int
 val serve_cache_misses : unit -> int
+val serve_cache_evictions : unit -> int
 
 val certified_ok : unit -> int
 (** Serve-path answers that passed independent certification. *)

@@ -31,7 +31,7 @@ type target = Any | Greedy_k_colorable | K_colorable
    rollback — the persistent graph is touched exactly once, to realize
    the best merge log found.  The weight bound prunes branches that
    cannot beat the incumbent. *)
-let search (p : Problem.t) ~target =
+let search ?(floor = -1) (p : Problem.t) ~target =
   let affinities, suffix = sorted_affinities p in
   let spec = Spec.of_state (Coalescing.initial p.graph) in
   let leaf_ok () =
@@ -45,7 +45,7 @@ let search (p : Problem.t) ~target =
         Coloring.k_colorable (Flat.to_graph (Spec.flat spec)) p.k <> None
   in
   let best = ref None in
-  let best_weight = ref (-1) in
+  let best_weight = ref floor in
   let rec go i gained =
     if gained + suffix.(i) <= !best_weight then ()
     else if i = Array.length affinities then begin
@@ -73,23 +73,39 @@ let search (p : Problem.t) ~target =
   go 0 0;
   match !best with
   | Some log ->
-      Coalescing.solution_of_state p
-        (Spec.replay (Coalescing.initial p.graph) log)
+      Some
+        (Coalescing.solution_of_state p
+           (Spec.replay (Coalescing.initial p.graph) log))
+  | None -> None
+
+let search_exn p ~target =
+  match search p ~target with
+  | Some sol -> sol
   | None ->
       (* Even the empty coalescing failed the leaf check. *)
       invalid_arg "Exact.search: the uncoalesced graph is not acceptable"
 
-let aggressive p = search p ~target:Any
+let aggressive p = search_exn p ~target:Any
 
-let conservative (p : Problem.t) =
+let conservative ?prime (p : Problem.t) =
   if not (Greedy_k.is_greedy_k_colorable p.graph p.k) then
     invalid_arg "Exact.conservative: input graph is not greedy-k-colorable";
-  search p ~target:Greedy_k_colorable
+  match prime with
+  | None -> search_exn p ~target:Greedy_k_colorable
+  | Some incumbent ->
+      (* Oracle-seeded search: the incumbent's weight floors the
+         branch-and-bound (branches that cannot strictly beat it are
+         pruned), and if nothing beats it the incumbent is already
+         optimal and returned as-is. *)
+      let floor = Coalescing.coalesced_weight incumbent in
+      (match search ~floor p ~target:Greedy_k_colorable with
+      | Some better -> better
+      | None -> incumbent)
 
 let conservative_k_colorable (p : Problem.t) =
   if Coloring.k_colorable p.graph p.k = None then
     invalid_arg "Exact.conservative_k_colorable: input graph is not k-colorable";
-  search p ~target:K_colorable
+  search_exn p ~target:K_colorable
 
 let decoalesce (p : Problem.t) st =
   let all =

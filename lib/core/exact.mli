@@ -23,11 +23,19 @@ val aggressive : Problem.t -> Coalescing.solution
 (** Optimal aggressive coalescing (Section 3): interferences are the
     only constraint. *)
 
-val conservative : Problem.t -> Coalescing.solution
+val conservative : ?prime:Coalescing.solution -> Problem.t -> Coalescing.solution
 (** Optimal conservative coalescing (Section 4): the coalesced graph
     must be greedy-k-colorable.  Raises [Invalid_argument] if the input
     graph is not greedy-k-colorable itself (then the instance is outside
-    the problem's scope). *)
+    the problem's scope).
+
+    [?prime] seeds the branch-and-bound with a known-feasible incumbent
+    (e.g. a heuristic or analysis-dispatcher answer): its coalesced
+    weight becomes the initial pruning floor, and if no leaf strictly
+    beats it the incumbent itself is returned — so the result weight is
+    always the optimum, and a good oracle only shrinks the search.  The
+    incumbent must be a conservative solution of [p] (not re-checked
+    here; the certification layer is). *)
 
 val conservative_k_colorable : Problem.t -> Coalescing.solution
 (** Variant where the final graph must be k-colorable (exact coloring

@@ -21,7 +21,7 @@ let make ~graph ~affinities ~k =
   if k <= 0 then invalid_arg "Problem.make: k must be positive";
   List.iter
     (fun ((u, v), w) ->
-      if w <= 0 then invalid_arg "Problem.make: non-positive affinity weight";
+      if w < 0 then invalid_arg "Problem.make: negative affinity weight";
       if not (Graph.mem_vertex graph u && Graph.mem_vertex graph v) then
         invalid_arg
           (Printf.sprintf "Problem.make: affinity (%d, %d) endpoint not in graph" u v))
@@ -32,7 +32,7 @@ type error =
   | Nonpositive_k of int
   | Self_affinity of { v : Graph.vertex; weight : int }
   | Unordered_affinity of { u : Graph.vertex; v : Graph.vertex }
-  | Nonpositive_weight of { u : Graph.vertex; v : Graph.vertex; weight : int }
+  | Negative_weight of { u : Graph.vertex; v : Graph.vertex; weight : int }
   | Missing_endpoint of {
       u : Graph.vertex;
       v : Graph.vertex;
@@ -51,9 +51,8 @@ let pp_error ppf = function
       Format.fprintf ppf "self-affinity %d~%d (weight %d)" v v weight
   | Unordered_affinity { u; v } ->
       Format.fprintf ppf "affinity (%d, %d) not normalized (u < v required)" u v
-  | Nonpositive_weight { u; v; weight } ->
-      Format.fprintf ppf "affinity (%d, %d) has non-positive weight %d" u v
-        weight
+  | Negative_weight { u; v; weight } ->
+      Format.fprintf ppf "affinity (%d, %d) has negative weight %d" u v weight
   | Missing_endpoint { u; v; missing } ->
       Format.fprintf ppf "affinity (%d, %d): endpoint %d is not in the graph" u
         v missing
@@ -74,7 +73,7 @@ let validate ?(forbid_constrained = false) t =
     (fun { u; v; weight } ->
       if u = v then add (Self_affinity { v; weight })
       else if u > v then add (Unordered_affinity { u; v });
-      if weight <= 0 then add (Nonpositive_weight { u; v; weight });
+      if weight < 0 then add (Negative_weight { u; v; weight });
       let u_in = Graph.mem_vertex t.graph u
       and v_in = Graph.mem_vertex t.graph v in
       if not u_in then add (Missing_endpoint { u; v; missing = u });

@@ -20,8 +20,11 @@ val make :
   t
 (** Normalizes the affinity list: orders endpoints, merges duplicates by
     summing weights, drops self-affinities.  Raises [Invalid_argument]
-    if an endpoint is not a vertex of the graph, a weight is <= 0, or
-    [k <= 0]. *)
+    if an endpoint is not a vertex of the graph, a weight is negative,
+    or [k <= 0].  Zero-weight affinities are legal and preserved: they
+    carry no objective value but still name a move the solvers may
+    remove, and the instance formats round-trip them exactly
+    ({!Rc_challenge.Instance_io}). *)
 
 (** One violation of the {!make} invariants, naming the offending
     affinity.  {!Constrained_affinity} is reported only under
@@ -36,7 +39,7 @@ type error =
       u : Rc_graph.Graph.vertex;
       v : Rc_graph.Graph.vertex;
     }
-  | Nonpositive_weight of {
+  | Negative_weight of {
       u : Rc_graph.Graph.vertex;
       v : Rc_graph.Graph.vertex;
       weight : int;

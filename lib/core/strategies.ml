@@ -72,6 +72,8 @@ let all_heuristics =
 
 type check_level = No_check | Validate_input | Assert_conservative
 
+type dispatch = Direct | Static_profile
+
 type config = {
   rows : Rc_graph.Flat.rows option;
   scoring : Optimistic.scoring;
@@ -79,6 +81,7 @@ type config = {
   incremental : bool;
   check : check_level;
   seed : int;
+  dispatch : dispatch;
 }
 
 let default_config =
@@ -89,7 +92,18 @@ let default_config =
     incremental = true;
     check = No_check;
     seed = 0;
+    dispatch = Direct;
   }
+
+(* The Static_profile router lives in Rc_analysis (which depends on
+   this library), so it registers itself here through a hook.  Install
+   before spawning worker domains: the ref is published by the spawn
+   and never written afterwards. *)
+let static_dispatcher :
+    (config -> t -> Problem.t -> Coalescing.solution) option ref =
+  ref None
+
+let set_static_dispatcher f = static_dispatcher := f
 
 let run_chordal_incremental ?rows (p : Problem.t) =
   if not (Rc_graph.Chordal.is_chordal p.graph) then
@@ -134,17 +148,26 @@ let run_cfg cfg strategy (p : Problem.t) =
   let rows = cfg.rows in
   let incremental = cfg.incremental in
   let sol =
-    match strategy with
+    match cfg.dispatch with
+    | Static_profile -> (
+        match !static_dispatcher with
+        | Some route -> route { cfg with dispatch = Direct } strategy p
+        | None ->
+            invalid_arg
+              "Strategies.run_cfg: dispatch = Static_profile but no dispatcher \
+               is installed (call Rc_analysis.Dispatch.install first)")
+    | Direct -> (
+        match strategy with
     | Aggressive -> Aggressive.coalesce p
     | Conservative r -> Conservative.coalesce ?rows ~incremental r p
     | Irc r -> (Irc.allocate ~rule:r p).solution
     | Optimistic ->
         Optimistic.coalesce ?rows ~scoring:cfg.scoring ~incremental p
     | Chordal_incremental -> run_chordal_incremental ?rows p
-    | Set_conservative n ->
-        let max_set = if n >= 1 then n else cfg.max_set in
-        Set_coalescing.coalesce ?rows ~max_set ~incremental p
-    | Exact_conservative -> Exact.conservative p
+        | Set_conservative n ->
+            let max_set = if n >= 1 then n else cfg.max_set in
+            Set_coalescing.coalesce ?rows ~max_set ~incremental p
+        | Exact_conservative -> Exact.conservative p)
   in
   (match cfg.check with
   | Assert_conservative

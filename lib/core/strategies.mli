@@ -53,6 +53,18 @@ type check_level =
           otherwise.  For the full independent re-derivation, see
           [Rc_check.Certify] (a layer above this library). *)
 
+type dispatch =
+  | Direct  (** run the named strategy's primitive as-is (default) *)
+  | Static_profile
+      (** route through the static instance analyzer: profile the
+          instance, apply certified presolve, pick the polynomial path
+          the structure admits (interval endpoint walk, chordal
+          incremental) or prime [Exact] with a heuristic incumbent, and
+          lift the answer back.  Requires [Rc_analysis.Dispatch.install]
+          to have run (it registers the router via
+          {!set_static_dispatcher}); [run_cfg] raises
+          [Invalid_argument] otherwise. *)
+
 type config = {
   rows : Rc_graph.Flat.rows option;
       (** row representation for every flat kernel the run builds
@@ -76,11 +88,22 @@ type config = {
           only documents the run (sweep reports record it); a future
           randomized strategy must draw from it and nothing else, or
           domain-parallel runs stop being reproducible. *)
+  dispatch : dispatch;
 }
 
 val default_config : config
 (** [{ rows = None; scoring = Degree_per_weight; max_set = 2;
-      incremental = true; check = No_check; seed = 0 }] *)
+      incremental = true; check = No_check; seed = 0;
+      dispatch = Direct }] *)
+
+val set_static_dispatcher :
+  (config -> t -> Problem.t -> Coalescing.solution) option -> unit
+(** Registers (or clears) the [Static_profile] router.  The installed
+    function receives the caller's config with [dispatch] already reset
+    to [Direct] (so it can fall back to {!run_cfg} without recursing)
+    and must honor [config.check] semantics for whatever it returns —
+    {!run_cfg} still applies its [Assert_conservative] post-check.
+    Install before spawning worker domains. *)
 
 val run_cfg : config -> t -> Problem.t -> Coalescing.solution
 (** The unified solve path: dispatches to the strategy's primitive with

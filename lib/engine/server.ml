@@ -4,6 +4,7 @@ module Instance_io = Rc_challenge.Instance_io
 module Protocol = Rc_check.Protocol
 module Sanitize = Rc_check.Sanitize
 module Certify = Rc_check.Certify
+module Profile = Rc_analysis.Profile
 
 (* ------------------------------------------------------------------ *)
 (* Wire format                                                         *)
@@ -160,6 +161,93 @@ let one_shot ?(config = Strategies.default_config) ~strategies p =
   fst (render config strategies p)
 
 (* ------------------------------------------------------------------ *)
+(* Size-bounded LRU                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* The answer and profile caches: a string-keyed table over an
+   intrusive doubly-linked recency list.  [find] touches; [add] evicts
+   the coldest entry when the capacity is reached (one eviction per
+   insert — the cache never resets wholesale; an explicit
+   [Server.flush_cache] is the only full clear).  Single-domain use
+   only: every call site runs on the connection-serving domain, never
+   inside a pool task. *)
+module Lru = struct
+  type 'a node = {
+    key : string;
+    mutable value : 'a;
+    mutable prev : 'a node option;
+    mutable next : 'a node option;
+  }
+
+  type 'a t = {
+    capacity : int;
+    table : (string, 'a node) Hashtbl.t;
+    mutable head : 'a node option;  (* most recently used *)
+    mutable tail : 'a node option;  (* eviction candidate *)
+  }
+
+  let create capacity =
+    {
+      capacity = max 1 capacity;
+      table = Hashtbl.create 64;
+      head = None;
+      tail = None;
+    }
+
+  let length t = Hashtbl.length t.table
+
+  let unlink t n =
+    (match n.prev with Some p -> p.next <- n.next | None -> t.head <- n.next);
+    (match n.next with Some s -> s.prev <- n.prev | None -> t.tail <- n.prev);
+    n.prev <- None;
+    n.next <- None
+
+  let push_front t n =
+    n.next <- t.head;
+    (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
+    t.head <- Some n
+
+  let find t key =
+    match Hashtbl.find_opt t.table key with
+    | None -> None
+    | Some n ->
+        unlink t n;
+        push_front t n;
+        Some n.value
+
+  let add t key value =
+    match Hashtbl.find_opt t.table key with
+    | Some n ->
+        n.value <- value;
+        unlink t n;
+        push_front t n
+    | None ->
+        if Hashtbl.length t.table >= t.capacity then
+          (match t.tail with
+          | Some cold ->
+              unlink t cold;
+              Hashtbl.remove t.table cold.key;
+              Sanitize.note_cache_evicted ()
+          | None -> ());
+        let n = { key; value; prev = None; next = None } in
+        Hashtbl.replace t.table n.key n;
+        push_front t n
+
+  let clear t =
+    Hashtbl.reset t.table;
+    t.head <- None;
+    t.tail <- None
+
+  (* Most-recent-first fold, stopping after [limit] entries. *)
+  let fold_recent t ~limit f acc =
+    let rec go acc count = function
+      | Some n when count < limit -> go (f acc n.key n.value) (count + 1) n.next
+      | _ -> acc
+    in
+    go acc 0 t.head
+end
+
+(* ------------------------------------------------------------------ *)
 (* Server state                                                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -183,7 +271,8 @@ let default_config =
 type t = {
   config : config;
   pool : Pool.t;
-  cache : (string, string * int) Hashtbl.t;  (* key -> (answer, cert byte) *)
+  cache : (string * int) Lru.t;  (* key -> (answer, cert byte) *)
+  profiles : string Lru.t;  (* canonical hash -> Profile.summary *)
   mutable stop : bool;
   active : int Atomic.t;  (* read cross-domain by the leak detector *)
   connections : int Atomic.t;
@@ -194,7 +283,8 @@ let create ?(config = default_config) () =
   {
     config;
     pool = Pool.create ~domains:config.domains;
-    cache = Hashtbl.create 64;
+    cache = Lru.create config.cache_capacity;
+    profiles = Lru.create config.cache_capacity;
     stop = false;
     active = Atomic.make 0;
     connections = Atomic.make 0;
@@ -210,28 +300,50 @@ let with_server ?config f =
 let active_connections t = Atomic.get t.active
 let connections_served t = Atomic.get t.connections
 let requests_served t = Atomic.get t.requests
-let cache_entries t = Hashtbl.length t.cache
+let cache_entries t = Lru.length t.cache
+let profiles_cached t = Lru.length t.profiles
+
+let flush_cache t =
+  Lru.clear t.cache;
+  Lru.clear t.profiles
+
+(* STATS carries the freshest instance profiles at the bottom, bounded
+   so the frame stays small whatever the cache capacity. *)
+let stats_profile_lines = 8
 
 let stats_text t =
-  Printf.sprintf
-    "frames_decoded %d\n\
-     frames_rejected %d\n\
-     cache_hits %d\n\
-     cache_misses %d\n\
-     certified_ok %d\n\
-     certified_failed %d\n\
-     connections_served %d\n\
-     requests_served %d\n\
-     cache_entries %d\n\
-     domains %d\n"
-    (Sanitize.frames_decoded ())
-    (Sanitize.frames_rejected ())
-    (Sanitize.serve_cache_hits ())
-    (Sanitize.serve_cache_misses ())
-    (Sanitize.certified_ok ())
-    (Sanitize.certified_failed ())
-    (connections_served t) (requests_served t) (cache_entries t)
-    (Pool.domains t.pool)
+  let base =
+    Printf.sprintf
+      "frames_decoded %d\n\
+       frames_rejected %d\n\
+       cache_hits %d\n\
+       cache_misses %d\n\
+       cache_evictions %d\n\
+       certified_ok %d\n\
+       certified_failed %d\n\
+       connections_served %d\n\
+       requests_served %d\n\
+       cache_entries %d\n\
+       profiles_cached %d\n\
+       domains %d\n"
+      (Sanitize.frames_decoded ())
+      (Sanitize.frames_rejected ())
+      (Sanitize.serve_cache_hits ())
+      (Sanitize.serve_cache_misses ())
+      (Sanitize.serve_cache_evictions ())
+      (Sanitize.certified_ok ())
+      (Sanitize.certified_failed ())
+      (connections_served t) (requests_served t) (cache_entries t)
+      (profiles_cached t)
+      (Pool.domains t.pool)
+  in
+  let profiles =
+    Lru.fold_recent t.profiles ~limit:stats_profile_lines
+      (fun acc hash summary ->
+        Printf.sprintf "profile %s %s\n" hash summary :: acc)
+      []
+  in
+  String.concat "" (base :: List.rev profiles)
 
 (* ------------------------------------------------------------------ *)
 (* Request decoding and solving                                        *)
@@ -241,6 +353,8 @@ type decoded = {
   problem : Problem.t;
   strategies : Strategies.t list;
   key : string;
+  hash : string;  (* canonical instance hash, shared across strategies *)
+  stoken : string;  (* strategy component of [key] ("all" for the set) *)
 }
 
 let rows_token = function
@@ -288,21 +402,24 @@ let decode_solve t payload : (decoded, Protocol.error) result =
           | Ok p -> Ok p
           | Error m -> Error (Protocol.Bad_instance m))
     in
-    let key =
-      String.concat "|"
-        [ Instance_io.canonical_hash problem; stoken; rows_token t.config.rows ]
-    in
-    Ok { problem; strategies; key }
+    let hash = Instance_io.canonical_hash problem in
+    let key = String.concat "|" [ hash; stoken; rows_token t.config.rows ] in
+    Ok { problem; strategies; key; hash; stoken }
   with e -> Error (Protocol.Bad_instance (Printexc.to_string e))
 
 (* Also a pool task: certification runs in whichever worker domain
    picked the slot, and its Sanitize tallies ride the pool's
    flush-at-join back to the process totals. *)
-let solve_and_render t (d : decoded) : (string * int, Protocol.error) result =
+let solve_and_render t (d : decoded) :
+    (string * int * string, Protocol.error) result =
   try
     let config = { Strategies.default_config with rows = t.config.rows } in
     let text, sols = render config d.strategies d.problem in
-    if not t.config.certify then Ok (text, 0)
+    (* The structural profile rides along with every fresh solve: the
+       worker domain computes the summary (the expensive part), the
+       serving domain caches it under the canonical hash. *)
+    let summary = Profile.summary (Profile.analyze d.problem) in
+    if not t.config.certify then Ok (text, 0, summary)
     else begin
       let failure = ref None in
       List.iter
@@ -322,11 +439,39 @@ let solve_and_render t (d : decoded) : (string * int, Protocol.error) result =
               end)
         sols;
       match !failure with
-      | None -> Ok (text, 1)
+      | None -> Ok (text, 1, summary)
       | Some m -> Error (Protocol.Certification_failed m)
     end
   with e ->
     Error (Protocol.Bad_instance ("solver failure: " ^ Printexc.to_string e))
+
+(* A cached [all]-strategies answer subsumes any single-strategy
+   request over the same instance and rows: the stored text is the
+   stats line plus one canonical report line per strategy, so the
+   single strategy's answer is the stats line plus its line, found by
+   the %-28s-padded name prefix.  (Exact is not in [all_heuristics],
+   so its requests naturally miss.) *)
+let subsume_from_all t (d : decoded) =
+  match d.strategies with
+  | [ s ] when d.stoken <> "all" -> (
+      let all_key =
+        String.concat "|" [ d.hash; "all"; rows_token t.config.rows ]
+      in
+      match Lru.find t.cache all_key with
+      | None -> None
+      | Some (text, cert) -> (
+          let prefix = Printf.sprintf "%-28s " (Strategies.name s) in
+          match String.split_on_char '\n' text with
+          | stats :: lines -> (
+              match
+                List.find_opt
+                  (fun l -> String.starts_with ~prefix l)
+                  lines
+              with
+              | Some line -> Some (stats ^ "\n" ^ line ^ "\n", cert)
+              | None -> None)
+          | [] -> None))
+  | _ -> None
 
 type reply =
   | R_answer of { cache_hit : bool; cert : int; text : string }
@@ -353,25 +498,32 @@ let run_batch t (payloads : string array) : reply array =
         Sanitize.note_frame_rejected ();
         replies.(i) <- R_error e
     | Ok d -> (
-        match Hashtbl.find_opt t.cache d.key with
+        match Lru.find t.cache d.key with
         | Some (text, cert) ->
             Sanitize.note_cache_hit ();
             replies.(i) <- R_answer { cache_hit = true; cert; text }
         | None -> (
-            match Hashtbl.find_opt slot_of_key d.key with
-            | Some j ->
-                (* The repeated-graph fast path inside one batch: alias
-                   the first occurrence's slot; solved once. *)
+            match subsume_from_all t d with
+            | Some (text, cert) ->
+                (* A cached [all] answer over the same instance covers
+                   this single-strategy request. *)
                 Sanitize.note_cache_hit ();
-                plan.(i) <- j;
-                hit.(i) <- true
-            | None ->
-                Sanitize.note_cache_miss ();
-                let j = !nfresh in
-                incr nfresh;
-                Hashtbl.add slot_of_key d.key j;
-                fresh := d :: !fresh;
-                plan.(i) <- j))
+                replies.(i) <- R_answer { cache_hit = true; cert; text }
+            | None -> (
+                match Hashtbl.find_opt slot_of_key d.key with
+                | Some j ->
+                    (* The repeated-graph fast path inside one batch:
+                       alias the first occurrence's slot; solved once. *)
+                    Sanitize.note_cache_hit ();
+                    plan.(i) <- j;
+                    hit.(i) <- true
+                | None ->
+                    Sanitize.note_cache_miss ();
+                    let j = !nfresh in
+                    incr nfresh;
+                    Hashtbl.add slot_of_key d.key j;
+                    fresh := d :: !fresh;
+                    plan.(i) <- j)))
   done;
   let fresh = Array.of_list (List.rev !fresh) in
   let solved =
@@ -381,19 +533,16 @@ let run_batch t (payloads : string array) : reply array =
   Array.iteri
     (fun j r ->
       match r with
-      | Ok (text, cert) ->
-          if
-            Hashtbl.length t.cache >= t.config.cache_capacity
-            && not (Hashtbl.mem t.cache fresh.(j).key)
-          then Hashtbl.reset t.cache;
-          Hashtbl.replace t.cache fresh.(j).key (text, cert)
+      | Ok (text, cert, summary) ->
+          Lru.add t.cache fresh.(j).key (text, cert);
+          Lru.add t.profiles fresh.(j).hash summary
       | Error _ -> ())
     solved;
   for i = 0 to n - 1 do
     if plan.(i) >= 0 then
       replies.(i) <-
         (match solved.(plan.(i)) with
-        | Ok (text, cert) -> R_answer { cache_hit = hit.(i); cert; text }
+        | Ok (text, cert, _) -> R_answer { cache_hit = hit.(i); cert; text }
         | Error e ->
             Sanitize.note_frame_rejected ();
             R_error e)

@@ -108,9 +108,11 @@ type config = {
   rows : Rc_graph.Flat.rows option;  (** kernel row policy for every solve *)
   certify : bool;  (** certify claimed-conservative answers (default on) *)
   cache_capacity : int;
-      (** answer-cache entry cap; reaching it flushes the cache
-          wholesale (simple, bounded — the common traffic pattern is
-          few distinct graphs, many repeats) *)
+      (** answer-cache entry cap: inserting past it evicts the
+          least-recently-used entry (one eviction per insert, counted
+          by [Rc_check.Sanitize.serve_cache_evictions] and reported in
+          STATS); the profile cache is bounded the same way.  The only
+          wholesale clear is the explicit {!flush_cache}. *)
   max_payload : int;  (** per-frame payload byte limit *)
 }
 
@@ -154,10 +156,22 @@ val active_connections : t -> int
 val connections_served : t -> int
 val requests_served : t -> int
 val cache_entries : t -> int
+
+val profiles_cached : t -> int
+(** Entries in the structural-profile cache (canonical instance hash →
+    [Rc_analysis.Profile.summary], filled on every fresh solve). *)
+
+val flush_cache : t -> unit
+(** Explicit full clear of the answer and profile caches — the only
+    wholesale reset (capacity pressure evicts one LRU entry at a
+    time).  The FLUSH wire frame is unrelated: it is a batch barrier. *)
+
 val stats_text : t -> string
 (** The STATS response payload: one [key value] line per counter
-    (frames, rejections, cache traffic, certification verdicts,
-    connections, requests, cache size, domains). *)
+    (frames, rejections, cache traffic incl. evictions, certification
+    verdicts, connections, requests, cache sizes, domains), followed by
+    up to eight [profile <hash> <summary>] lines for the most recently
+    profiled instances. *)
 
 (** {1 The one-shot path} *)
 

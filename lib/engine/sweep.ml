@@ -1,6 +1,7 @@
 module Strategies = Rc_core.Strategies
 module Problem = Rc_core.Problem
 module Graph = Rc_graph.Graph
+module Profile = Rc_analysis.Profile
 
 type source =
   | Synthetic of { n : int; maxlive : int; affinity_fraction : float }
@@ -86,6 +87,8 @@ type t = {
   cells : cell array;
   leaderboard : row list;
   wall_s : float;
+  classes : string array;  (** per-instance Profile.classification *)
+  profiles : string array;  (** per-instance Profile.summary *)
 }
 
 let build_problem source seed =
@@ -96,6 +99,11 @@ let build_problem source seed =
         .problem
   | Ssa { k } ->
       (Rc_challenge.Challenge.generate ~seed:(Seed.to_int seed) ~k ()).problem
+
+let instance_problems ~seed preset =
+  let root = Seed.of_int seed in
+  Array.init preset.instances (fun i ->
+      build_problem preset.source (Seed.split root i))
 
 let leaderboard_of_cells strategies (cells : cell array) =
   let rows =
@@ -163,6 +171,12 @@ let run ?pool ?domains ?(strategies = Strategies.all_heuristics) ?rows
   let problems =
     Array.map (fun s -> build_problem preset.source s) instance_seeds
   in
+  (* One structural profile per instance (deterministic, so both the
+     class column and the summary lines are part of the canonical
+     report). *)
+  let instance_profiles = Array.map Profile.analyze problems in
+  let classes = Array.map Profile.classification instance_profiles in
+  let profiles = Array.map Profile.summary instance_profiles in
   let strategies_a = Array.of_list strategies in
   let n_strat = Array.length strategies_a in
   let tasks = n_strat * preset.instances in
@@ -210,6 +224,8 @@ let run ?pool ?domains ?(strategies = Strategies.all_heuristics) ?rows
     cells;
     leaderboard = leaderboard_of_cells strategies cells;
     wall_s = Rc_core.Mclock.elapsed_s t0;
+    classes;
+    profiles;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -231,18 +247,23 @@ let canonical t =
   pf "sweep %s (%s) x %d instances, seed %d\n" t.preset.sname
     (source_to_string t.preset.source)
     t.preset.instances t.root_seed;
+  pf "-- instances --\n";
+  Array.iteri (fun i s -> pf "#%d %s\n" i s) t.profiles;
   pf "-- cells --\n";
   Array.iter
     (fun c ->
+      let cls = t.classes.(c.instance) in
       match c.outcome with
       | Report r ->
-          pf "%-28s #%d %6d/%-6d weight  %4d/%-4d moves  %s\n" c.strategy
-            c.instance r.coalesced_weight r.total_weight r.coalesced_count
+          pf "%-28s #%d %-8s %6d/%-6d weight  %4d/%-4d moves  %s\n" c.strategy
+            c.instance cls r.coalesced_weight r.total_weight r.coalesced_count
             r.affinity_count
             (if r.conservative then "conservative" else "NOT-k-colorable")
       | Capped { ceiling } ->
-          pf "%-28s #%d capped (> %d vertices)\n" c.strategy c.instance ceiling
-      | Failed m -> pf "%-28s #%d failed: %s\n" c.strategy c.instance m)
+          pf "%-28s #%d %-8s capped (> %d vertices)\n" c.strategy c.instance
+            cls ceiling
+      | Failed m ->
+          pf "%-28s #%d %-8s failed: %s\n" c.strategy c.instance cls m)
     t.cells;
   pf "-- leaderboard --\n";
   List.iter
@@ -292,11 +313,23 @@ let to_json t =
   pf "  \"seed\": %d,\n" t.root_seed;
   pf "  \"domains\": %d,\n" t.domains;
   pf "  \"wall_s\": %.6f,\n" t.wall_s;
+  pf "  \"profiles\": [\n";
+  Array.iteri
+    (fun i s ->
+      pf "    {\"instance\": %d, \"class\": \"%s\", \"summary\": \"%s\"}%s\n" i
+        (json_escape t.classes.(i))
+        (json_escape s)
+        (if i < Array.length t.profiles - 1 then "," else ""))
+    t.profiles;
+  pf "  ],\n";
   pf "  \"cells\": [\n";
   Array.iteri
     (fun i c ->
-      pf "    {\"strategy\": \"%s\", \"instance\": %d, \"seed\": %d, "
-        (json_escape c.strategy) c.instance c.seed;
+      pf
+        "    {\"strategy\": \"%s\", \"instance\": %d, \"seed\": %d, \
+         \"class\": \"%s\", "
+        (json_escape c.strategy) c.instance c.seed
+        (json_escape t.classes.(c.instance));
       (match c.outcome with
       | Report r ->
           pf

@@ -39,6 +39,11 @@ val presets : preset list
 
 val preset_of_string : string -> (preset, string) result
 
+val instance_problems : seed:int -> preset -> Rc_core.Problem.t array
+(** Exactly the instances a sweep at [~seed] over [preset] evaluates
+    (same {!Seed} split per index), built sequentially — the [analyze
+    --preset] entry point profiles what the sweep would run. *)
+
 val scale_ceiling : Rc_core.Strategies.t -> int
 (** Largest vertex count the strategy is swept at (see above). *)
 
@@ -75,6 +80,12 @@ type t = {
   cells : cell array;  (** strategy-major, index-ordered *)
   leaderboard : row list;  (** sorted by decreasing score, then name *)
   wall_s : float;  (** whole-sweep wall time (monotonic clock) *)
+  classes : string array;
+      (** per-instance [Rc_analysis.Profile.classification] — the class
+          column of every cell line *)
+  profiles : string array;
+      (** per-instance [Rc_analysis.Profile.summary]; deterministic, so
+          both profile arrays are part of the canonical report *)
 }
 
 val run :
@@ -97,9 +108,10 @@ val run :
     {!Rc_core.Strategies.config}. *)
 
 val canonical : t -> string
-(** The deterministic report: per-cell quality columns and the
-    leaderboard, no timings.  Byte-identical at any [domains] for a
-    fixed (preset, seed, strategies, rows, check). *)
+(** The deterministic report: per-instance structural profiles, per-cell
+    quality columns (instance class included) and the leaderboard, no
+    timings.  Byte-identical at any [domains] for a fixed (preset, seed,
+    strategies, rows, check). *)
 
 val pp : Format.formatter -> t -> unit
 (** Prints {!canonical}. *)

@@ -265,7 +265,7 @@ let test_io_rejects () =
       "k 0\n" (* non-positive k *);
       "k 2\nk 3\n" (* duplicate k *);
       "k 2\ne 1 1\n" (* self-loop *);
-      "k 2\na 0 1 0\n" (* zero weight *);
+      "k 2\na 0 1 -2\n" (* negative weight *);
       "k 2\nq 1 2\n" (* unknown directive *);
       "k 2\ne 0 x\n" (* bad integer *);
       "k 2\ne 0 1\na 0 1 2 3 4\n" (* arity *);

@@ -222,6 +222,86 @@ let test_lint_strictness_names_offender () =
        (Lint.check_strict_ssa f));
   check "is_ssa agrees" false (Ssa.is_ssa f)
 
+let test_lint_audits () =
+  (* Dead code: v2 is defined and never read, block 3 is unreachable;
+     v1 is read (by v2's definition) and must not be flagged. *)
+  let f : Ir.func =
+    {
+      entry = 0;
+      blocks =
+        IMap.add 0
+          (block
+             [
+               Ir.Op { def = Some 1; uses = [] };
+               Ir.Op { def = Some 2; uses = [ 1 ] };
+             ])
+          (IMap.add 3 (block []) IMap.empty);
+      params = [];
+      next_var = 3;
+      next_label = 4;
+    }
+  in
+  let vs = Lint.check_dead_code f in
+  check "unreachable block reported" true
+    (List.mem (Lint.Unreachable_block 3) vs);
+  check "unused def reported" true
+    (List.mem (Lint.Unused_def { block = 0; var = 2 }) vs);
+  check "used def not reported" false
+    (List.exists
+       (function Lint.Unused_def { var = 1; _ } -> true | _ -> false)
+       vs);
+  (* Unused parameters are definitions at the entry label. *)
+  let f_param = { f with params = [ 7 ]; next_var = 8 } in
+  check "unused param reported" true
+    (List.mem
+       (Lint.Unused_def { block = 0; var = 7 })
+       (Lint.check_dead_code f_param));
+  (* The audit is gated on structure: a broken CFG reports only the
+     structural violations. *)
+  let broken : Ir.func =
+    {
+      entry = 0;
+      blocks = IMap.add 0 (block ~succs:[ 9 ] []) IMap.empty;
+      params = [];
+      next_var = 0;
+      next_label = 1;
+    }
+  in
+  check "dead-code audit gated on structure" true
+    (List.for_all
+       (function Lint.Unused_def _ -> false | _ -> true)
+       (Lint.check_dead_code broken));
+  (* Move audit: v1 dies at the move (never read again), so the copy
+     v2 := v1 is freely coalescable; v4 is read after v5 := v4, so the
+     endpoints co-live and the move carries a real constraint. *)
+  let f : Ir.func =
+    {
+      entry = 0;
+      blocks =
+        IMap.add 0
+          (block
+             [
+               Ir.Op { def = Some 1; uses = [] };
+               Ir.Move { dst = 2; src = 1 };
+               Ir.Op { def = Some 4; uses = [ 2 ] };
+               Ir.Move { dst = 5; src = 4 };
+               Ir.Op { def = None; uses = [ 4; 5 ] };
+             ])
+          IMap.empty;
+      params = [];
+      next_var = 6;
+      next_label = 1;
+    }
+  in
+  let vs = Lint.check_move_related f in
+  check "dead-source move flagged" true
+    (List.mem (Lint.Coalescable_move { block = 0; dst = 2; src = 1 }) vs);
+  check "co-live move not flagged" false
+    (List.exists
+       (function
+         | Lint.Coalescable_move { dst = 5; src = 4; _ } -> true | _ -> false)
+       vs)
+
 (* ------------------------------------------------------------------ *)
 (* Problem.validate typed errors                                       *)
 (* ------------------------------------------------------------------ *)
@@ -242,10 +322,14 @@ let test_problem_validate_typed () =
     (List.mem
        (Problem.Unordered_affinity { u = 2; v = 0 })
        (errs (mk [ { u = 2; v = 0; weight = 1 } ] 2)));
-  check "nonpositive weight" true
+  check "negative weight" true
     (List.mem
-       (Problem.Nonpositive_weight { u = 0; v = 2; weight = 0 })
-       (errs (mk [ { u = 0; v = 2; weight = 0 } ] 2)));
+       (Problem.Negative_weight { u = 0; v = 2; weight = -1 })
+       (errs (mk [ { u = 0; v = 2; weight = -1 } ] 2)));
+  (* Zero-weight affinities are legal: they carry no objective value but
+     still name a move, and the instance formats round-trip them. *)
+  check "zero weight is legal" true
+    (errs (mk [ { u = 0; v = 2; weight = 0 } ] 2) = []);
   check "missing endpoint" true
     (List.mem
        (Problem.Missing_endpoint { u = 0; v = 9; missing = 9 })
@@ -266,12 +350,13 @@ let test_problem_validate_typed () =
     | Error [ Problem.Constrained_affinity { u = 0; v = 1; weight = 5 } ] ->
         true
     | _ -> false);
-  (* All errors are collected, not only the first: self + nonpositive
+  (* All errors are collected, not only the first: self + negative
      weight on the first affinity, one missing endpoint each for 9 and
      10 on the second. *)
   check_int "errors accumulate" 4
     (List.length
-       (errs (mk [ { u = 1; v = 1; weight = 0 }; { u = 9; v = 10; weight = 1 } ] 2)))
+       (errs
+          (mk [ { u = 1; v = 1; weight = -1 }; { u = 9; v = 10; weight = 1 } ] 2)))
 
 (* ------------------------------------------------------------------ *)
 (* Layer 3: certifier over the differential instances                  *)
@@ -549,6 +634,8 @@ let () =
             test_lint_structure_violations;
           Alcotest.test_case "strictness violations name the offender" `Quick
             test_lint_strictness_names_offender;
+          Alcotest.test_case "dead-code and move audits" `Quick
+            test_lint_audits;
         ] );
       ( "problem",
         [

@@ -71,11 +71,16 @@ let test_problem_make_rejects () =
        ignore (Problem.make ~graph:g ~affinities:[ ((0, 7), 1) ] ~k:2);
        false
      with Invalid_argument _ -> true);
-  check "bad weight" true
+  check "negative weight" true
     (try
-       ignore (Problem.make ~graph:g ~affinities:[ ((0, 1), 0) ] ~k:2);
+       ignore (Problem.make ~graph:g ~affinities:[ ((0, 1), -1) ] ~k:2);
        false
      with Invalid_argument _ -> true);
+  check "zero weight accepted" true
+    (try
+       ignore (Problem.make ~graph:g ~affinities:[ ((0, 1), 0) ] ~k:2);
+       true
+     with Invalid_argument _ -> false);
   check "bad k" true
     (try
        ignore (Problem.make ~graph:g ~affinities:[] ~k:0);

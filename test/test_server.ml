@@ -637,6 +637,100 @@ let test_sanitize_counters () =
     "certifications recorded" true
     (Sanitize.certified_ok () >= ok0 + 8)
 
+(* An [all] answer in the cache serves later single-strategy requests
+   for the same instance: the reply is the stats line plus that
+   strategy's line, flagged as a cache hit without a fresh solve. *)
+let test_all_subsumes_single () =
+  with_serving (fun t path ->
+      let fd = connect_with_timeout path in
+      let p = Qcheck_gen.problem ~n:14 ~n_affinities:5 21 in
+      let bin = Io.to_binary p in
+      Client.send_solve fd ~encoding:`Binary bin;
+      Client.send_flush fd;
+      let _, _, all_text = recv_answer ~what:"all strategies" fd in
+      let all_lines = String.split_on_char '\n' all_text in
+      let entries_after_all = Server.cache_entries t in
+      List.iter
+        (fun s ->
+          let name = Rc_core.Strategies.name s in
+          Client.send_solve fd ~strategy:name ~encoding:`Binary bin;
+          Client.send_flush fd;
+          let hit, _, text = recv_answer ~what:name fd in
+          Alcotest.(check bool) (name ^ ": served from the all answer") true
+            hit;
+          match String.split_on_char '\n' text with
+          | [ stats; line; "" ] ->
+              Alcotest.(check bool) (name ^ ": stats line present") true
+                (String.length stats > 0);
+              Alcotest.(check bool) (name ^ ": line lifted from all") true
+                (List.mem line all_lines)
+          | _ -> Alcotest.failf "%s: unexpected reply shape" name)
+        Rc_core.Strategies.all_heuristics;
+      (* Subsumption synthesizes nothing: the cache still holds only
+         the all entry. *)
+      Alcotest.(check int) "no synthesized entries" entries_after_all
+        (Server.cache_entries t);
+      (* Exact is not part of the all set, so it solves fresh. *)
+      Client.send_solve fd ~strategy:"exact" ~encoding:`Binary bin;
+      Client.send_flush fd;
+      let hit, _, _ = recv_answer ~what:"exact" fd in
+      Alcotest.(check bool) "exact is a genuine miss" false hit;
+      (* The profile cache filled from the fresh solves and shows in
+         STATS. *)
+      Alcotest.(check bool) "profile cached" true (Server.profiles_cached t >= 1);
+      Client.send_stats fd;
+      (match Client.recv fd with
+      | Client.Resp (Client.Stats s) ->
+          let has_line prefix =
+            List.exists
+              (String.starts_with ~prefix)
+              (String.split_on_char '\n' s)
+          in
+          Alcotest.(check bool) "stats lists profiles_cached" true
+            (has_line "profiles_cached ");
+          Alcotest.(check bool) "stats carries a profile line" true
+            (has_line "profile ")
+      | _ -> Alcotest.fail "expected STATS");
+      Client.close fd)
+
+(* Capacity pressure evicts one least-recently-used entry per insert
+   instead of resetting the cache: a recently touched entry survives
+   an insert at capacity, the cold one dies. *)
+let test_lru_eviction () =
+  let e0 = Sanitize.serve_cache_evictions () in
+  let config = { Server.default_config with cache_capacity = 2 } in
+  with_serving ~config (fun t path ->
+      let fd = connect_with_timeout path in
+      let prob i = Io.to_binary (Qcheck_gen.problem ~n:10 ~n_affinities:3 (40 + i)) in
+      let round ~what bin =
+        Client.send_solve fd ~encoding:`Binary bin;
+        Client.send_flush fd;
+        let hit, _, _ = recv_answer ~what fd in
+        hit
+      in
+      Alcotest.(check bool) "p0 cold" false (round ~what:"p0 first" (prob 0));
+      Alcotest.(check bool) "p1 cold" false (round ~what:"p1 first" (prob 1));
+      Alcotest.(check bool) "p0 cached" true (round ~what:"p0 touch" (prob 0));
+      (* At capacity: inserting p2 must evict p1 (coldest), not reset. *)
+      Alcotest.(check bool) "p2 cold" false (round ~what:"p2 insert" (prob 2));
+      Alcotest.(check int) "cache stays bounded" 2 (Server.cache_entries t);
+      Alcotest.(check bool) "p0 survived the eviction" true
+        (round ~what:"p0 after p2" (prob 0));
+      Alcotest.(check bool) "p1 was evicted" false
+        (round ~what:"p1 after eviction" (prob 1));
+      (* The explicit full clear is an API operation, not the FLUSH
+         frame (which is a batch barrier and cleared nothing above). *)
+      Server.flush_cache t;
+      Alcotest.(check int) "flush_cache empties the cache" 0
+        (Server.cache_entries t);
+      Alcotest.(check int) "flush_cache empties the profiles" 0
+        (Server.profiles_cached t);
+      Alcotest.(check bool) "p0 cold again after flush_cache" false
+        (round ~what:"p0 after flush_cache" (prob 0));
+      Client.close fd);
+  Alcotest.(check bool) "evictions counted by Sanitize" true
+    (Sanitize.serve_cache_evictions () >= e0 + 2)
+
 (* ------------------------------------------------------------------ *)
 (* Wire-code stability                                                 *)
 (* ------------------------------------------------------------------ *)
@@ -719,5 +813,9 @@ let () =
             test_shutdown_drain;
           Alcotest.test_case "sanitize counters advance" `Quick
             test_sanitize_counters;
+          Alcotest.test_case "all answer subsumes single strategies" `Quick
+            test_all_subsumes_single;
+          Alcotest.test_case "LRU eviction and explicit flush_cache" `Quick
+            test_lru_eviction;
         ] );
     ]
