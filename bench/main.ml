@@ -990,6 +990,118 @@ let k7_static_analysis () =
      else [ (1, 14); (3, 16); (3, 18) ])
 
 (* ------------------------------------------------------------------ *)
+(* K8: concurrent serving — many client domains, one shared pool       *)
+(* ------------------------------------------------------------------ *)
+
+(* PR 9 made the server concurrent: a listener domain, one session
+   domain per accepted connection, one shared pool behind a submission
+   mutex.  This section measures what that buys on the wire: aggregate
+   warm-cache throughput of 4 interactive client domains against the
+   same request volume arriving from one sequential client.  The
+   clients are interactive — one SOLVE/FLUSH/ANSWER round trip at a
+   time with a small think time between requests, the load a
+   concurrent server exists for.  A sequential server pays every
+   client's think time end to end; concurrent sessions overlap them,
+   so the aggregate rate must come out ahead even on a single core
+   (the think-time gaps are slept, not computed). *)
+
+let k8_concurrent_serving () =
+  section "K8 | concurrent serving: 4 client domains vs 1, warm cache";
+  let module Io = Rc_challenge.Instance_io in
+  let module Server = Rc_engine.Server in
+  let clients = 4 in
+  let batch = if quick then 8 else 16 in
+  let rounds = if quick then 3 else 8 in
+  let think = 0.002 in
+  let instances =
+    List.init batch (fun i ->
+        let inst = Rc_challenge.Challenge.generate ~seed:(8000 + i) ~k:6 () in
+        Io.to_binary inst.Rc_challenge.Challenge.problem)
+  in
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ()) "rc_bench_k8.sock"
+  in
+  let domains = max 2 (Rc_engine.Pool.recommended_domains ()) in
+  let config =
+    { Server.default_config with domains; max_conns = clients + 4 }
+  in
+  Server.with_server ~config (fun t ->
+      let server = Domain.spawn (fun () -> Server.serve_unix t ~path) in
+      (* One SOLVE at a time: every answer is a full round trip, with
+         think time ahead of it. *)
+      let run_rounds ?(pause = 0.) fd n =
+        for _ = 1 to n do
+          List.iter
+            (fun b ->
+              if pause > 0. then Unix.sleepf pause;
+              Server.Client.send_solve fd ~encoding:`Binary b;
+              Server.Client.send_flush fd;
+              match Server.Client.recv fd with
+              | Server.Client.Resp (Server.Client.Answer _) -> ()
+              | Server.Client.Resp _ | Server.Client.Eof ->
+                  failwith "K8: expected an ANSWER frame")
+            instances
+        done
+      in
+      (* Prime: one cold pass fills the answer cache; everything that
+         is timed below is served from it. *)
+      let fd = Server.Client.connect path in
+      run_rounds fd 1;
+      (* Sequential reference: one connection carries the whole volume. *)
+      let t0 = Rc_core.Mclock.now_ns () in
+      run_rounds ~pause:think fd (clients * rounds);
+      let t_seq = Rc_core.Mclock.elapsed_s t0 in
+      Server.Client.close fd;
+      (* Concurrent: the same volume from [clients] domains at once. *)
+      let t0 = Rc_core.Mclock.now_ns () in
+      let ds =
+        List.init clients (fun _ ->
+            Domain.spawn (fun () ->
+                let fd = Server.Client.connect path in
+                Fun.protect
+                  ~finally:(fun () -> Server.Client.close fd)
+                  (fun () -> run_rounds ~pause:think fd rounds)))
+      in
+      List.iter Domain.join ds;
+      let t_conc = Rc_core.Mclock.elapsed_s t0 in
+      let fd = Server.Client.connect path in
+      Server.Client.send_shutdown fd;
+      (match Server.Client.recv fd with
+      | Server.Client.Resp Server.Client.Bye -> ()
+      | _ -> failwith "K8: expected BYE");
+      Server.Client.close fd;
+      Domain.join server;
+      let total = clients * rounds * batch in
+      let seq_rate = float_of_int total /. t_seq in
+      let conc_rate = float_of_int total /. t_conc in
+      Format.printf
+        "warm cache, %d answers, %.0f ms think time: sequential %8.3f s \
+         (%.0f answers/s), %d clients %8.3f s (%.0f answers/s); peak \
+         sessions %d@."
+        total (think *. 1e3) t_seq seq_rate clients t_conc conc_rate
+        (Server.peak_connections t);
+      all_rows :=
+        !all_rows
+        @ [
+            (Printf.sprintf "k8/serve-warm-sequential/%d" total, t_seq *. 1e9);
+            (Printf.sprintf "k8/serve-warm-concurrent/%d" total, t_conc *. 1e9);
+          ];
+      derived :=
+        !derived
+        @ [
+            ("k8:sequential warm answers/s", seq_rate);
+            ("k8:concurrent warm answers/s", conc_rate);
+          ];
+      if t_conc > 0. then begin
+        let ratio = t_seq /. t_conc in
+        Format.printf "  speedup %-39s %11.1fx@."
+          (Printf.sprintf "%d concurrent clients vs sequential" clients)
+          ratio;
+        derived :=
+          !derived @ [ ("speedup:k8 concurrent clients vs sequential", ratio) ]
+      end)
+
+(* ------------------------------------------------------------------ *)
 (* E1: Theorem 1 pipeline — SSA interference graphs are chordal        *)
 (* ------------------------------------------------------------------ *)
 
@@ -1556,6 +1668,7 @@ let () =
   k5_incremental_engine ();
   k6_serving ();
   k7_static_analysis ();
+  k8_concurrent_serving ();
   e1_theorem1 ();
   e4_thm2 ();
   e5_thm3 ();
@@ -1572,5 +1685,21 @@ let () =
   a2_set_coalescing ();
   a3_lowering ();
   a4_decoalescing_scoring ();
+  (* DBG e1_theorem1 *)
+  (* DBG e4_thm2 *)
+  (* DBG e5_thm3 *)
+  (* DBG e6_thm4 *)
+  (* DBG e8_thm6 *)
+  (* DBG reductions_bench *)
+  (* DBG e7_chordal_incremental *)
+  (* DBG e11_challenge *)
+  (* DBG e12_quality_gap *)
+  (* DBG e13_scaling *)
+  (* DBG e14_regalloc *)
+  (* DBG e15_aggressive_spills *)
+  (* DBG a1_biased_coloring *)
+  (* DBG a2_set_coalescing *)
+  (* DBG a3_lowering *)
+  (* DBG a4_decoalescing_scoring *)
   (match json_file with Some f -> emit_json f | None -> ());
   Format.printf "@.done.@."

@@ -11,9 +11,11 @@
    coalesce reduction --theorem 2|3|4|6 --seed 5 [--size 6]
    coalesce thm5      --seed 3 --n 200
    coalesce allocate  --seed 7 --k 6 [--biased]
-   coalesce serve     --socket PATH | --stdio [--domains 4] [--no-certify]
-                      [--cache-entries N]
-   coalesce client    --socket PATH [--seed 7 | --file F] [--repeat 3]
+   coalesce serve     --socket PATH | --listen HOST:PORT | --stdio
+                      [--domains 4] [--max-conns 32] [--no-certify]
+                      [--cache-entries N] [--dispatch direct|static]
+   coalesce client    --socket PATH | --connect HOST:PORT
+                      [--seed 7 | --file F] [--repeat 3]
    coalesce convert   --file IN --out OUT [--to binary|text]
 
    All instances are deterministic in --seed; sweep reports are
@@ -230,6 +232,20 @@ let generate_cmd =
 
 (* solve -------------------------------------------------------------- *)
 
+(* Shared by solve and serve: the same MODE names select the same
+   routing on both sides of the wire. *)
+let dispatch_conv =
+  let parse = function
+    | "direct" -> Ok Strategies.Direct
+    | "static" -> Ok Strategies.Static_profile
+    | s -> Error (`Msg (Printf.sprintf "unknown dispatch %S (direct, static)" s))
+  in
+  let print ppf = function
+    | Strategies.Direct -> Format.fprintf ppf "direct"
+    | Strategies.Static_profile -> Format.fprintf ppf "static"
+  in
+  Arg.conv (parse, print)
+
 let solve_cmd =
   let strategy_arg =
     Common.strategy
@@ -248,18 +264,6 @@ let solve_cmd =
              instance and strategy.")
   in
   let dispatch_arg =
-    let dispatch_conv =
-      let parse = function
-        | "direct" -> Ok Strategies.Direct
-        | "static" -> Ok Strategies.Static_profile
-        | s -> Error (`Msg (Printf.sprintf "unknown dispatch %S (direct, static)" s))
-      in
-      let print ppf = function
-        | Strategies.Direct -> Format.fprintf ppf "direct"
-        | Strategies.Static_profile -> Format.fprintf ppf "static"
-      in
-      Arg.conv (parse, print)
-    in
     Arg.(
       value
       & opt dispatch_conv Strategies.Direct
@@ -790,7 +794,17 @@ let socket_info =
           bytes)."
 
 let socket_opt = Arg.(value & opt (some string) None & socket_info)
-let socket_req = Arg.(required & opt (some string) None & socket_info)
+
+(* HOST:PORT splitter shared by serve --listen and client --connect. *)
+let parse_host_port spec =
+  match String.rindex_opt spec ':' with
+  | None -> failwith (Printf.sprintf "%S is not HOST:PORT" spec)
+  | Some i -> (
+      let host = String.sub spec 0 i in
+      let host = if host = "" then "127.0.0.1" else host in
+      match int_of_string_opt (String.sub spec (i + 1) (String.length spec - i - 1)) with
+      | Some port when port >= 0 && port <= 0xffff -> (host, port)
+      | _ -> failwith (Printf.sprintf "%S is not HOST:PORT" spec))
 
 let serve_cmd =
   let stdio_arg =
@@ -816,7 +830,35 @@ let serve_cmd =
             "Answer-cache entry capacity (LRU: inserting past it evicts the \
              least-recently-used entry).")
   in
-  let run socket stdio domains rows no_certify cache =
+  let listen_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "listen" ] ~docv:"HOST:PORT"
+          ~doc:
+            "Serve over TCP on $(docv) instead of a Unix socket (port 0 \
+             binds an ephemeral port, printed on startup).")
+  in
+  let max_conns_arg =
+    Arg.(
+      value
+      & opt int Server.default_config.max_conns
+      & info [ "max-conns" ] ~docv:"N"
+          ~doc:
+            "Live-connection bound: connections beyond $(docv) concurrent \
+             sessions are refused with the typed server-busy code (11).")
+  in
+  let serve_dispatch_arg =
+    Arg.(
+      value
+      & opt dispatch_conv Strategies.Direct
+      & info [ "dispatch" ] ~docv:"MODE"
+          ~doc:
+            "Solve routing for served requests: direct, or static to route \
+             through the profile-driven dispatcher acting on the server's \
+             profile cache.  Answers are byte-identical either way.")
+  in
+  let run socket listen stdio domains rows no_certify cache max_conns dispatch =
     if Rc_check.Sanitize.install_if_enabled () then
       Format.printf "sanitizer: enabled (profile %s)@."
         Rc_check.Sanitize.profile;
@@ -827,28 +869,45 @@ let serve_cmd =
         rows;
         certify = not no_certify;
         cache_capacity = max 1 cache;
+        max_conns = max 1 max_conns;
+        dispatch;
       }
     in
-    match (socket, stdio) with
-    | Some _, true -> failwith "serve: --socket and --stdio are exclusive"
-    | None, false -> failwith "serve: need --socket PATH or --stdio"
-    | Some path, false ->
+    match (socket, listen, stdio) with
+    | Some path, None, false ->
         Server.with_server ~config (fun t ->
-            Format.printf "serving on %s (domains=%d certify=%b)@." path
-              config.domains config.certify;
+            Format.printf "serving on %s (domains=%d certify=%b max-conns=%d)@."
+              path config.domains config.certify config.max_conns;
             Server.serve_unix t ~path;
             Format.printf "server: drained and shut down@.")
-    | None, true -> Server.with_server ~config Server.serve_stdio
+    | None, Some spec, false ->
+        let host, port = parse_host_port spec in
+        Server.with_server ~config (fun t ->
+            Server.serve_tcp t
+              ~ready:(fun bound ->
+                Format.printf
+                  "serving on %s:%d (domains=%d certify=%b max-conns=%d)@."
+                  host bound config.domains config.certify config.max_conns)
+              ~host ~port ();
+            Format.printf "server: drained and shut down@.")
+    | None, None, true -> Server.with_server ~config Server.serve_stdio
+    | None, None, false ->
+        failwith "serve: need --socket PATH, --listen HOST:PORT or --stdio"
+    | _ ->
+        failwith "serve: --socket, --listen and --stdio are exclusive"
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Coalescing as a service: accept length-prefixed batched SOLVE \
-          frames, schedule them on a domain pool, stream certified answers \
-          back in submission order (see DESIGN.md for the wire protocol).")
+          frames over Unix or TCP sockets, serve each connection on its own \
+          domain (a shared pool solves the batches), stream certified \
+          answers back in submission order (see DESIGN.md for the wire \
+          protocol and concurrency model).")
     Term.(
-      const run $ socket_opt $ stdio_arg $ Common.domains
-      $ Common.rows $ no_certify_arg $ cache_arg)
+      const run $ socket_opt $ listen_arg $ stdio_arg $ Common.domains
+      $ Common.rows $ no_certify_arg $ cache_arg $ max_conns_arg
+      $ serve_dispatch_arg)
 
 let client_cmd =
   let text_arg =
@@ -875,9 +934,25 @@ let client_cmd =
       value & flag
       & info [ "shutdown" ] ~doc:"Ask the server to drain and shut down.")
   in
-  let run socket seed k chordal file strategy text ping stats shutdown repeat =
+  let connect_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "connect" ] ~docv:"HOST:PORT"
+          ~doc:"Connect to a TCP server at $(docv) instead of a Unix socket.")
+  in
+  let run socket tcp seed k chordal file strategy text ping stats shutdown
+      repeat =
     let open Server.Client in
-    let fd = connect socket in
+    let fd =
+      match (socket, tcp) with
+      | Some path, None -> connect path
+      | None, Some spec ->
+          let host, port = parse_host_port spec in
+          connect_tcp host port
+      | Some _, Some _ -> failwith "client: --socket and --connect are exclusive"
+      | None, None -> failwith "client: need --socket PATH or --connect HOST:PORT"
+    in
     Fun.protect
       ~finally:(fun () -> close fd)
       (fun () ->
@@ -936,7 +1011,7 @@ let client_cmd =
           serve` and print the streamed answer; stdout is byte-identical to \
           the one-shot `solve` output for the same instance and strategy.")
     Term.(
-      const run $ socket_req $ Common.seed $ Common.k
+      const run $ socket_opt $ connect_arg $ Common.seed $ Common.k
       $ Common.chordal $ Common.file
       $ Common.strategy
           ~doc:"Strategy to request (same names as solve); omit for all \

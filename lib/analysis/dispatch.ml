@@ -38,23 +38,28 @@ let exact_with_presolve cfg (p : Problem.t) =
   | Error m ->
       failwith ("Rc_analysis.Dispatch: presolve lift failed certification: " ^ m)
 
-let solve cfg strategy (p : Problem.t) =
+let solve ?profile cfg strategy (p : Problem.t) =
+  (* The server passes its cached profile so a profile-cache hit really
+     skips the top-level Profile.analyze; per-part incumbent profiling
+     inside the presolve path is unaffected (parts are new graphs). *)
+  let profiled = lazy (match profile with
+    | Some pr -> pr
+    | None -> Profile.analyze p)
+  in
   match strategy with
   | Strategies.Irc _ | Strategies.Aggressive -> direct cfg strategy p
   | Strategies.Exact_conservative ->
-      let profile = Profile.analyze p in
+      let profile = Lazy.force profiled in
       (* k-core gate: degeneracy >= k means not greedy-k-colorable;
          keep the direct path's typed Invalid_argument. *)
       if profile.Profile.degeneracy >= p.Problem.k then direct cfg strategy p
       else exact_with_presolve cfg p
-  | _ ->
-      let profile = Profile.analyze p in
-      structural cfg strategy profile p
+  | _ -> structural cfg strategy (Lazy.force profiled) p
 
 let installed = ref false
 
 let install () =
   if not !installed then begin
     installed := true;
-    Strategies.set_static_dispatcher (Some solve)
+    Strategies.set_static_dispatcher (Some (fun cfg strategy p -> solve cfg strategy p))
   end

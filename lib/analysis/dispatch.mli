@@ -27,9 +27,15 @@ val install : unit -> unit
     Idempotent; call before spawning worker domains. *)
 
 val solve :
+  ?profile:Profile.t ->
   Rc_core.Strategies.config ->
   Rc_core.Strategies.t ->
   Rc_core.Problem.t ->
   Rc_core.Coalescing.solution
 (** The router itself ([config.dispatch] is expected to be [Direct];
-    recursion-safe either way only through {!install}). *)
+    recursion-safe either way only through {!install}).  [?profile]
+    supplies an already-computed structural profile for [p] — the
+    server passes its profile-cache entry here so a cache hit skips
+    the top-level {!Profile.analyze}.  Routing is a pure function of
+    the profile, so a cached profile yields the identical route (and
+    answer) as a fresh one. *)

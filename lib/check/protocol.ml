@@ -9,6 +9,7 @@ type error =
   | Unknown_strategy of string
   | Certification_failed of string
   | Shutting_down
+  | Server_busy of { active : int; limit : int }
 
 (* Wire codes are part of the protocol: append-only, never renumber. *)
 let code = function
@@ -22,6 +23,7 @@ let code = function
   | Unknown_strategy _ -> 8
   | Certification_failed _ -> 9
   | Shutting_down -> 10
+  | Server_busy _ -> 11
 
 let code_name = function
   | 1 -> "bad-magic"
@@ -34,6 +36,7 @@ let code_name = function
   | 8 -> "unknown-strategy"
   | 9 -> "certification-failed"
   | 10 -> "shutting-down"
+  | 11 -> "server-busy"
   | _ -> "unknown"
 
 let closes_connection = function
@@ -41,7 +44,7 @@ let closes_connection = function
   | Truncated_frame _ ->
       true
   | Bad_request _ | Bad_instance _ | Unknown_strategy _
-  | Certification_failed _ | Shutting_down ->
+  | Certification_failed _ | Shutting_down | Server_busy _ ->
       false
 
 let to_string e =
@@ -61,5 +64,9 @@ let to_string e =
   | Unknown_strategy s -> Printf.sprintf "unknown strategy %S" s
   | Certification_failed m -> Printf.sprintf "answer failed certification: %s" m
   | Shutting_down -> "server is shutting down"
+  | Server_busy { active; limit } ->
+      Printf.sprintf
+        "server at its connection limit (%d active, limit %d); retry later"
+        active limit
 
 let pp ppf e = Format.pp_print_string ppf (to_string e)

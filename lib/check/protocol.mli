@@ -28,9 +28,17 @@ type error =
       (** the serve-path certifier rejected a computed answer; the
           server refuses to stream an uncertified result *)
   | Shutting_down  (** request arrived while draining *)
+  | Server_busy of { active : int; limit : int }
+      (** the concurrent listener is at its [max_conns] bound; the
+          connection is answered with this code and closed by the
+          listener without a session (the client may retry).  Unlike
+          the frame-layer errors this is not a stream poisoning — the
+          peer never got a session to poison — so
+          {!closes_connection} is [false] and the close is the
+          listener's refusal, not an error-layer rule. *)
 
 val code : error -> int
-(** Stable wire code, 1..10 in constructor order. *)
+(** Stable wire code, 1..11 in constructor order. *)
 
 val code_name : int -> string
 (** Mnemonic for a wire code (["bad-magic"], ...); ["unknown"] for

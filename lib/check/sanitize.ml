@@ -31,6 +31,11 @@ type state = {
   mutable cache_hits : int;
   mutable cache_misses : int;
   mutable cache_evictions : int;
+  (* Profile-cache traffic (PR 9): the server's Static_profile route
+     reuses cached structural profiles; hits here are solves that
+     skipped a fresh Profile.analyze. *)
+  mutable profile_hits : int;
+  mutable profile_misses : int;
   mutable certified_ok : int;
   mutable certified_failed : int;
   mutable cursor : int;
@@ -48,6 +53,8 @@ let dls : state Domain.DLS.key =
         cache_hits = 0;
         cache_misses = 0;
         cache_evictions = 0;
+        profile_hits = 0;
+        profile_misses = 0;
         certified_ok = 0;
         certified_failed = 0;
         cursor = 0;
@@ -70,6 +77,8 @@ let total_frames_rejected = Atomic.make 0
 let total_cache_hits = Atomic.make 0
 let total_cache_misses = Atomic.make 0
 let total_cache_evictions = Atomic.make 0
+let total_profile_hits = Atomic.make 0
+let total_profile_misses = Atomic.make 0
 let total_certified_ok = Atomic.make 0
 let total_certified_failed = Atomic.make 0
 
@@ -94,6 +103,10 @@ let flush () =
   st.cache_misses <- 0;
   fold total_cache_evictions st.cache_evictions;
   st.cache_evictions <- 0;
+  fold total_profile_hits st.profile_hits;
+  st.profile_hits <- 0;
+  fold total_profile_misses st.profile_misses;
+  st.profile_misses <- 0;
   fold total_certified_ok st.certified_ok;
   st.certified_ok <- 0;
   fold total_certified_failed st.certified_failed;
@@ -132,6 +145,14 @@ let note_cache_evicted () =
   let st = state () in
   st.cache_evictions <- st.cache_evictions + 1
 
+let note_profile_hit () =
+  let st = state () in
+  st.profile_hits <- st.profile_hits + 1
+
+let note_profile_miss () =
+  let st = state () in
+  st.profile_misses <- st.profile_misses + 1
+
 let note_certified ~ok =
   let st = state () in
   if ok then st.certified_ok <- st.certified_ok + 1
@@ -150,6 +171,12 @@ let serve_cache_misses () =
 
 let serve_cache_evictions () =
   Atomic.get total_cache_evictions + (state ()).cache_evictions
+
+let serve_profile_hits () =
+  Atomic.get total_profile_hits + (state ()).profile_hits
+
+let serve_profile_misses () =
+  Atomic.get total_profile_misses + (state ()).profile_misses
 
 let certified_ok () = Atomic.get total_certified_ok + (state ()).certified_ok
 

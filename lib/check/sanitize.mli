@@ -106,6 +106,14 @@ val note_cache_miss : unit -> unit
 (** [note_cache_evicted ()]: an answer-cache entry was evicted to make
     room (LRU overflow), as opposed to an explicit flush. *)
 val note_cache_evicted : unit -> unit
+
+(** [note_profile_hit] / [note_profile_miss]: a fresh solve needed the
+    instance's structural profile and found it in (or had to fill) the
+    server's profile cache — the observable proof that a
+    [Static_profile]-dispatching server is acting on cached analysis
+    instead of re-profiling. *)
+val note_profile_hit : unit -> unit
+val note_profile_miss : unit -> unit
 val note_certified : ok:bool -> unit
 
 val frames_decoded : unit -> int
@@ -117,6 +125,8 @@ val frames_rejected : unit -> int
 val serve_cache_hits : unit -> int
 val serve_cache_misses : unit -> int
 val serve_cache_evictions : unit -> int
+val serve_profile_hits : unit -> int
+val serve_profile_misses : unit -> int
 
 val certified_ok : unit -> int
 (** Serve-path answers that passed independent certification. *)

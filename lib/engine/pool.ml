@@ -1,5 +1,11 @@
 type t = {
   n_domains : int;
+  submit : Mutex.t;
+      (* Serializes whole [run] invocations: concurrent server sessions
+         all submit batches to the one shared pool, and the single
+         [job] slot + generation counter below assume one run at a
+         time.  Held for the full duration of a run — submissions
+         queue; the sessions' socket I/O stays concurrent. *)
   mutex : Mutex.t;
   work_ready : Condition.t;
   work_done : Condition.t;
@@ -58,6 +64,7 @@ let create ~domains =
   let t =
     {
       n_domains;
+      submit = Mutex.create ();
       mutex = Mutex.create ();
       work_ready = Condition.create ();
       work_done = Condition.create ();
@@ -74,10 +81,8 @@ let create ~domains =
 
 let domains t = t.n_domains
 
-let run ?chunk t ~tasks f =
-  if tasks < 0 then invalid_arg "Pool.run: negative task count";
-  if tasks = 0 then [||]
-  else begin
+let run_locked ?chunk t ~tasks f =
+  begin
     let chunk = match chunk with Some c -> max 1 c | None -> 1 in
     let results = Array.make tasks None in
     let next = Atomic.make 0 in
@@ -130,6 +135,18 @@ let run ?chunk t ~tasks f =
     | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
     | None ->
         Array.map (function Some v -> v | None -> assert false) results
+  end
+
+let run ?chunk t ~tasks f =
+  if tasks < 0 then invalid_arg "Pool.run: negative task count";
+  if tasks = 0 then [||]
+  else begin
+    (* Concurrent callers (server sessions sharing one pool) queue
+       here; inside, the single-job machinery runs unchanged. *)
+    Mutex.lock t.submit;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.submit)
+      (fun () -> run_locked ?chunk t ~tasks f)
   end
 
 let shutdown t =

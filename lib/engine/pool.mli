@@ -41,7 +41,15 @@ val run : ?chunk:int -> t -> tasks:int -> (int -> 'a) -> 'a array
     chunks finish), and the exception of the lowest-indexed failed
     task that ran is re-raised in the caller with its backtrace.
 
-    Not reentrant: a task must not call [run] on the same pool. *)
+    Safe to call from multiple domains concurrently: a submission
+    mutex serializes whole runs (the server's per-connection sessions
+    all submit batches to one shared pool and queue here), so each run
+    still owns every pool domain and keeps its determinism contract.
+    While one run computes, other submitters block — their connection
+    I/O, living on their own domains, does not.
+
+    Not reentrant: a task must not call [run] on the same pool (the
+    submission mutex makes that a self-deadlock). *)
 
 val shutdown : t -> unit
 (** Joins the worker domains.  The pool must not be used afterwards;

@@ -121,8 +121,8 @@ let read_frame ~max_payload fd =
         (Protocol.Truncated_frame
            { context = "read (" ^ Unix.error_message e ^ ")"; wanted = 0; got = 0 })
 
-let readable fd =
-  match Unix.select [ fd ] [] [] 0. with
+let readable ?(timeout = 0.) fd =
+  match Unix.select [ fd ] [] [] timeout with
   | [ _ ], _, _ -> true
   | _ -> false
   | exception Unix.Unix_error (Unix.EINTR, _, _) -> false
@@ -143,8 +143,21 @@ let claims_for (s : Strategies.t) =
   | Strategies.Exact_conservative ->
       [ Certify.Conservative ]
 
-let render config strategies p =
-  let sols = List.map (fun s -> (s, Strategies.run_cfg config s p)) strategies in
+(* One strategy, one solution.  With [dispatch = Static_profile] and a
+   profile in hand (the server's profile-cache hit), call the router
+   directly so the cached analysis is actually reused; routing is a
+   pure function of the profile, so the answer is byte-identical to
+   the [run_cfg] path (which would re-profile). *)
+let solve_one ?profile config s p =
+  match (config.Strategies.dispatch, profile) with
+  | Strategies.Static_profile, Some _ ->
+      Rc_analysis.Dispatch.solve ?profile
+        { config with Strategies.dispatch = Strategies.Direct }
+        s p
+  | _ -> Strategies.run_cfg config s p
+
+let render ?profile config strategies p =
+  let sols = List.map (fun s -> (s, solve_one ?profile config s p)) strategies in
   let buf = Buffer.create 256 in
   Buffer.add_string buf (Problem.stats p);
   Buffer.add_char buf '\n';
@@ -257,6 +270,8 @@ type config = {
   certify : bool;
   cache_capacity : int;
   max_payload : int;
+  max_conns : int;
+  dispatch : Strategies.dispatch;
 }
 
 let default_config =
@@ -266,29 +281,64 @@ let default_config =
     certify = true;
     cache_capacity = 4096;
     max_payload = Wire.max_payload_default;
+    max_conns = 32;
+    dispatch = Strategies.Direct;
   }
+
+(* One live connection, as the registry sees it: the concurrent
+   listener spawns a session domain per accepted connection, and the
+   SHUTDOWN drain walks this registry to wait the other sessions out
+   (forcing readers blocked mid-frame off their sockets after a
+   grace).  [sess_fd] is the session's read side; [draining] marks a
+   session that is itself executing a SHUTDOWN drain, so two
+   simultaneous SHUTDOWNs do not wait on each other forever. *)
+type session = {
+  sid : int;
+  sess_fd : Unix.file_descr;
+  sess_requests : int Atomic.t;
+  sess_finished : bool Atomic.t;
+  sess_draining : bool Atomic.t;
+}
 
 type t = {
   config : config;
   pool : Pool.t;
+  cache_mu : Mutex.t;
+      (* Guards both LRUs below — [find] touches the recency list, so
+         reads mutate too.  Leaf lock: never held across a [Pool.run],
+         a solve, or any socket I/O (lock order: pool submission
+         before cache, and the cache mutex nests inside nothing). *)
   cache : (string * int) Lru.t;  (* key -> (answer, cert byte) *)
-  profiles : string Lru.t;  (* canonical hash -> Profile.summary *)
-  mutable stop : bool;
+  profiles : Profile.t Lru.t;  (* canonical hash -> structural profile *)
+  stop : bool Atomic.t;
   active : int Atomic.t;  (* read cross-domain by the leak detector *)
+  peak : int Atomic.t;  (* high-water mark of [active] *)
   connections : int Atomic.t;
   requests : int Atomic.t;
+  sessions_mu : Mutex.t;
+  mutable sessions : session list;  (* live sessions, newest first *)
+  sid_counter : int Atomic.t;
 }
 
 let create ?(config = default_config) () =
+  (* Register the router before any worker domain exists: the
+     dispatcher ref must be published by the spawns. *)
+  if config.dispatch = Strategies.Static_profile then
+    Rc_analysis.Dispatch.install ();
   {
     config;
     pool = Pool.create ~domains:config.domains;
+    cache_mu = Mutex.create ();
     cache = Lru.create config.cache_capacity;
     profiles = Lru.create config.cache_capacity;
-    stop = false;
+    stop = Atomic.make false;
     active = Atomic.make 0;
+    peak = Atomic.make 0;
     connections = Atomic.make 0;
     requests = Atomic.make 0;
+    sessions_mu = Mutex.create ();
+    sessions = [];
+    sid_counter = Atomic.make 0;
   }
 
 let destroy t = Pool.shutdown t.pool
@@ -297,19 +347,33 @@ let with_server ?config f =
   let t = create ?config () in
   Fun.protect ~finally:(fun () -> destroy t) (fun () -> f t)
 
+let with_cache t f =
+  Mutex.lock t.cache_mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.cache_mu) f
+
 let active_connections t = Atomic.get t.active
+let peak_connections t = Atomic.get t.peak
 let connections_served t = Atomic.get t.connections
 let requests_served t = Atomic.get t.requests
-let cache_entries t = Lru.length t.cache
-let profiles_cached t = Lru.length t.profiles
+let cache_entries t = with_cache t (fun () -> Lru.length t.cache)
+let profiles_cached t = with_cache t (fun () -> Lru.length t.profiles)
 
 let flush_cache t =
-  Lru.clear t.cache;
-  Lru.clear t.profiles
+  with_cache t (fun () ->
+      Lru.clear t.cache;
+      Lru.clear t.profiles)
+
+let sessions_snapshot t =
+  Mutex.lock t.sessions_mu;
+  let l = t.sessions in
+  Mutex.unlock t.sessions_mu;
+  l
 
 (* STATS carries the freshest instance profiles at the bottom, bounded
-   so the frame stays small whatever the cache capacity. *)
+   so the frame stays small whatever the cache capacity; same bound
+   for the per-connection gauge lines. *)
 let stats_profile_lines = 8
+let stats_connection_lines = 8
 
 let stats_text t =
   let base =
@@ -319,10 +383,15 @@ let stats_text t =
        cache_hits %d\n\
        cache_misses %d\n\
        cache_evictions %d\n\
+       profile_hits %d\n\
+       profile_misses %d\n\
        certified_ok %d\n\
        certified_failed %d\n\
        connections_served %d\n\
        requests_served %d\n\
+       active_connections %d\n\
+       peak_connections %d\n\
+       max_conns %d\n\
        cache_entries %d\n\
        profiles_cached %d\n\
        domains %d\n"
@@ -331,19 +400,33 @@ let stats_text t =
       (Sanitize.serve_cache_hits ())
       (Sanitize.serve_cache_misses ())
       (Sanitize.serve_cache_evictions ())
+      (Sanitize.serve_profile_hits ())
+      (Sanitize.serve_profile_misses ())
       (Sanitize.certified_ok ())
       (Sanitize.certified_failed ())
-      (connections_served t) (requests_served t) (cache_entries t)
+      (connections_served t) (requests_served t) (active_connections t)
+      (peak_connections t) t.config.max_conns (cache_entries t)
       (profiles_cached t)
       (Pool.domains t.pool)
   in
-  let profiles =
-    Lru.fold_recent t.profiles ~limit:stats_profile_lines
-      (fun acc hash summary ->
-        Printf.sprintf "profile %s %s\n" hash summary :: acc)
-      []
+  let conns =
+    let live =
+      List.filter (fun s -> not (Atomic.get s.sess_finished)) (sessions_snapshot t)
+    in
+    let live = List.sort (fun a b -> compare a.sid b.sid) live in
+    List.filteri (fun i _ -> i < stats_connection_lines) live
+    |> List.map (fun s ->
+           Printf.sprintf "connection %d requests %d\n" s.sid
+             (Atomic.get s.sess_requests))
   in
-  String.concat "" (base :: List.rev profiles)
+  let profiles =
+    with_cache t (fun () ->
+        Lru.fold_recent t.profiles ~limit:stats_profile_lines
+          (fun acc hash pr ->
+            Printf.sprintf "profile %s %s\n" hash (Profile.summary pr) :: acc)
+          [])
+  in
+  String.concat "" ((base :: conns) @ List.rev profiles)
 
 (* ------------------------------------------------------------------ *)
 (* Request decoding and solving                                        *)
@@ -360,6 +443,13 @@ type decoded = {
 let rows_token = function
   | None -> "auto-default"
   | Some r -> Rc_graph.Flat.rows_to_string r
+
+(* Routed and direct answers are byte-identical (the invariant the
+   differential suites pin), but the token keeps the cache honest if a
+   future route ever changes what it streams. *)
+let dispatch_token = function
+  | Strategies.Direct -> "direct"
+  | Strategies.Static_profile -> "static"
 
 (* Runs inside a pool task: must not raise (a task exception would
    abort the whole batch). *)
@@ -403,23 +493,47 @@ let decode_solve t payload : (decoded, Protocol.error) result =
           | Error m -> Error (Protocol.Bad_instance m))
     in
     let hash = Instance_io.canonical_hash problem in
-    let key = String.concat "|" [ hash; stoken; rows_token t.config.rows ] in
+    let key =
+      String.concat "|"
+        [
+          hash;
+          stoken;
+          rows_token t.config.rows;
+          dispatch_token t.config.dispatch;
+        ]
+    in
     Ok { problem; strategies; key; hash; stoken }
   with e -> Error (Protocol.Bad_instance (Printexc.to_string e))
 
 (* Also a pool task: certification runs in whichever worker domain
    picked the slot, and its Sanitize tallies ride the pool's
    flush-at-join back to the process totals. *)
-let solve_and_render t (d : decoded) :
-    (string * int * string, Protocol.error) result =
+let solve_and_render t (d : decoded) : (string * int, Protocol.error) result =
   try
-    let config = { Strategies.default_config with rows = t.config.rows } in
-    let text, sols = render config d.strategies d.problem in
-    (* The structural profile rides along with every fresh solve: the
-       worker domain computes the summary (the expensive part), the
-       serving domain caches it under the canonical hash. *)
-    let summary = Profile.summary (Profile.analyze d.problem) in
-    if not t.config.certify then Ok (text, 0, summary)
+    let config =
+      {
+        Strategies.default_config with
+        rows = t.config.rows;
+        dispatch = t.config.dispatch;
+      }
+    in
+    (* Every fresh solve needs the instance's structural profile — for
+       the profile cache, and (under [Static_profile]) as the router's
+       input.  A hit on the shared cache skips the re-analysis; the
+       mutex is held for the table touch only, never the analysis. *)
+    let profile =
+      match with_cache t (fun () -> Lru.find t.profiles d.hash) with
+      | Some pr ->
+          Sanitize.note_profile_hit ();
+          pr
+      | None ->
+          Sanitize.note_profile_miss ();
+          let pr = Profile.analyze d.problem in
+          with_cache t (fun () -> Lru.add t.profiles d.hash pr);
+          pr
+    in
+    let text, sols = render ~profile config d.strategies d.problem in
+    if not t.config.certify then Ok (text, 0)
     else begin
       let failure = ref None in
       List.iter
@@ -439,7 +553,7 @@ let solve_and_render t (d : decoded) :
               end)
         sols;
       match !failure with
-      | None -> Ok (text, 1, summary)
+      | None -> Ok (text, 1)
       | Some m -> Error (Protocol.Certification_failed m)
     end
   with e ->
@@ -451,11 +565,19 @@ let solve_and_render t (d : decoded) :
    single strategy's answer is the stats line plus its line, found by
    the %-28s-padded name prefix.  (Exact is not in [all_heuristics],
    so its requests naturally miss.) *)
+(* Caller holds [cache_mu] (the batch-classification pass locks once
+   per lookup). *)
 let subsume_from_all t (d : decoded) =
   match d.strategies with
   | [ s ] when d.stoken <> "all" -> (
       let all_key =
-        String.concat "|" [ d.hash; "all"; rows_token t.config.rows ]
+        String.concat "|"
+          [
+            d.hash;
+            "all";
+            rows_token t.config.rows;
+            dispatch_token t.config.dispatch;
+          ]
       in
       match Lru.find t.cache all_key with
       | None -> None
@@ -483,7 +605,7 @@ type reply =
    result merge keeps everything deterministic at any domain count. *)
 let run_batch t (payloads : string array) : reply array =
   let n = Array.length payloads in
-  Atomic.set t.requests (Atomic.get t.requests + n);
+  ignore (Atomic.fetch_and_add t.requests n);
   let decoded = Pool.run t.pool ~tasks:n (fun i -> decode_solve t payloads.(i)) in
   let replies = Array.make n (R_error Protocol.Shutting_down) in
   (* [plan.(i)]: which fresh slot answers request i, if any. *)
@@ -498,32 +620,35 @@ let run_batch t (payloads : string array) : reply array =
         Sanitize.note_frame_rejected ();
         replies.(i) <- R_error e
     | Ok d -> (
-        match Lru.find t.cache d.key with
+        (* One short cache_mu hold per request: the lookup (and the
+           [all]-subsumption probe) touch the recency list.  Never
+           held past this match arm — the solve fan-out below must be
+           lock-free territory. *)
+        let cached =
+          with_cache t (fun () ->
+              match Lru.find t.cache d.key with
+              | Some r -> Some r
+              | None -> subsume_from_all t d)
+        in
+        match cached with
         | Some (text, cert) ->
             Sanitize.note_cache_hit ();
             replies.(i) <- R_answer { cache_hit = true; cert; text }
         | None -> (
-            match subsume_from_all t d with
-            | Some (text, cert) ->
-                (* A cached [all] answer over the same instance covers
-                   this single-strategy request. *)
+            match Hashtbl.find_opt slot_of_key d.key with
+            | Some j ->
+                (* The repeated-graph fast path inside one batch:
+                   alias the first occurrence's slot; solved once. *)
                 Sanitize.note_cache_hit ();
-                replies.(i) <- R_answer { cache_hit = true; cert; text }
-            | None -> (
-                match Hashtbl.find_opt slot_of_key d.key with
-                | Some j ->
-                    (* The repeated-graph fast path inside one batch:
-                       alias the first occurrence's slot; solved once. *)
-                    Sanitize.note_cache_hit ();
-                    plan.(i) <- j;
-                    hit.(i) <- true
-                | None ->
-                    Sanitize.note_cache_miss ();
-                    let j = !nfresh in
-                    incr nfresh;
-                    Hashtbl.add slot_of_key d.key j;
-                    fresh := d :: !fresh;
-                    plan.(i) <- j)))
+                plan.(i) <- j;
+                hit.(i) <- true
+            | None ->
+                Sanitize.note_cache_miss ();
+                let j = !nfresh in
+                incr nfresh;
+                Hashtbl.add slot_of_key d.key j;
+                fresh := d :: !fresh;
+                plan.(i) <- j))
   done;
   let fresh = Array.of_list (List.rev !fresh) in
   let solved =
@@ -533,16 +658,15 @@ let run_batch t (payloads : string array) : reply array =
   Array.iteri
     (fun j r ->
       match r with
-      | Ok (text, cert, summary) ->
-          Lru.add t.cache fresh.(j).key (text, cert);
-          Lru.add t.profiles fresh.(j).hash summary
+      | Ok (text, cert) ->
+          with_cache t (fun () -> Lru.add t.cache fresh.(j).key (text, cert))
       | Error _ -> ())
     solved;
   for i = 0 to n - 1 do
     if plan.(i) >= 0 then
       replies.(i) <-
         (match solved.(plan.(i)) with
-        | Ok (text, cert, _) -> R_answer { cache_hit = hit.(i); cert; text }
+        | Ok (text, cert) -> R_answer { cache_hit = hit.(i); cert; text }
         | Error e ->
             Sanitize.note_frame_rejected ();
             R_error e)
@@ -567,13 +691,97 @@ let write_reply out_fd = function
       Buffer.add_string b m;
       write_frame out_fd ~typ:Wire.resp_error (Buffer.contents b)
 
+let register_session t fd =
+  let sid = Atomic.fetch_and_add t.sid_counter 1 in
+  let s =
+    {
+      sid;
+      sess_fd = fd;
+      sess_requests = Atomic.make 0;
+      sess_finished = Atomic.make false;
+      sess_draining = Atomic.make false;
+    }
+  in
+  Mutex.lock t.sessions_mu;
+  t.sessions <- s :: t.sessions;
+  Mutex.unlock t.sessions_mu;
+  s
+
+let unregister_session t s =
+  Atomic.set s.sess_finished true;
+  Mutex.lock t.sessions_mu;
+  t.sessions <- List.filter (fun x -> x.sid <> s.sid) t.sessions;
+  Mutex.unlock t.sessions_mu
+
+(* SHUTDOWN's drain contract, concurrent edition: the draining session
+   (own pending already answered) waits for every other live session to
+   finish before its BYE.  Sessions parked at a frame boundary notice
+   the stop flag within one poll tick and exit on their own; after a
+   grace period, sessions still blocked {e inside} a frame (the
+   half-header-and-stall client) are forced off their sockets with
+   [shutdown(SHUTDOWN_RECEIVE)] — their read sees end of stream, they
+   flush, report [Truncated_frame] and exit.  A hard cap bounds the
+   wait so a pathological peer cannot hold BYE hostage. *)
+let drain_grace = 0.5
+let drain_limit = 10.
+
+let drain_others t ~self =
+  let others () =
+    List.filter
+      (fun s ->
+        s.sid <> self.sid
+        && (not (Atomic.get s.sess_finished))
+        && not (Atomic.get s.sess_draining))
+      (sessions_snapshot t)
+  in
+  let t0 = Unix.gettimeofday () in
+  let forced = ref false in
+  let rec wait () =
+    match others () with
+    | [] -> ()
+    | stragglers ->
+        let elapsed = Unix.gettimeofday () -. t0 in
+        if elapsed > drain_limit then ()
+        else begin
+          if (not !forced) && elapsed >= drain_grace then begin
+            forced := true;
+            List.iter
+              (fun s ->
+                try Unix.shutdown s.sess_fd Unix.SHUTDOWN_RECEIVE
+                with Unix.Unix_error _ -> ())
+              stragglers
+          end;
+          Unix.sleepf 0.02;
+          wait ()
+        end
+  in
+  wait ()
+
+(* Polling tick for both the session read loops and the listener: long
+   enough to keep idle waiting cheap, short enough that a stop flag
+   propagates promptly. *)
+let poll_tick = 0.05
+
 let serve_connection t ~in_fd ~out_fd =
+  let sess = register_session t in_fd in
   Atomic.incr t.active;
+  (* Racy max() would lose updates; CAS-retry keeps the high-water mark
+     exact under concurrent arrivals. *)
+  let rec bump_peak () =
+    let a = Atomic.get t.active in
+    let p = Atomic.get t.peak in
+    if a > p && not (Atomic.compare_and_set t.peak p a) then bump_peak ()
+  in
+  bump_peak ();
   Atomic.incr t.connections;
   let result = ref `Closed in
   Fun.protect
     ~finally:(fun () ->
+      unregister_session t sess;
       Atomic.decr t.active;
+      (* Publish this session domain's counter tallies before the
+         connection is observably gone (the fd closes after this
+         returns), so post-close counter reads are exact. *)
       Sanitize.flush ())
     (fun () ->
       let pending = ref [] in
@@ -583,64 +791,80 @@ let serve_connection t ~in_fd ~out_fd =
         | l ->
             let payloads = Array.of_list (List.rev l) in
             pending := [];
+            ignore (Atomic.fetch_and_add sess.sess_requests (Array.length payloads));
             Array.iter (write_reply out_fd) (run_batch t payloads)
       in
       (try
          let continue = ref true in
-         if t.stop then begin
+         if Atomic.get t.stop then begin
            (* A connection racing a drain gets a typed refusal. *)
            write_reply out_fd (R_error Protocol.Shutting_down);
            continue := false
          end;
          while !continue do
-           (* Batch boundary: nothing more to read right now, so
-              execute what queued (an interactive client gets its
-              answer immediately; a saturating one batches). *)
-           if !pending <> [] && not (readable in_fd) then flush_pending ();
-           match read_frame ~max_payload:t.config.max_payload in_fd with
-           | Eof ->
-               flush_pending ();
-               continue := false
-           | Bad e ->
-               Sanitize.note_frame_rejected ();
-               flush_pending ();
-               write_reply out_fd (R_error e);
-               continue := false
-           | Frame (typ, payload) ->
-               if typ = Wire.req_solve then begin
-                 Sanitize.note_frame_decoded ();
-                 pending := payload :: !pending
-               end
-               else if typ = Wire.req_flush then begin
-                 Sanitize.note_frame_decoded ();
-                 flush_pending ()
-               end
-               else if typ = Wire.req_ping then begin
-                 Sanitize.note_frame_decoded ();
+           (* Frame boundary: wait for bytes or the stop flag.  An
+              empty poll tick is the batch boundary — execute what
+              queued (an interactive client gets its answer
+              immediately; a saturating one batches). *)
+           let ready = readable in_fd in
+           if (not ready) && !pending <> [] then flush_pending ();
+           if Atomic.get t.stop then begin
+             (* Another session's SHUTDOWN: answers are flushed, tell
+                the peer the server is going away, and exit so the
+                drainer's wait sees this session finished. *)
+             flush_pending ();
+             write_reply out_fd (R_error Protocol.Shutting_down);
+             continue := false
+           end
+           else if not (ready || readable ~timeout:poll_tick in_fd) then ()
+           else
+             match read_frame ~max_payload:t.config.max_payload in_fd with
+             | Eof ->
                  flush_pending ();
-                 write_frame out_fd ~typ:Wire.resp_pong ""
-               end
-               else if typ = Wire.req_stats then begin
-                 Sanitize.note_frame_decoded ();
-                 flush_pending ();
-                 Sanitize.flush ();
-                 write_frame out_fd ~typ:Wire.resp_stats (stats_text t)
-               end
-               else if typ = Wire.req_shutdown then begin
-                 Sanitize.note_frame_decoded ();
-                 (* Drain: pending answers first, then the goodbye. *)
-                 flush_pending ();
-                 t.stop <- true;
-                 write_frame out_fd ~typ:Wire.resp_bye "";
-                 result := `Shutdown;
                  continue := false
-               end
-               else begin
+             | Bad e ->
                  Sanitize.note_frame_rejected ();
                  flush_pending ();
-                 write_reply out_fd (R_error (Protocol.Unknown_frame_type typ));
+                 write_reply out_fd (R_error e);
                  continue := false
-               end
+             | Frame (typ, payload) ->
+                 if typ = Wire.req_solve then begin
+                   Sanitize.note_frame_decoded ();
+                   pending := payload :: !pending
+                 end
+                 else if typ = Wire.req_flush then begin
+                   Sanitize.note_frame_decoded ();
+                   flush_pending ()
+                 end
+                 else if typ = Wire.req_ping then begin
+                   Sanitize.note_frame_decoded ();
+                   flush_pending ();
+                   write_frame out_fd ~typ:Wire.resp_pong ""
+                 end
+                 else if typ = Wire.req_stats then begin
+                   Sanitize.note_frame_decoded ();
+                   flush_pending ();
+                   Sanitize.flush ();
+                   write_frame out_fd ~typ:Wire.resp_stats (stats_text t)
+                 end
+                 else if typ = Wire.req_shutdown then begin
+                   Sanitize.note_frame_decoded ();
+                   (* Drain: own pending answers first, then every
+                      other in-flight session, then the goodbye. *)
+                   flush_pending ();
+                   Atomic.set sess.sess_draining true;
+                   Atomic.set t.stop true;
+                   drain_others t ~self:sess;
+                   write_frame out_fd ~typ:Wire.resp_bye "";
+                   result := `Shutdown;
+                   continue := false
+                 end
+                 else begin
+                   Sanitize.note_frame_rejected ();
+                   flush_pending ();
+                   write_reply out_fd (R_error (Protocol.Unknown_frame_type typ));
+                   continue := false
+                 end
          done
        with Unix.Unix_error _ ->
          (* The peer vanished mid-write; its answers die with it. *)
@@ -652,33 +876,113 @@ let ignoring_sigpipe f =
   | old -> Fun.protect ~finally:(fun () -> Sys.set_signal Sys.sigpipe old) f
   | exception Invalid_argument _ -> f () (* no SIGPIPE on this platform *)
 
+(* ------------------------------------------------------------------ *)
+(* Concurrent listener                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* The listener domain's accept loop: poll the listening socket (so the
+   stop flag is honored promptly), spawn one session domain per
+   accepted connection, and refuse connections beyond [max_conns] with
+   the typed [Server_busy] code.  The busy bound counts this
+   listener's unreaped session domains — deterministic from the
+   listener's point of view, which is what the torture suite pins.
+   On stop, every session domain is joined before returning, so the
+   caller gets the socket back only after the drain completed. *)
+let listen_loop t sock ~tcp =
+  Atomic.set t.stop false;
+  let handlers = ref [] in
+  let reap () =
+    handlers :=
+      List.filter
+        (fun (d, fin) ->
+          if Atomic.get fin then begin
+            Domain.join d;
+            false
+          end
+          else true)
+        !handlers
+  in
+  let accept_one () =
+    match Unix.accept sock with
+    | exception Unix.Unix_error _ -> ()
+    | client, _ ->
+        if List.length !handlers >= t.config.max_conns then begin
+          (try
+             write_reply client
+               (R_error
+                  (Protocol.Server_busy
+                     {
+                       active = List.length !handlers;
+                       limit = t.config.max_conns;
+                     }))
+           with Unix.Unix_error _ -> ());
+          try Unix.close client with Unix.Unix_error _ -> ()
+        end
+        else begin
+          if tcp then
+            (try Unix.setsockopt client Unix.TCP_NODELAY true
+             with Unix.Unix_error _ -> ());
+          let fin = Atomic.make false in
+          let d =
+            Domain.spawn (fun () ->
+                Fun.protect
+                  ~finally:(fun () ->
+                    (try Unix.close client with Unix.Unix_error _ -> ());
+                    Atomic.set fin true)
+                  (fun () ->
+                    ignore (serve_connection t ~in_fd:client ~out_fd:client)))
+          in
+          handlers := (d, fin) :: !handlers
+        end
+  in
+  while not (Atomic.get t.stop) do
+    reap ();
+    if readable ~timeout:poll_tick sock then accept_one ()
+  done;
+  List.iter (fun (d, _) -> Domain.join d) !handlers;
+  handlers := []
+
 let serve_unix t ~path =
   ignoring_sigpipe (fun () ->
       let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
       (try Unix.unlink path with Unix.Unix_error _ -> ());
       Unix.bind sock (Unix.ADDR_UNIX path);
-      Unix.listen sock 16;
-      t.stop <- false;
+      Unix.listen sock 64;
       Fun.protect
         ~finally:(fun () ->
           (try Unix.close sock with Unix.Unix_error _ -> ());
           try Unix.unlink path with Unix.Unix_error _ -> ())
-        (fun () ->
-          let rec loop () =
-            let client, _ = Unix.accept sock in
-            let res =
-              Fun.protect
-                ~finally:(fun () ->
-                  try Unix.close client with Unix.Unix_error _ -> ())
-                (fun () -> serve_connection t ~in_fd:client ~out_fd:client)
-            in
-            match res with `Shutdown -> () | `Closed -> loop ()
-          in
-          loop ()))
+        (fun () -> listen_loop t sock ~tcp:false))
+
+let serve_tcp t ?ready ~host ~port () =
+  ignoring_sigpipe (fun () ->
+      let addr =
+        try Unix.inet_addr_of_string host
+        with Failure _ -> (
+          match
+            Unix.getaddrinfo host ""
+              [ Unix.AI_FAMILY Unix.PF_INET; Unix.AI_SOCKTYPE Unix.SOCK_STREAM ]
+          with
+          | { Unix.ai_addr = Unix.ADDR_INET (a, _); _ } :: _ -> a
+          | _ -> invalid_arg ("Server.serve_tcp: cannot resolve host " ^ host))
+      in
+      let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt sock Unix.SO_REUSEADDR true;
+      Unix.bind sock (Unix.ADDR_INET (addr, port));
+      Unix.listen sock 64;
+      let bound =
+        match Unix.getsockname sock with
+        | Unix.ADDR_INET (_, p) -> p
+        | _ -> port
+      in
+      Option.iter (fun f -> f bound) ready;
+      Fun.protect
+        ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+        (fun () -> listen_loop t sock ~tcp:true))
 
 let serve_stdio t =
   ignoring_sigpipe (fun () ->
-      t.stop <- false;
+      Atomic.set t.stop false;
       ignore (serve_connection t ~in_fd:Unix.stdin ~out_fd:Unix.stdout))
 
 (* ------------------------------------------------------------------ *)
@@ -702,6 +1006,34 @@ module Client = struct
       | () -> fd
       | exception Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _)
         when n > 1 ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          Unix.sleepf 0.02;
+          go (n - 1)
+      | exception e ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          raise e
+    in
+    go (max 1 attempts)
+
+  let connect_tcp ?(attempts = 50) host port =
+    let addr =
+      try Unix.inet_addr_of_string host
+      with Failure _ -> (
+        match
+          Unix.getaddrinfo host ""
+            [ Unix.AI_FAMILY Unix.PF_INET; Unix.AI_SOCKTYPE Unix.SOCK_STREAM ]
+        with
+        | { Unix.ai_addr = Unix.ADDR_INET (a, _); _ } :: _ -> a
+        | _ -> invalid_arg ("Server.Client.connect_tcp: cannot resolve " ^ host))
+    in
+    let rec go n =
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      match
+        Unix.connect fd (Unix.ADDR_INET (addr, port));
+        Unix.setsockopt fd Unix.TCP_NODELAY true
+      with
+      | () -> fd
+      | exception Unix.Unix_error (Unix.ECONNREFUSED, _, _) when n > 1 ->
           (try Unix.close fd with Unix.Unix_error _ -> ());
           Unix.sleepf 0.02;
           go (n - 1)

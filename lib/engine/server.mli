@@ -1,7 +1,39 @@
-(** Coalescing as a service: a persistent server that accepts
-    length-prefixed batched requests over a Unix-domain socket (or a
-    stdin/stdout framing fallback), schedules them on {!Pool}, and
-    streams certified answers back in submission order.
+(** Coalescing as a service: a persistent {e concurrent} server that
+    accepts length-prefixed batched requests over a Unix-domain socket,
+    TCP, or a stdin/stdout framing fallback, schedules them on one
+    shared {!Pool}, and streams certified answers back in submission
+    order per connection.
+
+    {1 Concurrency model}
+
+    A listener domain ({!serve_unix} / {!serve_tcp}) polls the
+    listening socket and spawns one {e session domain} per accepted
+    connection, up to [config.max_conns] live sessions; connections
+    beyond the bound are answered with the typed
+    [Protocol.Server_busy] ERROR (code 11) and closed, so a client can
+    retry.  Sessions share one solver pool — batch submissions
+    serialize on the pool's submission mutex while connection I/O
+    stays concurrent, which is what keeps a slow or stalled client
+    from blocking a fast one: the fast client's batches keep being
+    accepted, executed and answered while the slow one sits in its
+    read.  The answer and profile caches are guarded by one cache
+    mutex (lock order: pool submission, then cache; the cache mutex is
+    a leaf — never held across a solve or any I/O), and all counters
+    are atomics or domain-local {!Rc_check.Sanitize} tallies flushed
+    at session end, so hit/miss/eviction accounting stays exact under
+    contention.
+
+    The byte-identity invariant survives the concurrency: every
+    streamed ANSWER is byte-identical to {!one_shot} for the same
+    instance and strategy, whatever the interleaving of connections,
+    batches, cache state or dispatch mode.
+
+    SHUTDOWN drains the whole server: the receiving session answers
+    its own pending requests, sets the stop flag, waits for every
+    other in-flight session to finish (sessions parked at a frame
+    boundary notice the flag within one poll tick; after a grace
+    period, readers blocked mid-frame are forced off their sockets and
+    exit through the [Truncated_frame] path), and only then sends BYE.
 
     {1 Wire protocol}
 
@@ -114,11 +146,28 @@ type config = {
           STATS); the profile cache is bounded the same way.  The only
           wholesale clear is the explicit {!flush_cache}. *)
   max_payload : int;  (** per-frame payload byte limit *)
+  max_conns : int;
+      (** live-session bound: the listener refuses connection
+          [max_conns + 1] with [Protocol.Server_busy] (code 11) while
+          that many session domains are live *)
+  dispatch : Rc_core.Strategies.dispatch;
+      (** [Static_profile] routes every served solve through
+          {!Rc_analysis.Dispatch} acting on the server's profile
+          cache: a profile-cache hit feeds the cached analysis
+          straight to the router, skipping the re-profiling.  Routing
+          is a pure function of the profile, so a cached profile never
+          changes bytes: every served answer is byte-identical to
+          {!one_shot} under the same dispatch mode — and to the CLI's
+          [solve --dispatch static].  (Static routing may legitimately
+          differ from [Direct]: the dispatcher substitutes polynomial
+          structural algorithms where the profile licenses them; the
+          two modes cache under distinct keys.)  {!create} installs
+          the dispatcher before spawning worker domains. *)
 }
 
 val default_config : config
 (** 1 domain, adaptive rows, certification on, 4096 cache entries,
-    {!Wire.max_payload_default}. *)
+    {!Wire.max_payload_default}, 32 connections, direct dispatch. *)
 
 val create : ?config:config -> unit -> t
 (** Spawns the pool ([config.domains - 1] worker domains). *)
@@ -139,19 +188,32 @@ val serve_connection : t -> in_fd:Unix.file_descr -> out_fd:Unix.file_descr ->
     the server's stop flag is now set. *)
 
 val serve_unix : t -> path:string -> unit
-(** Bind a Unix-domain socket at [path] (replacing a stale file),
-    accept and serve connections sequentially, and return once a
-    SHUTDOWN frame has been honored.  The socket file is unlinked on
-    exit.  SIGPIPE is ignored for the duration: a client that
-    disconnects mid-answer costs its connection, nothing more. *)
+(** Bind a Unix-domain socket at [path] (replacing a stale file) and
+    run the concurrent listener: one session domain per accepted
+    connection (up to [config.max_conns]; excess connections get the
+    typed [Server_busy] refusal).  Returns once a SHUTDOWN frame has
+    been honored and every session domain has been joined.  The socket
+    file is unlinked on exit.  SIGPIPE is ignored for the duration: a
+    client that disconnects mid-answer costs its connection, nothing
+    more. *)
+
+val serve_tcp :
+  t -> ?ready:(int -> unit) -> host:string -> port:int -> unit -> unit
+(** The same concurrent listener over TCP ([SO_REUSEADDR]; sessions
+    get [TCP_NODELAY]).  [port = 0] binds an ephemeral port; [ready]
+    is called with the bound port once the socket is listening —
+    tests and supervisors use it to learn where to connect. *)
 
 val serve_stdio : t -> unit
 (** The framing fallback: serve exactly one session over
     stdin/stdout.  Returns on end of input or SHUTDOWN. *)
 
 val active_connections : t -> int
-(** Connections currently being served (0 or 1 under the sequential
-    accept loop) — the fuzz suite's leak detector. *)
+(** Sessions live right now (the in-flight gauge) — the fuzz suite's
+    leak detector. *)
+
+val peak_connections : t -> int
+(** High-water mark of {!active_connections} over the server's life. *)
 
 val connections_served : t -> int
 val requests_served : t -> int
@@ -159,7 +221,10 @@ val cache_entries : t -> int
 
 val profiles_cached : t -> int
 (** Entries in the structural-profile cache (canonical instance hash →
-    [Rc_analysis.Profile.summary], filled on every fresh solve). *)
+    [Rc_analysis.Profile.t], filled on every fresh solve).  Hits and
+    misses are counted by [Rc_check.Sanitize.serve_profile_hits] /
+    [serve_profile_misses]; under [dispatch = Static_profile] a hit is
+    a solve routed on cached analysis. *)
 
 val flush_cache : t -> unit
 (** Explicit full clear of the answer and profile caches — the only
@@ -168,10 +233,14 @@ val flush_cache : t -> unit
 
 val stats_text : t -> string
 (** The STATS response payload: one [key value] line per counter
-    (frames, rejections, cache traffic incl. evictions, certification
-    verdicts, connections, requests, cache sizes, domains), followed by
-    up to eight [profile <hash> <summary>] lines for the most recently
-    profiled instances. *)
+    (frames, rejections, answer- and profile-cache traffic incl.
+    evictions, certification verdicts, connections, requests, the
+    in-flight / peak / bound connection gauges, cache sizes, domains),
+    then up to eight [connection <id> requests <n>] lines for the live
+    sessions, then up to eight [profile <hash> <summary>] lines for
+    the most recently profiled instances.  Counters from other
+    sessions' domains are exact once those sessions ended (each
+    session flushes its tallies before its connection closes). *)
 
 (** {1 The one-shot path} *)
 
@@ -202,6 +271,10 @@ module Client : sig
   (** Connect to a server socket, retrying [attempts] times (default
       50, 20ms apart) to absorb server-startup races.  Raises
       [Unix.Unix_error] once out of patience. *)
+
+  val connect_tcp : ?attempts:int -> string -> int -> Unix.file_descr
+  (** Same, over TCP ([TCP_NODELAY] set): host, then port.  Retries
+      absorb connection-refused startup races only. *)
 
   val send_solve :
     Unix.file_descr ->

@@ -13,7 +13,10 @@
      unknown strategies, interleaved garbage, mid-stream disconnects)
      against a live server — each corruption class must map to its
      typed Protocol error code, the server must stay alive, and no
-     connection may leak;
+     connection may leak.  The fuzz runs over Unix and TCP transports,
+     and in both cases an honest connection races the fuzzed ones for
+     the whole run: its answers must stay byte-identical throughout
+     (zero cross-connection interference);
    - binary format: of_binary (to_binary p) = p exactly across the
      random families and at 10^5 vertices, text->binary->text
      agreement, the mmap file path, and typed errors (never an
@@ -72,8 +75,46 @@ let with_serving ?config f =
           Domain.join d)
         (fun () -> f t path))
 
+(* A live TCP server on its own domain, ephemeral port (the [ready]
+   callback publishes it); same SHUTDOWN finalizer as [with_serving]. *)
+let with_serving_tcp ?config f =
+  Server.with_server ?config (fun t ->
+      let port = Atomic.make 0 in
+      let d =
+        Domain.spawn (fun () ->
+            Server.serve_tcp t
+              ~ready:(fun p -> Atomic.set port p)
+              ~host:"127.0.0.1" ~port:0 ())
+      in
+      let rec wait_port n =
+        if Atomic.get port = 0 then
+          if n = 0 then Alcotest.fail "TCP server did not come up"
+          else begin
+            Unix.sleepf 0.02;
+            wait_port (n - 1)
+          end
+      in
+      wait_port 250;
+      Fun.protect
+        ~finally:(fun () ->
+          (try
+             let fd =
+               Client.connect_tcp ~attempts:5 "127.0.0.1" (Atomic.get port)
+             in
+             Client.send_shutdown fd;
+             ignore (Client.recv fd);
+             Client.close fd
+           with _ -> ());
+          Domain.join d)
+        (fun () -> f t (Atomic.get port)))
+
 let connect_with_timeout path =
   let fd = Client.connect path in
+  Unix.setsockopt_float fd Unix.SO_RCVTIMEO 20.;
+  fd
+
+let connect_tcp_with_timeout port =
+  let fd = Client.connect_tcp "127.0.0.1" port in
   Unix.setsockopt_float fd Unix.SO_RCVTIMEO 20.;
   fd
 
@@ -195,25 +236,72 @@ let test_differential_4_domains () = run_differential ~domains:4 ()
 (* Protocol fuzz                                                       *)
 (* ------------------------------------------------------------------ *)
 
+(* An honest connection living for the whole fuzz run: it keeps
+   submitting the same instance and checks every answer against the
+   one-shot bytes.  Any divergence — a poisoned cache entry, a reply
+   leaking across connections, an unexpected error — is recorded and
+   failed after the join.  This is the zero-cross-connection-
+   interference witness racing the fuzzed connections. *)
+let spawn_honest_load ~connect ~stop =
+  let failure = Atomic.make None in
+  let record m = if Atomic.get failure = None then Atomic.set failure (Some m) in
+  let d =
+    Domain.spawn (fun () ->
+        try
+          let p = Qcheck_gen.problem ~n:13 ~n_affinities:5 77 in
+          let expected =
+            Server.one_shot ~strategies:Strategies.all_heuristics p
+          in
+          let bin = Io.to_binary p in
+          let fd = connect () in
+          Fun.protect
+            ~finally:(fun () -> Client.close fd)
+            (fun () ->
+              while not (Atomic.get stop) do
+                Client.send_solve fd ~encoding:`Binary bin;
+                Client.send_flush fd;
+                match Client.recv fd with
+                | Client.Resp (Client.Answer { text; _ }) ->
+                    if text <> expected then
+                      record "honest answer diverged under fuzz load"
+                | Client.Resp (Client.Error { code; message }) ->
+                    record
+                      (Printf.sprintf "honest connection got error %d: %s"
+                         code message)
+                | Client.Resp _ ->
+                    record "honest connection: unexpected response type"
+                | Client.Eof -> record "honest connection closed under fuzz"
+              done)
+        with e -> record (Printexc.to_string e))
+  in
+  (d, failure)
+
 (* 25 seeds x 8 corruption classes = 200 mutated frames, each against
-   a live server.  Frame-layer corruption must be answered with its
-   typed error code and a closed connection; request-layer corruption
-   must leave the connection serving (proved by an in-band PING); and
-   after all of it the server must still answer a fresh connection
-   with zero connections leaked. *)
-let test_protocol_fuzz () =
-  let config = { Server.default_config with cache_capacity = 8 } in
-  with_serving ~config (fun t path ->
-      let base_problem = Qcheck_gen.problem ~n:12 ~n_affinities:4 7 in
-      let valid_frame =
-        Wire.encode_frame ~typ:Wire.req_solve
-          (Wire.solve_payload ~encoding:`Binary (Io.to_binary base_problem))
-      in
+   a live server that is concurrently serving an honest connection.
+   Frame-layer corruption must be answered with its typed error code
+   and a closed connection; request-layer corruption must leave the
+   connection serving (proved by an in-band PING); the racing honest
+   connection must never see a wrong byte; and after all of it the
+   server must still answer a fresh connection with zero sessions
+   leaked.  Runs over both transports ([connect] abstracts them). *)
+let run_protocol_fuzz ~name t connect =
+  let base_problem = Qcheck_gen.problem ~n:12 ~n_affinities:4 7 in
+  let valid_frame =
+    Wire.encode_frame ~typ:Wire.req_solve
+      (Wire.solve_payload ~encoding:`Binary (Io.to_binary base_problem))
+  in
+  let stop = Atomic.make false in
+  let honest, honest_failure = spawn_honest_load ~connect ~stop in
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set stop true;
+      Domain.join honest)
+    (fun () ->
       let classes = 8 in
-      Qcheck_gen.run_seeds ~name:"server.protocol-fuzz" ~count:200
+      Qcheck_gen.run_seeds ~name ~count:200
         (fun seed ->
           let rng = Random.State.make [| seed; 0xf022 |] in
-          let fd = connect_with_timeout path in
+          let fd = connect () in
           Fun.protect
             ~finally:(fun () -> Client.close fd)
             (fun () ->
@@ -331,29 +419,47 @@ let test_protocol_fuzz () =
                   Alcotest.(check bool)
                     "garbage maps to a frame-layer code" true
                     (code >= 1 && code <= 5);
-                  expect_eof "interleaved garbage"));
-      (* The server survived all of it: a fresh connection answers, and
-         nothing leaked.  (The accept loop is sequential, so reaching
-         PONG on a new connection also means every fuzz connection's
-         serve_connection completed.) *)
-      let fd = connect_with_timeout path in
-      Client.send_ping fd;
-      (match Client.recv fd with
-      | Client.Resp Client.Pong -> ()
-      | _ -> Alcotest.fail "server dead after fuzzing");
-      Client.close fd;
-      let deadline = Unix.gettimeofday () +. 5. in
-      let rec settle () =
-        if Server.active_connections t = 0 then ()
-        else if Unix.gettimeofday () > deadline then
-          Alcotest.failf "leaked connections: %d"
-            (Server.active_connections t)
-        else begin
-          Unix.sleepf 0.01;
-          settle ()
-        end
-      in
-      settle ())
+                  expect_eof "interleaved garbage")));
+  (match Atomic.get honest_failure with
+  | None -> ()
+  | Some m -> Alcotest.failf "honest connection under fuzz: %s" m);
+  (* The server survived all of it: a fresh connection answers, and
+     nothing leaked.  (Sessions are domains now, so give each fuzzed
+     connection's session a moment to observe its EOF and finish; the
+     settle loop is the leak detector.) *)
+  let fd = connect () in
+  Client.send_ping fd;
+  (match Client.recv fd with
+  | Client.Resp Client.Pong -> ()
+  | _ -> Alcotest.fail "server dead after fuzzing");
+  Client.close fd;
+  let deadline = Unix.gettimeofday () +. 5. in
+  let rec settle () =
+    if Server.active_connections t = 0 then ()
+    else if Unix.gettimeofday () > deadline then
+      Alcotest.failf "leaked connections: %d" (Server.active_connections t)
+    else begin
+      Unix.sleepf 0.01;
+      settle ()
+    end
+  in
+  settle ()
+
+let test_protocol_fuzz () =
+  let config =
+    { Server.default_config with cache_capacity = 8; max_conns = 64 }
+  in
+  with_serving ~config (fun t path ->
+      run_protocol_fuzz ~name:"server.protocol-fuzz" t (fun () ->
+          connect_with_timeout path))
+
+let test_protocol_fuzz_tcp () =
+  let config =
+    { Server.default_config with cache_capacity = 8; max_conns = 64 }
+  in
+  with_serving_tcp ~config (fun t port ->
+      run_protocol_fuzz ~name:"server.protocol-fuzz-tcp" t (fun () ->
+          connect_tcp_with_timeout port))
 
 (* ------------------------------------------------------------------ *)
 (* Binary format properties                                            *)
@@ -754,6 +860,7 @@ let test_protocol_codes () =
       (Unknown_strategy "x", 8, "unknown-strategy", false);
       (Certification_failed "x", 9, "certification-failed", false);
       (Shutting_down, 10, "shutting-down", false);
+      (Server_busy { active = 4; limit = 4 }, 11, "server-busy", false);
     ]
   in
   List.iter
@@ -789,8 +896,10 @@ let () =
         ] );
       ( "protocol",
         [
-          Alcotest.test_case "fuzz: 200 mutated frames" `Slow
+          Alcotest.test_case "fuzz: 200 mutated frames vs honest load" `Slow
             test_protocol_fuzz;
+          Alcotest.test_case "fuzz over TCP vs honest load" `Slow
+            test_protocol_fuzz_tcp;
           Alcotest.test_case "wire codes pinned" `Quick test_protocol_codes;
         ] );
       ( "binary",
