@@ -443,10 +443,15 @@ let k4_parallel_sweep () =
     "preset %s (%s) x %d instances: canonical reports identical at 1 and %d \
      domains@."
     preset.Rc_engine.Sweep.sname
-    (match preset.Rc_engine.Sweep.source with
-    | Rc_engine.Sweep.Synthetic { n; _ } -> Printf.sprintf "synthetic n=%d" n
-    | Rc_engine.Sweep.Ssa { k } -> Printf.sprintf "ssa k=%d" k)
-    preset.Rc_engine.Sweep.instances domains;
+    (match preset.Rc_engine.Sweep.sources with
+    | Rc_engine.Sweep.Synthetic { n; _ } :: _ ->
+        Printf.sprintf "synthetic n=%d" n
+    | Rc_engine.Sweep.Ssa { k } :: _ -> Printf.sprintf "ssa k=%d" k
+    | Rc_engine.Sweep.Clustered { gadgets; size; _ } :: _ ->
+        Printf.sprintf "clustered %dx%d" gadgets size
+    | [] -> "empty")
+    (Rc_engine.Sweep.n_instances preset)
+    domains;
   Format.printf "  sweep wall, 1 domain   %10.3f s@."
     seq.Rc_engine.Sweep.wall_s;
   Format.printf "  sweep wall, %d domains %10.3f s@." domains
@@ -1102,6 +1107,83 @@ let k8_concurrent_serving () =
       end)
 
 (* ------------------------------------------------------------------ *)
+(* K9: exact portfolio — pb racing bb through the 10k sweep            *)
+(* ------------------------------------------------------------------ *)
+
+(* PR 10 on the leaderboard: the 10k preset carries one clustered
+   instance (500 gadgets x 20 vertices) next to two monolithic
+   synthetic 10^4 sweeps.  Branch-and-bound [exact] is ceilinged at 40
+   vertices, so it reports Capped on all three cells; the portfolio
+   [exact:race] decomposes along union-graph components, refuses the
+   monolithic pair honestly (Failed, not a hang) and solves the
+   clustered cell — a certified exact optimum at a vertex count 250x
+   past the bb ceiling.  The Sanitize race counters say which backend
+   actually won. *)
+
+let k9_portfolio () =
+  section "K9 | exact portfolio: racing pb against bb at 10^4 vertices";
+  let preset =
+    match Rc_engine.Sweep.preset_of_string "10k" with
+    | Ok p -> p
+    | Error m -> failwith m
+  in
+  let races0 = Rc_check.Sanitize.races_run () in
+  let t0 = Rc_core.Mclock.now_ns () in
+  let t =
+    Rc_engine.Sweep.run ~domains:2
+      ~strategies:
+        [
+          Rc_core.Strategies.Exact_conservative;
+          Rc_core.Strategies.Exact_backend "race";
+        ]
+      ~seed:2026 preset
+  in
+  let wall = Rc_core.Mclock.elapsed_s t0 in
+  let outcome sname i =
+    match
+      Array.find_opt
+        (fun (c : Rc_engine.Sweep.cell) -> c.strategy = sname && c.instance = i)
+      t.Rc_engine.Sweep.cells
+    with
+    | Some c -> c.Rc_engine.Sweep.outcome
+    | None -> failwith "K9: missing sweep cell"
+  in
+  (match outcome "exact" 2 with
+  | Rc_engine.Sweep.Capped { ceiling } ->
+      Format.printf "  exact      #2 (clustered 10^4): Capped (ceiling %d)@."
+        ceiling
+  | _ -> failwith "K9: expected the bb exact cell to be Capped at 10^4");
+  (match outcome "exact:race" 0 with
+  | Rc_engine.Sweep.Failed _ ->
+      Format.printf
+        "  exact:race #0 (monolithic 10^4): refused (union component over \
+         reach)@."
+  | _ -> failwith "K9: expected exact:race to refuse the monolithic instance");
+  (match outcome "exact:race" 2 with
+  | Rc_engine.Sweep.Report r ->
+      Format.printf
+        "  exact:race #2 (clustered 10^4): solved, coalesced %d / %d move \
+         weight@."
+        r.Rc_core.Strategies.coalesced_weight r.Rc_core.Strategies.total_weight
+  | _ -> failwith "K9: expected exact:race to solve the clustered cell");
+  let races = Rc_check.Sanitize.races_run () - races0 in
+  let wins = Rc_check.Sanitize.race_wins () in
+  Format.printf "  races %d; wins: %s; losers cancelled %d, finished %d@."
+    races
+    (String.concat ", "
+       (List.map (fun (b, n) -> Printf.sprintf "%s=%d" b n) wins))
+    (Rc_check.Sanitize.race_losers_cancelled ())
+    (Rc_check.Sanitize.race_losers_finished ());
+  all_rows := !all_rows @ [ ("k9/portfolio-10k-sweep", wall *. 1e9) ];
+  derived :=
+    !derived
+    @ (("k9:portfolio races", float_of_int races)
+      :: List.map
+           (fun (b, n) ->
+             (Printf.sprintf "k9:race wins %s" b, float_of_int n))
+           wins)
+
+(* ------------------------------------------------------------------ *)
 (* E1: Theorem 1 pipeline — SSA interference graphs are chordal        *)
 (* ------------------------------------------------------------------ *)
 
@@ -1669,6 +1751,7 @@ let () =
   k6_serving ();
   k7_static_analysis ();
   k8_concurrent_serving ();
+  k9_portfolio ();
   e1_theorem1 ();
   e4_thm2 ();
   e5_thm3 ();

@@ -130,7 +130,8 @@ module Common = struct
 
   let strategy_names =
     "aggressive, briggs, george, briggs-george, briggs-george-ext, \
-     brute-force, irc, irc-briggs, optimistic, chordal, set2, set3, exact"
+     brute-force, irc, irc-briggs, optimistic, chordal, set2, set3, exact, \
+     exact:pb, exact:race (or exact:NAME for any registered solver backend)"
 
   let chordal =
     Arg.(value & flag & info [ "chordal" ] ~doc:"Chordal instance flavor.")
@@ -442,7 +443,7 @@ let check_cmd =
     | Strategies.Aggressive -> []
     | Strategies.Conservative _ | Strategies.Irc _ | Strategies.Optimistic
     | Strategies.Chordal_incremental | Strategies.Set_conservative _
-    | Strategies.Exact_conservative ->
+    | Strategies.Exact_conservative | Strategies.Exact_backend _ ->
         [ Rc_check.Certify.Conservative ]
   in
   let run seed k strategy chordal file rows lint =
@@ -536,13 +537,24 @@ let preset_arg =
     value & opt preset_conv default
     & info [ "preset" ] ~docv:"NAME"
         ~doc:
-          "Instance preset: smoke (2k vertices), ssa, 10k or 100k (the \
-           $(b,10^5)-vertex synthetic family).")
+          "Instance preset: smoke (2k vertices), ssa, 10k (two monolithic \
+           synthetic instances plus one clustered portfolio instance) or \
+           100k (the $(b,10^5)-vertex synthetic family).")
 
 let sweep_cmd =
   let strategy_arg =
     Common.strategy
       ~doc:"Restrict the sweep to one strategy (same names as solve)."
+  in
+  let strategies_arg =
+    Arg.(
+      value
+      & opt (some (list ~sep:',' Common.strategy_conv)) None
+      & info [ "strategies" ] ~docv:"NAMES"
+          ~doc:
+            "Comma-separated strategy list (same names as solve — e.g. \
+             exact,exact:race to sweep the branch-and-bound against the \
+             portfolio).")
   in
   let timing_arg =
     Arg.(
@@ -563,12 +575,19 @@ let sweep_cmd =
              paths together), much slower at scale — the uncached axis of \
              the cached-vs-uncached benchmark.")
   in
-  let run seed preset domains rows check strategy timing no_cache json =
+  let run seed preset domains rows check strategy strategies timing no_cache
+      json =
     if Rc_check.Sanitize.install_if_enabled () then
       Format.printf "sanitizer: enabled (profile %s)@."
         Rc_check.Sanitize.profile;
     let strategies =
-      match strategy with Some s -> [ s ] | None -> Strategies.all_heuristics
+      match (strategies, strategy) with
+      | Some _, Some _ ->
+          failwith "sweep: --strategy and --strategies are exclusive"
+      | Some [], _ -> failwith "sweep: --strategies needs at least one name"
+      | Some l, None -> l
+      | None, Some s -> [ s ]
+      | None, None -> Strategies.all_heuristics
     in
     let t =
       Rc_engine.Sweep.run ?domains ?rows ~incremental:(not no_cache) ~check
@@ -588,7 +607,8 @@ let sweep_cmd =
           and with or without --no-cache.")
     Term.(
       const run $ Common.seed $ preset_arg $ Common.domains $ Common.rows
-      $ Common.check $ strategy_arg $ timing_arg $ no_cache_arg $ Common.json)
+      $ Common.check $ strategy_arg $ strategies_arg $ timing_arg
+      $ no_cache_arg $ Common.json)
 
 (* bench -------------------------------------------------------------- *)
 

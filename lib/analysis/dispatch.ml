@@ -2,7 +2,7 @@ module Problem = Rc_core.Problem
 module Coalescing = Rc_core.Coalescing
 module Strategies = Rc_core.Strategies
 module Conservative = Rc_core.Conservative
-module Exact = Rc_core.Exact
+module Backend = Rc_core.Solver_backend
 
 let direct cfg strategy p =
   Strategies.run_cfg { cfg with Strategies.dispatch = Strategies.Direct } strategy p
@@ -26,11 +26,24 @@ let incumbent cfg (part : Problem.t) =
   in
   if Coalescing.is_conservative part sol then Some sol else None
 
-let exact_with_presolve cfg (p : Problem.t) =
+(* Which registry entry solves the exact parts: [exact:NAME] names it
+   inline, plain [exact] defers to the config's selector. *)
+let backend_name cfg strategy =
+  match strategy with
+  | Strategies.Exact_backend b -> b
+  | _ -> Option.value cfg.Strategies.backend ~default:"bb"
+
+let exact_with_presolve cfg strategy (p : Problem.t) =
+  let bk = Backend.find_exn (backend_name cfg strategy) in
+  let part_cfg = { cfg with Strategies.dispatch = Strategies.Direct } in
   let plan = Presolve.run ~level:Presolve.Full p in
   let sols =
     List.map
-      (fun part -> Exact.conservative ?prime:(incumbent cfg part) part)
+      (fun part ->
+        bk.Backend.solve
+          ~stop:(Rc_core.Cancel.probe ())
+          ?prime:(incumbent cfg part)
+          part_cfg strategy part)
       plan.Presolve.parts
   in
   match Presolve.lift_certified ~conservative:true plan sols with
@@ -48,12 +61,12 @@ let solve ?profile cfg strategy (p : Problem.t) =
   in
   match strategy with
   | Strategies.Irc _ | Strategies.Aggressive -> direct cfg strategy p
-  | Strategies.Exact_conservative ->
+  | Strategies.Exact_conservative | Strategies.Exact_backend _ ->
       let profile = Lazy.force profiled in
       (* k-core gate: degeneracy >= k means not greedy-k-colorable;
          keep the direct path's typed Invalid_argument. *)
       if profile.Profile.degeneracy >= p.Problem.k then direct cfg strategy p
-      else exact_with_presolve cfg p
+      else exact_with_presolve cfg strategy p
   | _ -> structural cfg strategy (Lazy.force profiled) p
 
 let installed = ref false
@@ -61,5 +74,20 @@ let installed = ref false
 let install () =
   if not !installed then begin
     installed := true;
-    Strategies.set_static_dispatcher (Some (fun cfg strategy p -> solve cfg strategy p))
+    Backend.register
+      {
+        Backend.bname = "static";
+        describe =
+          "profile-driven router: interval walk / chordal path / \
+           presolve-primed exact";
+        caps = { Backend.exact = false; router = true };
+        solve =
+          (fun ?stop ?prime cfg strategy p ->
+            ignore prime;
+            (* The registry's stop probe is ambient by the time the
+               routed primitives run (run_cfg re-installs it); routing
+               itself is cheap enough not to poll. *)
+            ignore stop;
+            solve cfg strategy p);
+      }
   end

@@ -7,13 +7,15 @@
       endpoint walk;
     - chordal (including unresolved-interval) → the Theorem-5
       polynomial path ([Chordal_incremental]);
-    - [Exact_conservative] → full certified presolve
-      ({!Presolve.run}), each part solved exactly with a heuristic
-      incumbent as pruning oracle ([Exact.conservative ?prime]) after
-      gating on the profile's degeneracy (the k-core bound: degeneracy
-      [>= k] means the instance is not greedy-k-colorable and the
-      direct path's typed error is preserved), then
-      {!Presolve.lift_certified} back onto the original problem;
+    - [Exact_conservative] and [Exact_backend _] → full certified
+      presolve ({!Presolve.run}), each part solved exactly by the
+      requested registry backend ([exact:NAME] names it inline, plain
+      [exact] defers to [config.backend]) with a heuristic incumbent as
+      pruning oracle, after gating on the profile's degeneracy (the
+      k-core bound: degeneracy [>= k] means the instance is not
+      greedy-k-colorable and the direct path's typed error is
+      preserved), then {!Presolve.lift_certified} back onto the
+      original problem;
     - everything else (general graphs, and the [Irc] / [Aggressive]
       strategies, whose contracts the reductions do not cover) → the
       direct strategy.
@@ -23,7 +25,9 @@
     certification pass apply unchanged. *)
 
 val install : unit -> unit
-(** Registers {!solve} via [Strategies.set_static_dispatcher].
+(** Registers {!solve} as the ["static"] router entry in the
+    [Rc_core.Solver_backend] registry (capability [router], not
+    [exact] — [exact:static] is refused with a typed error).
     Idempotent; call before spawning worker domains. *)
 
 val solve :

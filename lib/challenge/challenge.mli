@@ -88,6 +88,25 @@ val synthetic :
     over the persistent graph ([k] defaults to [maxlive], the chromatic
     number for [n >= maxlive]). *)
 
+val clustered :
+  seed:int ->
+  gadgets:int ->
+  size:int ->
+  maxlive:int ->
+  ?affinity_fraction:float ->
+  ?k:int ->
+  unit ->
+  synthetic_instance
+(** [gadgets] independent {!synthetic} interval sweeps of [size]
+    vertices each, packed into one [gadgets * size]-vertex problem on
+    disjoint vertex ranges (gadget [g] owns [g*size .. g*size+size-1])
+    with per-gadget derived seeds.  No edge or affinity crosses
+    gadgets, so the interference ∪ affinity union graph falls apart
+    into components of at most [size] vertices — the decomposable
+    regime the exact portfolio ([exact:race]) is built for, at instance
+    sizes where a monolithic exact search is refused.  [k] defaults to
+    [maxlive]. *)
+
 val synthetic_flat :
   ?rows:Rc_graph.Flat.rows ->
   seed:int ->

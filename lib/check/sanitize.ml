@@ -183,6 +183,57 @@ let certified_ok () = Atomic.get total_certified_ok + (state ()).certified_ok
 let certified_failed () =
   Atomic.get total_certified_failed + (state ()).certified_failed
 
+(* Portfolio-race observability (PR 10).  Races are orders of magnitude
+   rarer than frames or kernel events (one per [exact:race] solve), so
+   these skip the domain-local staging: one mutex hold per race keeps
+   the per-backend win table consistent across racing domains, and the
+   totals are visible to STATS and tests immediately — no flush
+   ordering to get right.  Invariants the portfolio suite pins: the win
+   counts sum to [races_run], and every race's losers are accounted as
+   cancelled or finished. *)
+let race_mu = Mutex.create ()
+let races = ref 0
+let race_wins_tbl : (string, int) Hashtbl.t = Hashtbl.create 8
+let race_cancelled = ref 0
+let race_finished = ref 0
+let race_worst_latency = ref 0
+
+let note_race_outcome (o : Rc_core.Portfolio.outcome) =
+  Mutex.lock race_mu;
+  incr races;
+  Hashtbl.replace race_wins_tbl o.winner
+    (1
+    +
+    match Hashtbl.find_opt race_wins_tbl o.winner with
+    | Some n -> n
+    | None -> 0);
+  race_cancelled := !race_cancelled + o.losers_cancelled;
+  race_finished := !race_finished + o.losers_finished;
+  if o.cancel_latency_ns > !race_worst_latency then
+    race_worst_latency := o.cancel_latency_ns;
+  Mutex.unlock race_mu
+
+let read_race r =
+  Mutex.lock race_mu;
+  let v = !r in
+  Mutex.unlock race_mu;
+  v
+
+let races_run () = read_race races
+let race_losers_cancelled () = read_race race_cancelled
+let race_losers_finished () = read_race race_finished
+let race_worst_cancel_latency_ns () = read_race race_worst_latency
+
+let race_wins () =
+  Mutex.lock race_mu;
+  let l = Hashtbl.fold (fun k v acc -> (k, v) :: acc) race_wins_tbl [] in
+  Mutex.unlock race_mu;
+  List.sort compare l
+
+(* Arm the portfolio monitor as soon as the checking layer is linked:
+   race provenance, like the serve counters, is always counted. *)
+let () = Rc_core.Portfolio.set_monitor (Some note_race_outcome)
+
 let fail fmt =
   Printf.ksprintf (fun m -> failwith ("Rc_check.Sanitize: " ^ m)) fmt
 

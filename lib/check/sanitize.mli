@@ -132,3 +132,35 @@ val certified_ok : unit -> int
 (** Serve-path answers that passed independent certification. *)
 
 val certified_failed : unit -> int
+
+(** {1 Portfolio-race observability}
+
+    Linking this library arms {!Rc_core.Portfolio.set_monitor} at
+    module initialization, so every completed [exact:race] is tallied
+    here — winner identity, loser fates and worst cancel latency —
+    whichever domain ran it.  Races are rare (one per [exact:race]
+    solve), so these counters live behind one process-wide mutex
+    instead of the domain-local staging above: totals are exact and
+    immediately visible, no {!flush} needed.
+
+    Accounting invariants (pinned by the portfolio test suite): the
+    per-backend win counts of {!race_wins} sum to {!races_run}, and
+    each race's losers appear in exactly one of
+    {!race_losers_cancelled} or {!race_losers_finished}. *)
+
+val races_run : unit -> int
+(** Completed portfolio races since the library was loaded. *)
+
+val race_wins : unit -> (string * int) list
+(** Wins per backend name, sorted; sums to {!races_run}. *)
+
+val race_losers_cancelled : unit -> int
+(** Losing racers stopped through their cancel probe. *)
+
+val race_losers_finished : unit -> int
+(** Losing racers that ran to completion anyway (finished before
+    observing the winner, failed certification, or crashed). *)
+
+val race_worst_cancel_latency_ns : unit -> int
+(** Worst observed winner-accepted-to-loser-unwound latency, in
+    nanoseconds, across every cancelled loser. *)

@@ -1,0 +1,19 @@
+exception Stopped
+
+let never () = false
+
+(* Domain-local: each pool worker installs the probe of the task it is
+   currently running; nested scopes compose so an outer abort is never
+   masked by an inner probe. *)
+let ambient : (unit -> bool) Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> never)
+
+let probe () = Domain.DLS.get ambient
+
+let both a b () = a () || b ()
+
+let with_probe stop f =
+  let outer = Domain.DLS.get ambient in
+  let merged = if outer == never then stop else both outer stop in
+  Domain.DLS.set ambient merged;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set ambient outer) f

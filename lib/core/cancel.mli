@@ -1,0 +1,38 @@
+(** Cooperative cancellation for long-running solvers.
+
+    Every interruptible search in this library (the exact
+    branch-and-bound, the pseudo-boolean core, the portfolio race)
+    takes an optional [stop : unit -> bool] probe and raises {!Stopped}
+    from a safe point shortly after the probe first returns [true].
+    The probe must be cheap, non-blocking and domain-safe (an
+    [Atomic.get] is the intended shape); solvers poll it on a
+    node/conflict counter, never on the per-edge hot path.
+
+    The ambient probe is the pool cancellation hook: an engine that
+    fans tasks out over domains ({!Rc_engine} [Pool]) wraps each task
+    in {!with_probe} pointing at its abort flag, and {!probe} recovers
+    it anywhere below — so when one sweep cell fails and the pool
+    abandons the run, in-flight exact races inside sibling cells
+    observe the abort and cancel instead of running to completion.
+    The hook is domain-local state: each worker domain sees exactly the
+    probe its own current task installed. *)
+
+exception Stopped
+(** Raised by a cancelled solver.  Carries no result: the caller that
+    installed the probe decided the answer is no longer wanted. *)
+
+val with_probe : (unit -> bool) -> (unit -> 'a) -> 'a
+(** [with_probe stop f] runs [f] with [stop] as the calling domain's
+    ambient probe, restoring the previous probe on exit (probes nest:
+    an inner probe composes with — does not mask — the outer one, so
+    an outer abort still cancels inner work). *)
+
+val probe : unit -> unit -> bool
+(** The calling domain's ambient probe ([fun () -> false] when none is
+    installed).  Solver entry points combine it with their explicit
+    [?stop] argument. *)
+
+val both : (unit -> bool) -> (unit -> bool) -> unit -> bool
+(** [both a b () = a () || b ()], without closing over re-evaluated
+    state — the standard way to merge an explicit [?stop] with
+    {!probe}. *)

@@ -31,9 +31,14 @@ type target = Any | Greedy_k_colorable | K_colorable
    rollback — the persistent graph is touched exactly once, to realize
    the best merge log found.  The weight bound prunes branches that
    cannot beat the incumbent. *)
-let search ?(floor = -1) (p : Problem.t) ~target =
+let search ?(floor = -1) ?(stop = fun () -> false) (p : Problem.t) ~target =
   let affinities, suffix = sorted_affinities p in
   let spec = Spec.of_state (Coalescing.initial p.graph) in
+  let ticks = ref 0 in
+  let poll () =
+    incr ticks;
+    if !ticks land 1023 = 0 && stop () then raise Cancel.Stopped
+  in
   let leaf_ok () =
     match target with
     | Any -> true
@@ -47,6 +52,7 @@ let search ?(floor = -1) (p : Problem.t) ~target =
   let best = ref None in
   let best_weight = ref floor in
   let rec go i gained =
+    poll ();
     if gained + suffix.(i) <= !best_weight then ()
     else if i = Array.length affinities then begin
       if leaf_ok () then begin
@@ -78,8 +84,8 @@ let search ?(floor = -1) (p : Problem.t) ~target =
            (Spec.replay (Coalescing.initial p.graph) log))
   | None -> None
 
-let search_exn p ~target =
-  match search p ~target with
+let search_exn ?stop p ~target =
+  match search ?stop p ~target with
   | Some sol -> sol
   | None ->
       (* Even the empty coalescing failed the leaf check. *)
@@ -87,18 +93,18 @@ let search_exn p ~target =
 
 let aggressive p = search_exn p ~target:Any
 
-let conservative ?prime (p : Problem.t) =
+let conservative ?stop ?prime (p : Problem.t) =
   if not (Greedy_k.is_greedy_k_colorable p.graph p.k) then
     invalid_arg "Exact.conservative: input graph is not greedy-k-colorable";
   match prime with
-  | None -> search_exn p ~target:Greedy_k_colorable
+  | None -> search_exn ?stop p ~target:Greedy_k_colorable
   | Some incumbent ->
       (* Oracle-seeded search: the incumbent's weight floors the
          branch-and-bound (branches that cannot strictly beat it are
          pruned), and if nothing beats it the incumbent is already
          optimal and returned as-is. *)
       let floor = Coalescing.coalesced_weight incumbent in
-      (match search ~floor p ~target:Greedy_k_colorable with
+      (match search ~floor ?stop p ~target:Greedy_k_colorable with
       | Some better -> better
       | None -> incumbent)
 

@@ -19,15 +19,32 @@
     strategies that perform auxiliary merges, such as the Theorem 5
     driver, can occasionally beat it. *)
 
+val sorted_affinities : Problem.t -> Problem.affinity array * int array
+(** The branch order every exact solver in this library shares:
+    affinities sorted by decreasing weight (ties by endpoint pair),
+    paired with the suffix-weight table [suffix.(i)] = total weight of
+    affinities [i..] that the bound prune consumes.  Exposed so the
+    pseudo-boolean backend ({!Pb}) can index its decision variables in
+    the identical order and reproduce this solver's optimum
+    byte-for-byte. *)
+
 val aggressive : Problem.t -> Coalescing.solution
 (** Optimal aggressive coalescing (Section 3): interferences are the
     only constraint. *)
 
-val conservative : ?prime:Coalescing.solution -> Problem.t -> Coalescing.solution
+val conservative :
+  ?stop:(unit -> bool) ->
+  ?prime:Coalescing.solution ->
+  Problem.t ->
+  Coalescing.solution
 (** Optimal conservative coalescing (Section 4): the coalesced graph
     must be greedy-k-colorable.  Raises [Invalid_argument] if the input
     graph is not greedy-k-colorable itself (then the instance is outside
     the problem's scope).
+
+    [?stop] is a cooperative cancellation probe polled every ~1k search
+    nodes; once it returns [true] the search raises {!Cancel.Stopped}
+    (used by the portfolio racer to cancel the losing backend).
 
     [?prime] seeds the branch-and-bound with a known-feasible incumbent
     (e.g. a heuristic or analysis-dispatcher answer): its coalesced

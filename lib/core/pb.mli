@@ -1,0 +1,52 @@
+(** Pseudo-boolean exact conservative coalescing.
+
+    The second exact backend: a 0-1 formulation with one decision
+    variable per affinity ([x_a] = "coalesce a"), solved by a homegrown
+    DPLL/CDCL core — two-watched-literal clause propagation, 1UIP
+    conflict analysis with non-chronological backjumping, and an
+    objective-bound prune that turns every incumbent into a learned
+    constraint.  Greedy-k-colorability is not encoded eagerly (the
+    paper's Section 4 reductions show any compact eager encoding would
+    blow up); instead full assignments are evaluated on a
+    {!Coalescing.Speculation} context and refuted lazily:
+
+    - an affinity pair that cannot merge (their classes interfere)
+      yields a monotone no-good [¬x_a ∨ ¬x_{j1} ∨ …] over the
+      affinities that built the two classes — sound because class
+      interference only grows under supersets of merges;
+    - a greedy-k failure yields the elimination residue (the merged
+      graph's k-core); the clause forbids the exact configuration of
+      every variable touching the residue's vertex set [S] — sound
+      because the partition and the interference structure inside [S]
+      are fully determined by those variables.
+
+    Seed constraints: unit [¬x_a] for constrained affinities and
+    pairwise [¬x_a ∨ ¬x_b] for endpoint-sharing affinity pairs whose
+    outer endpoints interfere.
+
+    The core proves the optimal objective value W*; a second
+    deterministic pass then reconstructs the {e same leaf} the
+    branch-and-bound ({!Exact.conservative}) commits to — the first
+    depth-first leaf of weight W* in the shared {!Exact.sorted_affinities}
+    branch order — so both backends return byte-identical solutions,
+    which the portfolio racer and the differential suite rely on. *)
+
+val conservative :
+  ?stop:(unit -> bool) ->
+  ?prime:Coalescing.solution ->
+  Problem.t ->
+  Coalescing.solution
+(** Optimal conservative coalescing, same contract as
+    {!Exact.conservative}: raises [Invalid_argument] if the input graph
+    is not greedy-k-colorable; [?prime] floors the objective with a
+    known-feasible incumbent and is returned as-is when nothing beats
+    it; [?stop] is the cooperative probe ({!Cancel.Stopped} once it
+    trips).  The returned solution is byte-identical (same coalesced
+    set, not just the same weight) to the branch-and-bound's. *)
+
+val optimum_weight : ?stop:(unit -> bool) -> ?floor:int -> Problem.t -> int
+(** The CDCL core alone: the maximum total coalesced-affinity weight of
+    a conservative coalescing of [p], with branches at or below [floor]
+    (default [-1]) pruned — so the result is [max floor W*].  Exposed
+    for tests that want to audit the proof engine without the
+    reconstruction pass. *)

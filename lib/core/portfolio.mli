@@ -1,0 +1,92 @@
+(** Portfolio racing: run several solver backends on the same instance
+    across domains; the first answer that {e passes certification} wins
+    and the losers are cancelled through their {!Cancel} probes.
+
+    The combinatorial-allocation survey (PAPERS.md) motivates the
+    shape: declarative 0-1 search ({!Pb}) and branch-and-bound
+    ({!Exact}) dominate on different instance structure, and racing
+    them costs one extra domain while taking the per-instance minimum
+    of their runtimes. *)
+
+exception Stopped
+(** Alias of {!Cancel.Stopped}: the outer [?stop] probe tripped before
+    any racer produced a certified answer. *)
+
+type outcome = {
+  winner : string;  (** name of the racer whose answer was kept *)
+  racers : string list;  (** every racer that started, in entry order *)
+  losers_cancelled : int;  (** losers stopped via their cancel probe *)
+  losers_finished : int;
+      (** losers that ran to completion anyway — they finished before
+          observing the winner, failed certification, or crashed *)
+  cancel_latency_ns : int;
+      (** worst case across cancelled losers: nanoseconds between the
+          winner's answer being accepted and the loser unwinding *)
+}
+
+val race :
+  ?stop:(unit -> bool) ->
+  certify:('a -> bool) ->
+  (string * ((unit -> bool) -> 'a)) list ->
+  'a * outcome
+(** [race ~certify racers] runs every racer concurrently — the first on
+    the calling domain, the rest on fresh domains — handing each a stop
+    probe that trips as soon as a winner is accepted (or the outer
+    [?stop] fires).  A racer's answer is accepted only if [certify]
+    returns [true] on it (a [certify] that raises counts as [false]);
+    accepted-first wins by an atomic compare-and-swap, every other
+    racer is a loser.  The call returns after {e all} racers have
+    unwound, so no domain outlives it.
+
+    Raises {!Stopped} if the outer probe fired with no winner; if every
+    racer failed on its own, re-raises the first racer's exception (or
+    [Failure] when they all merely failed certification).
+    Raises [Invalid_argument] on an empty racer list. *)
+
+val conservative_race :
+  ?stop:(unit -> bool) ->
+  ?prime:Coalescing.solution ->
+  ?reach:int ->
+  ?certify:(Coalescing.solution -> bool) ->
+  Problem.t ->
+  Coalescing.solution
+(** The [exact:race] backend: optimal conservative coalescing by racing
+    the branch-and-bound ("bb") against the pseudo-boolean core ("pb").
+
+    The instance is first split along the connected components of the
+    interference ∪ affinity union graph — the optimum decomposes
+    exactly across them (merges follow affinities, so classes never
+    leave a component), which is what lets the race reach instances
+    whose {e global} affinity count is far beyond either backend.  Both
+    racers solve the component list; the winning solution is recombined
+    and certified ([?certify] defaults to {!Coalescing.is_conservative};
+    the checking layer re-certifies independently downstream).
+
+    Raises [Invalid_argument] if the input graph is not
+    greedy-k-colorable, or if the largest component carries more than
+    [reach] affinities (default 20) — the race refuses monolithic
+    instances honestly instead of hanging on an exponential search.
+
+    [?prime] is accepted for backend-signature compatibility but
+    ignored: incumbents are solutions of the whole instance and do not
+    decompose into component floors.  Byte-identity with
+    [Exact.conservative] still holds — per-component first-optimal
+    leaves recompose into the global first-optimal leaf.
+
+    Instances with no affinities in any component return the empty
+    coalescing without racing (and record no outcome). *)
+
+(** {1 Provenance} *)
+
+val last_outcome : unit -> outcome option
+(** The outcome of the most recent race completed on the calling
+    domain, for per-answer provenance in reports; [None] after
+    {!clear_last_outcome} or when no race ran. *)
+
+val clear_last_outcome : unit -> unit
+
+val set_monitor : (outcome -> unit) option -> unit
+(** Global hook invoked (on the winning race's calling domain) after
+    every completed race — {!Rc_check.Sanitize} installs its race
+    counters here at module initialization.  Not synchronized: install
+    once, at startup. *)

@@ -1,0 +1,4 @@
+(* Facade: the registry lives inside Strategies (its entries close over
+   Strategies.config), but callers that only register or look up
+   backends shouldn't have to know that. *)
+include Strategies.Backend

@@ -1,0 +1,9 @@
+(** The solver-backend registry, re-exported at the library root.
+
+    [Rc_core.Solver_backend] is an alias of {!Strategies.Backend} — see
+    there for the full contract.  It exists so code that registers or
+    enumerates backends (the analysis dispatcher, the server, tests)
+    can name the registry without spelling the module that happens to
+    host it. *)
+
+include module type of Strategies.Backend

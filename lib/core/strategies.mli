@@ -26,15 +26,26 @@ type t =
           of affinity sets up to the given size — the "affinities by
           transitivity" remedy of Section 4 (see {!Set_coalescing}).  A
           size [<= 0] defers to {!config.max_set}. *)
-  | Exact_conservative  (** branch-and-bound optimum (small instances) *)
+  | Exact_conservative
+      (** exact optimum through the configured backend
+          ({!config.backend}, default ["bb"], the branch-and-bound —
+          small instances) *)
+  | Exact_backend of string
+      (** exact optimum through the named {!Backend} registry entry —
+          [Exact_backend "pb"] spells [exact:pb], [Exact_backend "race"]
+          spells [exact:race].  Resolution happens at solve time;
+          {!run_cfg} raises {!Backend.Unknown_backend} for names nobody
+          registered. *)
 
 val name : t -> string
 
 val of_string : string -> (t, string) result
 (** Inverse of {!name}, also accepting the short CLI tokens
     ([briggs], [briggs-george-ext], [irc], [set2], [set3], [chordal],
-    ...).  The one strategy-spelling table every front end (CLI
-    subcommands, sweep filters, tests) shares. *)
+    ...) and the backend-qualified exact spellings ([exact],
+    [exact:pb], [exact:race], [exact:NAME] for any registered NAME).
+    The one strategy-spelling table every front end (CLI subcommands,
+    [sweep --strategies], serve, client flag parsing, tests) shares. *)
 
 val all_heuristics : t list
 (** Every strategy except the exact one. *)
@@ -59,11 +70,11 @@ type dispatch =
       (** route through the static instance analyzer: profile the
           instance, apply certified presolve, pick the polynomial path
           the structure admits (interval endpoint walk, chordal
-          incremental) or prime [Exact] with a heuristic incumbent, and
-          lift the answer back.  Requires [Rc_analysis.Dispatch.install]
-          to have run (it registers the router via
-          {!set_static_dispatcher}); [run_cfg] raises
-          [Invalid_argument] otherwise. *)
+          incremental) or prime the exact backend with a heuristic
+          incumbent, and lift the answer back.  Requires
+          [Rc_analysis.Dispatch.install] to have run (it registers the
+          ["static"] router in the {!Backend} registry); [run_cfg]
+          raises [Invalid_argument] otherwise. *)
 
 type config = {
   rows : Rc_graph.Flat.rows option;
@@ -89,21 +100,76 @@ type config = {
           randomized strategy must draw from it and nothing else, or
           domain-parallel runs stop being reproducible. *)
   dispatch : dispatch;
+  backend : string option;
+      (** which {!Backend} registry entry solves {!Exact_conservative}
+          ([None] = ["bb"]).  [Exact_backend] strategies name their
+          backend inline and ignore this field. *)
 }
 
 val default_config : config
 (** [{ rows = None; scoring = Degree_per_weight; max_set = 2;
       incremental = true; check = No_check; seed = 0;
-      dispatch = Direct }] *)
+      dispatch = Direct; backend = None }] *)
 
-val set_static_dispatcher :
-  (config -> t -> Problem.t -> Coalescing.solution) option -> unit
-(** Registers (or clears) the [Static_profile] router.  The installed
-    function receives the caller's config with [dispatch] already reset
-    to [Direct] (so it can fall back to {!run_cfg} without recursing)
-    and must honor [config.check] semantics for whatever it returns —
-    {!run_cfg} still applies its [Assert_conservative] post-check.
-    Install before spawning worker domains. *)
+(** {1 The solver-backend registry}
+
+    First-class replacement for the old [set_static_dispatcher]
+    option-ref: every extension of the solve path — a second exact
+    solver, the portfolio racer, the [Rc_analysis] profile router — is
+    a named {!Backend.backend} record, and every front end resolves
+    names through the same table, so a backend registered once is
+    reachable from [solve], [sweep], [serve] and [bench] alike.
+
+    Builtins registered at module initialization: ["bb"] (the
+    branch-and-bound), ["pb"] ({!Pb}), ["race"]
+    ({!Portfolio.conservative_race}).  [Rc_analysis.Dispatch.install]
+    adds ["static"] (the only [router] entry).  Also exposed at the
+    library root as [Rc_core.Solver_backend]. *)
+
+module Backend : sig
+  type caps = {
+    exact : bool;
+        (** solves [Exact_conservative]-class requests: the answer is
+            the certified optimum, suitable for [exact:NAME] spellings *)
+    router : bool;
+        (** a whole-config router (profile + presolve + delegate), only
+            reachable through [dispatch = Static_profile] *)
+  }
+
+  type backend = {
+    bname : string;  (** stable registry key, as spelled in [exact:NAME] *)
+    describe : string;  (** one-line human description *)
+    caps : caps;
+    solve :
+      ?stop:(unit -> bool) ->
+      ?prime:Coalescing.solution ->
+      config ->
+      t ->
+      Problem.t ->
+      Coalescing.solution;
+        (** [?stop] is the cooperative {!Cancel} probe; [?prime] an
+            optional known-feasible incumbent.  Routers receive the
+            caller's config (with [dispatch] reset to [Direct]) and the
+            requested strategy; plain exact backends may ignore both. *)
+  }
+
+  exception Unknown_backend of { requested : string; known : string list }
+  (** The typed lookup failure: raised by {!find_exn} (and thus by
+      [run_cfg] on an unregistered [Exact_backend] name), carrying the
+      registered names.  A printer is installed via
+      [Printexc.register_printer]. *)
+
+  val register : backend -> unit
+  (** Publish (or replace, by name) an entry.  Safe to call
+      concurrently; in practice registration happens at module
+      initialization or [Dispatch.install] time, before domains spawn. *)
+
+  val find : string -> backend option
+  val find_exn : string -> backend
+
+  val known : unit -> string list
+  (** Registered names, sorted. *)
+end
 
 val run_cfg : config -> t -> Problem.t -> Coalescing.solution
 (** The unified solve path: dispatches to the strategy's primitive with
@@ -126,6 +192,12 @@ type report = {
       (** solve time on the monotonic clock ({!Mclock}), not wall
           time — parallel sweeps would otherwise charge tasks for
           scheduler gaps and NTP steps *)
+  provenance : string option;
+      (** per-answer backend provenance — which portfolio racer won and
+          what cancelling the losers cost ([None] when no race ran).
+          Rendered by {!pp_report} only, never by
+          {!pp_report_canonical}: race outcomes are timing-dependent
+          and must not perturb the cached/differential byte contract. *)
 }
 
 val evaluate_cfg : config -> t -> Problem.t -> report

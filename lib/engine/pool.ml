@@ -92,8 +92,13 @@ let run_locked ?chunk t ~tasks f =
     let err_mutex = Mutex.create () in
     let record i e bt =
       Mutex.lock err_mutex;
-      (match !err with
-      | Some (j, _, _) when j <= i -> ()
+      (match (!err, e) with
+      | Some (j, _, _), _ when j <= i -> ()
+      | Some _, Rc_core.Cancel.Stopped ->
+          (* A task unwound through its cancel probe after another task
+             already failed: a casualty of the abort, not a cause —
+             keep the real error. *)
+          ()
       | _ -> err := Some (i, e, bt));
       Mutex.unlock err_mutex
     in
@@ -105,7 +110,13 @@ let run_locked ?chunk t ~tasks f =
         if i0 >= tasks || Atomic.get aborted then continue := false
         else
           for i = i0 to min (i0 + chunk) tasks - 1 do
-            match f i with
+            (* The ambient probe lets long solver runs (exact searches,
+               portfolio races) observe the abort of a sibling task and
+               cancel instead of running to completion. *)
+            match
+              Rc_core.Cancel.with_probe (fun () -> Atomic.get aborted)
+                (fun () -> f i)
+            with
             | v -> results.(i) <- Some v
             | exception e ->
                 record i e (Printexc.get_raw_backtrace ());

@@ -40,6 +40,11 @@ val run : ?chunk:int -> t -> tasks:int -> (int -> 'a) -> 'a array
     If any task raises, the remaining queue is abandoned (running
     chunks finish), and the exception of the lowest-indexed failed
     task that ran is re-raised in the caller with its backtrace.
+    Every task runs under an ambient [Rc_core.Cancel] probe wired to
+    the run's abort flag, so cancellable solvers (exact searches,
+    portfolio races) inside in-flight sibling tasks stop early once a
+    task fails; their [Cancel.Stopped] unwinds are casualties of the
+    abort, never reported as the run's error.
 
     Safe to call from multiple domains concurrently: a submission
     mutex serializes whole runs (the server's per-connection sessions

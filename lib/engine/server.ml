@@ -140,7 +140,7 @@ let claims_for (s : Strategies.t) =
   | Strategies.Aggressive | Strategies.Irc _ -> []
   | Strategies.Conservative _ | Strategies.Optimistic
   | Strategies.Chordal_incremental | Strategies.Set_conservative _
-  | Strategies.Exact_conservative ->
+  | Strategies.Exact_conservative | Strategies.Exact_backend _ ->
       [ Certify.Conservative ]
 
 (* One strategy, one solution.  With [dispatch = Static_profile] and a
@@ -387,6 +387,10 @@ let stats_text t =
        profile_misses %d\n\
        certified_ok %d\n\
        certified_failed %d\n\
+       races_run %d\n\
+       race_losers_cancelled %d\n\
+       race_losers_finished %d\n\
+       race_worst_cancel_latency_ns %d\n\
        connections_served %d\n\
        requests_served %d\n\
        active_connections %d\n\
@@ -404,10 +408,19 @@ let stats_text t =
       (Sanitize.serve_profile_misses ())
       (Sanitize.certified_ok ())
       (Sanitize.certified_failed ())
+      (Sanitize.races_run ())
+      (Sanitize.race_losers_cancelled ())
+      (Sanitize.race_losers_finished ())
+      (Sanitize.race_worst_cancel_latency_ns ())
       (connections_served t) (requests_served t) (active_connections t)
       (peak_connections t) t.config.max_conns (cache_entries t)
       (profiles_cached t)
       (Pool.domains t.pool)
+  in
+  let race_wins =
+    List.map
+      (fun (b, n) -> Printf.sprintf "race_win %s %d\n" b n)
+      (Sanitize.race_wins ())
   in
   let conns =
     let live =
@@ -426,7 +439,7 @@ let stats_text t =
             Printf.sprintf "profile %s %s\n" hash (Profile.summary pr) :: acc)
           [])
   in
-  String.concat "" ((base :: conns) @ List.rev profiles)
+  String.concat "" ((base :: race_wins) @ conns @ List.rev profiles)
 
 (* ------------------------------------------------------------------ *)
 (* Request decoding and solving                                        *)
@@ -477,6 +490,16 @@ let decode_solve t payload : (decoded, Protocol.error) result =
       if sname = "" || sname = "all" then Ok (Strategies.all_heuristics, "all")
       else
         match Strategies.of_string sname with
+        | Ok (Strategies.Exact_backend b as s) -> (
+            (* The spelling is valid; make sure the backend actually
+               exists in this server's registry before accepting work
+               for it, so a typo'd [exact:foo] is a typed refusal at
+               decode time, not a solver failure mid-batch. *)
+            match Strategies.Backend.find b with
+            | Some bk when bk.Strategies.Backend.caps.Strategies.Backend.exact
+              ->
+                Ok ([ s ], Strategies.name s)
+            | Some _ | None -> Error (Protocol.Unknown_strategy sname))
         | Ok s -> Ok ([ s ], Strategies.name s)
         | Error _ -> Error (Protocol.Unknown_strategy sname)
     in

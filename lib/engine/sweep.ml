@@ -6,28 +6,50 @@ module Profile = Rc_analysis.Profile
 type source =
   | Synthetic of { n : int; maxlive : int; affinity_fraction : float }
   | Ssa of { k : int }
+  | Clustered of {
+      gadgets : int;
+      size : int;
+      maxlive : int;
+      affinity_fraction : float;
+    }
 
-type preset = { sname : string; source : source; instances : int }
+(* One source per instance: instance [i] is built from [List.nth
+   sources i] with seed [Seed.split root i], so presets may mix
+   instance families without perturbing the existing ones. *)
+type preset = { sname : string; sources : source list }
+
+let dup n s = List.init n (fun _ -> s)
 
 let presets =
   [
     {
       sname = "smoke";
-      source = Synthetic { n = 2_000; maxlive = 8; affinity_fraction = 0.3 };
-      instances = 2;
+      sources =
+        dup 2 (Synthetic { n = 2_000; maxlive = 8; affinity_fraction = 0.3 });
     };
-    { sname = "ssa"; source = Ssa { k = 6 }; instances = 4 };
+    { sname = "ssa"; sources = dup 4 (Ssa { k = 6 }) };
     {
       sname = "10k";
-      source = Synthetic { n = 10_000; maxlive = 12; affinity_fraction = 0.3 };
-      instances = 2;
+      (* The third instance is the portfolio's: 10^4 vertices whose
+         interference ∪ affinity union graph decomposes into small
+         components, so exact:race can solve a cell the monolithic
+         synthetic instances force every exact backend to refuse. *)
+      sources =
+        dup 2 (Synthetic { n = 10_000; maxlive = 12; affinity_fraction = 0.3 })
+        @ [
+            Clustered
+              { gadgets = 500; size = 20; maxlive = 4; affinity_fraction = 0.3 };
+          ];
     };
     {
       sname = "100k";
-      source = Synthetic { n = 100_000; maxlive = 12; affinity_fraction = 0.3 };
-      instances = 2;
+      sources =
+        dup 2
+          (Synthetic { n = 100_000; maxlive = 12; affinity_fraction = 0.3 });
     };
   ]
+
+let n_instances preset = List.length preset.sources
 
 let preset_of_string s =
   match List.find_opt (fun p -> p.sname = s) presets with
@@ -56,6 +78,11 @@ let scale_ceiling = function
   | Strategies.Chordal_incremental -> 1_200
   | Strategies.Set_conservative _ -> 1_000_000
   | Strategies.Exact_conservative -> 40
+  (* The portfolio decomposes along union components before searching,
+     so its reach is set by component size, not instance size; other
+     named backends stay at the branch-and-bound's cliff. *)
+  | Strategies.Exact_backend "race" -> 10_000
+  | Strategies.Exact_backend _ -> 40
 
 type outcome =
   | Report of Strategies.report
@@ -99,11 +126,18 @@ let build_problem source seed =
         .problem
   | Ssa { k } ->
       (Rc_challenge.Challenge.generate ~seed:(Seed.to_int seed) ~k ()).problem
+  | Clustered { gadgets; size; maxlive; affinity_fraction } ->
+      (Rc_challenge.Challenge.clustered ~seed:(Seed.to_int seed) ~gadgets ~size
+         ~maxlive ~affinity_fraction ())
+        .problem
+
+let sources_a preset = Array.of_list preset.sources
 
 let instance_problems ~seed preset =
   let root = Seed.of_int seed in
-  Array.init preset.instances (fun i ->
-      build_problem preset.source (Seed.split root i))
+  Array.mapi
+    (fun i source -> build_problem source (Seed.split root i))
+    (sources_a preset)
 
 let leaderboard_of_cells strategies (cells : cell array) =
   let rows =
@@ -165,11 +199,11 @@ let run ?pool ?domains ?(strategies = Strategies.all_heuristics) ?rows
   (* Instances are built once, sequentially, and shared read-only by
      every cell (persistent graphs are immutable); each cell still gets
      its own flat kernel inside the solver. *)
-  let instance_seeds =
-    Array.init preset.instances (fun i -> Seed.split root i)
-  in
+  let sources = sources_a preset in
+  let instances = Array.length sources in
+  let instance_seeds = Array.init instances (fun i -> Seed.split root i) in
   let problems =
-    Array.map (fun s -> build_problem preset.source s) instance_seeds
+    Array.mapi (fun i s -> build_problem sources.(i) s) instance_seeds
   in
   (* One structural profile per instance (deterministic, so both the
      class column and the summary lines are part of the canonical
@@ -179,9 +213,9 @@ let run ?pool ?domains ?(strategies = Strategies.all_heuristics) ?rows
   let profiles = Array.map Profile.summary instance_profiles in
   let strategies_a = Array.of_list strategies in
   let n_strat = Array.length strategies_a in
-  let tasks = n_strat * preset.instances in
+  let tasks = n_strat * instances in
   let cell i =
-    let si = i / preset.instances and ii = i mod preset.instances in
+    let si = i / instances and ii = i mod instances in
     let strategy = strategies_a.(si) in
     let p = problems.(ii) in
     let seed_i = Seed.to_int instance_seeds.(ii) in
@@ -202,6 +236,8 @@ let run ?pool ?domains ?(strategies = Strategies.all_heuristics) ?rows
         match Strategies.evaluate_cfg cfg strategy p with
         | r -> Report r
         | exception Invalid_argument m -> Failed m
+        | exception (Strategies.Backend.Unknown_backend _ as e) ->
+            Failed (Printexc.to_string e)
     in
     { strategy = Strategies.name strategy; instance = ii; seed = seed_i; outcome }
   in
@@ -237,6 +273,9 @@ let source_to_string = function
       Printf.sprintf "synthetic n=%d maxlive=%d aff=%.2f" n maxlive
         affinity_fraction
   | Ssa { k } -> Printf.sprintf "ssa k=%d" k
+  | Clustered { gadgets; size; maxlive; affinity_fraction } ->
+      Printf.sprintf "clustered %dx%d maxlive=%d aff=%.2f" gadgets size maxlive
+        affinity_fraction
 
 (* The canonical report: everything deterministic, nothing timed.  The
    engine test suite and the CLI's --domains comparison hash this
@@ -244,11 +283,13 @@ let source_to_string = function
 let canonical t =
   let buf = Buffer.create 1024 in
   let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
-  pf "sweep %s (%s) x %d instances, seed %d\n" t.preset.sname
-    (source_to_string t.preset.source)
-    t.preset.instances t.root_seed;
+  let sources = sources_a t.preset in
+  pf "sweep %s x %d instances, seed %d\n" t.preset.sname (Array.length sources)
+    t.root_seed;
   pf "-- instances --\n";
-  Array.iteri (fun i s -> pf "#%d %s\n" i s) t.profiles;
+  Array.iteri
+    (fun i s -> pf "#%d [%s] %s\n" i (source_to_string sources.(i)) s)
+    t.profiles;
   pf "-- cells --\n";
   Array.iter
     (fun c ->
@@ -308,8 +349,12 @@ let to_json t =
   let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   pf "{\n";
   pf "  \"preset\": \"%s\",\n" (json_escape t.preset.sname);
-  pf "  \"source\": \"%s\",\n" (json_escape (source_to_string t.preset.source));
-  pf "  \"instances\": %d,\n" t.preset.instances;
+  pf "  \"sources\": [%s],\n"
+    (String.concat ", "
+       (List.map
+          (fun s -> Printf.sprintf "\"%s\"" (json_escape (source_to_string s)))
+          t.preset.sources));
+  pf "  \"instances\": %d,\n" (n_instances t.preset);
   pf "  \"seed\": %d,\n" t.root_seed;
   pf "  \"domains\": %d,\n" t.domains;
   pf "  \"wall_s\": %.6f,\n" t.wall_s;

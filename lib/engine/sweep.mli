@@ -30,14 +30,31 @@ type source =
   | Ssa of { k : int }
       (** SSA-pipeline challenge instance
           ({!Rc_challenge.Challenge.generate}), ~10^3 vertices *)
+  | Clustered of {
+      gadgets : int;
+      size : int;
+      maxlive : int;
+      affinity_fraction : float;
+    }
+      (** [gadgets] disjoint interval sweeps of [size] vertices in one
+          instance ({!Rc_challenge.Challenge.clustered}) — decomposable
+          structure the exact portfolio solves at vertex counts where a
+          monolithic exact search is refused *)
 
-type preset = { sname : string; source : source; instances : int }
+type preset = { sname : string; sources : source list }
+(** One sweep instance per list element, in order; instance [i] derives
+    its seed from the root seed and [i] exactly as before, so presets
+    that repeat a source still get distinct instances. *)
 
 val presets : preset list
-(** [smoke] (2 x 2k-vertex synthetic), [ssa] (4 SSA instances),
-    [10k] and [100k] (2 synthetic instances at 10^4 / 10^5). *)
+(** [smoke] (2 x 2k-vertex synthetic), [ssa] (4 SSA instances), [10k]
+    (2 synthetic instances at 10^4 plus one clustered 10^4 — the
+    portfolio cell) and [100k] (2 synthetic instances at 10^5). *)
 
 val preset_of_string : string -> (preset, string) result
+
+val n_instances : preset -> int
+(** [List.length preset.sources]. *)
 
 val instance_problems : seed:int -> preset -> Rc_core.Problem.t array
 (** Exactly the instances a sweep at [~seed] over [preset] evaluates

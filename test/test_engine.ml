@@ -194,11 +194,10 @@ let test_of_string () =
 (* ------------------------------------------------------------------ *)
 
 let unit_preset =
-  {
-    Sweep.sname = "unit";
-    source = Sweep.Synthetic { n = 250; maxlive = 6; affinity_fraction = 0.3 };
-    instances = 2;
-  }
+  let source =
+    Sweep.Synthetic { n = 250; maxlive = 6; affinity_fraction = 0.3 }
+  in
+  { Sweep.sname = "unit"; sources = [ source; source ] }
 
 let test_sweep_domain_determinism () =
   let reference = Sweep.canonical (Sweep.run ~domains:1 ~seed:42 unit_preset) in
@@ -239,8 +238,8 @@ let test_sweep_capping () =
       ~strategies:[ Strategies.Chordal_incremental ]
       {
         Sweep.sname = "over";
-        source = Sweep.Synthetic { n = 2_000; maxlive = 6; affinity_fraction = 0.2 };
-        instances = 1;
+        sources =
+          [ Sweep.Synthetic { n = 2_000; maxlive = 6; affinity_fraction = 0.2 } ];
       }
   in
   Array.iter
